@@ -1,0 +1,37 @@
+# WideLeak reproduction — convenience targets.
+
+GO ?= go
+
+.PHONY: all build vet test race bench study impact report clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchmem ./...
+
+# Reproduce Table I and check it against the paper.
+study:
+	$(GO) run ./cmd/wideleak
+
+# Table I plus the §IV-D attack chain per app.
+impact:
+	$(GO) run ./cmd/wideleak -impact
+
+# Full markdown report (table + summary + impact + forgery).
+report:
+	$(GO) run ./cmd/wideleak -report report.md
+
+clean:
+	rm -f report.md test_output.txt bench_output.txt

@@ -1,0 +1,278 @@
+package wideleak
+
+// The benchmark harness regenerating every table and figure of the paper's
+// evaluation (see DESIGN.md §4 for the experiment index):
+//
+//	BenchmarkTableI_Q1_WidevineUsage      — Table I col 1 (per-app classification)
+//	BenchmarkTableI_Q2_ContentProtection  — Table I cols 2-4
+//	BenchmarkTableI_Q3_KeyUsage           — Table I col 5
+//	BenchmarkTableI_Q4_Playback           — Table I col 6
+//	BenchmarkTableI_Full                  — the whole table from a cold world
+//	BenchmarkFigure1_PlaybackFlow         — the Figure 1 message flow
+//	BenchmarkE5_KeyboxRecovery            — §IV-D step 1 (memory scan)
+//	BenchmarkE5_KeyLadder                 — §IV-D step 3 (ladder replay)
+//	BenchmarkE5_FullChain                 — §IV-D end to end
+//	BenchmarkE6_L1MemScan                 — the L1-resistance ablation
+//
+// Worlds are built once per benchmark (device provisioning mints 2048-bit
+// RSA keys); iterations then measure the steady-state cost of the
+// operation itself.
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/monitor"
+	iwl "repro/internal/wideleak"
+)
+
+var (
+	benchOnce  sync.Once
+	benchStudy *iwl.Study
+	benchErr   error
+)
+
+func benchSharedStudy(b *testing.B) *iwl.Study {
+	b.Helper()
+	benchOnce.Do(func() {
+		w, err := iwl.NewWorld("bench", nil)
+		if err != nil {
+			benchErr = err
+			return
+		}
+		benchStudy = iwl.NewStudy(w)
+		// Warm every fixture (provisioning, RSA minting) outside timing.
+		for _, p := range w.Profiles() {
+			if _, err := benchStudy.RunQ4(p.Name); err != nil {
+				benchErr = err
+				return
+			}
+			if _, err := benchStudy.RunQ1(p.Name); err != nil {
+				benchErr = err
+				return
+			}
+		}
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchStudy
+}
+
+// BenchmarkTableI_Q1_WidevineUsage measures one full instrumented
+// observation cycle (L1 + L3 playback under CDM hooks and network MITM)
+// plus the Q1 classification, per app.
+func BenchmarkTableI_Q1_WidevineUsage(b *testing.B) {
+	s := benchSharedStudy(b)
+	apps := s.World.Profiles()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ResetObservations()
+		app := apps[i%len(apps)].Name
+		if _, err := s.RunQ1(app); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableI_Q2_ContentProtection measures asset download + protection
+// probing on top of a fresh observation.
+func BenchmarkTableI_Q2_ContentProtection(b *testing.B) {
+	s := benchSharedStudy(b)
+	apps := s.World.Profiles()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ResetObservations()
+		app := apps[i%len(apps)].Name
+		if _, err := s.RunQ2(app); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableI_Q3_KeyUsage measures manifest key-ID analysis (warm
+// observation: the analysis itself is the operation under test).
+func BenchmarkTableI_Q3_KeyUsage(b *testing.B) {
+	s := benchSharedStudy(b)
+	apps := s.World.Profiles()
+	for _, p := range apps {
+		if _, err := s.RunQ3(p.Name); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.RunQ3(apps[i%len(apps)].Name); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableI_Q4_Playback measures one discontinued-device playback and
+// outcome classification per app.
+func BenchmarkTableI_Q4_Playback(b *testing.B) {
+	s := benchSharedStudy(b)
+	apps := s.World.Profiles()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.RunQ4(apps[i%len(apps)].Name); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableI_Full regenerates the entire Table I from a warm world
+// with cold observations — the cost of one complete study pass.
+func BenchmarkTableI_Full(b *testing.B) {
+	s := benchSharedStudy(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ResetObservations()
+		table, err := s.BuildTable()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if diffs := table.Diff(iwl.PaperTable()); len(diffs) != 0 {
+			b.Fatalf("table diverged from paper: %v", diffs)
+		}
+	}
+}
+
+// BenchmarkFigure1_PlaybackFlow measures one protected playback through the
+// full Figure 1 chain (framework → DRM server → CDM → license server/CDN).
+func BenchmarkFigure1_PlaybackFlow(b *testing.B) {
+	s := benchSharedStudy(b)
+	f, err := s.World.Fixture("Showtime")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := f.PixelApp.Play(iwl.ContentID); !r.Played() {
+			b.Fatalf("playback failed: %+v", r)
+		}
+	}
+}
+
+// BenchmarkE5_KeyboxRecovery measures the §IV-D memory scan against a warm
+// L3 DRM process.
+func BenchmarkE5_KeyboxRecovery(b *testing.B) {
+	s := benchSharedStudy(b)
+	f, err := s.World.Fixture("Netflix")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if r := f.Nexus5App.Play(iwl.ContentID); !r.Played() {
+		b.Fatalf("playback failed: %+v", r)
+	}
+	mon := monitor.New()
+	handle, err := mon.AttachProcess(f.Nexus5Device.DRMProcess)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := attack.RecoverKeybox(handle); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE5_KeyLadder measures the ladder replay (RSA unwrap + OAEP +
+// CMAC KDF + CBC unwrap) over a captured trace.
+func BenchmarkE5_KeyLadder(b *testing.B) {
+	s := benchSharedStudy(b)
+	f, err := s.World.Fixture("Netflix")
+	if err != nil {
+		b.Fatal(err)
+	}
+	mon := monitor.New()
+	mon.AttachCDM(f.Nexus5Device.Engine)
+	defer mon.Detach()
+	if r := f.Nexus5App.Play(iwl.ContentID); !r.Played() {
+		b.Fatalf("playback failed: %+v", r)
+	}
+	events := mon.Events()
+	handle, err := mon.AttachProcess(f.Nexus5Device.DRMProcess)
+	if err != nil {
+		b.Fatal(err)
+	}
+	kb, err := attack.RecoverKeybox(handle)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rsaKey, err := attack.RecoverDeviceRSAKey(kb, f.Nexus5Device.Storage)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		keys, err := attack.RecoverContentKeys(rsaKey, events)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(keys) == 0 {
+			b.Fatal("no keys recovered")
+		}
+	}
+}
+
+// BenchmarkE5_FullChain measures the complete §IV-D attack end to end
+// (monitored playback + scan + unwrap + replay + rip).
+func BenchmarkE5_FullChain(b *testing.B) {
+	s := benchSharedStudy(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := s.RunPracticalImpact("Netflix")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.DRMFree {
+			b.Fatalf("attack failed: %s", res.FailureReason)
+		}
+	}
+}
+
+// BenchmarkE7_ForgedHDLicense measures the §V-C future-work experiment:
+// forging an "L1" license request with recovered material to unlock HD.
+func BenchmarkE7_ForgedHDLicense(b *testing.B) {
+	s := benchSharedStudy(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := s.RunHDForgery("Netflix")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.HDKeysGranted || res.MaxHeight != 1080 {
+			b.Fatalf("forgery failed: %+v", res)
+		}
+	}
+}
+
+// BenchmarkE6_L1MemScan measures the (failing) scan against an L1 device's
+// normal-world memory — the resistance ablation.
+func BenchmarkE6_L1MemScan(b *testing.B) {
+	s := benchSharedStudy(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		found, err := s.RunL1Resistance("Showtime")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if found {
+			b.Fatal("keybox found on L1")
+		}
+	}
+}

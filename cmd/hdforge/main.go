@@ -1,0 +1,63 @@
+// Command hdforge runs the §V-C future-work experiment (the netflix-1080p
+// trick adapted to Android): after the §IV-D recovery on a discontinued L3
+// phone, forge a license request claiming L1 to obtain the HD keys the real
+// device was never granted.
+//
+// Usage:
+//
+//	hdforge [-app Netflix] [-seed s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hdforge:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hdforge", flag.ContinueOnError)
+	appName := fs.String("app", "Netflix", "OTT app to attack")
+	seed := fs.String("seed", "default", "world seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	world, err := wideleak.NewWorld(*seed, nil)
+	if err != nil {
+		return err
+	}
+	study := wideleak.NewStudy(world)
+
+	name := *appName
+	for _, p := range wideleak.Profiles() {
+		if strings.EqualFold(p.Name, name) {
+			name = p.Name
+		}
+	}
+
+	fmt.Printf("Honest playback on the L3 device is capped below HD by the license server.\n")
+	fmt.Printf("Forging a request claiming L1 with the recovered Device RSA key (%s)...\n\n", name)
+
+	res, err := study.RunHDForgery(name)
+	if err != nil {
+		return err
+	}
+	if !res.HDKeysGranted {
+		fmt.Printf("Forgery FAILED: %s\n", res.FailureReason)
+		return nil
+	}
+	fmt.Printf("Forgery SUCCEEDED: %d keys granted; %dp representations decrypt.\n", res.Keys, res.MaxHeight)
+	fmt.Println("\nRoot cause: the security level in a license request is self-declared —")
+	fmt.Println("nothing in the protocol attests it. (Paper §V-C, future work.)")
+	return nil
+}

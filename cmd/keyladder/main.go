@@ -1,0 +1,113 @@
+// Command keyladder runs the paper's §IV-D proof of concept step by step
+// against one app on the discontinued Nexus 5: monitored playback, keybox
+// memory scan (CVE-2021-0639), Device RSA key unwrap, key-ladder replay,
+// and DRM-free media reconstruction — narrating each rung.
+//
+// Usage:
+//
+//	keyladder [-app Netflix] [-seed s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+	"repro/internal/attack"
+	"repro/internal/cenc"
+	"repro/internal/monitor"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "keyladder:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("keyladder", flag.ContinueOnError)
+	appName := fs.String("app", "Netflix", "OTT app to attack")
+	seed := fs.String("seed", "default", "world seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	world, err := wideleak.NewWorld(*seed, nil)
+	if err != nil {
+		return err
+	}
+	name := canonicalName(*appName)
+	fixture, err := world.Fixture(name)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("Target: %s on %s (Android %s, CDM %s, %s)\n",
+		name, fixture.Nexus5Device.Model, fixture.Nexus5Device.AndroidVersion,
+		fixture.Nexus5Device.CDMVersion, fixture.Nexus5Device.Level)
+
+	fmt.Println("\n[1/5] Monitored playback (hooking _oecc, MITM + SSL re-pinning)...")
+	mon := monitor.New()
+	mon.AttachCDM(fixture.Nexus5Device.Engine)
+	defer mon.Detach()
+	_ = mon.InterceptNetwork(fixture.Nexus5App.NetworkClient())
+	report := fixture.Nexus5App.Play(wideleak.ContentID)
+	fmt.Printf("      playback: played=%v embeddedCDM=%v provisionDenied=%v (%d CDM calls traced)\n",
+		report.Played(), report.UsedEmbeddedCDM, report.ProvisionDenied, len(mon.Events()))
+
+	fmt.Println("\n[2/5] Scanning mediadrmserver memory for the keybox magic...")
+	handle, err := mon.AttachProcess(fixture.Nexus5Device.DRMProcess)
+	if err != nil {
+		return err
+	}
+	kb, err := attack.RecoverKeybox(handle)
+	if err != nil {
+		return fmt.Errorf("keybox recovery failed: %w", err)
+	}
+	fmt.Printf("      KEYBOX RECOVERED (CWE-922): stableID=%q systemID=%d deviceKey=%x...\n",
+		kb.StableIDString(), kb.SystemID(), kb.DeviceKey[:4])
+
+	fmt.Println("\n[3/5] Unwrapping the provisioned Device RSA key from flash...")
+	rsaKey, err := attack.RecoverDeviceRSAKey(kb, fixture.Nexus5Device.Storage)
+	if err != nil {
+		return fmt.Errorf("rsa key recovery failed: %w", err)
+	}
+	fmt.Printf("      DEVICE RSA KEY RECOVERED: %d-bit modulus %x...\n",
+		rsaKey.N.BitLen(), rsaKey.N.Bytes()[:4])
+
+	fmt.Println("\n[4/5] Replaying the key ladder over dumped OEMCrypto arguments...")
+	keys, err := attack.RecoverContentKeys(rsaKey, mon.Events())
+	if err != nil {
+		return fmt.Errorf("content key recovery failed: %w", err)
+	}
+	fmt.Printf("      %d CONTENT KEYS RECOVERED:\n", len(keys))
+	for kid, key := range keys {
+		fmt.Printf("        kid=%s key=%x...\n", cenc.KIDToString(kid), key[:4])
+	}
+
+	fmt.Println("\n[5/5] Downloading assets (no account) and stripping CENC...")
+	study := wideleak.NewStudy(world)
+	res, err := study.RunPracticalImpact(name)
+	if err != nil {
+		return err
+	}
+	if !res.DRMFree {
+		return fmt.Errorf("media reconstruction failed: %s", res.FailureReason)
+	}
+	fmt.Printf("      %d representations decrypted, best quality %dp (qHD cap — L3 never gets HD keys)\n",
+		res.AssetsDecrypted, res.MaxHeight)
+	fmt.Println("\nResult: DRM-free media recovered and playable off-device.")
+	return nil
+}
+
+func canonicalName(name string) string {
+	for _, p := range wideleak.Profiles() {
+		if strings.EqualFold(p.Name, name) {
+			return p.Name
+		}
+	}
+	return name
+}

@@ -1,0 +1,128 @@
+// Command wideleak runs the full study and prints the reproduced Table I,
+// optionally followed by the §IV-D practical-impact results and a diff
+// against the paper's table.
+//
+// Usage:
+//
+//	wideleak [-seed s] [-impact] [-diff] [-app name]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "wideleak:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("wideleak", flag.ContinueOnError)
+	seed := fs.String("seed", "default", "world seed (reproducible)")
+	impact := fs.Bool("impact", false, "also run the §IV-D attack chain per app")
+	diff := fs.Bool("diff", true, "compare the reproduced table against the paper's")
+	app := fs.String("app", "", "restrict to one app (default: all ten)")
+	format := fs.String("format", "text", "output format: text, csv, json")
+	reportPath := fs.String("report", "", "write a full markdown report (table + impact + forgery) to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	profiles := wideleak.Profiles()
+	if *app != "" {
+		var selected []wideleak.Profile
+		for _, p := range profiles {
+			if strings.EqualFold(p.Name, *app) {
+				selected = append(selected, p)
+			}
+		}
+		if len(selected) == 0 {
+			return fmt.Errorf("unknown app %q", *app)
+		}
+		profiles = selected
+	}
+
+	world, err := wideleak.NewWorld(*seed, profiles)
+	if err != nil {
+		return err
+	}
+	study := wideleak.NewStudy(world)
+
+	if *reportPath != "" {
+		report, err := study.BuildReport()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*reportPath, []byte(report.Markdown()), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("Report written to %s (matches paper: %v)\n", *reportPath, report.MatchesPaper)
+		return nil
+	}
+
+	table, err := study.BuildTable()
+	if err != nil {
+		return err
+	}
+	switch *format {
+	case "text":
+		fmt.Print(table.Render())
+	case "csv":
+		out, err := table.MarshalCSV()
+		if err != nil {
+			return err
+		}
+		fmt.Print(string(out))
+	case "json":
+		out, err := json.MarshalIndent(table, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(out))
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+
+	if *format == "text" {
+		fmt.Println()
+		fmt.Print(table.Summarize().Render())
+	}
+
+	if *diff && *app == "" {
+		diffs := table.Diff(wideleak.PaperTable())
+		if len(diffs) == 0 {
+			fmt.Println("\nReproduction check: table matches the paper's Table I cell for cell.")
+		} else {
+			fmt.Println("\nReproduction check: DIFFERENCES from the paper's Table I:")
+			for _, d := range diffs {
+				fmt.Println("  -", d)
+			}
+		}
+	}
+
+	if *impact {
+		fmt.Println("\nPractical impact (§IV-D) on the discontinued Nexus 5:")
+		for _, p := range profiles {
+			res, err := study.RunPracticalImpact(p.Name)
+			if err != nil {
+				return err
+			}
+			status := "DRM-FREE CONTENT RECOVERED"
+			if !res.DRMFree {
+				status = "attack failed: " + res.FailureReason
+			}
+			fmt.Printf("  %-20s keybox=%v rsa=%v keys=%d assets=%d max=%dp  %s\n",
+				p.Name, res.KeyboxRecovered, res.RSAKeyRecovered,
+				res.ContentKeysFound, res.AssetsDecrypted, res.MaxHeight, status)
+		}
+	}
+	return nil
+}

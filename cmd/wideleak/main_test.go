@@ -1,0 +1,51 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRun_SingleAppCSV(t *testing.T) {
+	// Exercise the CLI paths that don't need the full ten-app world.
+	if err := run([]string{"-app", "Showtime", "-format", "csv", "-diff=false"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRun_UnknownApp(t *testing.T) {
+	if err := run([]string{"-app", "NoSuchService"}); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+func TestRun_UnknownFormat(t *testing.T) {
+	if err := run([]string{"-app", "Showtime", "-format", "yaml"}); err == nil ||
+		!strings.Contains(err.Error(), "unknown format") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRun_BadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRun_Report(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full report is expensive")
+	}
+	path := filepath.Join(t.TempDir(), "report.md")
+	if err := run([]string{"-report", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "matches the paper's Table I") {
+		t.Errorf("report does not confirm reproduction:\n%.400s", data)
+	}
+}

@@ -1,0 +1,138 @@
+// Command wvmonitor attaches the Frida-style monitor to one app's playback
+// and prints the observed message flow: the framework-level steps of the
+// paper's Figure 1 interleaved with the hooked _oecc CDM calls, then a
+// summary of intercepted network traffic.
+//
+// Usage:
+//
+//	wvmonitor [-app Netflix] [-device pixel|l3|nexus5] [-seed s] [-dump]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+	"repro/internal/android"
+	"repro/internal/monitor"
+	"repro/internal/oemcrypto"
+	"repro/internal/ott"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "wvmonitor:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("wvmonitor", flag.ContinueOnError)
+	appName := fs.String("app", "Netflix", "OTT app to monitor")
+	devKind := fs.String("device", "pixel", "device: pixel (L1), l3, nexus5")
+	seed := fs.String("seed", "default", "world seed")
+	dump := fs.Bool("dump", false, "hex-dump visible call buffers (truncated)")
+	export := fs.String("export", "", "write the full trace as JSON to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	world, err := wideleak.NewWorld(*seed, nil)
+	if err != nil {
+		return err
+	}
+	fixture, err := world.Fixture(canonicalName(*appName))
+	if err != nil {
+		return err
+	}
+
+	var app *ott.App
+	var engine oemcrypto.Engine
+	switch *devKind {
+	case "pixel":
+		app, engine = fixture.PixelApp, fixture.PixelDevice.Engine
+	case "l3":
+		app, engine = fixture.L3App, fixture.L3Device.Engine
+	case "nexus5":
+		app, engine = fixture.Nexus5App, fixture.Nexus5Device.Engine
+	default:
+		return fmt.Errorf("unknown device %q", *devKind)
+	}
+
+	mon := monitor.New()
+	mon.AttachCDM(engine)
+	defer mon.Detach()
+	tap := mon.InterceptNetwork(app.NetworkClient())
+
+	report := app.Play(wideleak.ContentID)
+
+	fmt.Printf("== Playback: %s on %s (%s) ==\n", report.App, report.Device, report.Level)
+	switch {
+	case report.Played():
+		fmt.Printf("played %dp, %d frames decoded\n", report.PlayedHeight, report.FramesDecoded)
+	case report.ProvisionDenied:
+		fmt.Printf("BLOCKED at provisioning: %s\n", report.ProvisionErr)
+	case report.LicenseDenied:
+		fmt.Printf("BLOCKED at licensing: %s\n", report.LicenseErr)
+	default:
+		fmt.Printf("failed: %s\n", report.Err)
+	}
+
+	fmt.Println("\n== Framework flow (Figure 1 sequence diagram) ==")
+	fmt.Print(android.RenderSequenceDiagram(app.FlowLog()))
+
+	fmt.Println("\n== Hooked CDM calls (_oecc trace) ==")
+	for _, ev := range mon.Events() {
+		status := "ok"
+		if ev.Err != nil {
+			status = "ERR " + ev.Err.Error()
+		}
+		fmt.Printf("  %s %-26s session=%d lib=%s in=%dB out=%dB %s\n",
+			ev.Func.OECCName(), ev.Func, ev.Session, ev.Library, len(ev.In), len(ev.Out), status)
+		if *dump {
+			if len(ev.In) > 0 {
+				fmt.Printf("      in:  %s\n", hexPreview(ev.In))
+			}
+			if len(ev.Out) > 0 {
+				fmt.Printf("      out: %s\n", hexPreview(ev.Out))
+			}
+		}
+	}
+
+	fmt.Println("\n== Intercepted network traffic (post SSL re-pinning) ==")
+	for _, ex := range tap.Exchanges() {
+		fmt.Printf("  %s%s  req=%dB resp=%dB status=%d\n",
+			ex.Request.Host, ex.Request.Path, len(ex.Request.Body), len(ex.Response.Body), ex.Response.Status)
+	}
+
+	if *export != "" {
+		blob, err := mon.ExportTrace()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*export, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nTrace exported to %s (%d bytes) for offline analysis.\n", *export, len(blob))
+	}
+	return nil
+}
+
+func hexPreview(b []byte) string {
+	const max = 32
+	if len(b) > max {
+		return fmt.Sprintf("%x… (%d bytes)", b[:max], len(b))
+	}
+	return fmt.Sprintf("%x", b)
+}
+
+func canonicalName(name string) string {
+	for _, p := range wideleak.Profiles() {
+		if strings.EqualFold(p.Name, name) {
+			return p.Name
+		}
+	}
+	return name
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRun_Defaults(t *testing.T) {
+	if err := run(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRun_CBCSWithOutput(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-scheme", "cbcs", "-audio-key", "-out", dir}); err != nil {
+		t.Fatal(err)
+	}
+	mpd, err := os.ReadFile(filepath.Join(dir, "movie-1.mpd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mpd) == 0 {
+		t.Error("empty mpd written")
+	}
+	init, err := os.ReadFile(filepath.Join(dir, "movie-1", "video", "540p", "init.mp4"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(init) == 0 {
+		t.Error("empty init written")
+	}
+}
+
+func TestRun_BadScheme(t *testing.T) {
+	if err := run([]string{"-scheme", "nope"}); err == nil {
+		t.Fatal("bad scheme accepted")
+	}
+}

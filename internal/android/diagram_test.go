@@ -1,0 +1,73 @@
+package android_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/android"
+)
+
+func TestRenderSequenceDiagram(t *testing.T) {
+	events := []android.FlowEvent{
+		{From: "Application", To: "MediaDRM Server", Call: "MediaDRM(UUID)"},
+		{From: "MediaDRM Server", To: "CDM", Call: "Initialize()"},
+		{From: "Application", To: "MediaDRM Server", Call: "openSession()"},
+		{From: "MediaDRM Server", To: "CDM", Call: "openSession()"},
+		{From: "Application", To: "MediaDRM Server", Call: "getKeyRequest()"},
+		{From: "MediaDRM Server", To: "CDM", Call: "getKeyRequest()"},
+		{From: "Application", To: "MediaDRM Server", Call: "provideKeyResponse()"},
+		{From: "MediaDRM Server", To: "CDM", Call: "provideKeyResponse()"},
+		{From: "Application", To: "MediaDRM Server", Call: "queueSecureInputBuffer()"},
+		{From: "MediaDRM Server", To: "CDM", Call: "Decrypt()"},
+		{From: "Application", To: "MediaDRM Server", Call: "queueSecureInputBuffer()"},
+		{From: "MediaDRM Server", To: "CDM", Call: "Decrypt()"},
+	}
+	out := android.RenderSequenceDiagram(events)
+
+	for _, want := range []string{"Application", "MediaDRM Server", "CDM",
+		"openSession()", "getKeyRequest()", "Decrypt()"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diagram missing %q:\n%s", want, out)
+		}
+	}
+	// Arrows exist in both columns.
+	if !strings.Contains(out, "->") && !strings.Contains(out, ">") {
+		t.Errorf("diagram has no arrows:\n%s", out)
+	}
+	// Lines are uniform width (three lanes).
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("diagram too short:\n%s", out)
+	}
+}
+
+func TestRenderSequenceDiagram_CollapsesRepeats(t *testing.T) {
+	var events []android.FlowEvent
+	for i := 0; i < 16; i++ {
+		events = append(events, android.FlowEvent{From: "MediaDRM Server", To: "CDM", Call: "Decrypt()"})
+	}
+	out := android.RenderSequenceDiagram(events)
+	if !strings.Contains(out, "x16") {
+		t.Errorf("repeats not collapsed:\n%s", out)
+	}
+	if strings.Count(out, "Decrypt()") != 1 {
+		t.Errorf("Decrypt rendered %d times, want 1", strings.Count(out, "Decrypt()"))
+	}
+}
+
+func TestRenderSequenceDiagram_UnknownLane(t *testing.T) {
+	events := []android.FlowEvent{
+		{From: "Application", To: "License Server", Call: "POST /license"},
+	}
+	out := android.RenderSequenceDiagram(events)
+	if !strings.Contains(out, "License Server") {
+		t.Errorf("extra lane missing:\n%s", out)
+	}
+}
+
+func TestRenderSequenceDiagram_Empty(t *testing.T) {
+	out := android.RenderSequenceDiagram(nil)
+	if !strings.Contains(out, "Application") {
+		t.Errorf("empty diagram missing header:\n%s", out)
+	}
+}

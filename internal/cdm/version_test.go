@@ -1,0 +1,54 @@
+package cdm
+
+import "testing"
+
+func TestCompareVersions(t *testing.T) {
+	tests := []struct {
+		a, b string
+		want int
+	}{
+		{"3.1.0", "15.0", -1},
+		{"15.0", "3.1.0", 1},
+		{"15.0", "15.0", 0},
+		{"15", "15.0", 0},
+		{"15.0.1", "15.0", 1},
+		{"2.9.9", "3.0.0", -1},
+		{"10.0", "9.9", 1},
+	}
+	for _, tt := range tests {
+		got, err := CompareVersions(tt.a, tt.b)
+		if err != nil {
+			t.Errorf("CompareVersions(%q,%q): %v", tt.a, tt.b, err)
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("CompareVersions(%q,%q) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestCompareVersions_Invalid(t *testing.T) {
+	for _, bad := range []string{"", "a.b", "1.-2", "1..2"} {
+		if _, err := CompareVersions(bad, "1.0"); err == nil {
+			t.Errorf("CompareVersions(%q): want error", bad)
+		}
+	}
+}
+
+func TestVersionAtLeast(t *testing.T) {
+	tests := []struct {
+		v, min string
+		want   bool
+	}{
+		{"3.1.0", "", true},
+		{"3.1.0", "14.0", false},
+		{"15.0", "14.0", true},
+		{"14.0", "14.0", true},
+		{"garbage", "14.0", false}, // fails closed
+	}
+	for _, tt := range tests {
+		if got := VersionAtLeast(tt.v, tt.min); got != tt.want {
+			t.Errorf("VersionAtLeast(%q,%q) = %v, want %v", tt.v, tt.min, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+// Package cdn implements the Content Delivery Network of the DRM
+// architecture: it stores packaged assets (init/media segments, subtitle
+// files) and manifests, and serves them over the simulated network. The
+// CDN is intentionally dumb — it delivers whatever bytes the packager
+// produced; all protection decisions were made upstream, which is exactly
+// why downloading its URLs suffices for the paper's Q2 probe.
+package cdn
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/media"
+	"repro/internal/netsim"
+)
+
+// URL path prefixes the CDN serves.
+const (
+	ManifestPrefix = "/manifest/"
+	ObjectPrefix   = "/object/"
+)
+
+// ErrNotFound is returned for unknown manifests or objects.
+var ErrNotFound = errors.New("cdn: not found")
+
+// Server is one CDN host.
+type Server struct {
+	host string
+
+	mu        sync.RWMutex
+	objects   map[string][]byte
+	manifests map[string][]byte
+}
+
+// NewServer builds an empty CDN for the given hostname.
+func NewServer(host string) *Server {
+	return &Server{
+		host:      host,
+		objects:   make(map[string][]byte),
+		manifests: make(map[string][]byte),
+	}
+}
+
+// Host returns the CDN's hostname.
+func (s *Server) Host() string { return s.host }
+
+// AddPackaged ingests one packaged title: all files plus its manifest.
+func (s *Server) AddPackaged(p *media.Packaged) error {
+	mpd, err := p.MPD.Marshal()
+	if err != nil {
+		return fmt.Errorf("cdn: ingest %q: %w", p.ContentID, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for path, data := range p.Files {
+		s.objects[path] = data
+	}
+	s.manifests[p.ContentID] = mpd
+	return nil
+}
+
+// Manifest returns a content's MPD bytes.
+func (s *Server) Manifest(contentID string) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	m, ok := s.manifests[contentID]
+	return m, ok
+}
+
+// Object returns one stored asset.
+func (s *Server) Object(path string) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	o, ok := s.objects[path]
+	return o, ok
+}
+
+// Handler serves the CDN over netsim:
+//
+//	GET /manifest/<contentID> → MPD XML
+//	GET /object/<path>        → asset bytes
+func (s *Server) Handler() netsim.Handler {
+	return func(req netsim.Request) (netsim.Response, error) {
+		switch {
+		case strings.HasPrefix(req.Path, ManifestPrefix):
+			id := strings.TrimPrefix(req.Path, ManifestPrefix)
+			if m, ok := s.Manifest(id); ok {
+				return netsim.Response{Status: 200, Body: m}, nil
+			}
+		case strings.HasPrefix(req.Path, ObjectPrefix):
+			path := strings.TrimPrefix(req.Path, ObjectPrefix)
+			if o, ok := s.Object(path); ok {
+				return netsim.Response{Status: 200, Body: o}, nil
+			}
+		}
+		return netsim.Response{Status: 404}, fmt.Errorf("%w: %s", ErrNotFound, req.Path)
+	}
+}

@@ -1,0 +1,77 @@
+package cdn_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/cdn"
+	"repro/internal/media"
+	"repro/internal/netsim"
+	"repro/internal/wvcrypto"
+)
+
+func packagedTitle(t *testing.T) *media.Packaged {
+	t.Helper()
+	tracks := media.GenerateTitle("movie-1", media.DefaultGenerateOptions())
+	p, err := media.Package("movie-1", tracks,
+		media.KeyPolicy{EncryptAudio: true}, wvcrypto.NewDeterministicReader("cdn"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestAddPackagedAndLookup(t *testing.T) {
+	s := cdn.NewServer("cdn.example")
+	if s.Host() != "cdn.example" {
+		t.Errorf("host = %q", s.Host())
+	}
+	p := packagedTitle(t)
+	if err := s.AddPackaged(p); err != nil {
+		t.Fatal(err)
+	}
+	m, ok := s.Manifest("movie-1")
+	if !ok || len(m) == 0 {
+		t.Error("manifest missing")
+	}
+	if _, ok := s.Manifest("other"); ok {
+		t.Error("unknown manifest found")
+	}
+	for path, data := range p.Files {
+		got, ok := s.Object(path)
+		if !ok || !bytes.Equal(got, data) {
+			t.Errorf("object %q mismatch", path)
+		}
+	}
+	if _, ok := s.Object("nope"); ok {
+		t.Error("unknown object found")
+	}
+}
+
+func TestHandler(t *testing.T) {
+	s := cdn.NewServer("cdn.example")
+	p := packagedTitle(t)
+	if err := s.AddPackaged(p); err != nil {
+		t.Fatal(err)
+	}
+	network := netsim.NewNetwork()
+	network.RegisterHost(s.Host(), s.Handler())
+	client := netsim.NewClient(network)
+
+	resp, err := client.Do(netsim.Request{Host: "cdn.example", Path: cdn.ManifestPrefix + "movie-1"})
+	if err != nil || resp.Status != 200 {
+		t.Fatalf("manifest fetch: %d %v", resp.Status, err)
+	}
+
+	resp, err = client.Do(netsim.Request{Host: "cdn.example", Path: cdn.ObjectPrefix + "movie-1/video/540p/init.mp4"})
+	if err != nil || resp.Status != 200 {
+		t.Fatalf("object fetch: %d %v", resp.Status, err)
+	}
+
+	if _, err := client.Do(netsim.Request{Host: "cdn.example", Path: cdn.ObjectPrefix + "missing"}); err == nil {
+		t.Error("missing object: want error")
+	}
+	if _, err := client.Do(netsim.Request{Host: "cdn.example", Path: "/bogus"}); err == nil {
+		t.Error("bogus path: want error")
+	}
+}

@@ -1,0 +1,73 @@
+package dash
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// The manifest parser consumes intercepted network bytes and CDM dumps —
+// attacker-adjacent input that must never panic.
+func TestParse_NeverPanics(t *testing.T) {
+	prop := func(data []byte) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("Parse panicked on %q: %v", data, r)
+				ok = false
+			}
+		}()
+		_, _ = Parse(data)
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Mutations of a valid manifest exercise deeper decoder paths.
+func TestParse_MutatedManifestNeverPanics(t *testing.T) {
+	valid, err := (&MPD{
+		Profiles: "p", Type: "static",
+		Periods: []Period{{AdaptationSets: []AdaptationSet{{
+			ContentType: ContentVideo,
+			ContentProtections: []ContentProtection{{
+				SchemeIDURI: WidevineSchemeIDURI, DefaultKID: "00112233445566778899aabbccddeeff",
+			}},
+			Representations: []Representation{{
+				ID: "v", Bandwidth: 1, Width: 960, Height: 540,
+				BaseURL: "v/",
+				SegmentList: &SegmentList{
+					Initialization: &SegmentURL{SourceURL: "init.mp4"},
+					SegmentURLs:    []SegmentURL{{SourceURL: "s1.m4s"}},
+				},
+			}},
+		}}}},
+	}).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(edits []uint16) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("mutated manifest panicked: %v", r)
+				ok = false
+			}
+		}()
+		doc := append([]byte(nil), valid...)
+		for _, e := range edits {
+			if len(doc) == 0 {
+				break
+			}
+			doc[int(e)%len(doc)] ^= byte(e >> 8)
+		}
+		if m, err := Parse(doc); err == nil {
+			// Exercise the analysis helpers on whatever parsed.
+			m.AllURLs()
+			m.KeyUsage()
+			_, _ = m.FindAdaptationSet(ContentVideo, "")
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

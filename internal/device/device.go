@@ -1,0 +1,165 @@
+// Package device models Android handsets at the granularity the study
+// needs: a process memory space for the DRM server (where an L3 CDM's
+// secrets leak), flash storage, an optional TEE, a factory-installed
+// keybox, and the OEMCrypto engine matching the device's security level.
+//
+// Two concrete models bracket the paper's experiment:
+//
+//   - Nexus 5: released 2013, last update Android 6.0.1, Widevine L3 with
+//     CDM 3.1.0 — the discontinued device of Q4 and §IV-D.
+//   - Pixel-class device: current Android, TEE-backed Widevine L1 with
+//     CDM 15.0.
+package device
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/keybox"
+	"repro/internal/oemcrypto"
+	"repro/internal/procmem"
+	"repro/internal/provision"
+	"repro/internal/tee"
+)
+
+// Widevine system IDs per device class (arbitrary but stable).
+const (
+	systemIDLegacy = 4442
+	systemIDModern = 7711
+)
+
+// CDM versions matching the paper's setup.
+const (
+	LegacyCDMVersion  = "3.1.0"
+	CurrentCDMVersion = "15.0"
+)
+
+// Storage is a device's flash filesystem (an oemcrypto.FileStore).
+type Storage struct {
+	mu sync.Mutex
+	m  map[string][]byte
+}
+
+// NewStorage returns empty flash storage.
+func NewStorage() *Storage { return &Storage{m: make(map[string][]byte)} }
+
+// Put writes a file.
+func (s *Storage) Put(name string, data []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[name] = append([]byte(nil), data...)
+}
+
+// Get reads a file.
+func (s *Storage) Get(name string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.m[name]
+	return d, ok
+}
+
+var _ oemcrypto.FileStore = (*Storage)(nil)
+
+// Device is one handset.
+type Device struct {
+	Model          string
+	Serial         string
+	AndroidVersion string
+	CDMVersion     string
+	Level          oemcrypto.SecurityLevel
+
+	// DRMProcess is the mediadrmserver process memory — the space a
+	// monitor attaches to.
+	DRMProcess *procmem.Space
+	// Storage is the normal-world flash.
+	Storage *Storage
+	// World is the TEE; nil on L3-only devices.
+	World *tee.World
+	// Engine is the system Widevine engine.
+	Engine oemcrypto.Engine
+}
+
+// Factory manufactures devices: it mints keyboxes, installs them in the
+// right root of trust, boots the Widevine engine, and feeds the device key
+// to the provisioning registry (the manufacturer → Widevine channel).
+type Factory struct {
+	registry *provision.Registry
+	rand     io.Reader
+}
+
+// NewFactory builds a factory feeding the given registry.
+func NewFactory(registry *provision.Registry, rand io.Reader) *Factory {
+	return &Factory{registry: registry, rand: rand}
+}
+
+// MakeNexus5 manufactures the discontinued L3 phone of the paper's Q4
+// experiment: Android 6.0.1, Widevine L3, CDM 3.1.0, keybox in flash and
+// (once the CDM loads) in process memory.
+func (f *Factory) MakeNexus5(serial string) (*Device, error) {
+	return f.makeL3("Nexus 5", serial, "6.0.1", LegacyCDMVersion, systemIDLegacy)
+}
+
+// MakeL3Phone manufactures a current-generation phone that still lacks a
+// TEE Widevine (the L3 half of the Q1 experiments).
+func (f *Factory) MakeL3Phone(serial string) (*Device, error) {
+	return f.makeL3("Generic L3 Phone", serial, "12", CurrentCDMVersion, systemIDLegacy)
+}
+
+func (f *Factory) makeL3(model, serial, android, cdmVersion string, systemID uint32) (*Device, error) {
+	kb, err := keybox.New(serial, systemID, f.rand)
+	if err != nil {
+		return nil, fmt.Errorf("device: mint keybox: %w", err)
+	}
+	storage := NewStorage()
+	if err := oemcrypto.InstallKeybox(storage, kb.Marshal()); err != nil {
+		return nil, fmt.Errorf("device: install keybox: %w", err)
+	}
+	space := procmem.NewSpace("mediadrmserver")
+	engine, err := oemcrypto.NewSoftEngine(cdmVersion, space, storage, f.rand)
+	if err != nil {
+		return nil, fmt.Errorf("device: boot L3 engine: %w", err)
+	}
+	f.registry.RegisterDevice(kb.StableIDString(), kb.DeviceKey)
+	return &Device{
+		Model:          model,
+		Serial:         serial,
+		AndroidVersion: android,
+		CDMVersion:     cdmVersion,
+		Level:          oemcrypto.L3,
+		DRMProcess:     space,
+		Storage:        storage,
+		Engine:         engine,
+	}, nil
+}
+
+// MakePixel manufactures a current TEE-backed L1 phone: the keybox is
+// seeded directly into TEE secure storage and never exists in normal-world
+// memory.
+func (f *Factory) MakePixel(serial string) (*Device, error) {
+	kb, err := keybox.New(serial, systemIDModern, f.rand)
+	if err != nil {
+		return nil, fmt.Errorf("device: mint keybox: %w", err)
+	}
+	world := tee.NewWorld(serial)
+	world.ProvisionStorage(oemcrypto.TrustletName, "keybox", kb.Marshal())
+	if err := world.Load(oemcrypto.NewTrustlet(CurrentCDMVersion, f.rand)); err != nil {
+		return nil, fmt.Errorf("device: load trustlet: %w", err)
+	}
+	engine, err := oemcrypto.NewTEEEngine(CurrentCDMVersion, world)
+	if err != nil {
+		return nil, fmt.Errorf("device: boot L1 engine: %w", err)
+	}
+	f.registry.RegisterDevice(kb.StableIDString(), kb.DeviceKey)
+	return &Device{
+		Model:          "Pixel",
+		Serial:         serial,
+		AndroidVersion: "12",
+		CDMVersion:     CurrentCDMVersion,
+		Level:          oemcrypto.L1,
+		DRMProcess:     procmem.NewSpace("mediadrmserver"),
+		Storage:        NewStorage(),
+		World:          world,
+		Engine:         engine,
+	}, nil
+}

@@ -1,0 +1,125 @@
+package device_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/keybox"
+	"repro/internal/oemcrypto"
+	"repro/internal/provision"
+	"repro/internal/wvcrypto"
+)
+
+func newFactory() (*device.Factory, *provision.Registry) {
+	registry := provision.NewRegistry()
+	return device.NewFactory(registry, wvcrypto.NewDeterministicReader("device-test")), registry
+}
+
+func TestMakeNexus5(t *testing.T) {
+	f, registry := newFactory()
+	dev, err := f.MakeNexus5("N5-001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev.Level != oemcrypto.L3 || dev.CDMVersion != device.LegacyCDMVersion {
+		t.Errorf("Nexus 5 = %s/%s", dev.Level, dev.CDMVersion)
+	}
+	if dev.AndroidVersion != "6.0.1" {
+		t.Errorf("android version = %q", dev.AndroidVersion)
+	}
+	if dev.World != nil {
+		t.Error("Nexus 5 has a TEE")
+	}
+	// The factory fed the registry.
+	if _, ok := registry.DeviceKey("N5-001"); !ok {
+		t.Error("device key not registered")
+	}
+	// The keybox sits in flash AND leaked into process memory at CDM init.
+	if _, ok := dev.Storage.Get("keybox"); !ok {
+		t.Error("keybox missing from flash")
+	}
+	if hits := dev.DRMProcess.Scan(keybox.Magic[:]); len(hits) == 0 {
+		t.Error("keybox not in L3 process memory")
+	}
+	id, _, err := dev.Engine.KeyboxInfo()
+	if err != nil || id != "N5-001" {
+		t.Errorf("KeyboxInfo = %q, %v", id, err)
+	}
+}
+
+func TestMakePixel(t *testing.T) {
+	f, registry := newFactory()
+	dev, err := f.MakePixel("PX-001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev.Level != oemcrypto.L1 || dev.CDMVersion != device.CurrentCDMVersion {
+		t.Errorf("Pixel = %s/%s", dev.Level, dev.CDMVersion)
+	}
+	if dev.World == nil || !dev.World.Loaded(oemcrypto.TrustletName) {
+		t.Error("widevine trustlet not loaded")
+	}
+	if _, ok := registry.DeviceKey("PX-001"); !ok {
+		t.Error("device key not registered")
+	}
+	// The keybox must NOT be in normal-world flash or process memory.
+	if _, ok := dev.Storage.Get("keybox"); ok {
+		t.Error("keybox in normal-world flash on L1 device")
+	}
+	if hits := dev.DRMProcess.Scan(keybox.Magic[:]); len(hits) != 0 {
+		t.Error("keybox in normal-world process memory on L1 device")
+	}
+	id, _, err := dev.Engine.KeyboxInfo()
+	if err != nil || id != "PX-001" {
+		t.Errorf("KeyboxInfo = %q, %v", id, err)
+	}
+}
+
+func TestMakeL3Phone(t *testing.T) {
+	f, _ := newFactory()
+	dev, err := f.MakeL3Phone("L3-001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev.Level != oemcrypto.L3 || dev.CDMVersion != device.CurrentCDMVersion {
+		t.Errorf("L3 phone = %s/%s", dev.Level, dev.CDMVersion)
+	}
+}
+
+func TestDistinctDevicesDistinctKeys(t *testing.T) {
+	f, registry := newFactory()
+	if _, err := f.MakeNexus5("A"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.MakeNexus5("B"); err != nil {
+		t.Fatal(err)
+	}
+	ka, _ := registry.DeviceKey("A")
+	kb, _ := registry.DeviceKey("B")
+	if ka == kb {
+		t.Error("two devices share a device key")
+	}
+}
+
+func TestStorage(t *testing.T) {
+	s := device.NewStorage()
+	if _, ok := s.Get("x"); ok {
+		t.Error("empty storage lookup succeeded")
+	}
+	data := []byte{1, 2, 3}
+	s.Put("x", data)
+	data[0] = 9 // storage must have copied
+	got, ok := s.Get("x")
+	if !ok || !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Errorf("Get = %v, %v", got, ok)
+	}
+}
+
+func TestInvalidSerial(t *testing.T) {
+	f, _ := newFactory()
+	long := string(bytes.Repeat([]byte{'x'}, 40))
+	if _, err := f.MakeNexus5(long); err == nil {
+		t.Error("oversized serial: want error")
+	}
+}

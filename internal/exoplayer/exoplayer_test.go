@@ -1,0 +1,240 @@
+package exoplayer_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/cdn"
+	"repro/internal/dash"
+	"repro/internal/device"
+	"repro/internal/exoplayer"
+	"repro/internal/media"
+	"repro/internal/netsim"
+	"repro/internal/ott"
+	"repro/internal/provision"
+	"repro/internal/wvcrypto"
+)
+
+// fixture builds one deployment plus a device and a NetworkSource.
+type fixture struct {
+	dep    *ott.Deployment
+	dev    *device.Device
+	source *exoplayer.NetworkSource
+	rand   *wvcrypto.DeterministicReader
+}
+
+func newFixture(t *testing.T, profileName string, mkDevice func(*device.Factory) (*device.Device, error)) *fixture {
+	t.Helper()
+	rand := wvcrypto.NewDeterministicReader("exo-" + profileName)
+	network := netsim.NewNetwork()
+	registry := provision.NewRegistry()
+	var profile ott.Profile
+	for _, p := range ott.Profiles() {
+		if p.Name == profileName {
+			profile = p
+		}
+	}
+	dep, err := ott.NewDeployment(profile, []string{"movie-1"}, registry, network, rand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory := device.NewFactory(registry, rand)
+	dev, err := mkDevice(factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{
+		dep: dep,
+		dev: dev,
+		source: &exoplayer.NetworkSource{
+			Client:        netsim.NewClient(network),
+			CDNHost:       profile.CDNHost(),
+			CDNPrefix:     cdn.ObjectPrefix,
+			LicenseHost:   profile.LicenseHost(),
+			LicensePath:   ott.PathLicense,
+			ProvisionHost: profile.APIHost(),
+			ProvisionPath: ott.PathProvision,
+		},
+		rand: rand,
+	}
+}
+
+func (f *fixture) manifest(t *testing.T) []byte {
+	t.Helper()
+	m, ok := f.dep.CDN().Manifest("movie-1")
+	if !ok {
+		t.Fatal("no manifest")
+	}
+	return m
+}
+
+func TestPlay_L1FullQuality(t *testing.T) {
+	f := newFixture(t, "Showtime", func(fc *device.Factory) (*device.Device, error) {
+		return fc.MakePixel("EXO-PX")
+	})
+	var events []exoplayer.Event
+	player, err := exoplayer.New(f.dev.Engine, f.source, f.rand, func(ev exoplayer.Event) {
+		events = append(events, ev)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := player.Play(f.manifest(t), "movie-1", "en")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.VideoHeight != 1080 {
+		t.Errorf("video height = %d, want 1080 on L1", stats.VideoHeight)
+	}
+	if stats.SamplesRendered == 0 {
+		t.Error("no samples rendered")
+	}
+	if stats.SubtitleBytes == 0 {
+		t.Error("no subtitles rendered")
+	}
+	var provisioned, licensed bool
+	for _, ev := range events {
+		switch ev.Kind {
+		case "provisioned":
+			provisioned = true
+		case "licensed":
+			licensed = true
+		}
+	}
+	if !provisioned || !licensed {
+		t.Errorf("lifecycle events missing: %+v", events)
+	}
+}
+
+func TestPlay_L3CappedQuality(t *testing.T) {
+	f := newFixture(t, "Showtime", func(fc *device.Factory) (*device.Device, error) {
+		return fc.MakeNexus5("EXO-N5")
+	})
+	player, err := exoplayer.New(f.dev.Engine, f.source, f.rand, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := player.Play(f.manifest(t), "movie-1", "en")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.VideoHeight != 540 {
+		t.Errorf("video height = %d, want 540 on L3 (adaptive selection bounded by grant)", stats.VideoHeight)
+	}
+}
+
+func TestPlay_ClearAudioApp(t *testing.T) {
+	f := newFixture(t, "Netflix", func(fc *device.Factory) (*device.Device, error) {
+		return fc.MakePixel("EXO-NFX")
+	})
+	player, err := exoplayer.New(f.dev.Engine, f.source, f.rand, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Netflix's clear audio flows through the codec's clear path.
+	stats, err := player.Play(f.manifest(t), "movie-1", "fr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SamplesRendered == 0 {
+		t.Error("nothing rendered")
+	}
+}
+
+func TestPlay_RevokedDevice(t *testing.T) {
+	f := newFixture(t, "Disney+", func(fc *device.Factory) (*device.Device, error) {
+		return fc.MakeNexus5("EXO-N5-DIS")
+	})
+	player, err := exoplayer.New(f.dev.Engine, f.source, f.rand, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := player.Play(f.manifest(t), "movie-1", "en"); err == nil {
+		t.Fatal("revoked device played")
+	}
+}
+
+func TestPlay_UnknownContent(t *testing.T) {
+	f := newFixture(t, "Showtime", func(fc *device.Factory) (*device.Device, error) {
+		return fc.MakePixel("EXO-UC")
+	})
+	player, err := exoplayer.New(f.dev.Engine, f.source, f.rand, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := player.Play(f.manifest(t), "no-such-movie", "en"); err == nil {
+		t.Fatal("unknown content played")
+	}
+}
+
+func TestPlay_BadManifest(t *testing.T) {
+	f := newFixture(t, "Showtime", func(fc *device.Factory) (*device.Device, error) {
+		return fc.MakePixel("EXO-BM")
+	})
+	player, err := exoplayer.New(f.dev.Engine, f.source, f.rand, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := player.Play([]byte("<not-an-mpd"), "movie-1", "en"); err == nil {
+		t.Fatal("garbage manifest played")
+	}
+}
+
+func TestPlay_NoVideoManifest(t *testing.T) {
+	f := newFixture(t, "Showtime", func(fc *device.Factory) (*device.Device, error) {
+		return fc.MakePixel("EXO-NV")
+	})
+	player, err := exoplayer.New(f.dev.Engine, f.source, f.rand, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	audioOnly := []byte(`<?xml version="1.0"?><MPD profiles="p" type="static"><Period><AdaptationSet contentType="audio"></AdaptationSet></Period></MPD>`)
+	_, err = player.Play(audioOnly, "movie-1", "en")
+	if !errors.Is(err, exoplayer.ErrNoVideoTrack) && err == nil {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNetworkSource_Errors(t *testing.T) {
+	network := netsim.NewNetwork()
+	src := &exoplayer.NetworkSource{
+		Client: netsim.NewClient(network), CDNHost: "ghost", LicenseHost: "ghost", ProvisionHost: "ghost",
+	}
+	if _, err := src.FetchSegment("x"); err == nil {
+		t.Error("fetch from unknown host succeeded")
+	}
+	if _, err := src.RequestLicense(nil); err == nil {
+		t.Error("license from unknown host succeeded")
+	}
+	if _, err := src.RequestProvisioning(nil); err == nil {
+		t.Error("provisioning from unknown host succeeded")
+	}
+}
+
+// TestPlay_TemplateAddressedManifest plays a manifest using DASH
+// SegmentTemplate addressing ($Number$), the form production MPDs use.
+func TestPlay_TemplateAddressedManifest(t *testing.T) {
+	f := newFixture(t, "Showtime", func(fc *device.Factory) (*device.Device, error) {
+		return fc.MakePixel("EXO-TPL")
+	})
+	mpd, err := dash.Parse(f.manifest(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	media.ConvertToTemplates(mpd)
+	templated, err := mpd.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	player, err := exoplayer.New(f.dev.Engine, f.source, f.rand, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := player.Play(templated, "movie-1", "en")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.VideoHeight != 1080 || stats.SamplesRendered == 0 {
+		t.Errorf("templated playback stats = %+v", stats)
+	}
+}

@@ -1,0 +1,34 @@
+package keybox
+
+import (
+	"encoding/hex"
+	"testing"
+)
+
+// TestGoldenWireFormat pins the keybox wire layout. The §IV-D attack
+// depends on this exact structure (magic offset, CRC coverage); any change
+// here silently breaks interop with recorded traces, so the bytes are
+// asserted literally.
+func TestGoldenWireFormat(t *testing.T) {
+	var kb Keybox
+	copy(kb.StableID[:], "GOLDEN-DEVICE")
+	for i := range kb.DeviceKey {
+		kb.DeviceKey[i] = byte(i)
+	}
+	for i := range kb.KeyData {
+		kb.KeyData[i] = byte(0xA0 + i%16)
+	}
+	wire := kb.Marshal()
+
+	const want = "474f4c44454e2d44455649434500000000000000000000000000000000000000" + // stable ID (32B)
+		"000102030405060708090a0b0c0d0e0f" + // device key (16B)
+		"a0a1a2a3a4a5a6a7a8a9aaabacadaeafa0a1a2a3a4a5a6a7a8a9aaabacadaeaf" +
+		"a0a1a2a3a4a5a6a7a8a9aaabacadaeafa0a1a2a3a4a5a6a7a8a9aaabacadaeaf" +
+		"a0a1a2a3a4a5a6a7" + // key data (72B)
+		"6b626f78" + // "kbox"
+		"66a1ba56" // crc32-ieee over the first 124 bytes
+
+	if got := hex.EncodeToString(wire); got != want {
+		t.Errorf("wire format changed:\n got %s\nwant %s", got, want)
+	}
+}

@@ -1,0 +1,130 @@
+// Package keybox implements the 128-byte Widevine keybox, the factory-
+// installed root of trust the paper's PoC recovers from L3 process memory
+// (CVE-2021-0639). Layout, matching the structure the authors
+// reverse-engineered:
+//
+//	offset  size  field
+//	0       32    stable device ID (manufacturer serial, NUL padded)
+//	32      16    device AES-128 key (the root of the key ladder)
+//	64      56    key data: system ID, provisioning flags, padding
+//	120     4     magic "kbox"
+//	124     4     CRC-32 over the first 124 bytes
+//
+// The magic number is exactly what the memory-scan attack searches for.
+package keybox
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Size is the keybox wire size in bytes.
+const Size = 128
+
+// Magic is the keybox magic number; the paper's attack scans process memory
+// for this tag to locate the structure.
+var Magic = [4]byte{'k', 'b', 'o', 'x'}
+
+// Field layout offsets.
+const (
+	stableIDOff  = 0
+	stableIDLen  = 32
+	deviceKeyOff = 32
+	deviceKeyLen = 16
+	keyDataOff   = 48
+	keyDataLen   = 72
+	magicOff     = 120
+	crcOff       = 124
+)
+
+// Errors returned by Parse.
+var (
+	ErrBadMagic = errors.New("keybox: bad magic")
+	ErrBadCRC   = errors.New("keybox: crc mismatch")
+	ErrBadSize  = errors.New("keybox: wrong size")
+)
+
+// Keybox is the parsed root-of-trust structure.
+type Keybox struct {
+	// StableID identifies the device to the provisioning server.
+	StableID [stableIDLen]byte
+	// DeviceKey is the AES-128 root key of the ladder.
+	DeviceKey [deviceKeyLen]byte
+	// KeyData carries the system ID and provisioning metadata.
+	KeyData [keyDataLen]byte
+}
+
+// New mints a keybox for the given device serial with a random device key,
+// as a manufacturer's factory provisioning would. The system ID is encoded
+// into the key data.
+func New(stableID string, systemID uint32, rand io.Reader) (*Keybox, error) {
+	if len(stableID) == 0 || len(stableID) > stableIDLen {
+		return nil, fmt.Errorf("keybox: stable ID length %d not in [1,%d]", len(stableID), stableIDLen)
+	}
+	var kb Keybox
+	copy(kb.StableID[:], stableID)
+	if _, err := io.ReadFull(rand, kb.DeviceKey[:]); err != nil {
+		return nil, fmt.Errorf("keybox: generate device key: %w", err)
+	}
+	binary.BigEndian.PutUint32(kb.KeyData[:4], systemID)
+	if _, err := io.ReadFull(rand, kb.KeyData[4:]); err != nil {
+		return nil, fmt.Errorf("keybox: generate key data: %w", err)
+	}
+	return &kb, nil
+}
+
+// SystemID returns the Widevine system ID encoded in the key data.
+func (k *Keybox) SystemID() uint32 {
+	return binary.BigEndian.Uint32(k.KeyData[:4])
+}
+
+// StableIDString returns the device serial with NUL padding stripped.
+func (k *Keybox) StableIDString() string {
+	b := k.StableID[:]
+	for i, c := range b {
+		if c == 0 {
+			return string(b[:i])
+		}
+	}
+	return string(b)
+}
+
+// Marshal serializes the keybox into its 128-byte wire form, appending the
+// magic and CRC-32. This is the exact byte image the L3 CDM keeps in
+// process memory.
+func (k *Keybox) Marshal() []byte {
+	out := make([]byte, Size)
+	copy(out[stableIDOff:], k.StableID[:])
+	copy(out[deviceKeyOff:], k.DeviceKey[:])
+	copy(out[keyDataOff:], k.KeyData[:])
+	copy(out[magicOff:], Magic[:])
+	binary.BigEndian.PutUint32(out[crcOff:], crc32.ChecksumIEEE(out[:crcOff]))
+	return out
+}
+
+// Parse validates the magic and CRC and returns the structured keybox. The
+// attack calls this on candidate memory windows around magic hits.
+func Parse(b []byte) (*Keybox, error) {
+	if len(b) != Size {
+		return nil, fmt.Errorf("%w: %d bytes", ErrBadSize, len(b))
+	}
+	if [4]byte(b[magicOff:crcOff]) != Magic {
+		return nil, ErrBadMagic
+	}
+	want := binary.BigEndian.Uint32(b[crcOff:])
+	if crc32.ChecksumIEEE(b[:crcOff]) != want {
+		return nil, ErrBadCRC
+	}
+	var kb Keybox
+	copy(kb.StableID[:], b[stableIDOff:stableIDOff+stableIDLen])
+	copy(kb.DeviceKey[:], b[deviceKeyOff:deviceKeyOff+deviceKeyLen])
+	copy(kb.KeyData[:], b[keyDataOff:keyDataOff+keyDataLen])
+	return &kb, nil
+}
+
+// MagicOffset returns the byte offset of the magic within the wire form;
+// the attack uses it to rewind from a magic hit to the structure start.
+func MagicOffset() int { return magicOff }

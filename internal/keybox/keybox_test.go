@@ -1,0 +1,145 @@
+package keybox
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/wvcrypto"
+)
+
+func newTestKeybox(t *testing.T) *Keybox {
+	t.Helper()
+	kb, err := New("NEXUS5-SN-0042", 4442, wvcrypto.NewDeterministicReader("keybox-test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return kb
+}
+
+func TestNewKeybox(t *testing.T) {
+	kb := newTestKeybox(t)
+	if kb.StableIDString() != "NEXUS5-SN-0042" {
+		t.Errorf("StableID = %q", kb.StableIDString())
+	}
+	if kb.SystemID() != 4442 {
+		t.Errorf("SystemID = %d, want 4442", kb.SystemID())
+	}
+	if kb.DeviceKey == [16]byte{} {
+		t.Error("device key is zero")
+	}
+}
+
+func TestNewKeybox_InvalidStableID(t *testing.T) {
+	rand := wvcrypto.NewDeterministicReader("x")
+	if _, err := New("", 1, rand); err == nil {
+		t.Error("empty stable ID: want error")
+	}
+	if _, err := New(string(bytes.Repeat([]byte{'a'}, 33)), 1, rand); err == nil {
+		t.Error("oversized stable ID: want error")
+	}
+}
+
+func TestMarshalParseRoundTrip(t *testing.T) {
+	kb := newTestKeybox(t)
+	wire := kb.Marshal()
+	if len(wire) != Size {
+		t.Fatalf("wire size = %d, want %d", len(wire), Size)
+	}
+	if !bytes.Equal(wire[MagicOffset():MagicOffset()+4], Magic[:]) {
+		t.Error("magic not at expected offset")
+	}
+	parsed, err := Parse(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *parsed != *kb {
+		t.Error("roundtrip mismatch")
+	}
+}
+
+func TestParse_Rejects(t *testing.T) {
+	kb := newTestKeybox(t)
+	wire := kb.Marshal()
+
+	t.Run("wrong size", func(t *testing.T) {
+		if _, err := Parse(wire[:100]); !errors.Is(err, ErrBadSize) {
+			t.Errorf("err = %v, want ErrBadSize", err)
+		}
+	})
+	t.Run("bad magic", func(t *testing.T) {
+		w := append([]byte(nil), wire...)
+		w[MagicOffset()] = 'X'
+		if _, err := Parse(w); !errors.Is(err, ErrBadMagic) {
+			t.Errorf("err = %v, want ErrBadMagic", err)
+		}
+	})
+	t.Run("bad crc", func(t *testing.T) {
+		w := append([]byte(nil), wire...)
+		w[0] ^= 1 // corrupt stable ID; CRC should catch it
+		if _, err := Parse(w); !errors.Is(err, ErrBadCRC) {
+			t.Errorf("err = %v, want ErrBadCRC", err)
+		}
+	})
+	t.Run("corrupt crc field", func(t *testing.T) {
+		w := append([]byte(nil), wire...)
+		w[Size-1] ^= 1
+		if _, err := Parse(w); !errors.Is(err, ErrBadCRC) {
+			t.Errorf("err = %v, want ErrBadCRC", err)
+		}
+	})
+}
+
+// Property: every keybox round-trips, and every single-byte corruption of
+// the payload is caught by magic or CRC validation.
+func TestKeybox_CorruptionDetected(t *testing.T) {
+	prop := func(seed string, systemID uint32, corrupt uint16) bool {
+		if seed == "" {
+			seed = "d"
+		}
+		if len(seed) > 32 {
+			seed = seed[:32]
+		}
+		kb, err := New(seed, systemID, wvcrypto.NewDeterministicReader(seed))
+		if err != nil {
+			return false
+		}
+		wire := kb.Marshal()
+		if _, err := Parse(wire); err != nil {
+			return false
+		}
+		pos := int(corrupt) % Size
+		wire[pos] ^= 0x01
+		_, err = Parse(wire)
+		return err != nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistinctDevicesDistinctKeys(t *testing.T) {
+	a, err := New("device-a", 1, wvcrypto.NewDeterministicReader("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New("device-b", 1, wvcrypto.NewDeterministicReader("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.DeviceKey == b.DeviceKey {
+		t.Error("two devices share a device key")
+	}
+}
+
+func TestStableIDString_FullWidth(t *testing.T) {
+	id := string(bytes.Repeat([]byte{'z'}, 32))
+	kb, err := New(id, 7, wvcrypto.NewDeterministicReader("full"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kb.StableIDString() != id {
+		t.Errorf("full-width stable ID = %q", kb.StableIDString())
+	}
+}

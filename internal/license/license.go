@@ -1,0 +1,208 @@
+// Package license implements the License Server of the DRM architecture:
+// it verifies PSS-signed license requests against provisioned device
+// identities, applies the OTT deployment's policy (device revocation,
+// resolution caps for software-only clients), and issues content keys down
+// the key ladder (OAEP session-key transport, CMAC-derived message keys,
+// CBC-wrapped content keys, HMAC-authenticated responses).
+//
+// Policy is where the paper's findings live server-side: a deployment that
+// leaves MinCDMVersion empty keeps serving discontinued devices (Q4), and
+// every server caps L3 clients below HD, which is why the paper's attack
+// tops out at 960x540.
+package license
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/cdm"
+	"repro/internal/oemcrypto"
+	"repro/internal/provision"
+	"repro/internal/wvcrypto"
+)
+
+// Errors returned by the license server.
+var (
+	// ErrUnknownDevice is returned when the requester was never
+	// provisioned (no RSA public key on record).
+	ErrUnknownDevice = errors.New("license: device not provisioned")
+	// ErrBadSignature is returned when the request signature fails.
+	ErrBadSignature = errors.New("license: request signature invalid")
+	// ErrUnknownContent is returned for contents without registered keys.
+	ErrUnknownContent = errors.New("license: unknown content")
+	// ErrDeviceRevoked is returned when policy refuses the CDM version.
+	ErrDeviceRevoked = errors.New("license: device revoked by policy")
+	// ErrNoUsableKeys is returned when policy filters every requested key.
+	ErrNoUsableKeys = errors.New("license: no keys usable at this security level")
+)
+
+// TrackVideo/TrackAudio label key entries by asset type.
+const (
+	TrackVideo = "video"
+	TrackAudio = "audio"
+)
+
+// KeyEntry is one content key registered for an asset.
+type KeyEntry struct {
+	KID [16]byte
+	Key []byte
+	// Track is TrackVideo or TrackAudio.
+	Track string
+	// MaxHeight is the tallest resolution this key unlocks; the server
+	// refuses it to clients whose security level caps below that.
+	// Zero means unrestricted (audio keys).
+	MaxHeight uint16
+}
+
+// KeyDB maps content IDs to their key sets. One DB is shared between the
+// packager (which encrypts with these keys) and the license server.
+type KeyDB struct {
+	mu       sync.RWMutex
+	contents map[string][]KeyEntry
+}
+
+// NewKeyDB returns an empty key database.
+func NewKeyDB() *KeyDB {
+	return &KeyDB{contents: make(map[string][]KeyEntry)}
+}
+
+// Register stores the key set of a content, replacing any previous set.
+func (db *KeyDB) Register(contentID string, keys []KeyEntry) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	cp := make([]KeyEntry, len(keys))
+	copy(cp, keys)
+	db.contents[contentID] = cp
+}
+
+// Lookup returns the key set of a content.
+func (db *KeyDB) Lookup(contentID string) ([]KeyEntry, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	keys, ok := db.contents[contentID]
+	if !ok {
+		return nil, false
+	}
+	cp := make([]KeyEntry, len(keys))
+	copy(cp, keys)
+	return cp, true
+}
+
+// Policy is one OTT deployment's license admission rule.
+type Policy struct {
+	// MinCDMVersion rejects clients running older CDMs ("" = serve all,
+	// the availability-over-security choice most apps in Table I make).
+	MinCDMVersion string
+	// L3MaxHeight caps the resolution keys granted to L3 clients
+	// (typically 540: sub-HD only, as the paper observes).
+	L3MaxHeight uint16
+	// LicenseDurationSeconds bounds each granted key's lifetime (the
+	// key-control duration). Zero issues unlimited licenses.
+	LicenseDurationSeconds uint32
+}
+
+// Server is one OTT deployment's license endpoint.
+type Server struct {
+	db       *KeyDB
+	registry *provision.Registry
+	policy   Policy
+	rand     io.Reader
+}
+
+// NewServer builds a license server over a key DB and the provisioning
+// registry used to verify device signatures.
+func NewServer(db *KeyDB, registry *provision.Registry, policy Policy, rand io.Reader) *Server {
+	return &Server{db: db, registry: registry, policy: policy, rand: rand}
+}
+
+// Policy returns the server's policy (tests and the study report use it).
+func (s *Server) Policy() Policy { return s.policy }
+
+// HandleRequest verifies and answers one signed license request.
+func (s *Server) HandleRequest(signed *cdm.SignedLicenseRequest) (*cdm.LicenseResponse, error) {
+	req, err := cdm.ParseLicenseRequest(signed.Body)
+	if err != nil {
+		return nil, err
+	}
+	pub, ok := s.registry.RSAPublicKey(req.StableID)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownDevice, req.StableID)
+	}
+	if !wvcrypto.VerifyPSS(pub, signed.Body, signed.Signature) {
+		return nil, ErrBadSignature
+	}
+	if !cdm.VersionAtLeast(req.CDMVersion, s.policy.MinCDMVersion) {
+		return nil, fmt.Errorf("%w: cdm %s < minimum %s", ErrDeviceRevoked, req.CDMVersion, s.policy.MinCDMVersion)
+	}
+
+	entries, ok := s.db.Lookup(req.ContentID)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownContent, req.ContentID)
+	}
+	granted := s.filterKeys(req, entries)
+	if len(granted) == 0 {
+		return nil, ErrNoUsableKeys
+	}
+
+	// Key ladder, server side: session key → OAEP transport → derived
+	// message keys → CBC-wrapped content keys → HMAC over the response.
+	sessionKey := make([]byte, 16)
+	if _, err := io.ReadFull(s.rand, sessionKey); err != nil {
+		return nil, fmt.Errorf("license: session key: %w", err)
+	}
+	encSessionKey, err := wvcrypto.EncryptOAEP(s.rand, pub, sessionKey)
+	if err != nil {
+		return nil, fmt.Errorf("license: wrap session key: %w", err)
+	}
+	derived, err := wvcrypto.DeriveSessionKeys(sessionKey, signed.Body)
+	if err != nil {
+		return nil, fmt.Errorf("license: derive keys: %w", err)
+	}
+
+	wrapped := make([]oemcrypto.EncryptedKey, 0, len(granted))
+	for _, entry := range granted {
+		var iv [16]byte
+		if _, err := io.ReadFull(s.rand, iv[:]); err != nil {
+			return nil, fmt.Errorf("license: key iv: %w", err)
+		}
+		payload, err := wvcrypto.EncryptCBC(derived.Enc, iv[:], entry.Key)
+		if err != nil {
+			return nil, fmt.Errorf("license: wrap content key: %w", err)
+		}
+		wrapped = append(wrapped, oemcrypto.EncryptedKey{
+			KID: entry.KID, IV: iv, Payload: payload,
+			DurationSeconds: s.policy.LicenseDurationSeconds,
+		})
+	}
+
+	message := append([]byte("license-grant:"), signed.Body...)
+	return &cdm.LicenseResponse{
+		EncSessionKey: encSessionKey,
+		Message:       message,
+		MAC:           wvcrypto.HMACSHA256(derived.MACServer, message),
+		Keys:          wrapped,
+	}, nil
+}
+
+// filterKeys applies the resolution cap and restricts the grant to the
+// requested KIDs (when the request names any).
+func (s *Server) filterKeys(req *cdm.LicenseRequest, entries []KeyEntry) []KeyEntry {
+	requested := make(map[[16]byte]bool, len(req.KIDs))
+	for _, kid := range req.KIDs {
+		requested[kid] = true
+	}
+	var out []KeyEntry
+	for _, entry := range entries {
+		if len(requested) > 0 && !requested[entry.KID] {
+			continue
+		}
+		if req.Level == oemcrypto.L3.String() && s.policy.L3MaxHeight > 0 &&
+			entry.MaxHeight > s.policy.L3MaxHeight {
+			continue
+		}
+		out = append(out, entry)
+	}
+	return out
+}

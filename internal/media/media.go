@@ -1,0 +1,202 @@
+// Package media generates the synthetic movies the study streams and
+// packages them the way real OTT pipelines do: a quality ladder of video
+// representations, audio tracks per language, WebVTT subtitles, all wrapped
+// as fragmented MP4 and encrypted per the deployment's key policy.
+//
+// Samples carry a recognizable plaintext header, so "can a vanilla player
+// read this file?" — the probe the paper runs on downloaded assets — is a
+// deterministic check (IsPlayable) rather than a human judgment.
+package media
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/mp4"
+)
+
+// Track kinds.
+const (
+	KindVideo    = "video"
+	KindAudio    = "audio"
+	KindSubtitle = "subtitle"
+)
+
+// sampleMagic prefixes every synthetic media sample; a clear sample is
+// "playable" iff the prefix survives.
+const sampleMagic = "MEDIA|"
+
+// Quality is one rung of the video ladder.
+type Quality struct {
+	Name      string
+	Width     uint16
+	Height    uint16
+	Bandwidth uint32
+}
+
+// DefaultLadder is the video quality ladder used throughout the study. The
+// 540p rung is qHD (960x540) — the best quality the paper's attack
+// recovers, since license servers cap L3 clients there.
+var DefaultLadder = []Quality{
+	{Name: "234p", Width: 416, Height: 234, Bandwidth: 300_000},
+	{Name: "540p", Width: 960, Height: 540, Bandwidth: 1_200_000},
+	{Name: "720p", Width: 1280, Height: 720, Bandwidth: 2_500_000},
+	{Name: "1080p", Width: 1920, Height: 1080, Bandwidth: 5_000_000},
+}
+
+// Track is one generated elementary stream, as init + media segments.
+type Track struct {
+	Kind     string
+	Lang     string  // audio/subtitle language; empty for video
+	Quality  Quality // video only
+	Init     *mp4.InitSegment
+	Segments []*mp4.MediaSegment
+}
+
+// GenerateOptions sizes a generated title.
+type GenerateOptions struct {
+	SegmentsPerTrack  int
+	SamplesPerSegment int
+	SampleBytes       int
+	AudioLangs        []string
+	SubtitleLangs     []string
+	Ladder            []Quality
+}
+
+// DefaultGenerateOptions keeps worlds small and fast while exercising every
+// code path (multiple segments, samples and languages).
+func DefaultGenerateOptions() GenerateOptions {
+	return GenerateOptions{
+		SegmentsPerTrack:  2,
+		SamplesPerSegment: 4,
+		SampleBytes:       512,
+		AudioLangs:        []string{"en", "fr"},
+		SubtitleLangs:     []string{"en", "fr"},
+		Ladder:            DefaultLadder,
+	}
+}
+
+// GenerateTitle produces every track of one content: the video ladder,
+// audio per language, subtitles per language.
+func GenerateTitle(contentID string, opts GenerateOptions) []Track {
+	tracks := make([]Track, 0, len(opts.Ladder)+len(opts.AudioLangs)+len(opts.SubtitleLangs))
+	trackID := uint32(1)
+	for _, q := range opts.Ladder {
+		tracks = append(tracks, generateTrack(contentID, KindVideo, q.Name, "", q, trackID, opts))
+		trackID++
+	}
+	for _, lang := range opts.AudioLangs {
+		tracks = append(tracks, generateTrack(contentID, KindAudio, "audio-"+lang, lang, Quality{}, trackID, opts))
+		trackID++
+	}
+	for _, lang := range opts.SubtitleLangs {
+		tracks = append(tracks, generateTrack(contentID, KindSubtitle, "sub-"+lang, lang, Quality{}, trackID, opts))
+		trackID++
+	}
+	return tracks
+}
+
+// generateTrack builds one track's init segment and media segments with
+// deterministic, recognizable sample payloads.
+func generateTrack(contentID, kind, variant, lang string, q Quality, trackID uint32, opts GenerateOptions) Track {
+	var handler, codec string
+	var timescale uint32
+	switch kind {
+	case KindVideo:
+		handler, codec, timescale = mp4.HandlerVideo, "avc1", 90000
+	case KindAudio:
+		handler, codec, timescale = mp4.HandlerAudio, "mp4a", 48000
+	default:
+		handler, codec, timescale = mp4.HandlerSubtitle, "wvtt", 1000
+	}
+	init := &mp4.InitSegment{Track: mp4.TrackInfo{
+		TrackID:   trackID,
+		Handler:   handler,
+		Codec:     codec,
+		Timescale: timescale,
+		Width:     q.Width,
+		Height:    q.Height,
+	}}
+
+	segments := make([]*mp4.MediaSegment, 0, opts.SegmentsPerTrack)
+	for segIdx := 0; segIdx < opts.SegmentsPerTrack; segIdx++ {
+		seg := &mp4.MediaSegment{
+			SequenceNumber: uint32(segIdx + 1),
+			TrackID:        trackID,
+			BaseDecodeTime: uint64(segIdx) * uint64(timescale),
+		}
+		for s := 0; s < opts.SamplesPerSegment; s++ {
+			seg.SampleData = append(seg.SampleData,
+				SamplePayload(contentID, variant, segIdx, s, opts.SampleBytes))
+		}
+		segments = append(segments, seg)
+	}
+	return Track{Kind: kind, Lang: lang, Quality: q, Init: init, Segments: segments}
+}
+
+// SamplePayload builds one deterministic sample: the playability magic, a
+// coordinate header, then filler.
+func SamplePayload(contentID, variant string, segIdx, sampleIdx, size int) []byte {
+	header := fmt.Sprintf("%s%s|%s|seg%d|smp%d|", sampleMagic, contentID, variant, segIdx, sampleIdx)
+	if size < len(header) {
+		size = len(header)
+	}
+	out := make([]byte, size)
+	copy(out, header)
+	for i := len(header); i < size; i++ {
+		out[i] = byte('a' + (i+segIdx+sampleIdx)%26)
+	}
+	return out
+}
+
+// PlayabilityMagic returns the byte pattern marking clear media samples;
+// memory-scanning attacks (the MovieStealer baseline) search for it.
+func PlayabilityMagic() []byte { return []byte(sampleMagic) }
+
+// IsPlayable reports whether a sample reads as valid clear media — the
+// probe run on downloaded assets. Encrypted samples fail it with
+// overwhelming probability.
+func IsPlayable(sample []byte) bool {
+	return len(sample) >= len(sampleMagic) && string(sample[:len(sampleMagic)]) == sampleMagic
+}
+
+// SegmentPlayable reports whether every sample of a parsed media segment is
+// readable clear media.
+func SegmentPlayable(seg *mp4.MediaSegment) bool {
+	if len(seg.SampleData) == 0 {
+		return false
+	}
+	for _, s := range seg.SampleData {
+		if !IsPlayable(s) {
+			return false
+		}
+	}
+	return true
+}
+
+// GenerateSubtitleFile renders a clear WebVTT document for one language;
+// subtitles are distributed as standalone text files, not MP4 (matching
+// the ecosystem the paper observed, where no encrypted-subtitle API even
+// exists).
+func GenerateSubtitleFile(contentID, lang string, cues int) []byte {
+	var b strings.Builder
+	b.WriteString("WEBVTT\n\n")
+	for i := 0; i < cues; i++ {
+		fmt.Fprintf(&b, "%02d:00.000 --> %02d:59.000\n[%s/%s] subtitle cue %d\n\n", i, i, contentID, lang, i)
+	}
+	return []byte(b.String())
+}
+
+// SubtitleReadable reports whether a subtitle asset is readable text (the
+// paper's ASCII check on English subtitles).
+func SubtitleReadable(data []byte) bool {
+	if len(data) < 6 || string(data[:6]) != "WEBVTT" {
+		return false
+	}
+	for _, c := range data {
+		if c != '\n' && c != '\r' && c != '\t' && (c < 0x20 || c > 0x7E) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,119 @@
+package media
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mp4"
+)
+
+func TestGenerateTitle_Shape(t *testing.T) {
+	opts := DefaultGenerateOptions()
+	tracks := GenerateTitle("movie-1", opts)
+	want := len(opts.Ladder) + len(opts.AudioLangs) + len(opts.SubtitleLangs)
+	if len(tracks) != want {
+		t.Fatalf("got %d tracks, want %d", len(tracks), want)
+	}
+	var video, audio, subs int
+	seenTrackIDs := make(map[uint32]bool)
+	for _, tr := range tracks {
+		if seenTrackIDs[tr.Init.Track.TrackID] {
+			t.Errorf("duplicate track id %d", tr.Init.Track.TrackID)
+		}
+		seenTrackIDs[tr.Init.Track.TrackID] = true
+		switch tr.Kind {
+		case KindVideo:
+			video++
+			if tr.Quality.Height == 0 {
+				t.Error("video track without quality")
+			}
+			if tr.Init.Track.Handler != mp4.HandlerVideo {
+				t.Error("video handler mismatch")
+			}
+		case KindAudio:
+			audio++
+			if tr.Lang == "" {
+				t.Error("audio track without language")
+			}
+		case KindSubtitle:
+			subs++
+		}
+		if len(tr.Segments) != opts.SegmentsPerTrack {
+			t.Errorf("track has %d segments", len(tr.Segments))
+		}
+		for _, seg := range tr.Segments {
+			if len(seg.SampleData) != opts.SamplesPerSegment {
+				t.Errorf("segment has %d samples", len(seg.SampleData))
+			}
+		}
+	}
+	if video != 4 || audio != 2 || subs != 2 {
+		t.Errorf("video/audio/subs = %d/%d/%d", video, audio, subs)
+	}
+}
+
+func TestGenerate_Deterministic(t *testing.T) {
+	a := GenerateTitle("movie-1", DefaultGenerateOptions())
+	b := GenerateTitle("movie-1", DefaultGenerateOptions())
+	if string(a[0].Segments[0].SampleData[0]) != string(b[0].Segments[0].SampleData[0]) {
+		t.Error("generation not deterministic")
+	}
+	c := GenerateTitle("movie-2", DefaultGenerateOptions())
+	if string(a[0].Segments[0].SampleData[0]) == string(c[0].Segments[0].SampleData[0]) {
+		t.Error("different titles share sample bytes")
+	}
+}
+
+func TestIsPlayable(t *testing.T) {
+	s := SamplePayload("movie-1", "540p", 0, 0, 256)
+	if !IsPlayable(s) {
+		t.Error("generated sample not playable")
+	}
+	if IsPlayable([]byte("garbage bytes here")) {
+		t.Error("garbage playable")
+	}
+	if IsPlayable(nil) {
+		t.Error("nil playable")
+	}
+	// An "encrypted" sample with only the first 4 bytes clear fails.
+	enc := append([]byte(nil), s...)
+	for i := clearPrefixBytes; i < len(enc); i++ {
+		enc[i] ^= 0xA5
+	}
+	if IsPlayable(enc) {
+		t.Error("garbled sample playable")
+	}
+}
+
+func TestSegmentPlayable(t *testing.T) {
+	tracks := GenerateTitle("movie-1", DefaultGenerateOptions())
+	if !SegmentPlayable(tracks[0].Segments[0]) {
+		t.Error("clear generated segment not playable")
+	}
+	if SegmentPlayable(&mp4.MediaSegment{}) {
+		t.Error("empty segment playable")
+	}
+}
+
+func TestSamplePayload_TinySize(t *testing.T) {
+	s := SamplePayload("m", "v", 0, 0, 1)
+	if !IsPlayable(s) {
+		t.Error("tiny sample lost its header")
+	}
+}
+
+func TestSubtitles(t *testing.T) {
+	vtt := GenerateSubtitleFile("movie-1", "en", 3)
+	if !SubtitleReadable(vtt) {
+		t.Error("generated subtitle not readable")
+	}
+	if !strings.Contains(string(vtt), "movie-1/en") {
+		t.Error("subtitle missing identity")
+	}
+	if SubtitleReadable([]byte{0x00, 0x01, 0x02}) {
+		t.Error("binary blob readable")
+	}
+	if SubtitleReadable(append([]byte("WEBVTT\n"), 0xFF, 0xFE)) {
+		t.Error("encrypted-looking subtitle readable")
+	}
+}

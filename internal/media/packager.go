@@ -1,0 +1,288 @@
+package media
+
+import (
+	"encoding/base64"
+	"fmt"
+	"io"
+
+	"repro/internal/cenc"
+	"repro/internal/dash"
+	"repro/internal/license"
+	"repro/internal/mp4"
+)
+
+// clearPrefixBytes is the number of leading clear bytes per encrypted
+// sample (subsample encryption keeping a short codec header readable). It
+// is deliberately shorter than the playability magic, so encrypted samples
+// always fail IsPlayable.
+const clearPrefixBytes = 4
+
+// KeyPolicy captures how one OTT deployment assigns content keys — the
+// axis of the paper's Q2/Q3 findings.
+type KeyPolicy struct {
+	// EncryptAudio protects audio tracks at all. Netflix, myCanal and
+	// Salto ship audio in clear (false).
+	EncryptAudio bool
+	// DistinctAudioKey gives audio its own key (the Widevine/EME
+	// recommendation, followed only by Amazon). When false, audio reuses
+	// the lowest video rung's key.
+	DistinctAudioKey bool
+	// Scheme is the CENC scheme; empty defaults to "cenc" (AES-CTR).
+	Scheme string
+}
+
+// Packaged is a fully packaged title: the CDN file set, the manifest, and
+// the key set to register with the license server.
+type Packaged struct {
+	ContentID string
+	// Files maps CDN paths to bytes (init/media segments, subtitle files).
+	Files map[string][]byte
+	// MPD is the generated manifest.
+	MPD *dash.MPD
+	// Keys is the content key set for the license server's KeyDB.
+	Keys []license.KeyEntry
+}
+
+// Package encrypts and lays out a generated title according to the key
+// policy, producing everything a CDN and license server need to serve it.
+func Package(contentID string, tracks []Track, policy KeyPolicy, rand io.Reader) (*Packaged, error) {
+	scheme := policy.Scheme
+	if scheme == "" {
+		scheme = mp4.SchemeCENC
+	}
+
+	out := &Packaged{
+		ContentID: contentID,
+		Files:     make(map[string][]byte),
+	}
+
+	// Mint video keys: one per ladder rung (every app in the study does
+	// per-resolution keys), plus the audio key per policy.
+	videoKeys := make(map[string]license.KeyEntry) // quality name → entry
+	var lowestRung *license.KeyEntry
+	for _, t := range tracks {
+		if t.Kind != KindVideo {
+			continue
+		}
+		key, err := cenc.RandomKey(rand)
+		if err != nil {
+			return nil, err
+		}
+		kid, err := cenc.RandomKID(rand)
+		if err != nil {
+			return nil, err
+		}
+		entry := license.KeyEntry{KID: kid, Key: key, Track: license.TrackVideo, MaxHeight: t.Quality.Height}
+		videoKeys[t.Quality.Name] = entry
+		out.Keys = append(out.Keys, entry)
+		if lowestRung == nil || t.Quality.Height < lowestRung.MaxHeight {
+			e := entry
+			lowestRung = &e
+		}
+	}
+	if lowestRung == nil {
+		return nil, fmt.Errorf("media: title %q has no video tracks", contentID)
+	}
+
+	var audioKey *license.KeyEntry
+	if policy.EncryptAudio {
+		if policy.DistinctAudioKey {
+			key, err := cenc.RandomKey(rand)
+			if err != nil {
+				return nil, err
+			}
+			kid, err := cenc.RandomKID(rand)
+			if err != nil {
+				return nil, err
+			}
+			audioKey = &license.KeyEntry{KID: kid, Key: key, Track: license.TrackAudio}
+			out.Keys = append(out.Keys, *audioKey)
+		} else {
+			// The common shortcut: audio shares the lowest video rung key.
+			audioKey = lowestRung
+		}
+	}
+
+	mpd := &dash.MPD{
+		Profiles: "urn:mpeg:dash:profile:isoff-on-demand:2011",
+		Type:     "static",
+		Duration: "PT2M",
+		Periods:  []dash.Period{{ID: "p0"}},
+	}
+	videoSet := dash.AdaptationSet{ContentType: dash.ContentVideo, MimeType: "video/mp4"}
+	videoSet.ContentProtections = []dash.ContentProtection{{
+		SchemeIDURI: dash.WidevineSchemeIDURI,
+		PSSH:        base64.StdEncoding.EncodeToString([]byte(contentID)),
+	}}
+	audioSets := make(map[string]*dash.AdaptationSet)
+	subSets := make(map[string]*dash.AdaptationSet)
+
+	for i := range tracks {
+		t := &tracks[i]
+		switch t.Kind {
+		case KindVideo:
+			entry := videoKeys[t.Quality.Name]
+			rep, err := packageMP4Track(out, contentID, t,
+				fmt.Sprintf("%s/video/%s/", contentID, t.Quality.Name),
+				"v-"+t.Quality.Name, &entry, scheme, rand)
+			if err != nil {
+				return nil, err
+			}
+			rep.Width, rep.Height, rep.Bandwidth = t.Quality.Width, t.Quality.Height, t.Quality.Bandwidth
+			videoSet.Representations = append(videoSet.Representations, *rep)
+		case KindAudio:
+			rep, err := packageMP4Track(out, contentID, t,
+				fmt.Sprintf("%s/audio/%s/", contentID, t.Lang),
+				"a-"+t.Lang, audioKey, scheme, rand)
+			if err != nil {
+				return nil, err
+			}
+			rep.Bandwidth = 128_000
+			set, ok := audioSets[t.Lang]
+			if !ok {
+				set = &dash.AdaptationSet{ContentType: dash.ContentAudio, MimeType: "audio/mp4", Lang: t.Lang}
+				audioSets[t.Lang] = set
+			}
+			set.Representations = append(set.Representations, *rep)
+		case KindSubtitle:
+			path := fmt.Sprintf("%s/subs/%s.vtt", contentID, t.Lang)
+			out.Files[path] = GenerateSubtitleFile(contentID, t.Lang, 4)
+			subSets[t.Lang] = &dash.AdaptationSet{
+				ContentType: dash.ContentSubtitle,
+				MimeType:    "text/vtt",
+				Lang:        t.Lang,
+				Representations: []dash.Representation{{
+					ID: "s-" + t.Lang, Bandwidth: 1000,
+					SegmentList: &dash.SegmentList{SegmentURLs: []dash.SegmentURL{{SourceURL: path}}},
+				}},
+			}
+		default:
+			return nil, fmt.Errorf("media: unknown track kind %q", t.Kind)
+		}
+	}
+
+	mpd.Periods[0].AdaptationSets = append(mpd.Periods[0].AdaptationSets, videoSet)
+	for _, lang := range sortedKeys(audioSets) {
+		mpd.Periods[0].AdaptationSets = append(mpd.Periods[0].AdaptationSets, *audioSets[lang])
+	}
+	for _, lang := range sortedKeys(subSets) {
+		mpd.Periods[0].AdaptationSets = append(mpd.Periods[0].AdaptationSets, *subSets[lang])
+	}
+	out.MPD = mpd
+	return out, nil
+}
+
+// packageMP4Track serializes (and, when entry != nil, encrypts) one MP4
+// track into the file set and returns its DASH representation.
+func packageMP4Track(out *Packaged, contentID string, t *Track, dir, repID string, entry *license.KeyEntry, scheme string, rand io.Reader) (*dash.Representation, error) {
+	init := *t.Init
+	track := init.Track
+	if entry != nil {
+		track.Protection = &mp4.ProtectionInfo{
+			Scheme:     scheme,
+			DefaultKID: entry.KID,
+			PSSH: []mp4.PSSH{{
+				SystemID: mp4.WidevineSystemID,
+				KIDs:     [][16]byte{entry.KID},
+				Data:     []byte(contentID),
+			}},
+		}
+	}
+	init.Track = track
+	out.Files[dir+"init.mp4"] = init.Marshal()
+
+	rep := &dash.Representation{
+		ID:      repID,
+		Codecs:  track.Codec,
+		BaseURL: dir,
+		SegmentList: &dash.SegmentList{
+			Initialization: &dash.SegmentURL{SourceURL: "init.mp4"},
+		},
+	}
+	if entry != nil {
+		rep.ContentProtections = []dash.ContentProtection{{
+			SchemeIDURI: dash.MP4ProtectionSchemeIDURI,
+			Value:       scheme,
+			DefaultKID:  cenc.KIDToString(entry.KID),
+		}}
+	}
+
+	for i, seg := range t.Segments {
+		// Deep-copy the segment so packaging never mutates the source.
+		cp := &mp4.MediaSegment{
+			SequenceNumber: seg.SequenceNumber,
+			TrackID:        seg.TrackID,
+			BaseDecodeTime: seg.BaseDecodeTime,
+			SampleData:     make([][]byte, len(seg.SampleData)),
+		}
+		for j, s := range seg.SampleData {
+			cp.SampleData[j] = append([]byte(nil), s...)
+		}
+		if entry != nil {
+			enc, err := cenc.NewEncryptor(scheme, entry.Key, rand)
+			if err != nil {
+				return nil, err
+			}
+			if err := enc.EncryptSegment(cp, clearPrefixBytes); err != nil {
+				return nil, fmt.Errorf("media: encrypt %s seg %d: %w", repID, i, err)
+			}
+		}
+		wire, err := cp.Marshal()
+		if err != nil {
+			return nil, fmt.Errorf("media: marshal %s seg %d: %w", repID, i, err)
+		}
+		name := fmt.Sprintf("seg%d.m4s", i+1)
+		out.Files[dir+name] = wire
+		rep.SegmentList.SegmentURLs = append(rep.SegmentList.SegmentURLs, dash.SegmentURL{SourceURL: name})
+	}
+	return rep, nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+// ConvertToTemplates rewrites a packaged manifest's explicit segment lists
+// into SegmentTemplate addressing (init.mp4 / seg$Number$.m4s), the form
+// most production MPDs use. It only converts representations whose file
+// naming matches the packager's layout; others keep their explicit lists.
+func ConvertToTemplates(mpd *dash.MPD) {
+	for pi := range mpd.Periods {
+		for ai := range mpd.Periods[pi].AdaptationSets {
+			set := &mpd.Periods[pi].AdaptationSets[ai]
+			for ri := range set.Representations {
+				rep := &set.Representations[ri]
+				list := rep.SegmentList
+				if list == nil || list.Initialization == nil || list.Initialization.SourceURL != "init.mp4" {
+					continue
+				}
+				ok := true
+				for i, su := range list.SegmentURLs {
+					if su.SourceURL != fmt.Sprintf("seg%d.m4s", i+1) {
+						ok = false
+						break
+					}
+				}
+				if !ok || len(list.SegmentURLs) == 0 {
+					continue
+				}
+				rep.SegmentTemplate = &dash.SegmentTemplate{
+					Initialization: "init.mp4",
+					Media:          "seg$Number$.m4s",
+					StartNumber:    1,
+					SegmentCount:   uint32(len(list.SegmentURLs)),
+				}
+				rep.SegmentList = nil
+			}
+		}
+	}
+}

@@ -1,0 +1,269 @@
+package media
+
+import (
+	"testing"
+
+	"repro/internal/cenc"
+	"repro/internal/dash"
+	"repro/internal/license"
+	"repro/internal/mp4"
+	"repro/internal/wvcrypto"
+)
+
+func packageWith(t *testing.T, policy KeyPolicy) *Packaged {
+	t.Helper()
+	tracks := GenerateTitle("movie-1", DefaultGenerateOptions())
+	p, err := Package("movie-1", tracks, policy, wvcrypto.NewDeterministicReader("pack"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func keysByTrack(p *Packaged) (video, audio []license.KeyEntry) {
+	for _, k := range p.Keys {
+		switch k.Track {
+		case license.TrackVideo:
+			video = append(video, k)
+		case license.TrackAudio:
+			audio = append(audio, k)
+		}
+	}
+	return video, audio
+}
+
+func TestPackage_RecommendedPolicy(t *testing.T) {
+	p := packageWith(t, KeyPolicy{EncryptAudio: true, DistinctAudioKey: true})
+	video, audio := keysByTrack(p)
+	if len(video) != 4 {
+		t.Errorf("video keys = %d, want 4 (one per rung)", len(video))
+	}
+	if len(audio) != 1 {
+		t.Errorf("audio keys = %d, want 1 distinct", len(audio))
+	}
+	kids := make(map[[16]byte]bool)
+	for _, k := range p.Keys {
+		if kids[k.KID] {
+			t.Error("duplicate KID across keys")
+		}
+		kids[k.KID] = true
+	}
+}
+
+func TestPackage_MinimumSharedKey(t *testing.T) {
+	p := packageWith(t, KeyPolicy{EncryptAudio: true, DistinctAudioKey: false})
+	video, audio := keysByTrack(p)
+	if len(video) != 4 || len(audio) != 0 {
+		t.Errorf("video/audio keys = %d/%d, want 4/0 (audio reuses video key)", len(video), len(audio))
+	}
+	// Audio representations carry the lowest video rung's KID.
+	audioSet, err := p.MPD.FindAdaptationSet(dash.ContentAudio, "en")
+	if err != nil {
+		t.Fatal(err)
+	}
+	audioKID := audioSet.Representations[0].KID()
+	var lowest license.KeyEntry
+	for _, k := range video {
+		if lowest.Key == nil || k.MaxHeight < lowest.MaxHeight {
+			lowest = k
+		}
+	}
+	if audioKID != cenc.KIDToString(lowest.KID) {
+		t.Errorf("audio kid %s != lowest video kid %s", audioKID, cenc.KIDToString(lowest.KID))
+	}
+}
+
+func TestPackage_ClearAudioPolicy(t *testing.T) {
+	p := packageWith(t, KeyPolicy{EncryptAudio: false})
+	// Audio init segments are unprotected and samples playable.
+	init, ok := p.Files["movie-1/audio/en/init.mp4"]
+	if !ok {
+		t.Fatal("missing audio init")
+	}
+	prot, err := mp4.IsProtected(init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prot {
+		t.Error("clear-audio policy produced protected audio init")
+	}
+	seg, err := mp4.ParseMediaSegment(p.Files["movie-1/audio/en/seg1.m4s"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !SegmentPlayable(seg) {
+		t.Error("clear audio segment not playable")
+	}
+}
+
+func TestPackage_VideoAlwaysEncrypted(t *testing.T) {
+	for _, policy := range []KeyPolicy{{}, {EncryptAudio: true}, {EncryptAudio: true, DistinctAudioKey: true}} {
+		p := packageWith(t, policy)
+		init := p.Files["movie-1/video/540p/init.mp4"]
+		prot, err := mp4.IsProtected(init)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !prot {
+			t.Error("video init unprotected")
+		}
+		seg, err := mp4.ParseMediaSegment(p.Files["movie-1/video/540p/seg1.m4s"])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seg.Encryption == nil {
+			t.Fatal("video segment has no senc")
+		}
+		if SegmentPlayable(seg) {
+			t.Error("encrypted video segment is playable")
+		}
+	}
+}
+
+func TestPackage_EncryptedSegmentsDecryptWithRegisteredKeys(t *testing.T) {
+	p := packageWith(t, KeyPolicy{EncryptAudio: true, DistinctAudioKey: true})
+	// Find the 540p video key via the MPD KID.
+	videoSet, err := p.MPD.FindAdaptationSet(dash.ContentVideo, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kidHex string
+	for _, rep := range videoSet.Representations {
+		if rep.Height == 540 {
+			kidHex = rep.KID()
+		}
+	}
+	kid, err := cenc.ParseKID(kidHex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var key []byte
+	for _, k := range p.Keys {
+		if k.KID == kid {
+			key = k.Key
+		}
+	}
+	if key == nil {
+		t.Fatal("540p key not registered")
+	}
+	seg, err := mp4.ParseMediaSegment(p.Files["movie-1/video/540p/seg1.m4s"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cenc.DecryptSegment(mp4.SchemeCENC, key, seg); err != nil {
+		t.Fatal(err)
+	}
+	if !SegmentPlayable(seg) {
+		t.Error("decrypted segment not playable")
+	}
+}
+
+func TestPackage_SubtitlesAlwaysClear(t *testing.T) {
+	p := packageWith(t, KeyPolicy{EncryptAudio: true, DistinctAudioKey: true})
+	vtt, ok := p.Files["movie-1/subs/en.vtt"]
+	if !ok {
+		t.Fatal("missing subtitle file")
+	}
+	if !SubtitleReadable(vtt) {
+		t.Error("subtitle not readable")
+	}
+}
+
+func TestPackage_MPDCoversAllFiles(t *testing.T) {
+	p := packageWith(t, KeyPolicy{EncryptAudio: true})
+	urls := p.MPD.AllURLs()
+	if len(urls) == 0 {
+		t.Fatal("no urls in mpd")
+	}
+	for _, u := range urls {
+		if _, ok := p.Files[u]; !ok {
+			t.Errorf("mpd url %q has no file", u)
+		}
+	}
+	// Every rung appears with distinct KIDs (per-resolution keys).
+	kids := make(map[string]bool)
+	for _, u := range p.MPD.KeyUsage() {
+		if u.ContentType == dash.ContentVideo {
+			if u.KID == "" {
+				t.Error("video representation without kid")
+			}
+			if kids[u.KID] {
+				t.Error("video rungs share a kid")
+			}
+			kids[u.KID] = true
+		}
+	}
+}
+
+func TestPackage_NoVideo(t *testing.T) {
+	tracks := []Track{{Kind: KindAudio, Lang: "en",
+		Init:     &mp4.InitSegment{Track: mp4.TrackInfo{TrackID: 1, Handler: mp4.HandlerAudio, Codec: "mp4a", Timescale: 48000}},
+		Segments: nil}}
+	if _, err := Package("x", tracks, KeyPolicy{}, wvcrypto.NewDeterministicReader("n")); err == nil {
+		t.Error("want error for title without video")
+	}
+}
+
+func TestPackage_DoesNotMutateSourceTracks(t *testing.T) {
+	tracks := GenerateTitle("movie-1", DefaultGenerateOptions())
+	before := string(tracks[0].Segments[0].SampleData[0])
+	if _, err := Package("movie-1", tracks, KeyPolicy{EncryptAudio: true}, wvcrypto.NewDeterministicReader("p")); err != nil {
+		t.Fatal(err)
+	}
+	if string(tracks[0].Segments[0].SampleData[0]) != before {
+		t.Error("packaging mutated source track samples")
+	}
+}
+
+func BenchmarkPackageTitle(b *testing.B) {
+	tracks := GenerateTitle("bench-movie", DefaultGenerateOptions())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Package("bench-movie", tracks,
+			KeyPolicy{EncryptAudio: true, DistinctAudioKey: true},
+			wvcrypto.NewDeterministicReader("bench-pack")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestConvertToTemplates(t *testing.T) {
+	p := packageWith(t, KeyPolicy{EncryptAudio: true})
+	before := p.MPD.AllURLs()
+	ConvertToTemplates(p.MPD)
+
+	// Video/audio representations switched to templates; subtitles (not
+	// matching the naming) keep their explicit lists.
+	videoSet, err := p.MPD.FindAdaptationSet(dash.ContentVideo, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if videoSet.Representations[0].SegmentTemplate == nil {
+		t.Error("video representation not templated")
+	}
+	if videoSet.Representations[0].SegmentList != nil {
+		t.Error("explicit list left behind")
+	}
+	subSet, err := p.MPD.FindAdaptationSet(dash.ContentSubtitle, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if subSet.Representations[0].SegmentTemplate != nil {
+		t.Error("subtitle representation templated despite naming mismatch")
+	}
+
+	// URL enumeration is unchanged: templates expand to the same set.
+	after := p.MPD.AllURLs()
+	if len(before) != len(after) {
+		t.Fatalf("url count changed: %d -> %d", len(before), len(after))
+	}
+	seen := make(map[string]bool, len(before))
+	for _, u := range before {
+		seen[u] = true
+	}
+	for _, u := range after {
+		if !seen[u] {
+			t.Errorf("template expansion invented url %q", u)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package monitor
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/oemcrypto"
+)
+
+// TraceEventExport is the serialized form of one hooked call, the format
+// the wvmonitor tool emits for offline analysis (the paper's workflow:
+// capture on device, analyze on a workstation).
+type TraceEventExport struct {
+	Symbol  string `json:"symbol"` // _oeccXX
+	Name    string `json:"name"`
+	Session uint32 `json:"session"`
+	Library string `json:"library"`
+	// In/Out are base64 buffer dumps; omitted when not visible (secure
+	// output path).
+	In    string `json:"in,omitempty"`
+	Out   string `json:"out,omitempty"`
+	Error string `json:"error,omitempty"`
+	// Keys carries LoadKeys wrapped-key argument dumps.
+	Keys []ExportedKey `json:"keys,omitempty"`
+}
+
+// ExportedKey is one dumped wrapped key.
+type ExportedKey struct {
+	KID     string `json:"kid"`
+	IV      string `json:"iv"`
+	Payload string `json:"payload"`
+}
+
+// ExportTrace serializes the recorded events as JSON lines-compatible
+// array.
+func (m *Monitor) ExportTrace() ([]byte, error) {
+	events := m.Events()
+	out := make([]TraceEventExport, 0, len(events))
+	for _, ev := range events {
+		exp := TraceEventExport{
+			Symbol:  ev.Func.OECCName(),
+			Name:    ev.Func.String(),
+			Session: uint32(ev.Session),
+			Library: ev.Library,
+		}
+		if ev.In != nil {
+			exp.In = base64.StdEncoding.EncodeToString(ev.In)
+		}
+		if ev.Out != nil {
+			exp.Out = base64.StdEncoding.EncodeToString(ev.Out)
+		}
+		if ev.Err != nil {
+			exp.Error = ev.Err.Error()
+		}
+		for _, k := range ev.Keys {
+			exp.Keys = append(exp.Keys, ExportedKey{
+				KID:     base64.StdEncoding.EncodeToString(k.KID[:]),
+				IV:      base64.StdEncoding.EncodeToString(k.IV[:]),
+				Payload: base64.StdEncoding.EncodeToString(k.Payload),
+			})
+		}
+		out = append(out, exp)
+	}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("monitor: export trace: %w", err)
+	}
+	return b, nil
+}
+
+// ImportTrace parses an exported trace back into call events, so analysis
+// tooling (internal/attack) can run on captures from another session.
+func ImportTrace(data []byte) ([]oemcrypto.CallEvent, error) {
+	var exported []TraceEventExport
+	if err := json.Unmarshal(data, &exported); err != nil {
+		return nil, fmt.Errorf("monitor: import trace: %w", err)
+	}
+	nameToFunc := map[string]oemcrypto.Func{}
+	for f := oemcrypto.Func(1); f <= oemcrypto.FuncKeyboxInfo; f++ {
+		nameToFunc[f.OECCName()] = f
+	}
+	out := make([]oemcrypto.CallEvent, 0, len(exported))
+	for i, exp := range exported {
+		f, ok := nameToFunc[exp.Symbol]
+		if !ok {
+			return nil, fmt.Errorf("monitor: import trace: unknown symbol %q at %d", exp.Symbol, i)
+		}
+		ev := oemcrypto.CallEvent{
+			Func:    f,
+			Session: oemcrypto.SessionID(exp.Session),
+			Library: exp.Library,
+		}
+		var err error
+		if exp.In != "" {
+			if ev.In, err = base64.StdEncoding.DecodeString(exp.In); err != nil {
+				return nil, fmt.Errorf("monitor: import trace in[%d]: %w", i, err)
+			}
+		}
+		if exp.Out != "" {
+			if ev.Out, err = base64.StdEncoding.DecodeString(exp.Out); err != nil {
+				return nil, fmt.Errorf("monitor: import trace out[%d]: %w", i, err)
+			}
+		}
+		for _, k := range exp.Keys {
+			var ek oemcrypto.EncryptedKey
+			kid, err := base64.StdEncoding.DecodeString(k.KID)
+			if err != nil || len(kid) != 16 {
+				return nil, fmt.Errorf("monitor: import trace kid[%d]", i)
+			}
+			copy(ek.KID[:], kid)
+			iv, err := base64.StdEncoding.DecodeString(k.IV)
+			if err != nil || len(iv) != 16 {
+				return nil, fmt.Errorf("monitor: import trace iv[%d]", i)
+			}
+			copy(ek.IV[:], iv)
+			if ek.Payload, err = base64.StdEncoding.DecodeString(k.Payload); err != nil {
+				return nil, fmt.Errorf("monitor: import trace payload[%d]: %w", i, err)
+			}
+			ev.Keys = append(ev.Keys, ek)
+		}
+		out = append(out, ev)
+	}
+	return out, nil
+}

@@ -1,0 +1,169 @@
+package monitor_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/cdm"
+	"repro/internal/keybox"
+	"repro/internal/license"
+	"repro/internal/monitor"
+	"repro/internal/oemcrypto"
+	"repro/internal/procmem"
+	"repro/internal/provision"
+	"repro/internal/wvcrypto"
+)
+
+func TestExportImportTrace_RoundTrip(t *testing.T) {
+	engine, _ := newEngine(t)
+	m := monitor.New()
+	m.AttachCDM(engine)
+	s, err := engine.OpenSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := engine.GenerateDerivedKeys(s, []byte("ctx")); err != nil {
+		t.Fatal(err)
+	}
+	iv := bytes.Repeat([]byte{1}, 16)
+	if _, err := engine.GenericEncrypt(s, iv, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+
+	blob, err := m.ExportTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := monitor.ImportTrace(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := m.Events()
+	if len(events) != len(orig) {
+		t.Fatalf("imported %d events, want %d", len(events), len(orig))
+	}
+	for i := range orig {
+		if events[i].Func != orig[i].Func || events[i].Session != orig[i].Session {
+			t.Errorf("event %d header mismatch", i)
+		}
+		if !bytes.Equal(events[i].In, orig[i].In) || !bytes.Equal(events[i].Out, orig[i].Out) {
+			t.Errorf("event %d buffer mismatch", i)
+		}
+	}
+}
+
+func TestImportTrace_Invalid(t *testing.T) {
+	if _, err := monitor.ImportTrace([]byte("junk")); err == nil {
+		t.Error("junk import succeeded")
+	}
+	if _, err := monitor.ImportTrace([]byte(`[{"symbol":"_oecc99"}]`)); err == nil {
+		t.Error("unknown symbol import succeeded")
+	}
+	if _, err := monitor.ImportTrace([]byte(`[{"symbol":"_oecc13","keys":[{"kid":"xx"}]}]`)); err == nil {
+		t.Error("bad kid import succeeded")
+	}
+}
+
+// TestOfflineAnalysisWorkflow is the paper's two-phase workflow: capture a
+// trace on the "device", serialize it, and run the key-ladder recovery on
+// the deserialized copy (as if on a workstation).
+func TestOfflineAnalysisWorkflow(t *testing.T) {
+	rand := wvcrypto.NewDeterministicReader("offline-analysis")
+	kb, err := keybox.New("OFFLINE-ANALYSIS", 4442, rand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := newMapStore()
+	if err := oemcrypto.InstallKeybox(store, kb.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	space := procmem.NewSpace("mediadrmserver")
+	engine, err := oemcrypto.NewSoftEngine("3.1.0", space, store, rand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	registry := provision.NewRegistry()
+	registry.RegisterDevice(kb.StableIDString(), kb.DeviceKey)
+	client := newProvisionedClient(t, engine, registry, rand)
+
+	// Capture phase.
+	m := monitor.New()
+	m.AttachCDM(engine)
+	kid := [16]byte{0xAB}
+	contentKey := bytes.Repeat([]byte{0xCD}, 16)
+	db := license.NewKeyDB()
+	db.Register("m", []license.KeyEntry{{KID: kid, Key: contentKey, Track: license.TrackVideo}})
+	licSrv := license.NewServer(db, registry, license.Policy{}, rand)
+	s, err := client.OpenSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	signed, err := client.CreateLicenseRequest(s, "m", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := licSrv.HandleRequest(signed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.ProcessLicenseResponse(s, signed, resp); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := m.ExportTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Analysis phase: fresh process, only the blob + recovered material.
+	events, err := monitor.ImportTrace(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	handle, err := monitor.New().AttachProcess(space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recoveredKB, err := attack.RecoverKeybox(handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsaKey, err := attack.RecoverDeviceRSAKey(recoveredKB, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, err := attack.RecoverContentKeys(rsaKey, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(keys[kid], contentKey) {
+		t.Error("offline analysis did not recover the content key")
+	}
+}
+
+// newProvisionedClient provisions a CDM client against an in-process
+// server.
+func newProvisionedClient(t *testing.T, engine oemcrypto.Engine, registry *provision.Registry, rand *wvcrypto.DeterministicReader) *cdm.Client {
+	t.Helper()
+	client := cdm.NewClient(engine, rand)
+	srv := provision.NewServer(registry, provision.Policy{}, rand)
+	s, err := client.OpenSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := client.CreateProvisioningRequest(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := srv.Provision(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.ProcessProvisioningResponse(s, resp); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.CloseSession(s); err != nil {
+		t.Fatal(err)
+	}
+	return client
+}

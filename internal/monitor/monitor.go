@@ -1,0 +1,162 @@
+// Package monitor reproduces the paper's instrumentation tooling: a
+// Frida-style monitor that (a) hooks the Widevine CDM's _oecc entry points
+// inside the DRM server process and records every call with its visible
+// buffers, (b) attaches to process memory for scanning — but only processes
+// that do not deploy anti-debugging, which in practice means the Widevine
+// process and never the OTT apps themselves, and (c) man-in-the-middles app
+// network traffic, defeating certificate pinning with an SSL re-pinning
+// patch, exactly as the authors did with Frida + Burp.
+package monitor
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/netsim"
+	"repro/internal/oemcrypto"
+	"repro/internal/procmem"
+)
+
+// ErrAntiDebug is returned when attaching to a process that resists
+// debuggers (the OTT app processes).
+var ErrAntiDebug = errors.New("monitor: process blocks attachment (anti-debugging)")
+
+// Monitor is one instrumentation session.
+type Monitor struct {
+	mu      sync.Mutex
+	events  []oemcrypto.CallEvent
+	engines []oemcrypto.Engine
+}
+
+// New returns an idle monitor.
+func New() *Monitor {
+	return &Monitor{}
+}
+
+// AttachCDM hooks every _oecc entry point of the engine (the Frida script
+// of the paper's Github). Multiple engines can be hooked at once.
+func (m *Monitor) AttachCDM(engine oemcrypto.Engine) {
+	engine.SetTracer(func(ev oemcrypto.CallEvent) {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		m.events = append(m.events, ev)
+	})
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.engines = append(m.engines, engine)
+}
+
+// Detach removes every installed hook.
+func (m *Monitor) Detach() {
+	m.mu.Lock()
+	engines := m.engines
+	m.engines = nil
+	m.mu.Unlock()
+	for _, e := range engines {
+		e.SetTracer(nil)
+	}
+}
+
+// Reset clears recorded events (hooks stay installed).
+func (m *Monitor) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.events = nil
+}
+
+// Events returns a copy of every recorded CDM call.
+func (m *Monitor) Events() []oemcrypto.CallEvent {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]oemcrypto.CallEvent, len(m.events))
+	copy(out, m.events)
+	return out
+}
+
+// EventsByFunc filters recorded calls by entry point.
+func (m *Monitor) EventsByFunc(f oemcrypto.Func) []oemcrypto.CallEvent {
+	var out []oemcrypto.CallEvent
+	for _, ev := range m.Events() {
+		if ev.Func == f {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// UsedLibraries reports which shared objects the recorded control flow
+// touched — the paper's L1/L3 discriminator ("the use of L1 is confirmed
+// whenever the control flow reaches liboemcrypto.so").
+func (m *Monitor) UsedLibraries() map[string]bool {
+	out := make(map[string]bool)
+	for _, ev := range m.Events() {
+		if ev.Library != "" {
+			out[ev.Library] = true
+		}
+	}
+	return out
+}
+
+// DumpedOutputs returns the output buffers recorded for one entry point —
+// e.g. GenericDecrypt outputs, which is how the paper recovered Netflix's
+// protected manifest URIs.
+func (m *Monitor) DumpedOutputs(f oemcrypto.Func) [][]byte {
+	var out [][]byte
+	for _, ev := range m.EventsByFunc(f) {
+		if ev.Out != nil {
+			out = append(out, append([]byte(nil), ev.Out...))
+		}
+	}
+	return out
+}
+
+// ProcessHandle is an attached process whose memory the monitor can scan.
+type ProcessHandle struct {
+	space *procmem.Space
+}
+
+// AttachProcess attaches to a process's memory. Anti-debugging processes
+// (the OTT apps) refuse; the Widevine DRM server does not.
+func (m *Monitor) AttachProcess(space *procmem.Space) (*ProcessHandle, error) {
+	if space.Protected() {
+		return nil, fmt.Errorf("%w: %s", ErrAntiDebug, space.ProcessName())
+	}
+	return &ProcessHandle{space: space}, nil
+}
+
+// Scan searches the attached process's memory for a byte pattern
+// (Frida's Memory.scan).
+func (h *ProcessHandle) Scan(pattern []byte) []procmem.Match {
+	return h.space.Scan(pattern)
+}
+
+// ReadAt reads memory at an absolute address.
+func (h *ProcessHandle) ReadAt(addr uint64, buf []byte) (int, error) {
+	return h.space.ReadAt(addr, buf)
+}
+
+// Regions lists the process's mapped regions.
+func (h *ProcessHandle) Regions() []procmem.RegionInfo {
+	return h.space.Snapshot()
+}
+
+// NetworkTap is an installed MITM on one app's traffic.
+type NetworkTap struct {
+	interceptor *netsim.Interceptor
+}
+
+// InterceptNetwork MITMs an app's network stack: install the proxy, then
+// apply the SSL re-pinning patch so pinned connections keep working — the
+// bypass the paper reports succeeded against every evaluated app.
+func (m *Monitor) InterceptNetwork(client *netsim.Client) *NetworkTap {
+	tap := &NetworkTap{interceptor: netsim.NewInterceptor()}
+	client.InstallMITM(tap.interceptor)
+	client.DisablePinning()
+	return tap
+}
+
+// Exchanges returns the captured plaintext traffic.
+func (t *NetworkTap) Exchanges() []netsim.Exchange {
+	return t.interceptor.Captured()
+}

@@ -1,0 +1,209 @@
+package monitor_test
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/keybox"
+	"repro/internal/monitor"
+	"repro/internal/netsim"
+	"repro/internal/oemcrypto"
+	"repro/internal/procmem"
+	"repro/internal/wvcrypto"
+)
+
+type mapStore struct {
+	mu sync.Mutex
+	m  map[string][]byte
+}
+
+func newMapStore() *mapStore { return &mapStore{m: make(map[string][]byte)} }
+
+func (s *mapStore) Put(name string, data []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[name] = append([]byte(nil), data...)
+}
+
+func (s *mapStore) Get(name string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.m[name]
+	return d, ok
+}
+
+func newEngine(t *testing.T) (*oemcrypto.SoftEngine, *procmem.Space) {
+	t.Helper()
+	rand := wvcrypto.NewDeterministicReader("monitor-test")
+	kb, err := keybox.New("MON-DEV", 1, rand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := newMapStore()
+	if err := oemcrypto.InstallKeybox(store, kb.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	space := procmem.NewSpace("mediadrmserver")
+	engine, err := oemcrypto.NewSoftEngine("15.0", space, store, rand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return engine, space
+}
+
+func TestAttachCDM_RecordsAndFilters(t *testing.T) {
+	engine, _ := newEngine(t)
+	m := monitor.New()
+	m.AttachCDM(engine)
+
+	s, err := engine.OpenSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := engine.GenerateDerivedKeys(s, []byte("ctx")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.GenericSign(s, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+
+	events := m.Events()
+	if len(events) != 3 {
+		t.Fatalf("recorded %d events, want 3", len(events))
+	}
+	opens := m.EventsByFunc(oemcrypto.FuncOpenSession)
+	if len(opens) != 1 || opens[0].Session != s {
+		t.Errorf("open events = %+v", opens)
+	}
+	libs := m.UsedLibraries()
+	if !libs[oemcrypto.LibWVDRMEngine] || libs[oemcrypto.LibOEMCrypto] {
+		t.Errorf("libraries = %v", libs)
+	}
+
+	m.Reset()
+	if len(m.Events()) != 0 {
+		t.Error("Reset did not clear events")
+	}
+
+	m.Detach()
+	if _, err := engine.OpenSession(); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Events()) != 0 {
+		t.Error("events recorded after Detach")
+	}
+}
+
+func TestDumpedOutputs(t *testing.T) {
+	engine, _ := newEngine(t)
+	m := monitor.New()
+	m.AttachCDM(engine)
+	s, err := engine.OpenSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := engine.GenerateDerivedKeys(s, []byte("channel")); err != nil {
+		t.Fatal(err)
+	}
+	iv := bytes.Repeat([]byte{1}, 16)
+	secret := []byte("https://cdn/protected-uri")
+	ct, err := engine.GenericEncrypt(s, iv, secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.GenericDecrypt(s, iv, ct); err != nil {
+		t.Fatal(err)
+	}
+	dumps := m.DumpedOutputs(oemcrypto.FuncGenericDecrypt)
+	if len(dumps) != 1 || !bytes.Equal(dumps[0], secret) {
+		t.Errorf("dumps = %q", dumps)
+	}
+}
+
+func TestAttachProcess_AntiDebug(t *testing.T) {
+	m := monitor.New()
+	appSpace := procmem.NewSpace("app:netflix")
+	appSpace.SetProtected(true)
+	if _, err := m.AttachProcess(appSpace); !errors.Is(err, monitor.ErrAntiDebug) {
+		t.Errorf("err = %v, want ErrAntiDebug", err)
+	}
+
+	drmSpace := procmem.NewSpace("mediadrmserver")
+	h, err := m.AttachProcess(drmSpace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Regions()) != 0 {
+		t.Error("fresh space has regions")
+	}
+}
+
+func TestProcessHandle_ScanAndRead(t *testing.T) {
+	_, space := newEngine(t) // engine init places the keybox in memory
+	m := monitor.New()
+	h, err := m.AttachProcess(space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matches := h.Scan(keybox.Magic[:])
+	if len(matches) == 0 {
+		t.Fatal("keybox magic not found")
+	}
+	buf := make([]byte, 4)
+	if _, err := h.ReadAt(matches[0].Addr, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, keybox.Magic[:]) {
+		t.Errorf("read %x at match", buf)
+	}
+}
+
+func TestInterceptNetwork(t *testing.T) {
+	network := netsim.NewNetwork()
+	network.RegisterHost("api.example", func(req netsim.Request) (netsim.Response, error) {
+		return netsim.Response{Status: 200, Body: []byte("manifest")}, nil
+	})
+	client := netsim.NewClient(network)
+	client.Pin("api.example")
+
+	m := monitor.New()
+	tap := m.InterceptNetwork(client)
+
+	resp, err := client.Do(netsim.Request{Host: "api.example", Path: "/m"})
+	if err != nil {
+		t.Fatalf("pinned exchange failed after re-pinning: %v", err)
+	}
+	if string(resp.Body) != "manifest" {
+		t.Errorf("resp = %q", resp.Body)
+	}
+	exchanges := tap.Exchanges()
+	if len(exchanges) != 1 || string(exchanges[0].Response.Body) != "manifest" {
+		t.Errorf("exchanges = %+v", exchanges)
+	}
+}
+
+func TestAttachMultipleEngines(t *testing.T) {
+	e1, _ := newEngine(t)
+	e2, _ := newEngine(t)
+	m := monitor.New()
+	m.AttachCDM(e1)
+	m.AttachCDM(e2)
+	if _, err := e1.OpenSession(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e2.OpenSession(); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Events()) != 2 {
+		t.Errorf("events = %d, want 2", len(m.Events()))
+	}
+	m.Detach()
+	if _, err := e1.OpenSession(); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Events()) != 2 {
+		t.Error("detach left hooks installed")
+	}
+}

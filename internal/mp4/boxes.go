@@ -1,0 +1,417 @@
+package mp4
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Handler types carried in hdlr boxes.
+const (
+	HandlerVideo    = "vide"
+	HandlerAudio    = "soun"
+	HandlerSubtitle = "text"
+)
+
+// FileType is the ftyp (and styp) box.
+type FileType struct {
+	MajorBrand       string
+	MinorVersion     uint32
+	CompatibleBrands []string
+}
+
+// Marshal encodes the ftyp payload.
+func (f *FileType) Marshal() []byte {
+	out := make([]byte, 0, 8+4*len(f.CompatibleBrands))
+	out = append(out, fourcc(f.MajorBrand)...)
+	out = binary.BigEndian.AppendUint32(out, f.MinorVersion)
+	for _, b := range f.CompatibleBrands {
+		out = append(out, fourcc(b)...)
+	}
+	return out
+}
+
+// ParseFileType decodes an ftyp/styp payload.
+func ParseFileType(payload []byte) (*FileType, error) {
+	if len(payload) < 8 || (len(payload)-8)%4 != 0 {
+		return nil, fmt.Errorf("%w: ftyp length %d", ErrBadBox, len(payload))
+	}
+	f := &FileType{
+		MajorBrand:   string(payload[:4]),
+		MinorVersion: binary.BigEndian.Uint32(payload[4:]),
+	}
+	for off := 8; off < len(payload); off += 4 {
+		f.CompatibleBrands = append(f.CompatibleBrands, string(payload[off:off+4]))
+	}
+	return f, nil
+}
+
+// MovieHeader is the mvhd box (version 0, minimal fields).
+type MovieHeader struct {
+	Timescale   uint32
+	Duration    uint32
+	NextTrackID uint32
+}
+
+// Marshal encodes the mvhd payload.
+func (m *MovieHeader) Marshal() []byte {
+	out := AppendFullBoxHeader(nil, 0, 0)
+	out = binary.BigEndian.AppendUint32(out, 0) // creation_time
+	out = binary.BigEndian.AppendUint32(out, 0) // modification_time
+	out = binary.BigEndian.AppendUint32(out, m.Timescale)
+	out = binary.BigEndian.AppendUint32(out, m.Duration)
+	out = binary.BigEndian.AppendUint32(out, 0x00010000) // rate 1.0
+	out = binary.BigEndian.AppendUint32(out, 0x01000000) // volume 1.0 + reserved
+	out = append(out, make([]byte, 8)...)                // reserved
+	for _, v := range [9]uint32{0x10000, 0, 0, 0, 0x10000, 0, 0, 0, 0x40000000} {
+		out = binary.BigEndian.AppendUint32(out, v) // unity matrix
+	}
+	out = append(out, make([]byte, 24)...) // pre_defined
+	out = binary.BigEndian.AppendUint32(out, m.NextTrackID)
+	return out
+}
+
+// ParseMovieHeader decodes an mvhd payload.
+func ParseMovieHeader(payload []byte) (*MovieHeader, error) {
+	_, _, body, err := ParseFullBoxHeader(payload)
+	if err != nil {
+		return nil, err
+	}
+	if len(body) < 96 {
+		return nil, fmt.Errorf("%w: mvhd body %d bytes", ErrTruncated, len(body))
+	}
+	return &MovieHeader{
+		Timescale:   binary.BigEndian.Uint32(body[8:]),
+		Duration:    binary.BigEndian.Uint32(body[12:]),
+		NextTrackID: binary.BigEndian.Uint32(body[92:]),
+	}, nil
+}
+
+// TrackHeader is the tkhd box (version 0, minimal fields).
+type TrackHeader struct {
+	TrackID uint32
+	Width   uint16 // pixels; zero for non-video
+	Height  uint16
+}
+
+// Marshal encodes the tkhd payload.
+func (t *TrackHeader) Marshal() []byte {
+	out := AppendFullBoxHeader(nil, 0, 0x7) // enabled | in_movie | in_preview
+	out = binary.BigEndian.AppendUint32(out, 0)
+	out = binary.BigEndian.AppendUint32(out, 0)
+	out = binary.BigEndian.AppendUint32(out, t.TrackID)
+	out = append(out, make([]byte, 4)...) // reserved
+	out = binary.BigEndian.AppendUint32(out, 0)
+	out = append(out, make([]byte, 8)...) // reserved
+	out = append(out, make([]byte, 8)...) // layer, alt group, volume, reserved
+	for _, v := range [9]uint32{0x10000, 0, 0, 0, 0x10000, 0, 0, 0, 0x40000000} {
+		out = binary.BigEndian.AppendUint32(out, v)
+	}
+	out = binary.BigEndian.AppendUint32(out, uint32(t.Width)<<16)  // 16.16 fixed
+	out = binary.BigEndian.AppendUint32(out, uint32(t.Height)<<16) // 16.16 fixed
+	return out
+}
+
+// ParseTrackHeader decodes a tkhd payload.
+func ParseTrackHeader(payload []byte) (*TrackHeader, error) {
+	_, _, body, err := ParseFullBoxHeader(payload)
+	if err != nil {
+		return nil, err
+	}
+	if len(body) < 80 {
+		return nil, fmt.Errorf("%w: tkhd body %d bytes", ErrTruncated, len(body))
+	}
+	return &TrackHeader{
+		TrackID: binary.BigEndian.Uint32(body[8:]),
+		Width:   uint16(binary.BigEndian.Uint32(body[72:]) >> 16),
+		Height:  uint16(binary.BigEndian.Uint32(body[76:]) >> 16),
+	}, nil
+}
+
+// MediaHeader is the mdhd box (version 0, language fixed to "und").
+type MediaHeader struct {
+	Timescale uint32
+	Duration  uint32
+}
+
+// Marshal encodes the mdhd payload.
+func (m *MediaHeader) Marshal() []byte {
+	out := AppendFullBoxHeader(nil, 0, 0)
+	out = binary.BigEndian.AppendUint32(out, 0)
+	out = binary.BigEndian.AppendUint32(out, 0)
+	out = binary.BigEndian.AppendUint32(out, m.Timescale)
+	out = binary.BigEndian.AppendUint32(out, m.Duration)
+	out = binary.BigEndian.AppendUint16(out, 0x55C4) // "und" packed
+	return binary.BigEndian.AppendUint16(out, 0)     // pre_defined
+}
+
+// ParseMediaHeader decodes an mdhd payload.
+func ParseMediaHeader(payload []byte) (*MediaHeader, error) {
+	_, _, body, err := ParseFullBoxHeader(payload)
+	if err != nil {
+		return nil, err
+	}
+	if len(body) < 16 {
+		return nil, fmt.Errorf("%w: mdhd body %d bytes", ErrTruncated, len(body))
+	}
+	return &MediaHeader{
+		Timescale: binary.BigEndian.Uint32(body[8:]),
+		Duration:  binary.BigEndian.Uint32(body[12:]),
+	}, nil
+}
+
+// Handler is the hdlr box.
+type Handler struct {
+	HandlerType string // HandlerVideo, HandlerAudio, HandlerSubtitle
+	Name        string
+}
+
+// Marshal encodes the hdlr payload.
+func (h *Handler) Marshal() []byte {
+	out := AppendFullBoxHeader(nil, 0, 0)
+	out = binary.BigEndian.AppendUint32(out, 0) // pre_defined
+	out = append(out, fourcc(h.HandlerType)...)
+	out = append(out, make([]byte, 12)...) // reserved
+	out = append(out, h.Name...)
+	return append(out, 0) // NUL terminator
+}
+
+// ParseHandler decodes an hdlr payload.
+func ParseHandler(payload []byte) (*Handler, error) {
+	_, _, body, err := ParseFullBoxHeader(payload)
+	if err != nil {
+		return nil, err
+	}
+	if len(body) < 21 {
+		return nil, fmt.Errorf("%w: hdlr body %d bytes", ErrTruncated, len(body))
+	}
+	name := body[20:]
+	if name[len(name)-1] == 0 {
+		name = name[:len(name)-1]
+	}
+	return &Handler{HandlerType: string(body[4:8]), Name: string(name)}, nil
+}
+
+// TrackExtends is the trex box.
+type TrackExtends struct {
+	TrackID                       uint32
+	DefaultSampleDescriptionIndex uint32
+	DefaultSampleDuration         uint32
+	DefaultSampleSize             uint32
+	DefaultSampleFlags            uint32
+}
+
+// Marshal encodes the trex payload.
+func (t *TrackExtends) Marshal() []byte {
+	out := AppendFullBoxHeader(nil, 0, 0)
+	out = binary.BigEndian.AppendUint32(out, t.TrackID)
+	out = binary.BigEndian.AppendUint32(out, t.DefaultSampleDescriptionIndex)
+	out = binary.BigEndian.AppendUint32(out, t.DefaultSampleDuration)
+	out = binary.BigEndian.AppendUint32(out, t.DefaultSampleSize)
+	return binary.BigEndian.AppendUint32(out, t.DefaultSampleFlags)
+}
+
+// ParseTrackExtends decodes a trex payload.
+func ParseTrackExtends(payload []byte) (*TrackExtends, error) {
+	_, _, body, err := ParseFullBoxHeader(payload)
+	if err != nil {
+		return nil, err
+	}
+	if len(body) < 20 {
+		return nil, fmt.Errorf("%w: trex body %d bytes", ErrTruncated, len(body))
+	}
+	return &TrackExtends{
+		TrackID:                       binary.BigEndian.Uint32(body),
+		DefaultSampleDescriptionIndex: binary.BigEndian.Uint32(body[4:]),
+		DefaultSampleDuration:         binary.BigEndian.Uint32(body[8:]),
+		DefaultSampleSize:             binary.BigEndian.Uint32(body[12:]),
+		DefaultSampleFlags:            binary.BigEndian.Uint32(body[16:]),
+	}, nil
+}
+
+// MovieFragmentHeader is the mfhd box.
+type MovieFragmentHeader struct {
+	SequenceNumber uint32
+}
+
+// Marshal encodes the mfhd payload.
+func (m *MovieFragmentHeader) Marshal() []byte {
+	out := AppendFullBoxHeader(nil, 0, 0)
+	return binary.BigEndian.AppendUint32(out, m.SequenceNumber)
+}
+
+// ParseMovieFragmentHeader decodes an mfhd payload.
+func ParseMovieFragmentHeader(payload []byte) (*MovieFragmentHeader, error) {
+	_, _, body, err := ParseFullBoxHeader(payload)
+	if err != nil {
+		return nil, err
+	}
+	if len(body) < 4 {
+		return nil, fmt.Errorf("%w: mfhd body %d bytes", ErrTruncated, len(body))
+	}
+	return &MovieFragmentHeader{SequenceNumber: binary.BigEndian.Uint32(body)}, nil
+}
+
+// tfhd flag bits used by this package.
+const (
+	tfhdDefaultSampleDuration = 0x000008
+	tfhdDefaultSampleSize     = 0x000010
+	tfhdDefaultBaseIsMoof     = 0x020000
+)
+
+// TrackFragmentHeader is the tfhd box.
+type TrackFragmentHeader struct {
+	TrackID               uint32
+	DefaultSampleDuration uint32 // zero means absent
+	DefaultSampleSize     uint32 // zero means absent
+}
+
+// Marshal encodes the tfhd payload.
+func (t *TrackFragmentHeader) Marshal() []byte {
+	flags := uint32(tfhdDefaultBaseIsMoof)
+	if t.DefaultSampleDuration != 0 {
+		flags |= tfhdDefaultSampleDuration
+	}
+	if t.DefaultSampleSize != 0 {
+		flags |= tfhdDefaultSampleSize
+	}
+	out := AppendFullBoxHeader(nil, 0, flags)
+	out = binary.BigEndian.AppendUint32(out, t.TrackID)
+	if t.DefaultSampleDuration != 0 {
+		out = binary.BigEndian.AppendUint32(out, t.DefaultSampleDuration)
+	}
+	if t.DefaultSampleSize != 0 {
+		out = binary.BigEndian.AppendUint32(out, t.DefaultSampleSize)
+	}
+	return out
+}
+
+// ParseTrackFragmentHeader decodes a tfhd payload.
+func ParseTrackFragmentHeader(payload []byte) (*TrackFragmentHeader, error) {
+	_, flags, body, err := ParseFullBoxHeader(payload)
+	if err != nil {
+		return nil, err
+	}
+	if len(body) < 4 {
+		return nil, fmt.Errorf("%w: tfhd body %d bytes", ErrTruncated, len(body))
+	}
+	t := &TrackFragmentHeader{TrackID: binary.BigEndian.Uint32(body)}
+	off := 4
+	if flags&0x000001 != 0 { // base-data-offset
+		off += 8
+	}
+	if flags&0x000002 != 0 { // sample-description-index
+		off += 4
+	}
+	if flags&tfhdDefaultSampleDuration != 0 {
+		if len(body) < off+4 {
+			return nil, fmt.Errorf("%w: tfhd duration", ErrTruncated)
+		}
+		t.DefaultSampleDuration = binary.BigEndian.Uint32(body[off:])
+		off += 4
+	}
+	if flags&tfhdDefaultSampleSize != 0 {
+		if len(body) < off+4 {
+			return nil, fmt.Errorf("%w: tfhd size", ErrTruncated)
+		}
+		t.DefaultSampleSize = binary.BigEndian.Uint32(body[off:])
+	}
+	return t, nil
+}
+
+// TrackFragmentDecodeTime is the tfdt box (version 1, 64-bit time).
+type TrackFragmentDecodeTime struct {
+	BaseMediaDecodeTime uint64
+}
+
+// Marshal encodes the tfdt payload.
+func (t *TrackFragmentDecodeTime) Marshal() []byte {
+	out := AppendFullBoxHeader(nil, 1, 0)
+	return binary.BigEndian.AppendUint64(out, t.BaseMediaDecodeTime)
+}
+
+// ParseTrackFragmentDecodeTime decodes a tfdt payload (either version).
+func ParseTrackFragmentDecodeTime(payload []byte) (*TrackFragmentDecodeTime, error) {
+	version, _, body, err := ParseFullBoxHeader(payload)
+	if err != nil {
+		return nil, err
+	}
+	switch version {
+	case 0:
+		if len(body) < 4 {
+			return nil, fmt.Errorf("%w: tfdt v0", ErrTruncated)
+		}
+		return &TrackFragmentDecodeTime{BaseMediaDecodeTime: uint64(binary.BigEndian.Uint32(body))}, nil
+	case 1:
+		if len(body) < 8 {
+			return nil, fmt.Errorf("%w: tfdt v1", ErrTruncated)
+		}
+		return &TrackFragmentDecodeTime{BaseMediaDecodeTime: binary.BigEndian.Uint64(body)}, nil
+	default:
+		return nil, fmt.Errorf("%w: tfdt version %d", ErrBadBox, version)
+	}
+}
+
+// trun flag bits used by this package.
+const (
+	trunDataOffset = 0x000001
+	trunSampleSize = 0x000200
+)
+
+// TrackRun is the trun box carrying per-sample sizes.
+type TrackRun struct {
+	DataOffset  int32
+	SampleSizes []uint32
+}
+
+// Marshal encodes the trun payload.
+func (t *TrackRun) Marshal() []byte {
+	out := AppendFullBoxHeader(nil, 0, trunDataOffset|trunSampleSize)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(t.SampleSizes)))
+	out = binary.BigEndian.AppendUint32(out, uint32(t.DataOffset))
+	for _, size := range t.SampleSizes {
+		out = binary.BigEndian.AppendUint32(out, size)
+	}
+	return out
+}
+
+// ParseTrackRun decodes a trun payload written by this package.
+func ParseTrackRun(payload []byte) (*TrackRun, error) {
+	_, flags, body, err := ParseFullBoxHeader(payload)
+	if err != nil {
+		return nil, err
+	}
+	if len(body) < 4 {
+		return nil, fmt.Errorf("%w: trun count", ErrTruncated)
+	}
+	count := binary.BigEndian.Uint32(body)
+	off := 4
+	t := &TrackRun{}
+	if flags&trunDataOffset != 0 {
+		if len(body) < off+4 {
+			return nil, fmt.Errorf("%w: trun data offset", ErrTruncated)
+		}
+		t.DataOffset = int32(binary.BigEndian.Uint32(body[off:]))
+		off += 4
+	}
+	if flags&trunSampleSize == 0 {
+		return nil, fmt.Errorf("%w: trun without sample sizes unsupported", ErrBadBox)
+	}
+	if uint64(len(body)) < uint64(off)+4*uint64(count) {
+		return nil, fmt.Errorf("%w: trun samples", ErrTruncated)
+	}
+	t.SampleSizes = make([]uint32, count)
+	for i := range t.SampleSizes {
+		t.SampleSizes[i] = binary.BigEndian.Uint32(body[off+4*i:])
+	}
+	return t, nil
+}
+
+// fourcc pads or truncates a string to exactly 4 bytes.
+func fourcc(s string) []byte {
+	b := make([]byte, 4)
+	copy(b, s)
+	for i := len(s); i < 4; i++ {
+		b[i] = ' '
+	}
+	return b
+}

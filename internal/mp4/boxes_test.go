@@ -1,0 +1,161 @@
+package mp4
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestFileTypeRoundTrip(t *testing.T) {
+	f := &FileType{MajorBrand: "iso6", MinorVersion: 512, CompatibleBrands: []string{"dash", "cmfc"}}
+	got, err := ParseFileType(f.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f, got) {
+		t.Errorf("roundtrip = %+v, want %+v", got, f)
+	}
+}
+
+func TestParseFileType_Invalid(t *testing.T) {
+	if _, err := ParseFileType([]byte("1234567")); err == nil {
+		t.Error("short ftyp: want error")
+	}
+	if _, err := ParseFileType([]byte("123456789")); err == nil {
+		t.Error("unaligned brands: want error")
+	}
+}
+
+func TestMovieHeaderRoundTrip(t *testing.T) {
+	m := &MovieHeader{Timescale: 90000, Duration: 123456, NextTrackID: 3}
+	got, err := ParseMovieHeader(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Errorf("roundtrip = %+v, want %+v", got, m)
+	}
+}
+
+func TestTrackHeaderRoundTrip(t *testing.T) {
+	tk := &TrackHeader{TrackID: 7, Width: 1920, Height: 1080}
+	got, err := ParseTrackHeader(tk.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tk, got) {
+		t.Errorf("roundtrip = %+v, want %+v", got, tk)
+	}
+}
+
+func TestMediaHeaderRoundTrip(t *testing.T) {
+	m := &MediaHeader{Timescale: 48000, Duration: 960000}
+	got, err := ParseMediaHeader(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Errorf("roundtrip = %+v, want %+v", got, m)
+	}
+}
+
+func TestHandlerRoundTrip(t *testing.T) {
+	for _, ht := range []string{HandlerVideo, HandlerAudio, HandlerSubtitle} {
+		h := &Handler{HandlerType: ht, Name: "repro handler"}
+		got, err := ParseHandler(h.Marshal())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(h, got) {
+			t.Errorf("roundtrip = %+v, want %+v", got, h)
+		}
+	}
+}
+
+func TestTrackExtendsRoundTrip(t *testing.T) {
+	te := &TrackExtends{TrackID: 2, DefaultSampleDescriptionIndex: 1, DefaultSampleDuration: 1000, DefaultSampleSize: 100, DefaultSampleFlags: 0x10000}
+	got, err := ParseTrackExtends(te.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(te, got) {
+		t.Errorf("roundtrip = %+v, want %+v", got, te)
+	}
+}
+
+func TestMovieFragmentHeaderRoundTrip(t *testing.T) {
+	m := &MovieFragmentHeader{SequenceNumber: 42}
+	got, err := ParseMovieFragmentHeader(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SequenceNumber != 42 {
+		t.Errorf("sequence = %d", got.SequenceNumber)
+	}
+}
+
+func TestTrackFragmentHeaderRoundTrip(t *testing.T) {
+	cases := []*TrackFragmentHeader{
+		{TrackID: 1},
+		{TrackID: 2, DefaultSampleDuration: 1000},
+		{TrackID: 3, DefaultSampleSize: 512},
+		{TrackID: 4, DefaultSampleDuration: 1000, DefaultSampleSize: 512},
+	}
+	for _, tf := range cases {
+		got, err := ParseTrackFragmentHeader(tf.Marshal())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(tf, got) {
+			t.Errorf("roundtrip = %+v, want %+v", got, tf)
+		}
+	}
+}
+
+func TestTrackFragmentDecodeTimeRoundTrip(t *testing.T) {
+	tf := &TrackFragmentDecodeTime{BaseMediaDecodeTime: 1 << 40}
+	got, err := ParseTrackFragmentDecodeTime(tf.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.BaseMediaDecodeTime != 1<<40 {
+		t.Errorf("decode time = %d", got.BaseMediaDecodeTime)
+	}
+
+	// v0 form
+	v0 := AppendFullBoxHeader(nil, 0, 0)
+	v0 = append(v0, 0, 0, 0, 99)
+	got, err = ParseTrackFragmentDecodeTime(v0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.BaseMediaDecodeTime != 99 {
+		t.Errorf("v0 decode time = %d", got.BaseMediaDecodeTime)
+	}
+
+	bad := AppendFullBoxHeader(nil, 3, 0)
+	if _, err := ParseTrackFragmentDecodeTime(append(bad, make([]byte, 8)...)); err == nil {
+		t.Error("version 3: want error")
+	}
+}
+
+func TestTrackRunRoundTrip(t *testing.T) {
+	tr := &TrackRun{DataOffset: 456, SampleSizes: []uint32{100, 200, 300}}
+	got, err := ParseTrackRun(tr.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr, got) {
+		t.Errorf("roundtrip = %+v, want %+v", got, tr)
+	}
+}
+
+func TestTrackRun_Empty(t *testing.T) {
+	tr := &TrackRun{DataOffset: 16}
+	got, err := ParseTrackRun(tr.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.SampleSizes) != 0 || got.DataOffset != 16 {
+		t.Errorf("empty trun = %+v", got)
+	}
+}

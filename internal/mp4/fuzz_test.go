@@ -1,0 +1,119 @@
+package mp4
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// The CDN-facing parsers process attacker-controlled bytes (the study
+// downloads whatever the interception surfaced), so they must never panic —
+// only return errors. These property tests drive each parser with random
+// byte soup, plus random mutations of valid documents (which exercise far
+// deeper parse paths than pure noise).
+
+func neverPanics(t *testing.T, name string, parse func([]byte)) {
+	t.Helper()
+	prop := func(data []byte) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("%s panicked on %x: %v", name, data, r)
+				ok = false
+			}
+		}()
+		parse(data)
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Errorf("%s: %v", name, err)
+	}
+}
+
+// mutate returns a copy of valid with a few random edits applied.
+func mutate(valid []byte, edits []uint32) []byte {
+	out := append([]byte(nil), valid...)
+	for _, e := range edits {
+		if len(out) == 0 {
+			break
+		}
+		pos := int(e>>8) % len(out)
+		out[pos] ^= byte(e)
+	}
+	return out
+}
+
+func TestSplitBoxes_NeverPanics(t *testing.T) {
+	neverPanics(t, "SplitBoxes", func(b []byte) { _, _ = SplitBoxes(b) })
+}
+
+func TestParseInitSegment_NeverPanics(t *testing.T) {
+	neverPanics(t, "ParseInitSegment", func(b []byte) { _, _ = ParseInitSegment(b) })
+
+	valid := (&InitSegment{Track: TrackInfo{
+		TrackID: 1, Handler: HandlerVideo, Codec: "avc1", Timescale: 90000,
+		Width: 960, Height: 540,
+		Protection: &ProtectionInfo{
+			Scheme: SchemeCENC, DefaultKID: [16]byte{1},
+			PSSH: []PSSH{{SystemID: WidevineSystemID, KIDs: [][16]byte{{1}}, Data: []byte("d")}},
+		},
+	}}).Marshal()
+	prop := func(edits []uint32) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("mutated init panicked: %v", r)
+				ok = false
+			}
+		}()
+		_, _ = ParseInitSegment(mutate(valid, edits))
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseMediaSegment_NeverPanics(t *testing.T) {
+	neverPanics(t, "ParseMediaSegment", func(b []byte) { _, _ = ParseMediaSegment(b) })
+
+	seg := &MediaSegment{
+		SequenceNumber: 1, TrackID: 1,
+		SampleData: [][]byte{make([]byte, 64), make([]byte, 32)},
+		Encryption: &SampleEncryption{Entries: []SampleEncryptionEntry{
+			{IV: [8]byte{1}, Subsamples: []SubsampleEntry{{ClearBytes: 4, ProtectedBytes: 60}}},
+			{IV: [8]byte{2}, Subsamples: []SubsampleEntry{{ClearBytes: 4, ProtectedBytes: 28}}},
+		}},
+	}
+	valid, err := seg.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(edits []uint32) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("mutated segment panicked: %v", r)
+				ok = false
+			}
+		}()
+		_, _ = ParseMediaSegment(mutate(valid, edits))
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLeafParsers_NeverPanic(t *testing.T) {
+	neverPanics(t, "ParseFileType", func(b []byte) { _, _ = ParseFileType(b) })
+	neverPanics(t, "ParseMovieHeader", func(b []byte) { _, _ = ParseMovieHeader(b) })
+	neverPanics(t, "ParseTrackHeader", func(b []byte) { _, _ = ParseTrackHeader(b) })
+	neverPanics(t, "ParseMediaHeader", func(b []byte) { _, _ = ParseMediaHeader(b) })
+	neverPanics(t, "ParseHandler", func(b []byte) { _, _ = ParseHandler(b) })
+	neverPanics(t, "ParseTrackExtends", func(b []byte) { _, _ = ParseTrackExtends(b) })
+	neverPanics(t, "ParseTrackFragmentHeader", func(b []byte) { _, _ = ParseTrackFragmentHeader(b) })
+	neverPanics(t, "ParseTrackFragmentDecodeTime", func(b []byte) { _, _ = ParseTrackFragmentDecodeTime(b) })
+	neverPanics(t, "ParseTrackRun", func(b []byte) { _, _ = ParseTrackRun(b) })
+	neverPanics(t, "ParseTrackEncryption", func(b []byte) { _, _ = ParseTrackEncryption(b) })
+	neverPanics(t, "ParsePSSH", func(b []byte) { _, _ = ParsePSSH(b) })
+	neverPanics(t, "ParseProtectionSchemeInfo", func(b []byte) { _, _ = ParseProtectionSchemeInfo(b) })
+	neverPanics(t, "ParseSampleEncryption", func(b []byte) { _, _ = ParseSampleEncryption(b) })
+	neverPanics(t, "ParseMovieFragmentHeader", func(b []byte) { _, _ = ParseMovieFragmentHeader(b) })
+}

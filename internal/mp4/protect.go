@@ -1,0 +1,291 @@
+package mp4
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Protection scheme fourccs (ISO/IEC 23001-7).
+const (
+	SchemeCENC = "cenc" // AES-CTR, full or subsample
+	SchemeCBCS = "cbcs" // AES-CBC with 1:9 pattern
+)
+
+// WidevineSystemID is the DASH-IF registered system ID for Widevine; PSSH
+// boxes carry it so players know which CDM can handle the init data.
+var WidevineSystemID = [16]byte{
+	0xED, 0xEF, 0x8B, 0xA9, 0x79, 0xD6, 0x4A, 0xCE,
+	0xA3, 0xC8, 0x27, 0xDC, 0xD5, 0x1D, 0x21, 0xED,
+}
+
+// TrackEncryption is the tenc box: the per-track defaults for CENC.
+type TrackEncryption struct {
+	DefaultIsProtected     bool
+	DefaultPerSampleIVSize byte
+	DefaultKID             [16]byte
+}
+
+// Marshal encodes the tenc payload (version 0).
+func (t *TrackEncryption) Marshal() []byte {
+	out := AppendFullBoxHeader(nil, 0, 0)
+	out = append(out, 0, 0) // reserved
+	if t.DefaultIsProtected {
+		out = append(out, 1)
+	} else {
+		out = append(out, 0)
+	}
+	out = append(out, t.DefaultPerSampleIVSize)
+	return append(out, t.DefaultKID[:]...)
+}
+
+// ParseTrackEncryption decodes a tenc payload.
+func ParseTrackEncryption(payload []byte) (*TrackEncryption, error) {
+	_, _, body, err := ParseFullBoxHeader(payload)
+	if err != nil {
+		return nil, err
+	}
+	if len(body) < 20 {
+		return nil, fmt.Errorf("%w: tenc body %d bytes", ErrTruncated, len(body))
+	}
+	t := &TrackEncryption{
+		DefaultIsProtected:     body[2] != 0,
+		DefaultPerSampleIVSize: body[3],
+	}
+	copy(t.DefaultKID[:], body[4:20])
+	return t, nil
+}
+
+// PSSH is the Protection System Specific Header box (version 1 with key
+// IDs, version 0 without).
+type PSSH struct {
+	SystemID [16]byte
+	KIDs     [][16]byte
+	Data     []byte
+}
+
+// Marshal encodes the pssh payload; version 1 is used whenever KIDs are
+// present.
+func (p *PSSH) Marshal() []byte {
+	version := byte(0)
+	if len(p.KIDs) > 0 {
+		version = 1
+	}
+	out := AppendFullBoxHeader(nil, version, 0)
+	out = append(out, p.SystemID[:]...)
+	if version == 1 {
+		out = binary.BigEndian.AppendUint32(out, uint32(len(p.KIDs)))
+		for _, kid := range p.KIDs {
+			out = append(out, kid[:]...)
+		}
+	}
+	out = binary.BigEndian.AppendUint32(out, uint32(len(p.Data)))
+	return append(out, p.Data...)
+}
+
+// ParsePSSH decodes a pssh payload.
+func ParsePSSH(payload []byte) (*PSSH, error) {
+	version, _, body, err := ParseFullBoxHeader(payload)
+	if err != nil {
+		return nil, err
+	}
+	if len(body) < 16 {
+		return nil, fmt.Errorf("%w: pssh system id", ErrTruncated)
+	}
+	p := &PSSH{}
+	copy(p.SystemID[:], body[:16])
+	body = body[16:]
+	if version >= 1 {
+		if len(body) < 4 {
+			return nil, fmt.Errorf("%w: pssh kid count", ErrTruncated)
+		}
+		count := binary.BigEndian.Uint32(body)
+		body = body[4:]
+		if uint64(len(body)) < 16*uint64(count) {
+			return nil, fmt.Errorf("%w: pssh kids", ErrTruncated)
+		}
+		p.KIDs = make([][16]byte, count)
+		for i := range p.KIDs {
+			copy(p.KIDs[i][:], body[16*i:])
+		}
+		body = body[16*count:]
+	}
+	if len(body) < 4 {
+		return nil, fmt.Errorf("%w: pssh data size", ErrTruncated)
+	}
+	size := binary.BigEndian.Uint32(body)
+	body = body[4:]
+	if uint64(len(body)) < uint64(size) {
+		return nil, fmt.Errorf("%w: pssh data", ErrTruncated)
+	}
+	p.Data = append([]byte(nil), body[:size]...)
+	return p, nil
+}
+
+// ProtectionSchemeInfo models the sinf box tree: the original sample-entry
+// format (frma), the scheme type (schm) and the scheme information (schi)
+// containing the tenc defaults.
+type ProtectionSchemeInfo struct {
+	OriginalFormat string // e.g. "avc1"
+	SchemeType     string // SchemeCENC or SchemeCBCS
+	SchemeVersion  uint32
+	TrackEnc       TrackEncryption
+}
+
+// Marshal encodes the sinf payload (the concatenated frma/schm/schi).
+func (p *ProtectionSchemeInfo) Marshal() []byte {
+	var sinf []byte
+	sinf = AppendBox(sinf, "frma", fourcc(p.OriginalFormat))
+
+	schm := AppendFullBoxHeader(nil, 0, 0)
+	schm = append(schm, fourcc(p.SchemeType)...)
+	schm = binary.BigEndian.AppendUint32(schm, p.SchemeVersion)
+	sinf = AppendBox(sinf, "schm", schm)
+
+	schi := AppendBox(nil, "tenc", p.TrackEnc.Marshal())
+	return AppendBox(sinf, "schi", schi)
+}
+
+// ParseProtectionSchemeInfo decodes a sinf payload.
+func ParseProtectionSchemeInfo(payload []byte) (*ProtectionSchemeInfo, error) {
+	p := &ProtectionSchemeInfo{}
+
+	frma, ok, err := FindBox(payload, "frma")
+	if err != nil {
+		return nil, err
+	}
+	if !ok || len(frma.Payload) < 4 {
+		return nil, fmt.Errorf("%w: sinf missing frma", ErrBadBox)
+	}
+	p.OriginalFormat = string(frma.Payload[:4])
+
+	schm, ok, err := FindBox(payload, "schm")
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("%w: sinf missing schm", ErrBadBox)
+	}
+	_, _, schmBody, err := ParseFullBoxHeader(schm.Payload)
+	if err != nil {
+		return nil, err
+	}
+	if len(schmBody) < 8 {
+		return nil, fmt.Errorf("%w: schm body", ErrTruncated)
+	}
+	p.SchemeType = string(schmBody[:4])
+	p.SchemeVersion = binary.BigEndian.Uint32(schmBody[4:])
+
+	tenc, ok, err := FindPath(payload, "schi", "tenc")
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("%w: sinf missing schi/tenc", ErrBadBox)
+	}
+	te, err := ParseTrackEncryption(tenc.Payload)
+	if err != nil {
+		return nil, err
+	}
+	p.TrackEnc = *te
+	return p, nil
+}
+
+// senc flag bit: subsample information present.
+const sencSubsamples = 0x000002
+
+// SubsampleEntry is one (clear, protected) byte-range pair of a subsample-
+// encrypted sample.
+type SubsampleEntry struct {
+	ClearBytes     uint16
+	ProtectedBytes uint32
+}
+
+// SampleEncryptionEntry is one sample's IV and optional subsample map.
+type SampleEncryptionEntry struct {
+	IV         [8]byte // 8-byte per-sample IV, as commonly used by Widevine
+	Subsamples []SubsampleEntry
+}
+
+// SampleEncryption is the senc box.
+type SampleEncryption struct {
+	Entries []SampleEncryptionEntry
+}
+
+// HasSubsamples reports whether any entry carries a subsample map.
+func (s *SampleEncryption) HasSubsamples() bool {
+	for _, e := range s.Entries {
+		if len(e.Subsamples) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Marshal encodes the senc payload.
+func (s *SampleEncryption) Marshal() []byte {
+	flags := uint32(0)
+	if s.HasSubsamples() {
+		flags = sencSubsamples
+	}
+	out := AppendFullBoxHeader(nil, 0, flags)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(s.Entries)))
+	for _, e := range s.Entries {
+		out = append(out, e.IV[:]...)
+		if flags&sencSubsamples != 0 {
+			out = binary.BigEndian.AppendUint16(out, uint16(len(e.Subsamples)))
+			for _, sub := range e.Subsamples {
+				out = binary.BigEndian.AppendUint16(out, sub.ClearBytes)
+				out = binary.BigEndian.AppendUint32(out, sub.ProtectedBytes)
+			}
+		}
+	}
+	return out
+}
+
+// ParseSampleEncryption decodes a senc payload (8-byte IVs).
+func ParseSampleEncryption(payload []byte) (*SampleEncryption, error) {
+	_, flags, body, err := ParseFullBoxHeader(payload)
+	if err != nil {
+		return nil, err
+	}
+	if len(body) < 4 {
+		return nil, fmt.Errorf("%w: senc count", ErrTruncated)
+	}
+	count := binary.BigEndian.Uint32(body)
+	body = body[4:]
+	// Never trust the declared count for allocation: each entry consumes at
+	// least 8 bytes of body, so cap the hint by what can actually be there.
+	hint := uint64(count)
+	if max := uint64(len(body)) / 8; hint > max {
+		hint = max
+	}
+	s := &SampleEncryption{Entries: make([]SampleEncryptionEntry, 0, hint)}
+	for i := uint32(0); i < count; i++ {
+		var e SampleEncryptionEntry
+		if len(body) < 8 {
+			return nil, fmt.Errorf("%w: senc iv %d", ErrTruncated, i)
+		}
+		copy(e.IV[:], body[:8])
+		body = body[8:]
+		if flags&sencSubsamples != 0 {
+			if len(body) < 2 {
+				return nil, fmt.Errorf("%w: senc subsample count %d", ErrTruncated, i)
+			}
+			n := binary.BigEndian.Uint16(body)
+			body = body[2:]
+			if len(body) < 6*int(n) {
+				return nil, fmt.Errorf("%w: senc subsamples %d", ErrTruncated, i)
+			}
+			e.Subsamples = make([]SubsampleEntry, n)
+			for j := range e.Subsamples {
+				e.Subsamples[j] = SubsampleEntry{
+					ClearBytes:     binary.BigEndian.Uint16(body),
+					ProtectedBytes: binary.BigEndian.Uint32(body[2:]),
+				}
+				body = body[6:]
+			}
+		}
+		s.Entries = append(s.Entries, e)
+	}
+	return s, nil
+}

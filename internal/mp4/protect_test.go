@@ -1,0 +1,196 @@
+package mp4
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestTrackEncryptionRoundTrip(t *testing.T) {
+	te := &TrackEncryption{
+		DefaultIsProtected:     true,
+		DefaultPerSampleIVSize: 8,
+		DefaultKID:             [16]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16},
+	}
+	got, err := ParseTrackEncryption(te.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(te, got) {
+		t.Errorf("roundtrip = %+v, want %+v", got, te)
+	}
+}
+
+func TestTrackEncryption_Unprotected(t *testing.T) {
+	te := &TrackEncryption{}
+	got, err := ParseTrackEncryption(te.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DefaultIsProtected {
+		t.Error("unprotected tenc parsed as protected")
+	}
+}
+
+func TestPSSHRoundTrip(t *testing.T) {
+	cases := []*PSSH{
+		{SystemID: WidevineSystemID, Data: []byte("init data")},
+		{
+			SystemID: WidevineSystemID,
+			KIDs:     [][16]byte{{1}, {2}, {3}},
+			Data:     []byte("v1 init data"),
+		},
+		{SystemID: WidevineSystemID}, // empty data
+	}
+	for i, p := range cases {
+		wire := p.Marshal()
+		got, err := ParsePSSH(wire)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if got.SystemID != p.SystemID || len(got.KIDs) != len(p.KIDs) {
+			t.Errorf("case %d roundtrip = %+v", i, got)
+		}
+		for j := range p.KIDs {
+			if got.KIDs[j] != p.KIDs[j] {
+				t.Errorf("case %d kid %d mismatch", i, j)
+			}
+		}
+		if string(got.Data) != string(p.Data) {
+			t.Errorf("case %d data = %q", i, got.Data)
+		}
+	}
+}
+
+func TestParsePSSH_Truncated(t *testing.T) {
+	p := &PSSH{SystemID: WidevineSystemID, KIDs: [][16]byte{{1}}, Data: []byte("d")}
+	wire := p.Marshal()
+	for _, cut := range []int{5, 19, 21, 30, len(wire) - 1} {
+		if cut >= len(wire) {
+			continue
+		}
+		if _, err := ParsePSSH(wire[:cut]); err == nil {
+			t.Errorf("cut %d: want error", cut)
+		}
+	}
+}
+
+func TestProtectionSchemeInfoRoundTrip(t *testing.T) {
+	p := &ProtectionSchemeInfo{
+		OriginalFormat: "avc1",
+		SchemeType:     SchemeCENC,
+		SchemeVersion:  0x10000,
+		TrackEnc: TrackEncryption{
+			DefaultIsProtected:     true,
+			DefaultPerSampleIVSize: 8,
+			DefaultKID:             [16]byte{0xAA, 0xBB},
+		},
+	}
+	got, err := ParseProtectionSchemeInfo(p.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p, got) {
+		t.Errorf("roundtrip = %+v, want %+v", got, p)
+	}
+}
+
+func TestParseProtectionSchemeInfo_Missing(t *testing.T) {
+	// sinf without schm
+	sinf := AppendBox(nil, "frma", []byte("avc1"))
+	if _, err := ParseProtectionSchemeInfo(sinf); err == nil {
+		t.Error("missing schm: want error")
+	}
+	// sinf without frma
+	schm := AppendFullBoxHeader(nil, 0, 0)
+	schm = append(schm, "cenc"...)
+	schm = append(schm, 0, 1, 0, 0)
+	sinf2 := AppendBox(nil, "schm", schm)
+	if _, err := ParseProtectionSchemeInfo(sinf2); err == nil {
+		t.Error("missing frma: want error")
+	}
+}
+
+func TestSampleEncryptionRoundTrip(t *testing.T) {
+	s := &SampleEncryption{Entries: []SampleEncryptionEntry{
+		{IV: [8]byte{1, 2, 3, 4, 5, 6, 7, 8}, Subsamples: []SubsampleEntry{
+			{ClearBytes: 16, ProtectedBytes: 4000},
+			{ClearBytes: 4, ProtectedBytes: 100},
+		}},
+		{IV: [8]byte{9, 9, 9, 9}, Subsamples: []SubsampleEntry{
+			{ClearBytes: 0, ProtectedBytes: 512},
+		}},
+	}}
+	got, err := ParseSampleEncryption(s.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, got) {
+		t.Errorf("roundtrip = %+v, want %+v", got, s)
+	}
+	if !got.HasSubsamples() {
+		t.Error("HasSubsamples = false")
+	}
+}
+
+func TestSampleEncryption_NoSubsamples(t *testing.T) {
+	s := &SampleEncryption{Entries: []SampleEncryptionEntry{
+		{IV: [8]byte{1}},
+		{IV: [8]byte{2}},
+	}}
+	got, err := ParseSampleEncryption(s.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Entries) != 2 || got.HasSubsamples() {
+		t.Errorf("no-subsample roundtrip = %+v", got)
+	}
+}
+
+// Property: senc round-trips for arbitrary IVs and subsample shapes.
+func TestSampleEncryption_Property(t *testing.T) {
+	prop := func(ivs [][8]byte, clear []uint16, protected []uint32) bool {
+		if len(ivs) > 50 {
+			ivs = ivs[:50]
+		}
+		s := &SampleEncryption{}
+		for i, iv := range ivs {
+			e := SampleEncryptionEntry{IV: iv}
+			if i < len(clear) && i < len(protected) {
+				e.Subsamples = []SubsampleEntry{{ClearBytes: clear[i], ProtectedBytes: protected[i]}}
+			}
+			s.Entries = append(s.Entries, e)
+		}
+		// Mixed subsample presence is normalized by Marshal: entries
+		// without subsamples get an empty list when the flag is set.
+		got, err := ParseSampleEncryption(s.Marshal())
+		if err != nil || len(got.Entries) != len(s.Entries) {
+			return false
+		}
+		for i := range s.Entries {
+			if got.Entries[i].IV != s.Entries[i].IV {
+				return false
+			}
+			if len(s.Entries[i].Subsamples) > 0 &&
+				!reflect.DeepEqual(got.Entries[i].Subsamples, s.Entries[i].Subsamples) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseSampleEncryption_Truncated(t *testing.T) {
+	s := &SampleEncryption{Entries: []SampleEncryptionEntry{
+		{IV: [8]byte{1}, Subsamples: []SubsampleEntry{{ClearBytes: 1, ProtectedBytes: 2}}},
+	}}
+	wire := s.Marshal()
+	for cut := 5; cut < len(wire); cut += 3 {
+		if _, err := ParseSampleEncryption(wire[:cut]); err == nil {
+			t.Errorf("cut %d: want error", cut)
+		}
+	}
+}

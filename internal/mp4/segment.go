@@ -1,0 +1,391 @@
+package mp4
+
+import (
+	"fmt"
+)
+
+// ProtectionInfo describes how a track is protected, as declared in its
+// init segment.
+type ProtectionInfo struct {
+	Scheme     string // SchemeCENC or SchemeCBCS
+	DefaultKID [16]byte
+	PSSH       []PSSH
+}
+
+// TrackInfo describes one track of an init segment.
+type TrackInfo struct {
+	TrackID    uint32
+	Handler    string // HandlerVideo, HandlerAudio, HandlerSubtitle
+	Codec      string // original format fourcc, e.g. "avc1", "mp4a", "wvtt"
+	Timescale  uint32
+	Width      uint16
+	Height     uint16
+	Protection *ProtectionInfo // nil for a clear track
+}
+
+// InitSegment is the high-level model of a CMAF-style init segment: ftyp +
+// moov with one track.
+type InitSegment struct {
+	Track TrackInfo
+}
+
+// Marshal serializes the init segment to its full box sequence.
+func (s *InitSegment) Marshal() []byte {
+	t := &s.Track
+
+	ft := FileType{MajorBrand: "iso6", MinorVersion: 1, CompatibleBrands: []string{"dash", "cmfc"}}
+	out := AppendBox(nil, "ftyp", ft.Marshal())
+
+	// Sample entry: encv/enca/enct when protected, else the codec fourcc.
+	// Layout: 6 reserved bytes + data_reference_index, then child boxes
+	// ('codc' opaque config, and 'sinf' when protected) — see package doc
+	// for the documented deviation.
+	entryType := t.Codec
+	entry := make([]byte, 8)
+	entry[7] = 1 // data_reference_index
+	entry = AppendBox(entry, "codc", []byte(t.Codec))
+	if t.Protection != nil {
+		switch t.Handler {
+		case HandlerAudio:
+			entryType = "enca"
+		case HandlerSubtitle:
+			entryType = "enct"
+		default:
+			entryType = "encv"
+		}
+		sinf := ProtectionSchemeInfo{
+			OriginalFormat: t.Codec,
+			SchemeType:     t.Protection.Scheme,
+			SchemeVersion:  0x00010000,
+			TrackEnc: TrackEncryption{
+				DefaultIsProtected:     true,
+				DefaultPerSampleIVSize: 8,
+				DefaultKID:             t.Protection.DefaultKID,
+			},
+		}
+		entry = AppendBox(entry, "sinf", sinf.Marshal())
+	}
+
+	stsd := AppendFullBoxHeader(nil, 0, 0)
+	stsd = append(stsd, 0, 0, 0, 1) // entry count
+	stsd = AppendBox(stsd, entryType, entry)
+
+	var stbl []byte
+	stbl = AppendBox(stbl, "stsd", stsd)
+	// Empty mandatory sample tables (fragmented file).
+	emptyFull := AppendFullBoxHeader(nil, 0, 0)
+	emptyCount := append(append([]byte(nil), emptyFull...), 0, 0, 0, 0)
+	stbl = AppendBox(stbl, "stts", emptyCount)
+	stbl = AppendBox(stbl, "stsc", emptyCount)
+	stbl = AppendBox(stbl, "stsz", append(append([]byte(nil), emptyFull...), make([]byte, 8)...))
+	stbl = AppendBox(stbl, "stco", emptyCount)
+
+	var minf []byte
+	minf = AppendBox(minf, "stbl", stbl)
+
+	var mdia []byte
+	mdia = AppendBox(mdia, "mdhd", (&MediaHeader{Timescale: t.Timescale}).Marshal())
+	mdia = AppendBox(mdia, "hdlr", (&Handler{HandlerType: t.Handler, Name: "repro"}).Marshal())
+	mdia = AppendBox(mdia, "minf", minf)
+
+	var trak []byte
+	trak = AppendBox(trak, "tkhd", (&TrackHeader{TrackID: t.TrackID, Width: t.Width, Height: t.Height}).Marshal())
+	trak = AppendBox(trak, "mdia", mdia)
+
+	var moov []byte
+	moov = AppendBox(moov, "mvhd", (&MovieHeader{Timescale: t.Timescale, NextTrackID: t.TrackID + 1}).Marshal())
+	if t.Protection != nil {
+		for i := range t.Protection.PSSH {
+			moov = AppendBox(moov, "pssh", t.Protection.PSSH[i].Marshal())
+		}
+	}
+	moov = AppendBox(moov, "trak", trak)
+	mvex := AppendBox(nil, "trex", (&TrackExtends{TrackID: t.TrackID, DefaultSampleDescriptionIndex: 1}).Marshal())
+	moov = AppendBox(moov, "mvex", mvex)
+
+	return AppendBox(out, "moov", moov)
+}
+
+// ParseInitSegment decodes an init segment produced by Marshal (or any
+// conforming single-track fragmented-MP4 init segment using this package's
+// sample-entry layout).
+func ParseInitSegment(b []byte) (*InitSegment, error) {
+	moov, ok, err := FindBox(b, "moov")
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("%w: no moov", ErrBadBox)
+	}
+
+	var s InitSegment
+	t := &s.Track
+
+	tkhdBox, ok, err := FindPath(moov.Payload, "trak", "tkhd")
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("%w: no trak/tkhd", ErrBadBox)
+	}
+	tkhd, err := ParseTrackHeader(tkhdBox.Payload)
+	if err != nil {
+		return nil, err
+	}
+	t.TrackID = tkhd.TrackID
+	t.Width = tkhd.Width
+	t.Height = tkhd.Height
+
+	mdiaBox, ok, err := FindPath(moov.Payload, "trak", "mdia")
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("%w: no trak/mdia", ErrBadBox)
+	}
+	if mdhdBox, found, err := FindBox(mdiaBox.Payload, "mdhd"); err != nil {
+		return nil, err
+	} else if found {
+		mdhd, err := ParseMediaHeader(mdhdBox.Payload)
+		if err != nil {
+			return nil, err
+		}
+		t.Timescale = mdhd.Timescale
+	}
+	if hdlrBox, found, err := FindBox(mdiaBox.Payload, "hdlr"); err != nil {
+		return nil, err
+	} else if found {
+		hdlr, err := ParseHandler(hdlrBox.Payload)
+		if err != nil {
+			return nil, err
+		}
+		t.Handler = hdlr.HandlerType
+	}
+
+	stsdBox, ok, err := FindPath(mdiaBox.Payload, "minf", "stbl", "stsd")
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("%w: no stsd", ErrBadBox)
+	}
+	_, _, stsdBody, err := ParseFullBoxHeader(stsdBox.Payload)
+	if err != nil {
+		return nil, err
+	}
+	if len(stsdBody) < 4 {
+		return nil, fmt.Errorf("%w: stsd count", ErrTruncated)
+	}
+	entries, err := SplitBoxes(stsdBody[4:])
+	if err != nil {
+		return nil, err
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("%w: empty stsd", ErrBadBox)
+	}
+	entry := entries[0]
+	if len(entry.Payload) < 8 {
+		return nil, fmt.Errorf("%w: sample entry", ErrTruncated)
+	}
+	entryChildren := entry.Payload[8:]
+	t.Codec = entry.BoxType
+
+	if codc, found, err := FindBox(entryChildren, "codc"); err != nil {
+		return nil, err
+	} else if found {
+		t.Codec = string(codc.Payload)
+	}
+
+	if sinfBox, found, err := FindBox(entryChildren, "sinf"); err != nil {
+		return nil, err
+	} else if found {
+		sinf, err := ParseProtectionSchemeInfo(sinfBox.Payload)
+		if err != nil {
+			return nil, err
+		}
+		t.Codec = sinf.OriginalFormat
+		prot := &ProtectionInfo{
+			Scheme:     sinf.SchemeType,
+			DefaultKID: sinf.TrackEnc.DefaultKID,
+		}
+		psshBoxes, err := FindAll(moov.Payload, "pssh")
+		if err != nil {
+			return nil, err
+		}
+		for _, pb := range psshBoxes {
+			pssh, err := ParsePSSH(pb.Payload)
+			if err != nil {
+				return nil, err
+			}
+			prot.PSSH = append(prot.PSSH, *pssh)
+		}
+		t.Protection = prot
+	}
+	return &s, nil
+}
+
+// MediaSegment is the high-level model of one CMAF media segment: styp +
+// moof + mdat for one track.
+type MediaSegment struct {
+	SequenceNumber uint32
+	TrackID        uint32
+	BaseDecodeTime uint64
+	// SampleData holds each sample's bytes (possibly encrypted).
+	SampleData [][]byte
+	// Encryption carries per-sample IVs/subsamples; nil for a clear segment.
+	Encryption *SampleEncryption
+}
+
+// Marshal serializes the media segment.
+func (m *MediaSegment) Marshal() ([]byte, error) {
+	if m.Encryption != nil && len(m.Encryption.Entries) != len(m.SampleData) {
+		return nil, fmt.Errorf("%w: %d senc entries for %d samples",
+			ErrBadBox, len(m.Encryption.Entries), len(m.SampleData))
+	}
+	ft := FileType{MajorBrand: "msdh", CompatibleBrands: []string{"dash"}}
+	out := AppendBox(nil, "styp", ft.Marshal())
+
+	sizes := make([]uint32, len(m.SampleData))
+	total := 0
+	for i, s := range m.SampleData {
+		sizes[i] = uint32(len(s))
+		total += len(s)
+	}
+
+	var traf []byte
+	traf = AppendBox(traf, "tfhd", (&TrackFragmentHeader{TrackID: m.TrackID, DefaultSampleDuration: 1000}).Marshal())
+	traf = AppendBox(traf, "tfdt", (&TrackFragmentDecodeTime{BaseMediaDecodeTime: m.BaseDecodeTime}).Marshal())
+	if m.Encryption != nil {
+		traf = AppendBox(traf, "senc", m.Encryption.Marshal())
+	}
+	trun := &TrackRun{SampleSizes: sizes}
+
+	moofInner := func(dataOffset int32) []byte {
+		trun.DataOffset = dataOffset
+		trafFull := AppendBox(append([]byte(nil), traf...), "trun", trun.Marshal())
+		var moof []byte
+		moof = AppendBox(moof, "mfhd", (&MovieFragmentHeader{SequenceNumber: m.SequenceNumber}).Marshal())
+		return AppendBox(moof, "traf", trafFull)
+	}
+
+	// Two-pass: first compute moof size with placeholder offset, then fix
+	// the data offset (from moof start to first sample byte inside mdat).
+	probe := moofInner(0)
+	moofSize := 8 + len(probe)
+	final := moofInner(int32(moofSize + 8)) // +8 for the mdat header
+	out = AppendBox(out, "moof", final)
+
+	mdat := make([]byte, 0, total)
+	for _, s := range m.SampleData {
+		mdat = append(mdat, s...)
+	}
+	return AppendBox(out, "mdat", mdat), nil
+}
+
+// ParseMediaSegment decodes a media segment produced by Marshal.
+func ParseMediaSegment(b []byte) (*MediaSegment, error) {
+	moof, ok, err := FindBox(b, "moof")
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("%w: no moof", ErrBadBox)
+	}
+	mdat, ok, err := FindBox(b, "mdat")
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("%w: no mdat", ErrBadBox)
+	}
+
+	var m MediaSegment
+	if mfhdBox, found, err := FindBox(moof.Payload, "mfhd"); err != nil {
+		return nil, err
+	} else if found {
+		mfhd, err := ParseMovieFragmentHeader(mfhdBox.Payload)
+		if err != nil {
+			return nil, err
+		}
+		m.SequenceNumber = mfhd.SequenceNumber
+	}
+
+	traf, ok, err := FindBox(moof.Payload, "traf")
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("%w: no traf", ErrBadBox)
+	}
+	tfhdBox, ok, err := FindBox(traf.Payload, "tfhd")
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("%w: no tfhd", ErrBadBox)
+	}
+	tfhd, err := ParseTrackFragmentHeader(tfhdBox.Payload)
+	if err != nil {
+		return nil, err
+	}
+	m.TrackID = tfhd.TrackID
+
+	if tfdtBox, found, err := FindBox(traf.Payload, "tfdt"); err != nil {
+		return nil, err
+	} else if found {
+		tfdt, err := ParseTrackFragmentDecodeTime(tfdtBox.Payload)
+		if err != nil {
+			return nil, err
+		}
+		m.BaseDecodeTime = tfdt.BaseMediaDecodeTime
+	}
+
+	if sencBox, found, err := FindBox(traf.Payload, "senc"); err != nil {
+		return nil, err
+	} else if found {
+		senc, err := ParseSampleEncryption(sencBox.Payload)
+		if err != nil {
+			return nil, err
+		}
+		m.Encryption = senc
+	}
+
+	trunBox, ok, err := FindBox(traf.Payload, "trun")
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("%w: no trun", ErrBadBox)
+	}
+	trun, err := ParseTrackRun(trunBox.Payload)
+	if err != nil {
+		return nil, err
+	}
+
+	data := mdat.Payload
+	off := 0
+	m.SampleData = make([][]byte, 0, len(trun.SampleSizes))
+	for i, size := range trun.SampleSizes {
+		if off+int(size) > len(data) {
+			return nil, fmt.Errorf("%w: sample %d spans past mdat", ErrBadBox, i)
+		}
+		m.SampleData = append(m.SampleData, append([]byte(nil), data[off:off+int(size)]...))
+		off += int(size)
+	}
+	if m.Encryption != nil && len(m.Encryption.Entries) != len(m.SampleData) {
+		return nil, fmt.Errorf("%w: %d senc entries for %d samples",
+			ErrBadBox, len(m.Encryption.Entries), len(m.SampleData))
+	}
+	return &m, nil
+}
+
+// IsProtected reports whether an init segment declares CENC protection,
+// without fully parsing it. It is the probe the study's content-protection
+// experiment (Q2) runs on downloaded assets.
+func IsProtected(initSegment []byte) (bool, error) {
+	s, err := ParseInitSegment(initSegment)
+	if err != nil {
+		return false, err
+	}
+	return s.Track.Protection != nil, nil
+}

@@ -1,0 +1,242 @@
+package mp4
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func testKID() [16]byte {
+	return [16]byte{0xDE, 0xAD, 0xBE, 0xEF, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
+}
+
+func protectedVideoInit() *InitSegment {
+	return &InitSegment{Track: TrackInfo{
+		TrackID:   1,
+		Handler:   HandlerVideo,
+		Codec:     "avc1",
+		Timescale: 90000,
+		Width:     960,
+		Height:    540,
+		Protection: &ProtectionInfo{
+			Scheme:     SchemeCENC,
+			DefaultKID: testKID(),
+			PSSH: []PSSH{{
+				SystemID: WidevineSystemID,
+				KIDs:     [][16]byte{testKID()},
+				Data:     []byte("wv init data"),
+			}},
+		},
+	}}
+}
+
+func TestInitSegmentRoundTrip_Protected(t *testing.T) {
+	s := protectedVideoInit()
+	got, err := ParseInitSegment(s.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, got) {
+		t.Errorf("roundtrip:\n got %+v\nwant %+v", got.Track, s.Track)
+	}
+}
+
+func TestInitSegmentRoundTrip_Clear(t *testing.T) {
+	s := &InitSegment{Track: TrackInfo{
+		TrackID:   2,
+		Handler:   HandlerAudio,
+		Codec:     "mp4a",
+		Timescale: 48000,
+	}}
+	got, err := ParseInitSegment(s.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, got) {
+		t.Errorf("roundtrip:\n got %+v\nwant %+v", got.Track, s.Track)
+	}
+	prot, err := IsProtected(s.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prot {
+		t.Error("clear init reported protected")
+	}
+}
+
+func TestInitSegment_EntryTypePerHandler(t *testing.T) {
+	cases := []struct {
+		handler string
+		want    string
+	}{
+		{HandlerVideo, "encv"},
+		{HandlerAudio, "enca"},
+		{HandlerSubtitle, "enct"},
+	}
+	for _, tt := range cases {
+		s := protectedVideoInit()
+		s.Track.Handler = tt.handler
+		wire := s.Marshal()
+		stsd, ok, err := FindPath(wire, "moov", "trak", "mdia", "minf", "stbl", "stsd")
+		if err != nil || !ok {
+			t.Fatalf("stsd lookup: %v %v", ok, err)
+		}
+		_, _, body, err := ParseFullBoxHeader(stsd.Payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		entries, err := SplitBoxes(body[4:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if entries[0].BoxType != tt.want {
+			t.Errorf("handler %s: entry type = %q, want %q", tt.handler, entries[0].BoxType, tt.want)
+		}
+	}
+}
+
+func TestIsProtected(t *testing.T) {
+	prot, err := IsProtected(protectedVideoInit().Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prot {
+		t.Error("protected init reported clear")
+	}
+	if _, err := IsProtected([]byte("junk-that-is-long")); err == nil {
+		t.Error("junk input: want error")
+	}
+}
+
+func TestMediaSegmentRoundTrip_Encrypted(t *testing.T) {
+	m := &MediaSegment{
+		SequenceNumber: 3,
+		TrackID:        1,
+		BaseDecodeTime: 180000,
+		SampleData: [][]byte{
+			bytes.Repeat([]byte{0xA1}, 400),
+			bytes.Repeat([]byte{0xB2}, 200),
+		},
+		Encryption: &SampleEncryption{Entries: []SampleEncryptionEntry{
+			{IV: [8]byte{1, 1, 1, 1}, Subsamples: []SubsampleEntry{{ClearBytes: 16, ProtectedBytes: 384}}},
+			{IV: [8]byte{2, 2, 2, 2}, Subsamples: []SubsampleEntry{{ClearBytes: 16, ProtectedBytes: 184}}},
+		}},
+	}
+	wire, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseMediaSegment(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Errorf("roundtrip mismatch\n got %+v\nwant %+v", got, m)
+	}
+}
+
+func TestMediaSegmentRoundTrip_Clear(t *testing.T) {
+	m := &MediaSegment{
+		SequenceNumber: 1,
+		TrackID:        2,
+		SampleData:     [][]byte{[]byte("clear audio sample"), []byte("another")},
+	}
+	wire, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseMediaSegment(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Encryption != nil {
+		t.Error("clear segment parsed with senc")
+	}
+	if !reflect.DeepEqual(m.SampleData, got.SampleData) {
+		t.Error("sample data mismatch")
+	}
+}
+
+func TestMediaSegment_SencSampleCountMismatch(t *testing.T) {
+	m := &MediaSegment{
+		TrackID:    1,
+		SampleData: [][]byte{[]byte("one")},
+		Encryption: &SampleEncryption{Entries: []SampleEncryptionEntry{{}, {}}},
+	}
+	if _, err := m.Marshal(); err == nil {
+		t.Error("mismatched senc: want error")
+	}
+}
+
+func TestParseMediaSegment_Invalid(t *testing.T) {
+	if _, err := ParseMediaSegment(AppendBox(nil, "mdat", nil)); err == nil {
+		t.Error("no moof: want error")
+	}
+	moofOnly := AppendBox(nil, "moof", nil)
+	if _, err := ParseMediaSegment(moofOnly); err == nil {
+		t.Error("no mdat: want error")
+	}
+}
+
+func TestParseInitSegment_Invalid(t *testing.T) {
+	if _, err := ParseInitSegment(AppendBox(nil, "ftyp", (&FileType{MajorBrand: "iso6"}).Marshal())); err == nil {
+		t.Error("no moov: want error")
+	}
+	if _, err := ParseInitSegment(AppendBox(nil, "moov", nil)); err == nil {
+		t.Error("empty moov: want error")
+	}
+}
+
+// Property: arbitrary sample payloads round-trip through a media segment.
+func TestMediaSegment_Property(t *testing.T) {
+	prop := func(samples [][]byte, seq uint32, track uint32) bool {
+		if len(samples) == 0 {
+			samples = [][]byte{{}}
+		}
+		if len(samples) > 30 {
+			samples = samples[:30]
+		}
+		if track == 0 {
+			track = 1
+		}
+		m := &MediaSegment{SequenceNumber: seq, TrackID: track, SampleData: samples}
+		wire, err := m.Marshal()
+		if err != nil {
+			return false
+		}
+		got, err := ParseMediaSegment(wire)
+		if err != nil || got.SequenceNumber != seq || got.TrackID != track {
+			return false
+		}
+		if len(got.SampleData) != len(samples) {
+			return false
+		}
+		for i := range samples {
+			if !bytes.Equal(got.SampleData[i], samples[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMediaSegmentMarshal(b *testing.B) {
+	m := &MediaSegment{
+		SequenceNumber: 1,
+		TrackID:        1,
+		SampleData:     [][]byte{bytes.Repeat([]byte{0x55}, 64<<10)},
+		Encryption: &SampleEncryption{Entries: []SampleEncryptionEntry{
+			{IV: [8]byte{1}, Subsamples: []SubsampleEntry{{ClearBytes: 16, ProtectedBytes: 64<<10 - 16}}},
+		}},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Marshal(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

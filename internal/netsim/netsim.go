@@ -1,0 +1,203 @@
+// Package netsim simulates the network between OTT apps and their backends
+// at the message layer, with just enough TLS semantics to reproduce the
+// paper's methodology: every host presents a certificate fingerprint, apps
+// pin the expected fingerprints, and a Burp-style interceptor terminates
+// connections with its own certificate — which breaks pinned apps until a
+// Frida-style "SSL re-pinning" hook disables the check, after which the
+// interceptor records every plaintext exchange.
+//
+// Real TLS handshakes are deliberately not simulated (see DESIGN.md): the
+// study only needs the pin-check/bypass/record behaviour.
+package netsim
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Errors returned by clients.
+var (
+	// ErrUnknownHost is returned for unregistered hosts.
+	ErrUnknownHost = errors.New("netsim: unknown host")
+	// ErrPinMismatch is returned when the presented certificate does not
+	// match the app's pinned fingerprint.
+	ErrPinMismatch = errors.New("netsim: certificate pin mismatch")
+)
+
+// Request is one application-layer message to a host.
+type Request struct {
+	Host string
+	Path string
+	Body []byte
+}
+
+// Response is the host's reply.
+type Response struct {
+	Status int
+	Body   []byte
+}
+
+// Handler serves requests for one host.
+type Handler func(req Request) (Response, error)
+
+// Network is the set of reachable hosts.
+type Network struct {
+	mu    sync.RWMutex
+	hosts map[string]hostEntry
+}
+
+type hostEntry struct {
+	handler Handler
+	cert    string
+}
+
+// NewNetwork returns an empty network.
+func NewNetwork() *Network {
+	return &Network{hosts: make(map[string]hostEntry)}
+}
+
+// RegisterHost attaches a handler to a hostname and mints its certificate
+// fingerprint (derived from the hostname, so pins are stable).
+func (n *Network) RegisterHost(host string, h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.hosts[host] = hostEntry{handler: h, cert: CertFingerprint(host)}
+}
+
+// CertFingerprint derives the genuine certificate fingerprint of a host.
+func CertFingerprint(host string) string {
+	sum := sha256.Sum256([]byte("cert-for-" + host))
+	return hex.EncodeToString(sum[:8])
+}
+
+// lookup returns the host entry.
+func (n *Network) lookup(host string) (hostEntry, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	e, ok := n.hosts[host]
+	return e, ok
+}
+
+// Exchange is one recorded plaintext request/response pair.
+type Exchange struct {
+	Request  Request
+	Response Response
+	Err      error
+}
+
+// Interceptor is the Burp-style proxy: it terminates connections with its
+// own certificate and records plaintext traffic.
+type Interceptor struct {
+	mu       sync.Mutex
+	cert     string
+	captured []Exchange
+}
+
+// NewInterceptor mints a MITM proxy with its own certificate.
+func NewInterceptor() *Interceptor {
+	return &Interceptor{cert: CertFingerprint("mitm-proxy")}
+}
+
+// Captured returns a copy of every recorded exchange.
+func (i *Interceptor) Captured() []Exchange {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	out := make([]Exchange, len(i.captured))
+	copy(out, i.captured)
+	return out
+}
+
+// record stores one exchange.
+func (i *Interceptor) record(ex Exchange) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.captured = append(i.captured, ex)
+}
+
+// Client is one app's network stack: pins per host, an optional MITM in
+// the path, and the patchable pin check.
+type Client struct {
+	network *Network
+
+	mu             sync.Mutex
+	pins           map[string]string
+	mitm           *Interceptor
+	pinningEnabled bool
+}
+
+// NewClient builds an app network client over the network. Pinning starts
+// enabled with no pins; call Pin per backend host.
+func NewClient(network *Network) *Client {
+	return &Client{
+		network:        network,
+		pins:           make(map[string]string),
+		pinningEnabled: true,
+	}
+}
+
+// Pin records the expected certificate for a host (what the app ships).
+func (c *Client) Pin(host string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pins[host] = CertFingerprint(host)
+}
+
+// InstallMITM routes the client's traffic through an interceptor — the
+// device-level proxy configuration step of the paper's setup.
+func (c *Client) InstallMITM(i *Interceptor) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mitm = i
+}
+
+// DisablePinning is the Frida "SSL re-pinning" patch: the app's certificate
+// check becomes a no-op.
+func (c *Client) DisablePinning() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pinningEnabled = false
+}
+
+// PinningEnabled reports whether the pin check is active.
+func (c *Client) PinningEnabled() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pinningEnabled
+}
+
+// Do performs one exchange, enforcing the pin against whatever certificate
+// the connection presents (the host's, or the interceptor's when a MITM is
+// in the path).
+func (c *Client) Do(req Request) (Response, error) {
+	entry, ok := c.network.lookup(req.Host)
+	if !ok {
+		return Response{}, fmt.Errorf("%w: %q", ErrUnknownHost, req.Host)
+	}
+
+	c.mu.Lock()
+	mitm := c.mitm
+	pinning := c.pinningEnabled
+	pin, pinned := c.pins[req.Host]
+	c.mu.Unlock()
+
+	presented := entry.cert
+	if mitm != nil {
+		presented = mitm.cert
+	}
+	if pinning && pinned && presented != pin {
+		return Response{}, fmt.Errorf("%w: host %q presented %s, pinned %s",
+			ErrPinMismatch, req.Host, presented, pin)
+	}
+
+	resp, err := entry.handler(req)
+	if mitm != nil {
+		mitm.record(Exchange{Request: req, Response: resp, Err: err})
+	}
+	if err != nil {
+		return Response{}, err
+	}
+	return resp, nil
+}

@@ -1,0 +1,122 @@
+package netsim
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func echoNetwork() *Network {
+	n := NewNetwork()
+	n.RegisterHost("cdn.example", func(req Request) (Response, error) {
+		return Response{Status: 200, Body: append([]byte("echo:"), req.Body...)}, nil
+	})
+	return n
+}
+
+func TestPlainExchange(t *testing.T) {
+	n := echoNetwork()
+	c := NewClient(n)
+	resp, err := c.Do(Request{Host: "cdn.example", Path: "/x", Body: []byte("hi")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp.Body) != "echo:hi" || resp.Status != 200 {
+		t.Errorf("resp = %d %q", resp.Status, resp.Body)
+	}
+}
+
+func TestUnknownHost(t *testing.T) {
+	c := NewClient(echoNetwork())
+	if _, err := c.Do(Request{Host: "nope.example"}); !errors.Is(err, ErrUnknownHost) {
+		t.Errorf("err = %v, want ErrUnknownHost", err)
+	}
+}
+
+func TestPinnedClientAcceptsGenuineHost(t *testing.T) {
+	c := NewClient(echoNetwork())
+	c.Pin("cdn.example")
+	if _, err := c.Do(Request{Host: "cdn.example"}); err != nil {
+		t.Fatalf("pinned genuine exchange failed: %v", err)
+	}
+}
+
+func TestMITMBreaksPinnedClient(t *testing.T) {
+	c := NewClient(echoNetwork())
+	c.Pin("cdn.example")
+	mitm := NewInterceptor()
+	c.InstallMITM(mitm)
+	if _, err := c.Do(Request{Host: "cdn.example"}); !errors.Is(err, ErrPinMismatch) {
+		t.Fatalf("err = %v, want ErrPinMismatch", err)
+	}
+	if len(mitm.Captured()) != 0 {
+		t.Error("interceptor captured traffic despite pin failure")
+	}
+}
+
+func TestRepinningBypassRecordsPlaintext(t *testing.T) {
+	c := NewClient(echoNetwork())
+	c.Pin("cdn.example")
+	mitm := NewInterceptor()
+	c.InstallMITM(mitm)
+	c.DisablePinning() // the Frida patch
+	if c.PinningEnabled() {
+		t.Error("pinning still enabled after patch")
+	}
+	resp, err := c.Do(Request{Host: "cdn.example", Path: "/manifest", Body: []byte("give-mpd")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp.Body) != "echo:give-mpd" {
+		t.Errorf("resp = %q", resp.Body)
+	}
+	captured := mitm.Captured()
+	if len(captured) != 1 {
+		t.Fatalf("captured %d exchanges", len(captured))
+	}
+	if captured[0].Request.Path != "/manifest" ||
+		!bytes.Equal(captured[0].Response.Body, []byte("echo:give-mpd")) {
+		t.Errorf("captured = %+v", captured[0])
+	}
+}
+
+func TestUnpinnedClientIgnoresMITM(t *testing.T) {
+	// An app without pinning is transparently intercepted — the paper's
+	// point that pinning was the only (ineffective) defense.
+	c := NewClient(echoNetwork())
+	mitm := NewInterceptor()
+	c.InstallMITM(mitm)
+	if _, err := c.Do(Request{Host: "cdn.example", Body: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	if len(mitm.Captured()) != 1 {
+		t.Error("unpinned traffic not captured")
+	}
+}
+
+func TestInterceptorRecordsErrors(t *testing.T) {
+	n := NewNetwork()
+	handlerErr := errors.New("backend exploded")
+	n.RegisterHost("api.example", func(Request) (Response, error) {
+		return Response{}, handlerErr
+	})
+	c := NewClient(n)
+	mitm := NewInterceptor()
+	c.InstallMITM(mitm)
+	if _, err := c.Do(Request{Host: "api.example"}); !errors.Is(err, handlerErr) {
+		t.Errorf("err = %v", err)
+	}
+	captured := mitm.Captured()
+	if len(captured) != 1 || captured[0].Err == nil {
+		t.Errorf("captured = %+v", captured)
+	}
+}
+
+func TestCertFingerprint_Stable(t *testing.T) {
+	if CertFingerprint("a") != CertFingerprint("a") {
+		t.Error("fingerprint not stable")
+	}
+	if CertFingerprint("a") == CertFingerprint("b") {
+		t.Error("distinct hosts share fingerprints")
+	}
+}

@@ -1,0 +1,267 @@
+// Package oemcrypto implements the OEMCrypto-style API at the bottom of the
+// simulated Widevine stack: numbered entry points (the _oeccXX functions
+// the paper hooks with Frida), session management, the key ladder
+// (keybox device key → provisioned Device RSA key → OAEP session key →
+// CMAC-derived session keys → CBC-unwrapped content keys), CENC content
+// decryption, and the generic crypto API used as a secure channel by
+// Netflix-style apps.
+//
+// Two engines implement the API:
+//
+//   - SoftEngine (L3): everything runs in the hosting process; the keybox
+//     and all derived key material live in ordinary process memory
+//     (internal/procmem) — the insecure storage the paper's attack exploits
+//     (CWE-922 / CVE-2021-0639).
+//   - TEEEngine (L1): the same core logic runs as a trustlet inside
+//     internal/tee; only opaque command buffers cross the world boundary,
+//     so no key material is ever observable from the normal world.
+package oemcrypto
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/mp4"
+)
+
+// SecurityLevel is the Widevine security level of an engine.
+type SecurityLevel int
+
+// Security levels. L2 exists in the spec but, as the paper notes, Android
+// Widevine does not propose it; it is listed for completeness only.
+const (
+	L1 SecurityLevel = iota + 1
+	L2
+	L3
+)
+
+// String renders the conventional "L1"/"L2"/"L3" names.
+func (l SecurityLevel) String() string {
+	switch l {
+	case L1:
+		return "L1"
+	case L2:
+		return "L2"
+	case L3:
+		return "L3"
+	default:
+		return fmt.Sprintf("SecurityLevel(%d)", int(l))
+	}
+}
+
+// Func identifies one OEMCrypto entry point. The numbering mirrors the
+// _oeccXX symbols the paper's Frida script intercepts inside
+// libwvdrmengine.so / liboemcrypto.so.
+type Func int
+
+// OEMCrypto entry points.
+const (
+	FuncInitialize               Func = 1
+	FuncTerminate                Func = 2
+	FuncOpenSession              Func = 5
+	FuncCloseSession             Func = 6
+	FuncGenerateDerivedKeys      Func = 8
+	FuncGenerateRSASignature     Func = 10
+	FuncDeriveKeysFromSessionKey Func = 11
+	FuncLoadKeys                 Func = 13
+	FuncSelectKey                Func = 16
+	FuncDecryptCENC              Func = 17
+	FuncRewrapDeviceRSAKey       Func = 24
+	FuncLoadDeviceRSAKey         Func = 25
+	FuncGenericEncrypt           Func = 30
+	FuncGenericDecrypt           Func = 31
+	FuncGenericSign              Func = 32
+	FuncGenericVerify            Func = 33
+	FuncKeyboxInfo               Func = 40
+)
+
+// OECCName returns the hooked symbol name, e.g. "_oecc17".
+func (f Func) OECCName() string { return fmt.Sprintf("_oecc%02d", int(f)) }
+
+// String names the entry point for human-readable traces.
+func (f Func) String() string {
+	switch f {
+	case FuncInitialize:
+		return "Initialize"
+	case FuncTerminate:
+		return "Terminate"
+	case FuncOpenSession:
+		return "OpenSession"
+	case FuncCloseSession:
+		return "CloseSession"
+	case FuncGenerateDerivedKeys:
+		return "GenerateDerivedKeys"
+	case FuncGenerateRSASignature:
+		return "GenerateRSASignature"
+	case FuncDeriveKeysFromSessionKey:
+		return "DeriveKeysFromSessionKey"
+	case FuncLoadKeys:
+		return "LoadKeys"
+	case FuncSelectKey:
+		return "SelectKey"
+	case FuncDecryptCENC:
+		return "DecryptCENC"
+	case FuncRewrapDeviceRSAKey:
+		return "RewrapDeviceRSAKey"
+	case FuncLoadDeviceRSAKey:
+		return "LoadDeviceRSAKey"
+	case FuncGenericEncrypt:
+		return "GenericEncrypt"
+	case FuncGenericDecrypt:
+		return "GenericDecrypt"
+	case FuncGenericSign:
+		return "GenericSign"
+	case FuncGenericVerify:
+		return "GenericVerify"
+	case FuncKeyboxInfo:
+		return "KeyboxInfo"
+	default:
+		return fmt.Sprintf("Func(%d)", int(f))
+	}
+}
+
+// SessionID identifies one open OEMCrypto session.
+type SessionID uint32
+
+// EncryptedKey is one wrapped content key in a license response: the key ID
+// it unlocks, the CBC IV, the key material encrypted under the derived
+// session encryption key, and the key-control duration.
+type EncryptedKey struct {
+	KID     [16]byte
+	IV      [16]byte
+	Payload []byte
+	// DurationSeconds bounds how long the loaded key may decrypt content
+	// (the key-control-block duration of the real protocol). Zero means
+	// unlimited.
+	DurationSeconds uint32
+}
+
+// DecryptResult carries the output of DecryptCENC. When Secure is true the
+// bytes went to a secure output buffer: an attached monitor must not (and
+// in this simulation does not) record them.
+type DecryptResult struct {
+	Data   []byte
+	Secure bool
+}
+
+// CallEvent describes one intercepted entry-point invocation; the monitor's
+// tracer receives one per call, with buffers omitted when they crossed into
+// secure memory.
+type CallEvent struct {
+	Func    Func
+	Session SessionID
+	// Library is the shared object the hooked symbol lives in:
+	// "libwvdrmengine.so" for the L3 software path, "liboemcrypto.so" for
+	// the L1 TEE path. The study's Q1 classification keys off this, as the
+	// paper does ("the use of L1 is confirmed whenever the control flow
+	// reaches liboemcrypto.so").
+	Library string
+	// In and Out are dumps of the call's main input/output buffers, when
+	// visible from the normal world.
+	In  []byte
+	Out []byte
+	// Keys is the wrapped-key argument dump of a LoadKeys call (the hook
+	// dumps every argument; these are ciphertext until the ladder is
+	// re-implemented).
+	Keys []EncryptedKey
+	Err  error
+}
+
+// Shared-object names reported in call events.
+const (
+	LibWVDRMEngine = "libwvdrmengine.so"
+	LibOEMCrypto   = "liboemcrypto.so"
+)
+
+// Tracer observes entry-point calls. Engines invoke it synchronously; a nil
+// tracer disables tracing.
+type Tracer func(CallEvent)
+
+// Engine is the OEMCrypto API surface the CDM layer drives.
+type Engine interface {
+	// SecurityLevel reports L1 or L3.
+	SecurityLevel() SecurityLevel
+	// Version reports the CDM version string (e.g. "15.0", "3.1.0").
+	Version() string
+	// SetTracer installs the monitor's hook; passing nil detaches it.
+	SetTracer(t Tracer)
+
+	// KeyboxInfo exposes the provisioning identity: the stable device ID
+	// and Widevine system ID from the keybox.
+	KeyboxInfo() (stableID string, systemID uint32, err error)
+
+	// OpenSession allocates a session; CloseSession releases it.
+	OpenSession() (SessionID, error)
+	CloseSession(s SessionID) error
+
+	// GenerateDerivedKeys derives the session's enc/MAC keys from the
+	// KEYBOX device key and the given context (provisioning flow).
+	GenerateDerivedKeys(s SessionID, context []byte) error
+	// RewrapDeviceRSAKey verifies and unwraps a provisioning response,
+	// installing the Device RSA key persistently.
+	RewrapDeviceRSAKey(s SessionID, message, mac, wrappedKey, iv []byte) error
+	// LoadDeviceRSAKey loads the provisioned RSA key for use; it fails if
+	// the device was never provisioned.
+	LoadDeviceRSAKey() error
+	// Provisioned reports whether a Device RSA key is installed.
+	Provisioned() bool
+
+	// GenerateRSASignature signs a license request with the Device RSA key
+	// (RSASSA-PSS).
+	GenerateRSASignature(s SessionID, message []byte) ([]byte, error)
+	// DeriveKeysFromSessionKey OAEP-decrypts the server's session key and
+	// derives the session enc/MAC keys bound to context (license flow).
+	DeriveKeysFromSessionKey(s SessionID, encSessionKey, context []byte) error
+	// LoadKeys verifies the license response MAC and unwraps the content
+	// keys into the session.
+	LoadKeys(s SessionID, message, mac []byte, keys []EncryptedKey) error
+	// SelectKey chooses the loaded content key for subsequent decryption.
+	SelectKey(s SessionID, kid [16]byte) error
+	// DecryptCENC decrypts one sample with the selected key.
+	DecryptCENC(s SessionID, scheme string, iv [8]byte, subsamples []mp4.SubsampleEntry, data []byte) (DecryptResult, error)
+
+	// Generic crypto (the non-DASH API; used by Netflix-style apps as a
+	// secure channel for manifest URIs).
+	GenericEncrypt(s SessionID, iv, data []byte) ([]byte, error)
+	GenericDecrypt(s SessionID, iv, data []byte) ([]byte, error)
+	GenericSign(s SessionID, data []byte) ([]byte, error)
+	GenericVerify(s SessionID, data, signature []byte) error
+}
+
+// Errors shared by engine implementations.
+var (
+	// ErrNoSession is returned for an unknown session ID.
+	ErrNoSession = errors.New("oemcrypto: no such session")
+	// ErrNoKeybox is returned when the engine has no installed keybox.
+	ErrNoKeybox = errors.New("oemcrypto: keybox not installed")
+	// ErrNotProvisioned is returned when the Device RSA key is missing.
+	ErrNotProvisioned = errors.New("oemcrypto: device not provisioned")
+	// ErrSignatureInvalid is returned when a response MAC fails to verify.
+	ErrSignatureInvalid = errors.New("oemcrypto: signature verification failed")
+	// ErrKeysNotDerived is returned when an operation needs session keys
+	// that were never derived.
+	ErrKeysNotDerived = errors.New("oemcrypto: session keys not derived")
+	// ErrKeyNotLoaded is returned when the requested content key is absent.
+	ErrKeyNotLoaded = errors.New("oemcrypto: content key not loaded")
+	// ErrNoKeySelected is returned by DecryptCENC before SelectKey.
+	ErrNoKeySelected = errors.New("oemcrypto: no content key selected")
+	// ErrKeyExpired is returned when the selected key's license duration
+	// has elapsed; the app must renew the license.
+	ErrKeyExpired = errors.New("oemcrypto: content key expired")
+	// ErrTooManySessions is returned when the engine's session table is
+	// full (real CDMs have a small fixed table; OEMCrypto returns
+	// OEMCrypto_ERROR_TOO_MANY_SESSIONS).
+	ErrTooManySessions = errors.New("oemcrypto: too many open sessions")
+)
+
+// MaxSessions is the engine session-table size, matching the small fixed
+// tables of production CDMs.
+const MaxSessions = 32
+
+// FileStore is the persistence surface engines use for provisioned state.
+// The L3 engine is handed the device's ordinary flash storage; the L1
+// trustlet uses TEE secure storage instead.
+type FileStore interface {
+	Put(name string, data []byte)
+	Get(name string) ([]byte, bool)
+}

@@ -1,0 +1,163 @@
+package oemcrypto
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/keybox"
+	"repro/internal/mp4"
+	"repro/internal/procmem"
+	"repro/internal/wvcrypto"
+)
+
+// fakeClock is a settable time source.
+type fakeClock struct {
+	t time.Time
+}
+
+func (f *fakeClock) now() time.Time          { return f.t }
+func (f *fakeClock) advance(d time.Duration) { f.t = f.t.Add(d) }
+
+// newClockedFixture builds an L3 engine with a controllable clock.
+func newClockedFixture(t *testing.T) (*engineFixture, *fakeClock) {
+	t.Helper()
+	rand := wvcrypto.NewDeterministicReader("expiry-fixture")
+	kb, err := keybox.New("EXPIRY-DEV", 4442, rand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := newMapStore()
+	if err := InstallKeybox(store, kb.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	clock := &fakeClock{t: time.Date(2022, 6, 27, 12, 0, 0, 0, time.UTC)}
+	space := procmem.NewSpace("mediadrmserver")
+	eng, err := NewSoftEngine("15.0", space, store, rand, WithClock(clock.now))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &engineFixture{
+		engine: eng,
+		server: &serverSide{deviceKey: kb.DeviceKey[:], rsa: sharedRSA(t), rand: rand},
+		space:  space,
+	}, clock
+}
+
+// licenseWithDuration loads one content key with a key-control duration.
+func licenseWithDuration(t *testing.T, f *engineFixture, kid [16]byte, key []byte, seconds uint32) SessionID {
+	t.Helper()
+	s, err := f.engine.OpenSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	request := []byte("timed license request")
+	if _, err := f.engine.GenerateRSASignature(s, request); err != nil {
+		t.Fatal(err)
+	}
+	encSK, msg, mac, keys := f.server.licenseResponse(t, request, map[[16]byte][]byte{kid: key})
+	for i := range keys {
+		keys[i].DurationSeconds = seconds
+	}
+	if err := f.engine.DeriveKeysFromSessionKey(s, encSK, request); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.engine.LoadKeys(s, msg, mac, keys); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func encryptSample(t *testing.T, key []byte, iv [8]byte, plaintext []byte) []byte {
+	t.Helper()
+	var counter [16]byte
+	copy(counter[:8], iv[:])
+	stream, err := wvcrypto.CTRStream(key, counter[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := append([]byte(nil), plaintext...)
+	stream.XORKeyStream(ct, ct)
+	return ct
+}
+
+func TestKeyExpiry(t *testing.T) {
+	f, clock := newClockedFixture(t)
+	f.provision(t)
+	kid := [16]byte{0xE1}
+	key := bytes.Repeat([]byte{0x71}, 16)
+	s := licenseWithDuration(t, f, kid, key, 3600) // one hour
+
+	if err := f.engine.SelectKey(s, kid); err != nil {
+		t.Fatal(err)
+	}
+	plaintext := []byte("payload while license valid")
+	iv := [8]byte{1}
+	ct := encryptSample(t, key, iv, plaintext)
+
+	// Within the window: decrypts.
+	res, err := f.engine.DecryptCENC(s, mp4.SchemeCENC, iv, nil, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Data, plaintext) {
+		t.Error("decrypt mismatch")
+	}
+
+	// Near the edge: still fine.
+	clock.advance(59 * time.Minute)
+	if _, err := f.engine.DecryptCENC(s, mp4.SchemeCENC, iv, nil, ct); err != nil {
+		t.Fatalf("decrypt at 59min: %v", err)
+	}
+
+	// Past the duration: the CDM refuses.
+	clock.advance(2 * time.Minute)
+	if _, err := f.engine.DecryptCENC(s, mp4.SchemeCENC, iv, nil, ct); !errors.Is(err, ErrKeyExpired) {
+		t.Errorf("decrypt after expiry = %v, want ErrKeyExpired", err)
+	}
+}
+
+func TestKeyExpiry_RenewalRestoresPlayback(t *testing.T) {
+	f, clock := newClockedFixture(t)
+	f.provision(t)
+	kid := [16]byte{0xE2}
+	key := bytes.Repeat([]byte{0x72}, 16)
+
+	s := licenseWithDuration(t, f, kid, key, 60)
+	if err := f.engine.SelectKey(s, kid); err != nil {
+		t.Fatal(err)
+	}
+	iv := [8]byte{2}
+	ct := encryptSample(t, key, iv, []byte("short-lived"))
+	clock.advance(2 * time.Minute)
+	if _, err := f.engine.DecryptCENC(s, mp4.SchemeCENC, iv, nil, ct); !errors.Is(err, ErrKeyExpired) {
+		t.Fatalf("want expiry, got %v", err)
+	}
+
+	// Renewal: a fresh license exchange reloads the key with a new window.
+	s2 := licenseWithDuration(t, f, kid, key, 60)
+	if err := f.engine.SelectKey(s2, kid); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.engine.DecryptCENC(s2, mp4.SchemeCENC, iv, nil, ct); err != nil {
+		t.Errorf("post-renewal decrypt: %v", err)
+	}
+}
+
+func TestKeyExpiry_ZeroDurationIsUnlimited(t *testing.T) {
+	f, clock := newClockedFixture(t)
+	f.provision(t)
+	kid := [16]byte{0xE3}
+	key := bytes.Repeat([]byte{0x73}, 16)
+	s := licenseWithDuration(t, f, kid, key, 0)
+	if err := f.engine.SelectKey(s, kid); err != nil {
+		t.Fatal(err)
+	}
+	iv := [8]byte{3}
+	ct := encryptSample(t, key, iv, []byte("forever"))
+	clock.advance(10 * 365 * 24 * time.Hour)
+	if _, err := f.engine.DecryptCENC(s, mp4.SchemeCENC, iv, nil, ct); err != nil {
+		t.Errorf("unlimited key expired: %v", err)
+	}
+}

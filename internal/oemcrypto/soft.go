@@ -1,0 +1,254 @@
+package oemcrypto
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/keybox"
+	"repro/internal/mp4"
+	"repro/internal/procmem"
+)
+
+// SoftEngine is the L3 software-only OEMCrypto implementation. It runs in
+// the hosting DRM server process and — crucially for the paper — mirrors
+// the keybox, the Device RSA key, derived keys and unwrapped content keys
+// into that process's ordinary memory, where any attached monitor can scan
+// for them (CWE-922, CVE-2021-0639).
+type SoftEngine struct {
+	core *core
+
+	mu      sync.Mutex
+	tracer  Tracer
+	space   *procmem.Space
+	scrub   bool
+	clock   func() time.Time
+	regions []*procmem.Region
+}
+
+var _ Engine = (*SoftEngine)(nil)
+
+// SoftOption customizes a SoftEngine.
+type SoftOption func(*SoftEngine)
+
+// WithMemoryScrubbing makes the engine zero every mirrored copy of key
+// material immediately after use — the hardening that would have defeated
+// CVE-2021-0639. It exists as an ablation: the default (no scrubbing)
+// models the shipped CDM the paper broke.
+func WithMemoryScrubbing() SoftOption {
+	return func(e *SoftEngine) { e.scrub = true }
+}
+
+// WithClock injects the time source used for key-control expiry; tests use
+// it to fast-forward license durations.
+func WithClock(now func() time.Time) SoftOption {
+	return func(e *SoftEngine) { e.clock = now }
+}
+
+// NewSoftEngine boots an L3 engine inside the given process memory space,
+// loading the factory keybox from store. version is the CDM version string
+// (the discontinued Nexus 5 runs "3.1.0"; current devices "15.0").
+func NewSoftEngine(version string, space *procmem.Space, store FileStore, rand io.Reader, opts ...SoftOption) (*SoftEngine, error) {
+	e := &SoftEngine{space: space}
+	for _, opt := range opts {
+		opt(e)
+	}
+	e.core = newCore(L3, version, store, rand, e.placeInProcess)
+	if e.clock != nil {
+		e.core.now = e.clock
+	}
+	if err := e.core.initialize(); err != nil {
+		return nil, err
+	}
+	e.emit(CallEvent{Func: FuncInitialize})
+	return e, nil
+}
+
+// placeInProcess copies sensitive bytes into the hosting process's memory —
+// the insecure-storage sink the attack exploits. A hardened engine scrubs
+// the copy right after the operation that needed it completes.
+func (e *SoftEngine) placeInProcess(tag string, data []byte) {
+	r, err := e.space.Alloc("libwvdrmengine:"+tag, len(data))
+	if err != nil {
+		return // allocation failures only lose the mirror, never the call
+	}
+	if err := r.Write(0, data); err != nil {
+		return
+	}
+	if e.scrub {
+		r.Zero()
+		return
+	}
+	e.mu.Lock()
+	e.regions = append(e.regions, r)
+	e.mu.Unlock()
+}
+
+// SecurityLevel reports L3.
+func (e *SoftEngine) SecurityLevel() SecurityLevel { return L3 }
+
+// Version reports the CDM version string.
+func (e *SoftEngine) Version() string { return e.core.version }
+
+// SetTracer installs or removes the monitor hook.
+func (e *SoftEngine) SetTracer(t Tracer) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.tracer = t
+}
+
+func (e *SoftEngine) emit(ev CallEvent) {
+	e.mu.Lock()
+	t := e.tracer
+	e.mu.Unlock()
+	if t != nil {
+		ev.Library = LibWVDRMEngine
+		t(ev)
+	}
+}
+
+// KeyboxInfo exposes the provisioning identity from the keybox.
+func (e *SoftEngine) KeyboxInfo() (string, uint32, error) {
+	id, sys, err := e.core.keyboxInfo()
+	e.emit(CallEvent{Func: FuncKeyboxInfo, Out: []byte(id), Err: err})
+	return id, sys, err
+}
+
+// OpenSession allocates a session.
+func (e *SoftEngine) OpenSession() (SessionID, error) {
+	id, err := e.core.openSession()
+	e.emit(CallEvent{Func: FuncOpenSession, Session: id, Err: err})
+	return id, err
+}
+
+// CloseSession releases a session.
+func (e *SoftEngine) CloseSession(s SessionID) error {
+	err := e.core.closeSession(s)
+	e.emit(CallEvent{Func: FuncCloseSession, Session: s, Err: err})
+	return err
+}
+
+// GenerateDerivedKeys derives session keys from the keybox device key.
+func (e *SoftEngine) GenerateDerivedKeys(s SessionID, context []byte) error {
+	err := e.core.generateDerivedKeys(s, context)
+	e.emit(CallEvent{Func: FuncGenerateDerivedKeys, Session: s, In: dup(context), Err: err})
+	return err
+}
+
+// RewrapDeviceRSAKey installs the provisioned Device RSA key.
+func (e *SoftEngine) RewrapDeviceRSAKey(s SessionID, message, mac, wrappedKey, iv []byte) error {
+	err := e.core.rewrapDeviceRSAKey(s, message, mac, wrappedKey, iv)
+	e.emit(CallEvent{Func: FuncRewrapDeviceRSAKey, Session: s, In: dup(wrappedKey), Err: err})
+	return err
+}
+
+// LoadDeviceRSAKey restores the provisioned RSA key.
+func (e *SoftEngine) LoadDeviceRSAKey() error {
+	err := e.core.loadDeviceRSAKey()
+	e.emit(CallEvent{Func: FuncLoadDeviceRSAKey, Err: err})
+	return err
+}
+
+// Provisioned reports whether a Device RSA key is installed.
+func (e *SoftEngine) Provisioned() bool { return e.core.provisioned() }
+
+// GenerateRSASignature signs a license request.
+func (e *SoftEngine) GenerateRSASignature(s SessionID, message []byte) ([]byte, error) {
+	sig, err := e.core.generateRSASignature(s, message)
+	e.emit(CallEvent{Func: FuncGenerateRSASignature, Session: s, In: dup(message), Out: dup(sig), Err: err})
+	return sig, err
+}
+
+// DeriveKeysFromSessionKey derives session keys from the license server's
+// OAEP-wrapped session key.
+func (e *SoftEngine) DeriveKeysFromSessionKey(s SessionID, encSessionKey, context []byte) error {
+	err := e.core.deriveKeysFromSessionKey(s, encSessionKey, context)
+	e.emit(CallEvent{Func: FuncDeriveKeysFromSessionKey, Session: s, In: dup(encSessionKey), Err: err})
+	return err
+}
+
+// LoadKeys unwraps license content keys into the session.
+func (e *SoftEngine) LoadKeys(s SessionID, message, mac []byte, keys []EncryptedKey) error {
+	err := e.core.loadKeys(s, message, mac, keys)
+	e.emit(CallEvent{Func: FuncLoadKeys, Session: s, In: dup(message), Keys: dupKeys(keys), Err: err})
+	return err
+}
+
+func dupKeys(keys []EncryptedKey) []EncryptedKey {
+	if keys == nil {
+		return nil
+	}
+	out := make([]EncryptedKey, len(keys))
+	for i, k := range keys {
+		out[i] = EncryptedKey{KID: k.KID, IV: k.IV, Payload: dup(k.Payload)}
+	}
+	return out
+}
+
+// SelectKey chooses the active content key.
+func (e *SoftEngine) SelectKey(s SessionID, kid [16]byte) error {
+	err := e.core.selectKey(s, kid)
+	e.emit(CallEvent{Func: FuncSelectKey, Session: s, In: kid[:], Err: err})
+	return err
+}
+
+// DecryptCENC decrypts one sample. On L3 the output is an ordinary buffer,
+// so an attached monitor sees the decrypted bytes — exactly the dump the
+// paper performs.
+func (e *SoftEngine) DecryptCENC(s SessionID, scheme string, iv [8]byte, subsamples []mp4.SubsampleEntry, data []byte) (DecryptResult, error) {
+	out, err := e.core.decryptCENC(s, scheme, iv, subsamples, data)
+	e.emit(CallEvent{Func: FuncDecryptCENC, Session: s, In: dup(data), Out: dup(out), Err: err})
+	if err != nil {
+		return DecryptResult{}, err
+	}
+	return DecryptResult{Data: out, Secure: false}, nil
+}
+
+// GenericEncrypt encrypts arbitrary data under the session keys.
+func (e *SoftEngine) GenericEncrypt(s SessionID, iv, data []byte) ([]byte, error) {
+	out, err := e.core.genericEncrypt(s, iv, data)
+	e.emit(CallEvent{Func: FuncGenericEncrypt, Session: s, In: dup(data), Out: dup(out), Err: err})
+	return out, err
+}
+
+// GenericDecrypt decrypts arbitrary data under the session keys. Its output
+// returns to the app in normal memory, which is how the paper recovered
+// Netflix's protected manifest URIs.
+func (e *SoftEngine) GenericDecrypt(s SessionID, iv, data []byte) ([]byte, error) {
+	out, err := e.core.genericDecrypt(s, iv, data)
+	e.emit(CallEvent{Func: FuncGenericDecrypt, Session: s, In: dup(data), Out: dup(out), Err: err})
+	return out, err
+}
+
+// GenericSign MACs arbitrary data with the client session key.
+func (e *SoftEngine) GenericSign(s SessionID, data []byte) ([]byte, error) {
+	out, err := e.core.genericSign(s, data)
+	e.emit(CallEvent{Func: FuncGenericSign, Session: s, In: dup(data), Out: dup(out), Err: err})
+	return out, err
+}
+
+// GenericVerify checks a server MAC over arbitrary data.
+func (e *SoftEngine) GenericVerify(s SessionID, data, signature []byte) error {
+	err := e.core.genericVerify(s, data, signature)
+	e.emit(CallEvent{Func: FuncGenericVerify, Session: s, In: dup(data), Err: err})
+	return err
+}
+
+// InstallKeybox writes a factory keybox into a device store — the
+// manufacturing step for L3 devices (L1 devices get theirs seeded into TEE
+// secure storage instead).
+func InstallKeybox(store FileStore, kb []byte) error {
+	if _, err := keybox.Parse(kb); err != nil {
+		return fmt.Errorf("oemcrypto: install keybox: %w", err)
+	}
+	store.Put(storeKeybox, kb)
+	return nil
+}
+
+func dup(b []byte) []byte {
+	if b == nil {
+		return nil
+	}
+	return append([]byte(nil), b...)
+}

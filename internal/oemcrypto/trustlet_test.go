@@ -1,0 +1,76 @@
+package oemcrypto
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/keybox"
+	"repro/internal/tee"
+	"repro/internal/wvcrypto"
+)
+
+// newRawTrustletWorld loads the Widevine trustlet so tests can poke the SMC
+// boundary directly, bypassing the typed adapter.
+func newRawTrustletWorld(t *testing.T) *tee.World {
+	t.Helper()
+	rand := wvcrypto.NewDeterministicReader("raw-trustlet")
+	kb, err := keybox.New("RAW-TEE-DEV", 7711, rand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	world := tee.NewWorld("raw")
+	world.ProvisionStorage(TrustletName, "keybox", kb.Marshal())
+	if err := world.Load(NewTrustlet("15.0", rand)); err != nil {
+		t.Fatal(err)
+	}
+	return world
+}
+
+// TestTrustlet_UnknownCommand: the SMC gateway rejects unmapped commands.
+func TestTrustlet_UnknownCommand(t *testing.T) {
+	world := newRawTrustletWorld(t)
+	for _, cmd := range []uint32{0, 4, 99, 0xFFFFFFFF} {
+		if _, err := world.Invoke(TrustletName, cmd, nil); err == nil {
+			t.Errorf("cmd %d accepted", cmd)
+		}
+	}
+}
+
+// TestTrustlet_GarbageInputNeverPanics: the world boundary carries
+// attacker-reachable bytes (a compromised normal world); the trustlet must
+// fail cleanly, never crash the secure world.
+func TestTrustlet_GarbageInputNeverPanics(t *testing.T) {
+	world := newRawTrustletWorld(t)
+	cmds := []uint32{
+		uint32(FuncInitialize), uint32(FuncOpenSession), uint32(FuncCloseSession),
+		uint32(FuncGenerateDerivedKeys), uint32(FuncLoadKeys), uint32(FuncDecryptCENC),
+		uint32(FuncGenericDecrypt), uint32(FuncRewrapDeviceRSAKey),
+	}
+	prop := func(pick uint8, data []byte) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("trustlet panicked on cmd input %x: %v", data, r)
+				ok = false
+			}
+		}()
+		cmd := cmds[int(pick)%len(cmds)]
+		_, _ = world.Invoke(TrustletName, cmd, data)
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTrustlet_EmptyInputInitializes: an empty request body is the valid
+// Initialize form.
+func TestTrustlet_EmptyInputInitializes(t *testing.T) {
+	world := newRawTrustletWorld(t)
+	out, err := world.Invoke(TrustletName, uint32(FuncInitialize), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Error("empty response from Initialize")
+	}
+}

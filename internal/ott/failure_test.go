@@ -1,0 +1,279 @@
+package ott
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/cdm"
+	"repro/internal/netsim"
+	"repro/internal/oemcrypto"
+	"repro/internal/procmem"
+	"repro/internal/wvcrypto"
+)
+
+// tamperNetwork wraps a deployment's license host with a corrupting proxy,
+// modeling an on-path attacker (or transport corruption) the DRM layer must
+// detect.
+func tamperLicenseHost(t *testing.T, w *testWorld, corrupt func(*cdm.LicenseResponse)) {
+	t.Helper()
+	host := w.dep.Profile.LicenseHost()
+	orig := w.dep.licenseHandler()
+	w.network.RegisterHost(host, func(req netsim.Request) (netsim.Response, error) {
+		resp, err := orig(req)
+		if err != nil || resp.Status != 200 {
+			return resp, err
+		}
+		var lr cdm.LicenseResponse
+		if err := json.Unmarshal(resp.Body, &lr); err != nil {
+			return resp, nil
+		}
+		corrupt(&lr)
+		body, err := json.Marshal(&lr)
+		if err != nil {
+			return netsim.Response{Status: 500}, nil
+		}
+		return netsim.Response{Status: 200, Body: body}, nil
+	})
+}
+
+func TestPlayback_TamperedLicenseMAC(t *testing.T) {
+	w := newTestWorld(t, profileByName(t, "Showtime"))
+	tamperLicenseHost(t, w, func(lr *cdm.LicenseResponse) {
+		if len(lr.MAC) > 0 {
+			lr.MAC[0] ^= 0xFF
+		}
+	})
+	dev, err := w.factory.MakePixel("PX-TAMPER-MAC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := w.install(t, dev).Play("movie-1")
+	if report.Played() {
+		t.Fatal("playback succeeded with a tampered license MAC")
+	}
+	if !strings.Contains(report.Err, "signature") {
+		t.Errorf("failure = %q, want signature verification error", report.Err)
+	}
+}
+
+func TestPlayback_TamperedWrappedKey(t *testing.T) {
+	w := newTestWorld(t, profileByName(t, "Showtime"))
+	tamperLicenseHost(t, w, func(lr *cdm.LicenseResponse) {
+		// Flip key material but keep the MAC intact over Message: the MAC
+		// covers the message, so the CDM detects the damage at unwrap
+		// time (padding failure) instead.
+		if len(lr.Keys) > 0 && len(lr.Keys[0].Payload) > 0 {
+			lr.Keys[0].Payload[0] ^= 0xFF
+		}
+	})
+	dev, err := w.factory.MakePixel("PX-TAMPER-KEY")
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := w.install(t, dev).Play("movie-1")
+	if report.Played() {
+		t.Fatal("playback succeeded with a tampered wrapped key")
+	}
+}
+
+func TestPlayback_TamperedSessionKey(t *testing.T) {
+	w := newTestWorld(t, profileByName(t, "Showtime"))
+	tamperLicenseHost(t, w, func(lr *cdm.LicenseResponse) {
+		if len(lr.EncSessionKey) > 0 {
+			lr.EncSessionKey[10] ^= 0x55
+		}
+	})
+	dev, err := w.factory.MakePixel("PX-TAMPER-SK")
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := w.install(t, dev).Play("movie-1")
+	if report.Played() {
+		t.Fatal("playback succeeded with a tampered session key")
+	}
+}
+
+func TestPlayback_MITMWithoutRepinningFails(t *testing.T) {
+	w := newTestWorld(t, profileByName(t, "Showtime"))
+	dev, err := w.factory.MakePixel("PX-MITM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := w.install(t, dev)
+	// A proxy in the path without the Frida patch: the pinned app refuses
+	// to talk and playback dies at the first network step.
+	app.NetworkClient().InstallMITM(netsim.NewInterceptor())
+	report := app.Play("movie-1")
+	if report.Played() {
+		t.Fatal("pinned app played through an untrusted proxy")
+	}
+}
+
+func TestPlayback_BackendOutage(t *testing.T) {
+	w := newTestWorld(t, profileByName(t, "Showtime"))
+	// License backend goes dark.
+	w.network.RegisterHost(w.dep.Profile.LicenseHost(), func(netsim.Request) (netsim.Response, error) {
+		return netsim.Response{Status: 503, Body: []byte(`{"error":"maintenance"}`)}, nil
+	})
+	dev, err := w.factory.MakePixel("PX-OUTAGE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := w.install(t, dev).Play("movie-1")
+	if report.Played() {
+		t.Fatal("playback succeeded during license outage")
+	}
+	if !report.LicenseDenied {
+		t.Errorf("report = %+v, want LicenseDenied", report)
+	}
+}
+
+func TestPlayback_CorruptedFlashKeybox(t *testing.T) {
+	w := newTestWorld(t, profileByName(t, "Showtime"))
+	dev, err := w.factory.MakeNexus5("N5-CORRUPT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the keybox in flash and reboot the CDM: initialization must
+	// fail CRC validation.
+	raw, ok := dev.Storage.Get("keybox")
+	if !ok {
+		t.Fatal("no keybox in flash")
+	}
+	raw[40] ^= 0xFF
+	dev.Storage.Put("keybox", raw)
+	_, err = oemcrypto.NewSoftEngine(dev.CDMVersion, procmem.NewSpace("mediadrmserver"),
+		dev.Storage, wvcrypto.NewDeterministicReader("reboot"))
+	if err == nil {
+		t.Error("engine booted with a corrupted keybox")
+	}
+}
+
+func TestProvisionThenRevokePolicy(t *testing.T) {
+	// A device provisioned while policy was permissive keeps playing even
+	// after the app starts revoking NEW provisioning — the long-tail risk
+	// the paper highlights (provisioned legacy devices stay serviceable).
+	w := newTestWorld(t, profileByName(t, "Showtime"))
+	dev, err := w.factory.MakeNexus5("N5-GRANDFATHER")
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := w.install(t, dev)
+	if r := app.Play("movie-1"); !r.Played() {
+		t.Fatalf("initial playback failed: %+v", r)
+	}
+
+	// The backend now revokes old CDMs at provisioning time only.
+	w.network.RegisterHost(w.dep.Profile.APIHost(), func(req netsim.Request) (netsim.Response, error) {
+		if req.Path == PathProvision {
+			return netsim.Response{Status: 403, Body: []byte(`{"error":"revoked"}`)}, nil
+		}
+		return w.dep.apiHandler()(req)
+	})
+	if r := app.Play("movie-1"); !r.Played() {
+		t.Errorf("already-provisioned device blocked: %+v", r)
+	}
+
+	// A brand-new legacy device, however, is now locked out.
+	dev2, err := w.factory.MakeNexus5("N5-NEWCOMER")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := w.install(t, dev2).Play("movie-1"); r.Played() || !r.ProvisionDenied {
+		t.Errorf("new legacy device not blocked: %+v", r)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	w := newTestWorld(t, profileByName(t, "Showtime"))
+	dev, err := w.factory.MakePixel("PX-ACC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := w.install(t, dev)
+	if app.Profile().Name != "Showtime" {
+		t.Errorf("Profile = %q", app.Profile().Name)
+	}
+	if app.Device() != dev {
+		t.Error("Device mismatch")
+	}
+	if !app.ProcessSpace().Protected() {
+		t.Error("app process not anti-debug protected")
+	}
+	if _, ok := w.dep.KeyDB().Lookup("movie-1"); !ok {
+		t.Error("deployment key db missing content")
+	}
+}
+
+func TestDecompiledReferences(t *testing.T) {
+	w := newTestWorld(t, profileByName(t, "Hulu"))
+	dev, err := w.factory.MakePixel("PX-REFS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := w.install(t, dev)
+	refs := app.DecompiledReferences()
+	var hasDrm, hasExo bool
+	for _, r := range refs {
+		if r == "Landroid/media/MediaDrm;->openSession" {
+			hasDrm = true
+		}
+		if strings.HasPrefix(r, "Lcom/google/android/exoplayer2/drm/") {
+			hasExo = true
+		}
+	}
+	if !hasDrm || !hasExo {
+		t.Errorf("refs missing expected entries: %v", refs)
+	}
+}
+
+func TestLicenseHandler_BadPaths(t *testing.T) {
+	w := newTestWorld(t, profileByName(t, "Showtime"))
+	client := netsim.NewClient(w.network)
+	host := w.dep.Profile.LicenseHost()
+
+	resp, err := client.Do(netsim.Request{Host: host, Path: "/nope"})
+	if err != nil || resp.Status != 404 {
+		t.Errorf("bad path = %d, %v", resp.Status, err)
+	}
+	resp, err = client.Do(netsim.Request{Host: host, Path: PathLicense, Body: []byte("not json")})
+	if err != nil || resp.Status != 400 {
+		t.Errorf("malformed body = %d, %v", resp.Status, err)
+	}
+}
+
+func TestSecureManifest_ErrorPaths(t *testing.T) {
+	w := newTestWorld(t, profileByName(t, "Netflix"))
+	client := netsim.NewClient(w.network)
+	host := w.dep.Profile.APIHost()
+
+	// Plain manifest endpoint does not exist for the secure-URI app.
+	resp, err := client.Do(netsim.Request{Host: host, Path: PathManifest + "movie-1"})
+	if err != nil || resp.Status != 404 {
+		t.Errorf("plain manifest = %d, %v", resp.Status, err)
+	}
+	// Unknown content.
+	resp, _ = client.Do(netsim.Request{Host: host, Path: PathSecureManifest + "ghost", Body: []byte("{}")})
+	if resp.Status != 404 {
+		t.Errorf("unknown content = %d", resp.Status)
+	}
+	// Malformed request body.
+	resp, _ = client.Do(netsim.Request{Host: host, Path: PathSecureManifest + "movie-1", Body: []byte("{{")})
+	if resp.Status != 400 {
+		t.Errorf("malformed secure request = %d", resp.Status)
+	}
+	// Unknown device identity.
+	body := []byte(`{"stableId":"GHOST-DEVICE","context":"YWJj"}`)
+	resp, _ = client.Do(netsim.Request{Host: host, Path: PathSecureManifest + "movie-1", Body: body})
+	if resp.Status != 403 {
+		t.Errorf("unknown device = %d", resp.Status)
+	}
+	// Non-secure apps do not serve the endpoint at all.
+	w2 := newTestWorld(t, profileByName(t, "Showtime"))
+	resp, _ = netsim.NewClient(w2.network).Do(netsim.Request{
+		Host: w2.dep.Profile.APIHost(), Path: PathSecureManifest + "movie-1", Body: body})
+	if resp.Status != 404 {
+		t.Errorf("secure endpoint on plain app = %d", resp.Status)
+	}
+}

@@ -1,0 +1,175 @@
+// Package ott models the over-the-top streaming apps the paper evaluates:
+// a Profile type capturing each app's implementation choices (the ground
+// truth behind Table I), a Deployment building the app's backend (CDN,
+// license server, provisioning endpoint, manifest API) on the simulated
+// network, and the App player pipeline driving the Android DRM framework
+// exactly as Figure 1 describes.
+//
+// The study engine (internal/wideleak) never reads these profiles — it
+// re-derives every Table I cell by observation, as the paper does on the
+// real closed-source apps.
+package ott
+
+import "repro/internal/media"
+
+// Profile captures one OTT app's implementation choices.
+type Profile struct {
+	// Name is the app's display name.
+	Name string
+	// InstallsMillions is the Play Store install count (in millions) at
+	// the time of the paper's writing.
+	InstallsMillions int
+
+	// KeyPolicy drives the packager: whether audio is encrypted and with
+	// which key (Q2 audio column + Q3).
+	KeyPolicy media.KeyPolicy
+
+	// LicenseMinCDM revokes old devices at license time ("" = serve
+	// everyone — the availability-over-security choice).
+	LicenseMinCDM string
+	// ProvisionMinCDM revokes old devices during the provisioning phase —
+	// the paper's G# cases (Disney+, HBO Max, Starz).
+	ProvisionMinCDM string
+
+	// SecureManifestURIs tunnels manifest/URI delivery through the CDM's
+	// non-DASH generic-crypto API (Netflix's secure channel).
+	SecureManifestURIs bool
+	// EmbeddedCDMOnL3 makes the app fall back to its own embedded
+	// Widevine library when only L3 is available (Amazon Prime Video).
+	EmbeddedCDMOnL3 bool
+
+	// UsesExoPlayer marks apps integrating DRM through the recommended
+	// ExoPlayer library rather than the raw framework. (The paper reports
+	// "many apps" do without enumerating them; the per-app assignment here
+	// is illustrative — Netflix and Amazon are known custom-player apps.)
+	UsesExoPlayer bool
+
+	// SubtitleUnavailable models the regional restriction that kept the
+	// authors from obtaining subtitle URIs (Hulu, Starz).
+	SubtitleUnavailable bool
+	// HideKeyIDs models the regional restriction that blocked the key
+	// usage analysis: the served MPD omits default_KID metadata (Hulu,
+	// HBO Max).
+	HideKeyIDs bool
+}
+
+// minimumPolicy is the prevalent weak key policy: audio encrypted but
+// sharing the video key.
+func minimumPolicy() media.KeyPolicy {
+	return media.KeyPolicy{EncryptAudio: true, DistinctAudioKey: false}
+}
+
+// clearAudioPolicy is the weakest observed policy: audio not encrypted at
+// all.
+func clearAudioPolicy() media.KeyPolicy {
+	return media.KeyPolicy{EncryptAudio: false}
+}
+
+// recommendedPolicy is the Widevine-recommended policy: distinct keys for
+// audio and every video rung.
+func recommendedPolicy() media.KeyPolicy {
+	return media.KeyPolicy{EncryptAudio: true, DistinctAudioKey: true}
+}
+
+// revokingCDMVersion is the minimum CDM version enforced by apps that
+// reject discontinued phones; the Nexus 5's 3.1.0 falls below it.
+const revokingCDMVersion = "14.0"
+
+// Profiles returns the ten evaluated apps with the implementation choices
+// the paper observed (Table I ground truth).
+func Profiles() []Profile {
+	return []Profile{
+		{
+			Name:               "Netflix",
+			InstallsMillions:   1000,
+			KeyPolicy:          clearAudioPolicy(),
+			SecureManifestURIs: true,
+		},
+		{
+			Name:             "Disney+",
+			UsesExoPlayer:    true,
+			InstallsMillions: 100,
+			KeyPolicy:        minimumPolicy(),
+			ProvisionMinCDM:  revokingCDMVersion,
+		},
+		{
+			Name:             "Amazon Prime Video",
+			InstallsMillions: 100,
+			KeyPolicy:        recommendedPolicy(),
+			EmbeddedCDMOnL3:  true,
+		},
+		{
+			Name:                "Hulu",
+			UsesExoPlayer:       true,
+			InstallsMillions:    50,
+			KeyPolicy:           minimumPolicy(),
+			SubtitleUnavailable: true,
+			HideKeyIDs:          true,
+		},
+		{
+			Name:             "HBO Max",
+			UsesExoPlayer:    true,
+			InstallsMillions: 10,
+			KeyPolicy:        minimumPolicy(),
+			ProvisionMinCDM:  revokingCDMVersion,
+			HideKeyIDs:       true,
+		},
+		{
+			Name:                "Starz",
+			UsesExoPlayer:       true,
+			InstallsMillions:    10,
+			KeyPolicy:           minimumPolicy(),
+			ProvisionMinCDM:     revokingCDMVersion,
+			SubtitleUnavailable: true,
+		},
+		{
+			Name:             "myCANAL",
+			UsesExoPlayer:    true,
+			InstallsMillions: 10,
+			KeyPolicy:        clearAudioPolicy(),
+		},
+		{
+			Name:             "Showtime",
+			UsesExoPlayer:    true,
+			InstallsMillions: 5,
+			KeyPolicy:        minimumPolicy(),
+		},
+		{
+			Name:             "OCS",
+			UsesExoPlayer:    true,
+			InstallsMillions: 1,
+			KeyPolicy:        minimumPolicy(),
+		},
+		{
+			Name:             "Salto",
+			UsesExoPlayer:    true,
+			InstallsMillions: 1,
+			KeyPolicy:        clearAudioPolicy(),
+		},
+	}
+}
+
+// slug converts an app name to a hostname-safe label.
+func slug(name string) string {
+	out := make([]byte, 0, len(name))
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z' || c >= '0' && c <= '9':
+			out = append(out, byte(c))
+		case c >= 'A' && c <= 'Z':
+			out = append(out, byte(c-'A'+'a'))
+		case c == ' ' || c == '+':
+			// dropped
+		}
+	}
+	return string(out)
+}
+
+// APIHost returns the app's backend API hostname.
+func (p *Profile) APIHost() string { return "api." + slug(p.Name) + ".example" }
+
+// CDNHost returns the app's CDN hostname.
+func (p *Profile) CDNHost() string { return "cdn." + slug(p.Name) + ".example" }
+
+// LicenseHost returns the app's license server hostname.
+func (p *Profile) LicenseHost() string { return "license." + slug(p.Name) + ".example" }

@@ -1,0 +1,236 @@
+// Package procmem simulates per-process memory spaces. It is the substrate
+// that makes the paper's key finding expressible in code: the L3 CDM keeps
+// its keybox and derived keys in ordinary process memory (CWE-922, insecure
+// storage of sensitive information), where a Frida-style monitor attached to
+// the hosting process can scan for them. The L1 CDM keeps the same material
+// inside the TEE (internal/tee), which owns a space that refuses attachment.
+//
+// A Space is a set of named regions at stable virtual base addresses. The
+// monitor reads a space only through Snapshot/ReadAt/Scan — the same
+// primitives Frida's Memory.scan offers — so the keybox-recovery attack in
+// internal/attack works exactly as described in §IV-D of the paper.
+package procmem
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// pageSize is the allocation granularity; region bases are page aligned so
+// scans see realistic gaps between regions.
+const pageSize = 4096
+
+// ErrUnmapped is returned when reading an address range no region covers.
+var ErrUnmapped = errors.New("procmem: address not mapped")
+
+// Space is one process's simulated memory space.
+type Space struct {
+	name string
+
+	mu        sync.RWMutex
+	regions   map[uint64]*Region // keyed by base address
+	nextBase  uint64
+	protected bool
+}
+
+// SetProtected marks the process as refusing debugger/monitor attachment
+// (the anti-debugging techniques OTT apps deploy in their own processes).
+// It does not restrict this package's accessors — enforcement is the
+// monitor's job at attach time via Protected.
+func (s *Space) SetProtected(p bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.protected = p
+}
+
+// Protected reports whether the process resists attachment.
+func (s *Space) Protected() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.protected
+}
+
+// NewSpace creates an empty memory space for the named process.
+func NewSpace(processName string) *Space {
+	return &Space{
+		name:     processName,
+		regions:  make(map[uint64]*Region),
+		nextBase: 0x7000_0000_0000, // arbitrary high base, like a mmap arena
+	}
+}
+
+// ProcessName returns the owning process name (e.g. "mediadrmserver").
+func (s *Space) ProcessName() string { return s.name }
+
+// Region is a contiguous allocation within a Space.
+type Region struct {
+	space *Space
+	base  uint64
+	tag   string
+
+	mu   sync.RWMutex
+	data []byte
+	free bool
+}
+
+// Alloc reserves size bytes tagged with a purpose label (visible to
+// snapshots, like /proc/<pid>/maps region names).
+func (s *Space) Alloc(tag string, size int) (*Region, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("procmem: invalid allocation size %d", size)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	r := &Region{
+		space: s,
+		base:  s.nextBase,
+		tag:   tag,
+		data:  make([]byte, size),
+	}
+	pages := (size + pageSize - 1) / pageSize
+	s.nextBase += uint64((pages + 1) * pageSize) // one guard page between regions
+	s.regions[r.base] = r
+	return r, nil
+}
+
+// Free unmaps the region. Its contents become unreadable but are NOT
+// scrubbed first — freeing without zeroing is part of the insecure-storage
+// behaviour the attack exploits; call Region.Zero explicitly to scrub.
+func (s *Space) Free(r *Region) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r.mu.Lock()
+	r.free = true
+	r.mu.Unlock()
+	delete(s.regions, r.base)
+}
+
+// RegionInfo describes one mapped region, as a monitor sees it.
+type RegionInfo struct {
+	Base uint64
+	Size int
+	Tag  string
+}
+
+// Snapshot lists mapped regions sorted by base address.
+func (s *Space) Snapshot() []RegionInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]RegionInfo, 0, len(s.regions))
+	for _, r := range s.regions {
+		r.mu.RLock()
+		out = append(out, RegionInfo{Base: r.base, Size: len(r.data), Tag: r.tag})
+		r.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Base < out[j].Base })
+	return out
+}
+
+// ReadAt copies memory starting at addr into buf, stopping at the end of
+// the containing region. It returns ErrUnmapped if addr is not inside any
+// mapped region.
+func (s *Space) ReadAt(addr uint64, buf []byte) (int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for base, r := range s.regions {
+		r.mu.RLock()
+		size := uint64(len(r.data))
+		if addr >= base && addr < base+size {
+			n := copy(buf, r.data[addr-base:])
+			r.mu.RUnlock()
+			return n, nil
+		}
+		r.mu.RUnlock()
+	}
+	return 0, fmt.Errorf("%w: 0x%x", ErrUnmapped, addr)
+}
+
+// Match is one hit from Scan.
+type Match struct {
+	Addr uint64
+	Tag  string
+}
+
+// Scan searches every mapped region for the byte pattern and returns all
+// match addresses. This is the Frida Memory.scan equivalent the keybox
+// recovery uses.
+func (s *Space) Scan(pattern []byte) []Match {
+	if len(pattern) == 0 {
+		return nil
+	}
+	var out []Match
+	for _, info := range s.Snapshot() {
+		s.mu.RLock()
+		r, ok := s.regions[info.Base]
+		s.mu.RUnlock()
+		if !ok {
+			continue
+		}
+		r.mu.RLock()
+		for off := 0; ; {
+			i := bytes.Index(r.data[off:], pattern)
+			if i < 0 {
+				break
+			}
+			out = append(out, Match{Addr: r.base + uint64(off+i), Tag: r.tag})
+			off += i + 1
+		}
+		r.mu.RUnlock()
+	}
+	return out
+}
+
+// Base returns the region's virtual base address.
+func (r *Region) Base() uint64 { return r.base }
+
+// Size returns the region's length in bytes.
+func (r *Region) Size() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.data)
+}
+
+// Tag returns the region's purpose label.
+func (r *Region) Tag() string { return r.tag }
+
+// Write copies b into the region at off.
+func (r *Region) Write(off int, b []byte) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.free {
+		return fmt.Errorf("procmem: write to freed region %q", r.tag)
+	}
+	if off < 0 || off+len(b) > len(r.data) {
+		return fmt.Errorf("procmem: write [%d,%d) out of region %q size %d", off, off+len(b), r.tag, len(r.data))
+	}
+	copy(r.data[off:], b)
+	return nil
+}
+
+// Read copies the region's bytes at [off, off+len(buf)) into buf.
+func (r *Region) Read(off int, buf []byte) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if r.free {
+		return fmt.Errorf("procmem: read from freed region %q", r.tag)
+	}
+	if off < 0 || off+len(buf) > len(r.data) {
+		return fmt.Errorf("procmem: read [%d,%d) out of region %q size %d", off, off+len(buf), r.tag, len(r.data))
+	}
+	copy(buf, r.data[off:])
+	return nil
+}
+
+// Zero scrubs the region's contents. A hardened CDM would call this on all
+// key material; the simulated L3 CDM deliberately does not.
+func (r *Region) Zero() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.data {
+		r.data[i] = 0
+	}
+}

@@ -1,0 +1,258 @@
+package procmem
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocAndReadWrite(t *testing.T) {
+	s := NewSpace("mediadrmserver")
+	r, err := s.Alloc("heap", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Size() != 100 || r.Tag() != "heap" {
+		t.Errorf("region size/tag = %d/%q", r.Size(), r.Tag())
+	}
+	if err := r.Write(10, []byte("secret")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 6)
+	if err := r.Read(10, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "secret" {
+		t.Errorf("read back %q", buf)
+	}
+}
+
+func TestAllocInvalidSize(t *testing.T) {
+	s := NewSpace("p")
+	for _, n := range []int{0, -1} {
+		if _, err := s.Alloc("x", n); err == nil {
+			t.Errorf("Alloc(%d): want error", n)
+		}
+	}
+}
+
+func TestWriteOutOfBounds(t *testing.T) {
+	s := NewSpace("p")
+	r, err := s.Alloc("x", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Write(10, make([]byte, 7)); err == nil {
+		t.Error("overlapping write: want error")
+	}
+	if err := r.Write(-1, []byte{1}); err == nil {
+		t.Error("negative offset: want error")
+	}
+	if err := r.Read(16, make([]byte, 1)); err == nil {
+		t.Error("read past end: want error")
+	}
+}
+
+func TestSpaceReadAt(t *testing.T) {
+	s := NewSpace("p")
+	r, err := s.Alloc("keys", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Write(0, bytes.Repeat([]byte{0xAA}, 64)); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	n, err := s.ReadAt(r.Base()+4, buf)
+	if err != nil || n != 8 {
+		t.Fatalf("ReadAt = %d, %v", n, err)
+	}
+	if !bytes.Equal(buf, bytes.Repeat([]byte{0xAA}, 8)) {
+		t.Errorf("ReadAt content %x", buf)
+	}
+
+	// Read near the region end truncates.
+	n, err = s.ReadAt(r.Base()+60, buf)
+	if err != nil || n != 4 {
+		t.Errorf("truncated ReadAt = %d, %v; want 4, nil", n, err)
+	}
+
+	// Unmapped address errors.
+	if _, err := s.ReadAt(0xdead, buf); !errors.Is(err, ErrUnmapped) {
+		t.Errorf("unmapped ReadAt error = %v, want ErrUnmapped", err)
+	}
+}
+
+func TestScanFindsPatternAcrossRegions(t *testing.T) {
+	s := NewSpace("mediadrmserver")
+	pattern := []byte("kbox")
+
+	r1, err := s.Alloc("libwvdrmengine-bss", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.Write(100, pattern); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.Alloc("heap", 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.Write(5000, pattern); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Alloc("stack", 1024); err != nil {
+		t.Fatal(err)
+	}
+
+	matches := s.Scan(pattern)
+	if len(matches) != 2 {
+		t.Fatalf("Scan found %d matches, want 2: %+v", len(matches), matches)
+	}
+	if matches[0].Addr != r1.Base()+100 || matches[0].Tag != "libwvdrmengine-bss" {
+		t.Errorf("first match = %+v", matches[0])
+	}
+	if matches[1].Addr != r2.Base()+5000 {
+		t.Errorf("second match = %+v", matches[1])
+	}
+}
+
+func TestScanOverlappingMatches(t *testing.T) {
+	s := NewSpace("p")
+	r, err := s.Alloc("x", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Write(0, []byte("aaaa")); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.Scan([]byte("aa"))); got != 3 {
+		t.Errorf("overlapping scan found %d, want 3", got)
+	}
+	if got := s.Scan(nil); got != nil {
+		t.Errorf("empty pattern scan = %v, want nil", got)
+	}
+}
+
+func TestFreeUnmapsRegion(t *testing.T) {
+	s := NewSpace("p")
+	r, err := s.Alloc("x", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Write(0, []byte("kbox")); err != nil {
+		t.Fatal(err)
+	}
+	s.Free(r)
+
+	if len(s.Scan([]byte("kbox"))) != 0 {
+		t.Error("scan sees freed region")
+	}
+	if _, err := s.ReadAt(r.Base(), make([]byte, 4)); !errors.Is(err, ErrUnmapped) {
+		t.Errorf("ReadAt freed region error = %v, want ErrUnmapped", err)
+	}
+	if err := r.Write(0, []byte{1}); err == nil {
+		t.Error("write to freed region: want error")
+	}
+	if err := r.Read(0, make([]byte, 1)); err == nil {
+		t.Error("read from freed region: want error")
+	}
+}
+
+func TestZeroScrubs(t *testing.T) {
+	s := NewSpace("p")
+	r, err := s.Alloc("keys", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Write(0, bytes.Repeat([]byte{0xFF}, 16)); err != nil {
+		t.Fatal(err)
+	}
+	r.Zero()
+	buf := make([]byte, 16)
+	if err := r.Read(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, make([]byte, 16)) {
+		t.Error("Zero did not scrub region")
+	}
+}
+
+func TestSnapshotSortedAndGuarded(t *testing.T) {
+	s := NewSpace("p")
+	var regions []*Region
+	for i := 0; i < 5; i++ {
+		r, err := s.Alloc("r", 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		regions = append(regions, r)
+	}
+	snap := s.Snapshot()
+	if len(snap) != 5 {
+		t.Fatalf("snapshot has %d regions", len(snap))
+	}
+	for i := 1; i < len(snap); i++ {
+		if snap[i].Base <= snap[i-1].Base {
+			t.Error("snapshot not sorted by base")
+		}
+		gap := snap[i].Base - (snap[i-1].Base + uint64(snap[i-1].Size))
+		if gap == 0 {
+			t.Error("no guard gap between regions")
+		}
+	}
+	_ = regions
+}
+
+// Property: data written at any offset is found by Scan at base+offset.
+func TestScan_Property(t *testing.T) {
+	prop := func(payload [8]byte, off uint16) bool {
+		// Avoid degenerate all-equal patterns that self-overlap.
+		pattern := payload[:]
+		s := NewSpace("p")
+		r, err := s.Alloc("x", 70000)
+		if err != nil {
+			return false
+		}
+		o := int(off)
+		if err := r.Write(o, pattern); err != nil {
+			return false
+		}
+		for _, m := range s.Scan(pattern) {
+			if m.Addr == r.Base()+uint64(o) {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := NewSpace("p")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				r, err := s.Alloc("c", 128)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := r.Write(0, []byte("kbox")); err != nil {
+					t.Error(err)
+					return
+				}
+				s.Scan([]byte("kbox"))
+				s.Free(r)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,160 @@
+// Package provision implements the Widevine provisioning service: the
+// server that installs a Device RSA Key on a device whose keybox identity
+// it recognizes. The manufacturer shares each device's keybox device key
+// with the service; provisioning wraps a freshly minted RSA key under keys
+// derived from that shared root, exactly as the paper's key-ladder analysis
+// describes.
+//
+// The package also owns the device Registry (keybox keys in, provisioned
+// RSA public keys out) that license servers consult to verify request
+// signatures, and the revocation Policy the paper's Q4 experiment probes:
+// OTT deployments may refuse to provision CDM versions that no longer
+// receive security updates.
+package provision
+
+import (
+	"crypto/rsa"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/cdm"
+	"repro/internal/wvcrypto"
+)
+
+// Errors returned by the provisioning server.
+var (
+	// ErrUnknownDevice is returned for stable IDs the manufacturer never
+	// registered.
+	ErrUnknownDevice = errors.New("provision: unknown device")
+	// ErrDeviceRevoked is returned when policy refuses the CDM version.
+	ErrDeviceRevoked = errors.New("provision: device revoked by policy")
+)
+
+// Registry records device roots and provisioned identities.
+type Registry struct {
+	mu         sync.RWMutex
+	deviceKeys map[string][16]byte
+	rsaKeys    map[string]*rsa.PrivateKey
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		deviceKeys: make(map[string][16]byte),
+		rsaKeys:    make(map[string]*rsa.PrivateKey),
+	}
+}
+
+// RegisterDevice records a device's keybox device key (the manufacturer →
+// Widevine feed).
+func (r *Registry) RegisterDevice(stableID string, deviceKey [16]byte) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.deviceKeys[stableID] = deviceKey
+}
+
+// DeviceKey looks up a device's keybox key.
+func (r *Registry) DeviceKey(stableID string) ([16]byte, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	k, ok := r.deviceKeys[stableID]
+	return k, ok
+}
+
+// RSAPublicKey returns the provisioned RSA public key for a device, if any.
+// License servers use it to verify request signatures.
+func (r *Registry) RSAPublicKey(stableID string) (*rsa.PublicKey, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	k, ok := r.rsaKeys[stableID]
+	if !ok {
+		return nil, false
+	}
+	return &k.PublicKey, true
+}
+
+// deviceRSA returns (minting if needed) the device's RSA key pair, so
+// provisioning is idempotent per device.
+func (r *Registry) deviceRSA(stableID string, rand io.Reader) (*rsa.PrivateKey, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if k, ok := r.rsaKeys[stableID]; ok {
+		return k, nil
+	}
+	k, err := wvcrypto.GenerateRSAKey(rand)
+	if err != nil {
+		return nil, err
+	}
+	r.rsaKeys[stableID] = k
+	return k, nil
+}
+
+// Policy is the provisioning admission rule. The zero value admits every
+// registered device.
+type Policy struct {
+	// MinCDMVersion rejects clients running an older CDM ("" = allow all).
+	// Disney+-like deployments set this to cut off discontinued phones.
+	MinCDMVersion string
+}
+
+// Check validates a request against the policy.
+func (p Policy) Check(req *cdm.ProvisioningRequest) error {
+	if !cdm.VersionAtLeast(req.CDMVersion, p.MinCDMVersion) {
+		return fmt.Errorf("%w: cdm %s < minimum %s", ErrDeviceRevoked, req.CDMVersion, p.MinCDMVersion)
+	}
+	return nil
+}
+
+// Server is one provisioning endpoint with one admission policy.
+type Server struct {
+	registry *Registry
+	policy   Policy
+	rand     io.Reader
+}
+
+// NewServer builds a provisioning server over a shared registry.
+func NewServer(registry *Registry, policy Policy, rand io.Reader) *Server {
+	return &Server{registry: registry, policy: policy, rand: rand}
+}
+
+// Provision handles one provisioning request, returning the wrapped Device
+// RSA key on success.
+func (s *Server) Provision(req *cdm.ProvisioningRequest) (*cdm.ProvisioningResponse, error) {
+	if err := s.policy.Check(req); err != nil {
+		return nil, err
+	}
+	deviceKey, ok := s.registry.DeviceKey(req.StableID)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownDevice, req.StableID)
+	}
+	rsaKey, err := s.registry.deviceRSA(req.StableID, s.rand)
+	if err != nil {
+		return nil, fmt.Errorf("provision: mint rsa key: %w", err)
+	}
+
+	context, err := req.Canonical()
+	if err != nil {
+		return nil, err
+	}
+	keys, err := wvcrypto.DeriveSessionKeys(deviceKey[:], context)
+	if err != nil {
+		return nil, fmt.Errorf("provision: derive keys: %w", err)
+	}
+	iv := make([]byte, 16)
+	if _, err := io.ReadFull(s.rand, iv); err != nil {
+		return nil, fmt.Errorf("provision: iv: %w", err)
+	}
+	wrapped, err := wvcrypto.EncryptCBC(keys.Enc, iv, wvcrypto.MarshalRSAPrivateKey(rsaKey))
+	if err != nil {
+		return nil, fmt.Errorf("provision: wrap rsa key: %w", err)
+	}
+	message := append([]byte("provisioning-grant:"), context...)
+	return &cdm.ProvisioningResponse{
+		Message:       message,
+		MAC:           wvcrypto.HMACSHA256(keys.MACServer, message),
+		WrappedRSAKey: wrapped,
+		IV:            iv,
+	}, nil
+}

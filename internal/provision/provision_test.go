@@ -1,0 +1,113 @@
+package provision_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/cdm"
+	"repro/internal/provision"
+	"repro/internal/wvcrypto"
+)
+
+func testRequest(version string) *cdm.ProvisioningRequest {
+	return &cdm.ProvisioningRequest{
+		StableID:   "DEV-1",
+		SystemID:   4442,
+		CDMVersion: version,
+		Level:      "L3",
+		Nonce:      []byte("nonce-16-bytes!!"),
+	}
+}
+
+func newServer(policy provision.Policy) (*provision.Server, *provision.Registry) {
+	registry := provision.NewRegistry()
+	registry.RegisterDevice("DEV-1", [16]byte{1, 2, 3, 4})
+	return provision.NewServer(registry, policy, wvcrypto.NewDeterministicReader("prov-test")), registry
+}
+
+func TestProvision_Succeeds(t *testing.T) {
+	srv, registry := newServer(provision.Policy{})
+	req := testRequest("15.0")
+	resp, err := srv.Provision(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.WrappedRSAKey) == 0 || len(resp.IV) != 16 || len(resp.MAC) != 32 {
+		t.Errorf("response shape: wrapped=%d iv=%d mac=%d",
+			len(resp.WrappedRSAKey), len(resp.IV), len(resp.MAC))
+	}
+	// The response MAC verifies under the keybox-derived server MAC key.
+	context, err := req.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	deviceKey, _ := registry.DeviceKey("DEV-1")
+	keys, err := wvcrypto.DeriveSessionKeys(deviceKey[:], context)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wvcrypto.VerifyHMACSHA256(keys.MACServer, resp.Message, resp.MAC) {
+		t.Error("response MAC invalid")
+	}
+	// The wrapped blob decrypts to a parseable RSA key under the derived
+	// enc key.
+	der, err := wvcrypto.DecryptCBC(keys.Enc, resp.IV, resp.WrappedRSAKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := wvcrypto.ParseRSAPrivateKey(der)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, ok := registry.RSAPublicKey("DEV-1")
+	if !ok || pub.N.Cmp(key.N) != 0 {
+		t.Error("registry public key does not match issued key")
+	}
+}
+
+func TestProvision_Revoked(t *testing.T) {
+	srv, _ := newServer(provision.Policy{MinCDMVersion: "14.0"})
+	if _, err := srv.Provision(testRequest("3.1.0")); !errors.Is(err, provision.ErrDeviceRevoked) {
+		t.Errorf("err = %v, want ErrDeviceRevoked", err)
+	}
+	if _, err := srv.Provision(testRequest("15.0")); err != nil {
+		t.Errorf("current CDM rejected: %v", err)
+	}
+}
+
+func TestProvision_UnknownDevice(t *testing.T) {
+	srv, _ := newServer(provision.Policy{})
+	req := testRequest("15.0")
+	req.StableID = "GHOST"
+	if _, err := srv.Provision(req); !errors.Is(err, provision.ErrUnknownDevice) {
+		t.Errorf("err = %v, want ErrUnknownDevice", err)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := provision.NewRegistry()
+	if _, ok := r.DeviceKey("x"); ok {
+		t.Error("empty registry lookup succeeded")
+	}
+	if _, ok := r.RSAPublicKey("x"); ok {
+		t.Error("empty registry pub lookup succeeded")
+	}
+	r.RegisterDevice("x", [16]byte{7})
+	k, ok := r.DeviceKey("x")
+	if !ok || k != ([16]byte{7}) {
+		t.Errorf("DeviceKey = %v, %v", k, ok)
+	}
+}
+
+func TestPolicyCheck(t *testing.T) {
+	p := provision.Policy{MinCDMVersion: "10.0"}
+	if err := p.Check(testRequest("9.9")); !errors.Is(err, provision.ErrDeviceRevoked) {
+		t.Errorf("err = %v", err)
+	}
+	if err := p.Check(testRequest("10.0")); err != nil {
+		t.Errorf("exact version rejected: %v", err)
+	}
+	if err := (provision.Policy{}).Check(testRequest("0.1")); err != nil {
+		t.Errorf("empty policy rejected: %v", err)
+	}
+}

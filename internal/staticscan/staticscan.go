@@ -1,0 +1,65 @@
+// Package staticscan models the static half of the paper's two-pronged
+// methodology (§IV-B): decompile each OTT app's classes and scan for
+// references to the Android DRM framework (MediaDrm, MediaCrypto) and to
+// the ExoPlayer DRM integration. Static hits are treated as hypotheses
+// only — apps ship dead code — and the study confirms them dynamically
+// with the CDM hooks, "to err on the side of soundness".
+package staticscan
+
+import "strings"
+
+// Class-reference patterns, in the decompiled "Lpackage/Class;->method"
+// convention of smali output.
+const (
+	MediaDrmClass    = "Landroid/media/MediaDrm;"
+	MediaCryptoClass = "Landroid/media/MediaCrypto;"
+	ExoPlayerDRM     = "Lcom/google/android/exoplayer2/drm/"
+)
+
+// Findings summarizes one app's decompiled DRM surface.
+type Findings struct {
+	// ReferencesMediaDrm / ReferencesMediaCrypto report framework usage.
+	ReferencesMediaDrm    bool
+	ReferencesMediaCrypto bool
+	// UsesExoPlayerDRM reports usage of the recommended playback library's
+	// DRM session management.
+	UsesExoPlayerDRM bool
+	// MediaDrmCalls lists the specific MediaDrm methods referenced.
+	MediaDrmCalls []string
+}
+
+// Scan inspects a decompiled class/method reference listing.
+func Scan(references []string) Findings {
+	var f Findings
+	seen := make(map[string]bool)
+	for _, ref := range references {
+		switch {
+		case strings.HasPrefix(ref, MediaDrmClass):
+			f.ReferencesMediaDrm = true
+			if method, ok := methodOf(ref); ok && !seen[method] {
+				seen[method] = true
+				f.MediaDrmCalls = append(f.MediaDrmCalls, method)
+			}
+		case strings.HasPrefix(ref, MediaCryptoClass):
+			f.ReferencesMediaCrypto = true
+		case strings.HasPrefix(ref, ExoPlayerDRM):
+			f.UsesExoPlayerDRM = true
+		}
+	}
+	return f
+}
+
+// SuggestsWidevine reports whether the static surface alone suggests the
+// app drives the DRM framework (the hypothesis dynamic monitoring then
+// verifies).
+func (f Findings) SuggestsWidevine() bool {
+	return f.ReferencesMediaDrm && f.ReferencesMediaCrypto
+}
+
+func methodOf(ref string) (string, bool) {
+	i := strings.Index(ref, "->")
+	if i < 0 {
+		return "", false
+	}
+	return ref[i+2:], true
+}

@@ -1,0 +1,62 @@
+package staticscan_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/staticscan"
+)
+
+func TestScan(t *testing.T) {
+	refs := []string{
+		"Landroid/media/MediaDrm;->openSession",
+		"Landroid/media/MediaDrm;->getKeyRequest",
+		"Landroid/media/MediaDrm;->openSession", // duplicate
+		"Landroid/media/MediaCrypto;-><init>",
+		"Lcom/google/android/exoplayer2/drm/DefaultDrmSessionManager;-><init>",
+		"Lcom/example/app/MainActivity;->onCreate",
+	}
+	f := staticscan.Scan(refs)
+	if !f.ReferencesMediaDrm || !f.ReferencesMediaCrypto || !f.UsesExoPlayerDRM {
+		t.Errorf("findings = %+v", f)
+	}
+	if !f.SuggestsWidevine() {
+		t.Error("SuggestsWidevine = false")
+	}
+	want := []string{"openSession", "getKeyRequest"}
+	if !reflect.DeepEqual(f.MediaDrmCalls, want) {
+		t.Errorf("MediaDrmCalls = %v, want %v", f.MediaDrmCalls, want)
+	}
+}
+
+func TestScan_NoDRM(t *testing.T) {
+	f := staticscan.Scan([]string{"Lcom/example/Game;->render"})
+	if f.SuggestsWidevine() || f.ReferencesMediaDrm || f.UsesExoPlayerDRM {
+		t.Errorf("findings = %+v", f)
+	}
+}
+
+func TestScan_MediaDrmOnlyIsInconclusive(t *testing.T) {
+	// MediaDrm without MediaCrypto (e.g. identity-only use) does not
+	// suggest content protection.
+	f := staticscan.Scan([]string{"Landroid/media/MediaDrm;->getPropertyString"})
+	if f.SuggestsWidevine() {
+		t.Error("MediaDrm-only surface suggested Widevine playback")
+	}
+}
+
+func TestScan_MalformedReference(t *testing.T) {
+	f := staticscan.Scan([]string{"Landroid/media/MediaDrm;garbage-no-arrow"})
+	if !f.ReferencesMediaDrm {
+		t.Error("class match lost")
+	}
+	if len(f.MediaDrmCalls) != 0 {
+		t.Errorf("calls = %v, want none for malformed ref", f.MediaDrmCalls)
+	}
+}
+
+func TestScan_Empty(t *testing.T) {
+	if f := staticscan.Scan(nil); f.SuggestsWidevine() {
+		t.Error("empty scan suggested Widevine")
+	}
+}

@@ -1,0 +1,150 @@
+// Package tee simulates a TrustZone-style Trusted Execution Environment:
+// a secure world hosting trustlets behind an SMC-like command interface,
+// with secure memory and rollback-protected secure storage.
+//
+// The isolation property that matters for the paper is enforced by
+// construction: the secure world's memory space is unexported, so no code
+// outside this package (in particular internal/monitor and internal/attack)
+// can obtain it or scan it. The L1 OEMCrypto engine runs as a trustlet here,
+// which is exactly why the keybox-recovery attack of §IV-D fails on L1
+// devices while succeeding on L3 ones.
+package tee
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/procmem"
+)
+
+// Errors returned by the SMC gateway.
+var (
+	// ErrNoSuchTrustlet is returned when invoking an unloaded trustlet.
+	ErrNoSuchTrustlet = errors.New("tee: no such trustlet")
+	// ErrAlreadyLoaded is returned when loading a duplicate trustlet name.
+	ErrAlreadyLoaded = errors.New("tee: trustlet already loaded")
+	// ErrNotFound is returned by secure storage for a missing object.
+	ErrNotFound = errors.New("tee: secure storage object not found")
+)
+
+// Trustlet is a trusted application living in the secure world. Invoke is
+// the only channel between worlds: an opaque command number plus opaque
+// bytes in and out, mirroring how the Widevine trustlet is driven through
+// liboemcrypto.
+type Trustlet interface {
+	// Name identifies the trustlet (e.g. "widevine").
+	Name() string
+	// Invoke executes one command inside the secure world.
+	Invoke(ctx *Context, cmd uint32, input []byte) ([]byte, error)
+}
+
+// World is the secure world of one device.
+type World struct {
+	mu        sync.RWMutex
+	trustlets map[string]*loadedTrustlet
+	storage   map[string][]byte
+	secureMem *procmem.Space // deliberately never exposed
+}
+
+type loadedTrustlet struct {
+	app Trustlet
+	ctx *Context
+}
+
+// NewWorld boots an empty secure world.
+func NewWorld(deviceName string) *World {
+	return &World{
+		trustlets: make(map[string]*loadedTrustlet),
+		storage:   make(map[string][]byte),
+		secureMem: procmem.NewSpace("tee:" + deviceName),
+	}
+}
+
+// Context is the secure-world execution context handed to a trustlet. It
+// grants access to secure memory and secure storage, scoped by trustlet
+// name so trusted apps cannot read each other's objects.
+type Context struct {
+	world *World
+	app   string
+}
+
+// Alloc reserves secure memory. Regions allocated here are invisible to
+// normal-world monitors.
+func (c *Context) Alloc(tag string, size int) (*procmem.Region, error) {
+	return c.world.secureMem.Alloc(c.app+":"+tag, size)
+}
+
+// Free releases a secure memory region.
+func (c *Context) Free(r *procmem.Region) {
+	c.world.secureMem.Free(r)
+}
+
+// StorePersistent writes an object to secure storage under the trustlet's
+// namespace (keyboxes, provisioned RSA keys).
+func (c *Context) StorePersistent(name string, data []byte) {
+	c.world.mu.Lock()
+	defer c.world.mu.Unlock()
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	c.world.storage[c.app+"/"+name] = cp
+}
+
+// LoadPersistent reads an object from the trustlet's secure storage.
+func (c *Context) LoadPersistent(name string) ([]byte, error) {
+	c.world.mu.RLock()
+	defer c.world.mu.RUnlock()
+	data, ok := c.world.storage[c.app+"/"+name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	return cp, nil
+}
+
+// Load installs a trustlet into the secure world.
+func (w *World) Load(app Trustlet) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	name := app.Name()
+	if _, dup := w.trustlets[name]; dup {
+		return fmt.Errorf("%w: %s", ErrAlreadyLoaded, name)
+	}
+	w.trustlets[name] = &loadedTrustlet{
+		app: app,
+		ctx: &Context{world: w, app: name},
+	}
+	return nil
+}
+
+// Invoke is the SMC gateway: the normal world calls a trustlet command with
+// opaque bytes. This is the ONLY way data crosses the world boundary.
+func (w *World) Invoke(trustlet string, cmd uint32, input []byte) ([]byte, error) {
+	w.mu.RLock()
+	lt, ok := w.trustlets[trustlet]
+	w.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchTrustlet, trustlet)
+	}
+	return lt.app.Invoke(lt.ctx, cmd, input)
+}
+
+// Loaded reports whether the named trustlet is installed.
+func (w *World) Loaded(trustlet string) bool {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	_, ok := w.trustlets[trustlet]
+	return ok
+}
+
+// ProvisionStorage lets the factory (device bring-up in internal/device)
+// seed a trustlet's secure storage before boot — how keyboxes reach L1
+// devices without ever existing in normal-world memory.
+func (w *World) ProvisionStorage(trustlet, name string, data []byte) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	w.storage[trustlet+"/"+name] = cp
+}

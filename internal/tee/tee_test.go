@@ -1,0 +1,186 @@
+package tee
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// echoTrustlet is a minimal trusted app used to exercise the SMC gateway.
+type echoTrustlet struct {
+	name  string
+	calls int
+}
+
+func (e *echoTrustlet) Name() string { return e.name }
+
+func (e *echoTrustlet) Invoke(ctx *Context, cmd uint32, input []byte) ([]byte, error) {
+	e.calls++
+	switch cmd {
+	case 1: // echo
+		return append([]byte("echo:"), input...), nil
+	case 2: // store
+		ctx.StorePersistent("obj", input)
+		return nil, nil
+	case 3: // load
+		return ctx.LoadPersistent("obj")
+	case 4: // alloc secure memory and stash a secret there
+		r, err := ctx.Alloc("secret", 64)
+		if err != nil {
+			return nil, err
+		}
+		if err := r.Write(0, input); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("unknown cmd %d", cmd)
+	}
+}
+
+func TestLoadAndInvoke(t *testing.T) {
+	w := NewWorld("test-device")
+	app := &echoTrustlet{name: "widevine"}
+	if err := w.Load(app); err != nil {
+		t.Fatal(err)
+	}
+	if !w.Loaded("widevine") {
+		t.Error("Loaded = false after Load")
+	}
+	out, err := w.Invoke("widevine", 1, []byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "echo:hello" {
+		t.Errorf("Invoke output = %q", out)
+	}
+	if app.calls != 1 {
+		t.Errorf("trustlet saw %d calls", app.calls)
+	}
+}
+
+func TestLoadDuplicate(t *testing.T) {
+	w := NewWorld("d")
+	if err := w.Load(&echoTrustlet{name: "widevine"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Load(&echoTrustlet{name: "widevine"}); !errors.Is(err, ErrAlreadyLoaded) {
+		t.Errorf("duplicate Load error = %v, want ErrAlreadyLoaded", err)
+	}
+}
+
+func TestInvokeUnknownTrustlet(t *testing.T) {
+	w := NewWorld("d")
+	if _, err := w.Invoke("nope", 1, nil); !errors.Is(err, ErrNoSuchTrustlet) {
+		t.Errorf("error = %v, want ErrNoSuchTrustlet", err)
+	}
+	if w.Loaded("nope") {
+		t.Error("Loaded(nope) = true")
+	}
+}
+
+func TestSecureStoragePerTrustletNamespace(t *testing.T) {
+	w := NewWorld("d")
+	a := &echoTrustlet{name: "a"}
+	b := &echoTrustlet{name: "b"}
+	if err := w.Load(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Load(b); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := w.Invoke("a", 2, []byte("a-secret")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := w.Invoke("a", 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "a-secret" {
+		t.Errorf("trustlet a loaded %q", got)
+	}
+
+	// Trustlet b must not see a's object.
+	if _, err := w.Invoke("b", 3, nil); !errors.Is(err, ErrNotFound) {
+		t.Errorf("cross-trustlet load error = %v, want ErrNotFound", err)
+	}
+}
+
+func TestProvisionStorage(t *testing.T) {
+	w := NewWorld("pixel")
+	w.ProvisionStorage("widevine", "keybox", []byte{1, 2, 3})
+	app := &echoTrustlet{name: "widevine"}
+	if err := w.Load(app); err != nil {
+		t.Fatal(err)
+	}
+	// The trustlet reads the factory-provisioned object via its context.
+	lt := w.trustlets["widevine"]
+	data, err := lt.ctx.LoadPersistent("keybox")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, []byte{1, 2, 3}) {
+		t.Errorf("provisioned data = %v", data)
+	}
+}
+
+func TestStorageReturnsCopies(t *testing.T) {
+	w := NewWorld("d")
+	app := &echoTrustlet{name: "widevine"}
+	if err := w.Load(app); err != nil {
+		t.Fatal(err)
+	}
+	original := []byte("sensitive")
+	if _, err := w.Invoke("widevine", 2, original); err != nil {
+		t.Fatal(err)
+	}
+	original[0] = 'X' // caller mutates its buffer after the call
+
+	got, err := w.Invoke("widevine", 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "sensitive" {
+		t.Errorf("storage affected by caller mutation: %q", got)
+	}
+	got[0] = 'Y' // mutate returned copy
+	got2, err := w.Invoke("widevine", 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got2) != "sensitive" {
+		t.Errorf("storage affected by reader mutation: %q", got2)
+	}
+}
+
+// The isolation property: nothing outside the package can reach secure
+// memory. We verify the world offers no exported accessor returning the
+// space, and that secrets stored by a trustlet are unreachable through the
+// public API surface (compile-time property; here we assert the only
+// exported read path, Invoke, is mediated by the trustlet).
+func TestSecureMemoryNotExposed(t *testing.T) {
+	w := NewWorld("d")
+	app := &echoTrustlet{name: "widevine"}
+	if err := w.Load(app); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Invoke("widevine", 4, []byte("KEY-MATERIAL")); err != nil {
+		t.Fatal(err)
+	}
+	// The secret lives in w.secureMem; scanning it requires the unexported
+	// field. The public API gives no path to it — asserted by the fact the
+	// following is the complete exported method set we can call:
+	_ = w.Loaded("widevine")
+	w.ProvisionStorage("x", "y", nil)
+	if _, err := w.Invoke("widevine", 99, nil); err == nil {
+		t.Error("unknown command should error")
+	}
+	// Direct check (white-box, same package): the secret IS in secure
+	// memory — i.e. the trustlet really stored it there, and only package
+	// internals can see it.
+	if got := len(w.secureMem.Scan([]byte("KEY-MATERIAL"))); got != 1 {
+		t.Errorf("secure memory scan (white-box) found %d hits, want 1", got)
+	}
+}

@@ -1,0 +1,246 @@
+package wideleak
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/dash"
+	"repro/internal/media"
+	"repro/internal/monitor"
+	"repro/internal/oemcrypto"
+	"repro/internal/ott"
+)
+
+// TestCompliantControlApp is the study's control experiment: a hypothetical
+// app that follows every Widevine recommendation (distinct audio key,
+// strict revocation at both provisioning and license time). The study must
+// classify it as Recommended + revoking, and the §IV-D attack must fail —
+// while subtitles STILL ship clear, because no encrypted-subtitle API
+// exists anywhere in the stack (the paper's ecosystem-level insight).
+func TestCompliantControlApp(t *testing.T) {
+	compliant := ott.Profile{
+		Name:             "CompliantTV",
+		InstallsMillions: 1,
+		KeyPolicy:        media.KeyPolicy{EncryptAudio: true, DistinctAudioKey: true},
+		ProvisionMinCDM:  "14.0",
+		LicenseMinCDM:    "14.0",
+	}
+	w, err := NewWorld("control", []ott.Profile{compliant})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStudy(w)
+
+	q2, err := s.RunQ2("CompliantTV")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2.Video != ProtectionEncrypted || q2.Audio != ProtectionEncrypted {
+		t.Errorf("q2 = %+v", q2)
+	}
+	if q2.Subtitles != ProtectionClear {
+		t.Errorf("subtitles = %v — even a fully compliant app cannot encrypt them", q2.Subtitles)
+	}
+
+	q3, err := s.RunQ3("CompliantTV")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q3.Usage != KeyUsageRecommended {
+		t.Errorf("key usage = %v, want Recommended", q3.Usage)
+	}
+
+	q4, err := s.RunQ4("CompliantTV")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q4.Outcome != LegacyProvisioningFails {
+		t.Errorf("legacy outcome = %v, want ProvisioningFails", q4.Outcome)
+	}
+
+	impact, err := s.RunPracticalImpact("CompliantTV")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if impact.DRMFree {
+		t.Error("attack succeeded against the compliant control app")
+	}
+
+	forgery, err := s.RunHDForgery("CompliantTV")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forgery.HDKeysGranted {
+		t.Error("HD forgery succeeded against the compliant control app")
+	}
+}
+
+// TestStudyInvertsKeyPolicy: the observation-only study must re-derive
+// whatever key policy the packager applied — for every policy combination.
+// This is the end-to-end inversion property of the whole pipeline.
+func TestStudyInvertsKeyPolicy(t *testing.T) {
+	cases := []struct {
+		policy    media.KeyPolicy
+		wantAudio Protection
+		wantUsage KeyUsage
+	}{
+		{media.KeyPolicy{EncryptAudio: false}, ProtectionClear, KeyUsageMinimum},
+		{media.KeyPolicy{EncryptAudio: true, DistinctAudioKey: false}, ProtectionEncrypted, KeyUsageMinimum},
+		{media.KeyPolicy{EncryptAudio: true, DistinctAudioKey: true}, ProtectionEncrypted, KeyUsageRecommended},
+	}
+	for i, tt := range cases {
+		t.Run(fmt.Sprintf("policy-%d", i), func(t *testing.T) {
+			name := fmt.Sprintf("PolicyApp%d", i)
+			w, err := NewWorld(name, []ott.Profile{{
+				Name:             name,
+				InstallsMillions: 1,
+				KeyPolicy:        tt.policy,
+			}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := NewStudy(w)
+			q2, err := s.RunQ2(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if q2.Audio != tt.wantAudio {
+				t.Errorf("audio = %v, want %v", q2.Audio, tt.wantAudio)
+			}
+			q3, err := s.RunQ3(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if q3.Usage != tt.wantUsage {
+				t.Errorf("usage = %v, want %v", q3.Usage, tt.wantUsage)
+			}
+		})
+	}
+}
+
+// TestClearAudioAllLanguagesPlayable reproduces the paper's Q2 remark:
+// "for these apps, audio in any language can be played anywhere without
+// any OTT account."
+func TestClearAudioAllLanguagesPlayable(t *testing.T) {
+	s := sharedStudy(t)
+	for _, app := range []string{"Netflix", "myCANAL", "Salto"} {
+		q2, err := s.RunQ2(app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(q2.ClearAudioLangs) != 2 {
+			t.Errorf("%s: clear audio langs = %v, want both en and fr", app, q2.ClearAudioLangs)
+		}
+	}
+	// Encrypted-audio apps expose nothing.
+	q2, err := s.RunQ2("Showtime")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q2.ClearAudioLangs) != 0 {
+		t.Errorf("Showtime clear audio langs = %v, want none", q2.ClearAudioLangs)
+	}
+}
+
+// TestQ1StaticPlusDynamic checks the two-pronged Q1 methodology: static
+// analysis suggests Widevine for every app, dynamic hooks confirm it, and
+// ExoPlayer usage shows up where the profile ships it.
+func TestQ1StaticPlusDynamic(t *testing.T) {
+	s := sharedStudy(t)
+	for _, p := range s.World.Profiles() {
+		q1, err := s.RunQ1(p.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !q1.StaticSuggestsWidevine {
+			t.Errorf("%s: static scan missed the DRM framework surface", p.Name)
+		}
+		if q1.UsesExoPlayerDRM != p.UsesExoPlayer {
+			t.Errorf("%s: exoplayer detection = %v, want %v", p.Name, q1.UsesExoPlayerDRM, p.UsesExoPlayer)
+		}
+	}
+}
+
+// TestMovieStealerBaselineFails reproduces the paper's §II-B argument: the
+// 2013 MovieStealer attack cannot work against the Android DRM design —
+// neither against the app process (anti-debugging) nor, for completeness,
+// against the DRM server's memory (decrypted frames never rest there).
+// Contrast with TestPracticalImpact: the paper's attack succeeds where the
+// baseline fails.
+func TestMovieStealerBaselineFails(t *testing.T) {
+	s := sharedStudy(t)
+	f, err := s.World.Fixture("Netflix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := f.Nexus5App.Play(ContentID); !r.Played() {
+		t.Fatalf("playback failed: %+v", r)
+	}
+	mon := monitor.New()
+
+	// Prong 1: the app process refuses attachment.
+	res, err := attack.MovieStealer(mon, f.Nexus5App.ProcessSpace(), media.PlayabilityMagic())
+	if !errors.Is(err, attack.ErrNoDecryptedBuffers) || !res.AppAttachBlocked {
+		t.Errorf("MovieStealer vs app = %+v, %v; want anti-debug block", res, err)
+	}
+
+	// Prong 2: even the attachable DRM server holds no decrypted frames.
+	res2, err := attack.MovieStealer(mon, f.Nexus5Device.DRMProcess, media.PlayabilityMagic())
+	if !errors.Is(err, attack.ErrNoDecryptedBuffers) || res2.BuffersFound != 0 {
+		t.Errorf("MovieStealer vs drm server = %+v, %v; want nothing found", res2, err)
+	}
+}
+
+// TestNetflixURILeak_IndependentOfSecurityLevel reproduces the paper's
+// §IV-B note: the generic-decrypt output dump recovers the protected
+// manifest URIs on BOTH levels — the secure channel's plaintext returns to
+// the app in normal memory even when media decryption is TEE-protected.
+func TestNetflixURILeak_IndependentOfSecurityLevel(t *testing.T) {
+	s := sharedStudy(t)
+	f, err := s.World.Fixture("Netflix")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name   string
+		engine oemcrypto.Engine
+		app    *ott.App
+	}{
+		{"L1-pixel", f.PixelDevice.Engine, f.PixelApp},
+		{"L3-phone", f.L3Device.Engine, f.L3App},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			mon := monitor.New()
+			mon.AttachCDM(tc.engine)
+			defer mon.Detach()
+			if r := tc.app.Play(ContentID); !r.Played() {
+				t.Fatalf("playback failed: %+v", r)
+			}
+			var recovered bool
+			for _, dump := range mon.DumpedOutputs(oemcrypto.FuncGenericDecrypt) {
+				if m, err := dash.Parse(dump); err == nil && len(m.Periods) > 0 {
+					recovered = true
+				}
+			}
+			if !recovered {
+				t.Error("manifest not recovered from GenericDecrypt dumps")
+			}
+			// Media plaintext, by contrast, is only dumped on L3.
+			var mediaDumps int
+			for _, ev := range mon.EventsByFunc(oemcrypto.FuncDecryptCENC) {
+				if ev.Out != nil {
+					mediaDumps++
+				}
+			}
+			if tc.name == "L1-pixel" && mediaDumps != 0 {
+				t.Errorf("L1 leaked %d decrypted media buffers", mediaDumps)
+			}
+			if tc.name == "L3-phone" && mediaDumps == 0 {
+				t.Error("L3 trace missing media buffer dumps")
+			}
+		})
+	}
+}

@@ -1,0 +1,68 @@
+package wideleak
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+)
+
+// rowExport is the serialized form of one Table I row.
+type rowExport struct {
+	App           string `json:"app"`
+	UsesWidevine  bool   `json:"usesWidevine"`
+	CustomDRMOnL3 bool   `json:"customDrmOnL3"`
+	Video         string `json:"video"`
+	Audio         string `json:"audio"`
+	Subtitles     string `json:"subtitles"`
+	KeyUsage      string `json:"keyUsage"`
+	Legacy        string `json:"legacyPlayback"`
+}
+
+func (r *Row) export() rowExport {
+	return rowExport{
+		App:           r.App,
+		UsesWidevine:  r.UsesWidevine,
+		CustomDRMOnL3: r.CustomDRMOnL3,
+		Video:         r.Video.String(),
+		Audio:         r.Audio.String(),
+		Subtitles:     r.Subtitles.String(),
+		KeyUsage:      r.KeyUsage.String(),
+		Legacy:        r.Legacy.String(),
+	}
+}
+
+// MarshalJSON renders the table as a JSON array of rows.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	rows := make([]rowExport, len(t.Rows))
+	for i := range t.Rows {
+		rows[i] = t.Rows[i].export()
+	}
+	return json.Marshal(rows)
+}
+
+// MarshalCSV renders the table as CSV with a header row.
+func (t *Table) MarshalCSV() ([]byte, error) {
+	var buf bytes.Buffer
+	w := csv.NewWriter(&buf)
+	if err := w.Write([]string{"app", "uses_widevine", "custom_drm_on_l3",
+		"video", "audio", "subtitles", "key_usage", "legacy_playback"}); err != nil {
+		return nil, fmt.Errorf("wideleak: csv header: %w", err)
+	}
+	for i := range t.Rows {
+		e := t.Rows[i].export()
+		if err := w.Write([]string{
+			e.App,
+			fmt.Sprintf("%t", e.UsesWidevine),
+			fmt.Sprintf("%t", e.CustomDRMOnL3),
+			e.Video, e.Audio, e.Subtitles, e.KeyUsage, e.Legacy,
+		}); err != nil {
+			return nil, fmt.Errorf("wideleak: csv row %s: %w", e.App, err)
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return nil, fmt.Errorf("wideleak: csv flush: %w", err)
+	}
+	return buf.Bytes(), nil
+}

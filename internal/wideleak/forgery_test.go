@@ -1,0 +1,50 @@
+package wideleak
+
+import "testing"
+
+// TestForgedHDLicense reproduces the §V-C future-work experiment: with the
+// §IV-D material, a forged "L1" license request unlocks the 1080p keys an
+// honest L3 client is refused.
+func TestForgedHDLicense(t *testing.T) {
+	s := sharedStudy(t)
+	res, err := s.RunHDForgery("Netflix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.HDKeysGranted {
+		t.Fatalf("forgery failed: %s", res.FailureReason)
+	}
+	if res.MaxHeight != 1080 {
+		t.Errorf("forged max height = %d, want 1080", res.MaxHeight)
+	}
+	if res.Keys < 4 {
+		t.Errorf("forged grant has %d keys, want full ladder", res.Keys)
+	}
+}
+
+// TestForgedHDLicense_RevokedApp: revocation at provisioning also blocks
+// the forgery — the RSA key that would sign the forged request was never
+// issued.
+func TestForgedHDLicense_RevokedApp(t *testing.T) {
+	s := sharedStudy(t)
+	res, err := s.RunHDForgery("Disney+")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HDKeysGranted {
+		t.Error("forgery succeeded against a revoking app")
+	}
+}
+
+// TestForgedHDLicense_Amazon: the embedded CDM keeps its keys out of reach,
+// so there is no RSA key to forge with.
+func TestForgedHDLicense_Amazon(t *testing.T) {
+	s := sharedStudy(t)
+	res, err := s.RunHDForgery("Amazon Prime Video")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HDKeysGranted {
+		t.Error("forgery succeeded against the embedded-CDM app")
+	}
+}

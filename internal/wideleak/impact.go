@@ -1,0 +1,181 @@
+package wideleak
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/attack"
+	"repro/internal/dash"
+	"repro/internal/media"
+	"repro/internal/monitor"
+	"repro/internal/netsim"
+)
+
+// ImpactResult reports one app's §IV-D attack-chain outcome on the
+// discontinued Nexus 5.
+type ImpactResult struct {
+	App string
+
+	KeyboxRecovered  bool
+	RSAKeyRecovered  bool
+	ContentKeysFound int
+
+	// AssetsDecrypted counts representations stripped of DRM and verified
+	// playable off-device.
+	AssetsDecrypted int
+	// MaxHeight is the best video quality recovered (the paper's result:
+	// 540, i.e. qHD, because L3 clients never receive HD keys).
+	MaxHeight uint16
+
+	// DRMFree is the headline outcome: at least one video representation
+	// was fully recovered and plays without any OTT account.
+	DRMFree bool
+
+	FailureReason string
+}
+
+// RunPracticalImpact executes the full §IV-D chain against one app on the
+// discontinued device: monitored playback, keybox memory scan, RSA key
+// unwrap, key-ladder replay, asset download and CENC stripping.
+func (s *Study) RunPracticalImpact(app string) (*ImpactResult, error) {
+	f, err := s.World.Fixture(app)
+	if err != nil {
+		return nil, err
+	}
+	res := &ImpactResult{App: app}
+
+	mon := monitor.New()
+	mon.AttachCDM(f.Nexus5Device.Engine)
+	defer mon.Detach()
+	tap := mon.InterceptNetwork(f.Nexus5App.NetworkClient())
+	report := f.Nexus5App.Play(ContentID)
+
+	// Step 1: keybox recovery from the Widevine process (works whenever an
+	// L3 CDM initialized in it, regardless of the app's behaviour).
+	handle, err := mon.AttachProcess(f.Nexus5Device.DRMProcess)
+	if err != nil {
+		return nil, err
+	}
+	kb, err := attack.RecoverKeybox(handle)
+	if err != nil {
+		res.FailureReason = err.Error()
+		return res, nil
+	}
+	res.KeyboxRecovered = true
+
+	// An app that refused the device (or bypassed the system CDM entirely)
+	// never delivered keys through the ladder we monitor.
+	if report.ProvisionDenied {
+		res.FailureReason = "device revoked at provisioning; no license material delivered"
+		return res, nil
+	}
+	if report.UsedEmbeddedCDM {
+		res.FailureReason = "app used its embedded CDM inside an anti-debugging process; system Widevine never saw the keys"
+		return res, nil
+	}
+
+	// Step 2: Device RSA key from flash, unwrapped with the keybox.
+	rsaKey, err := attack.RecoverDeviceRSAKey(kb, f.Nexus5Device.Storage)
+	if err != nil {
+		res.FailureReason = err.Error()
+		return res, nil
+	}
+	res.RSAKeyRecovered = true
+
+	// Step 3: key-ladder replay over the dumped OEMCrypto arguments.
+	keys, err := attack.RecoverContentKeys(rsaKey, mon.Events())
+	if err != nil {
+		res.FailureReason = err.Error()
+		return res, nil
+	}
+	res.ContentKeysFound = len(keys)
+
+	// Step 4: recover the URI links, download everything as an attacker
+	// with no account, strip the DRM and verify playback off-device.
+	mpd, cdnHost := recoverManifest(tap.Exchanges(), monL3Dumps(mon.Events()))
+	if mpd == nil || cdnHost == "" {
+		res.FailureReason = "could not recover manifest URIs"
+		return res, nil
+	}
+	attacker := s.World.AttackerClient()
+	for _, ct := range []string{dash.ContentVideo, dash.ContentAudio} {
+		set, err := mpd.FindAdaptationSet(ct, "")
+		if err != nil {
+			continue
+		}
+		for _, rep := range set.Representations {
+			asset, err := ripRepresentation(attacker, cdnHost, &rep, keys)
+			if err != nil {
+				continue // e.g. HD rungs whose keys were never granted
+			}
+			res.AssetsDecrypted++
+			if ct == dash.ContentVideo {
+				res.DRMFree = true
+				if rep.Height > res.MaxHeight {
+					res.MaxHeight = rep.Height
+				}
+			}
+			_ = asset
+		}
+	}
+	if !res.DRMFree {
+		res.FailureReason = "no video representation could be decrypted"
+	}
+	return res, nil
+}
+
+// ripRepresentation downloads one representation and strips its DRM,
+// verifying the result is playable clear media.
+func ripRepresentation(attacker *netsim.Client, host string, rep *dash.Representation, keys map[[16]byte][]byte) (*attack.RippedAsset, error) {
+	list := rep.Segments()
+	if list == nil || list.Initialization == nil {
+		return nil, errors.New("wideleak: representation has no init segment")
+	}
+	initRaw, err := fetchObject(attacker, host, rep.BaseURL+list.Initialization.SourceURL)
+	if err != nil {
+		return nil, err
+	}
+	var segs [][]byte
+	for _, su := range list.SegmentURLs {
+		raw, err := fetchObject(attacker, host, rep.BaseURL+su.SourceURL)
+		if err != nil {
+			return nil, err
+		}
+		segs = append(segs, raw)
+	}
+	asset, err := attack.DecryptRepresentation(initRaw, segs, keys)
+	if err != nil {
+		return nil, err
+	}
+	for _, seg := range asset.Segments {
+		if !media.SegmentPlayable(seg) {
+			return nil, fmt.Errorf("wideleak: ripped segment not playable")
+		}
+	}
+	return asset, nil
+}
+
+// RunL1Resistance runs the keybox memory scan against a modern L1 device
+// (the E6 ablation): it must find nothing, because the keybox never leaves
+// the TEE.
+func (s *Study) RunL1Resistance(app string) (keyboxFound bool, err error) {
+	f, err := s.World.Fixture(app)
+	if err != nil {
+		return false, err
+	}
+	// Ensure the CDM is warm: play once.
+	_ = f.PixelApp.Play(ContentID)
+	mon := monitor.New()
+	handle, err := mon.AttachProcess(f.PixelDevice.DRMProcess)
+	if err != nil {
+		return false, err
+	}
+	_, err = attack.RecoverKeybox(handle)
+	if err == nil {
+		return true, nil
+	}
+	if errors.Is(err, attack.ErrKeyboxNotFound) {
+		return false, nil
+	}
+	return false, err
+}

@@ -1,0 +1,105 @@
+package wideleak
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report is the full study output in one document: Table I, the aggregate
+// insights, and the per-app practical-impact and forgery outcomes.
+type Report struct {
+	Table     *Table
+	Summary   Summary
+	Impacts   []ImpactResult
+	Forgeries []ForgeryResult
+	// MatchesPaper is true when Table equals the paper's Table I.
+	MatchesPaper bool
+	Diffs        []string
+}
+
+// BuildReport runs everything: the four questions for every app, the §IV-D
+// chain, and the E7 forgery.
+func (s *Study) BuildReport() (*Report, error) {
+	table, err := s.BuildTable()
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{
+		Table:   table,
+		Summary: table.Summarize(),
+		Diffs:   table.Diff(PaperTable()),
+	}
+	r.MatchesPaper = len(r.Diffs) == 0
+	for _, p := range s.World.Profiles() {
+		impact, err := s.RunPracticalImpact(p.Name)
+		if err != nil {
+			return nil, err
+		}
+		r.Impacts = append(r.Impacts, *impact)
+		forgery, err := s.RunHDForgery(p.Name)
+		if err != nil {
+			return nil, err
+		}
+		r.Forgeries = append(r.Forgeries, *forgery)
+	}
+	return r, nil
+}
+
+// Markdown renders the report as a standalone document.
+func (r *Report) Markdown() string {
+	var b strings.Builder
+	b.WriteString("# WideLeak study report\n\n")
+	b.WriteString("## Table I — Widevine usage and asset protection\n\n")
+	b.WriteString("| OTT | Widevine | Video | Audio | Subtitles | Key usage | Legacy playback |\n")
+	b.WriteString("|---|---|---|---|---|---|---|\n")
+	for _, row := range r.Table.Rows {
+		fmt.Fprintf(&b, "| %s | %s | %s | %s | %s | %s | %s |\n",
+			row.App, row.widevineCell(), row.Video, row.Audio, row.Subtitles,
+			row.KeyUsage, row.legacyCell())
+	}
+	if r.MatchesPaper {
+		b.WriteString("\nReproduction check: **matches the paper's Table I cell for cell.**\n")
+	} else {
+		b.WriteString("\nReproduction check: DIFFERS from the paper:\n\n")
+		for _, d := range r.Diffs {
+			fmt.Fprintf(&b, "- %s\n", d)
+		}
+	}
+
+	b.WriteString("\n## Insights\n\n```\n")
+	b.WriteString(r.Summary.Render())
+	b.WriteString("```\n")
+
+	b.WriteString("\n## Practical impact (§IV-D) on the discontinued Nexus 5\n\n")
+	b.WriteString("| OTT | Keybox | RSA key | Content keys | DRM-free | Max quality | Notes |\n")
+	b.WriteString("|---|---|---|---|---|---|---|\n")
+	for _, im := range r.Impacts {
+		quality := "-"
+		if im.MaxHeight > 0 {
+			quality = fmt.Sprintf("%dp", im.MaxHeight)
+		}
+		fmt.Fprintf(&b, "| %s | %s | %s | %d | %s | %s | %s |\n",
+			im.App, yesNo(im.KeyboxRecovered), yesNo(im.RSAKeyRecovered),
+			im.ContentKeysFound, yesNo(im.DRMFree), quality, im.FailureReason)
+	}
+
+	b.WriteString("\n## HD forgery (§V-C future work)\n\n")
+	b.WriteString("| OTT | HD keys granted | Max quality | Notes |\n")
+	b.WriteString("|---|---|---|---|\n")
+	for _, fg := range r.Forgeries {
+		quality := "-"
+		if fg.MaxHeight > 0 {
+			quality = fmt.Sprintf("%dp", fg.MaxHeight)
+		}
+		fmt.Fprintf(&b, "| %s | %s | %s | %s |\n",
+			fg.App, yesNo(fg.HDKeysGranted), quality, fg.FailureReason)
+	}
+	return b.String()
+}
+
+func yesNo(v bool) string {
+	if v {
+		return "yes"
+	}
+	return "no"
+}

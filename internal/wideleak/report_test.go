@@ -1,0 +1,52 @@
+package wideleak
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuildReport(t *testing.T) {
+	s := sharedStudy(t)
+	r, err := s.BuildReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.MatchesPaper {
+		t.Errorf("report diverges from paper: %v", r.Diffs)
+	}
+	if len(r.Impacts) != 10 || len(r.Forgeries) != 10 {
+		t.Fatalf("impacts/forgeries = %d/%d", len(r.Impacts), len(r.Forgeries))
+	}
+	var drmFree, forged int
+	for _, im := range r.Impacts {
+		if im.DRMFree {
+			drmFree++
+		}
+	}
+	for _, fg := range r.Forgeries {
+		if fg.HDKeysGranted {
+			forged++
+		}
+	}
+	if drmFree != 6 {
+		t.Errorf("DRM-free apps = %d, want 6", drmFree)
+	}
+	if forged != 6 {
+		t.Errorf("forgeable apps = %d, want 6 (same set as §IV-D)", forged)
+	}
+
+	md := r.Markdown()
+	for _, want := range []string{
+		"# WideLeak study report",
+		"| Netflix | yes | Encrypted | Clear |",
+		"matches the paper's Table I",
+		"## Practical impact",
+		"540p",
+		"## HD forgery",
+		"1080p",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package wideleak
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSummary_PaperHeadlineNumbers asserts the aggregate claims of the
+// paper's Insights section over its own Table I.
+func TestSummary_PaperHeadlineNumbers(t *testing.T) {
+	s := PaperTable().Summarize()
+	if s.Apps != 10 {
+		t.Fatalf("apps = %d", s.Apps)
+	}
+	if s.UsingWidevine != 10 {
+		t.Errorf("using widevine = %d, want 10 (Q1: all apps)", s.UsingWidevine)
+	}
+	if s.CustomDRMOnL3 != 1 {
+		t.Errorf("custom DRM = %d, want 1 (Amazon)", s.CustomDRMOnL3)
+	}
+	if s.VideoEncrypted != 10 {
+		t.Errorf("video encrypted = %d, want 10", s.VideoEncrypted)
+	}
+	if s.AudioClear != 3 {
+		t.Errorf("audio clear = %d, want 3 (Netflix, myCANAL, Salto)", s.AudioClear)
+	}
+	if s.SubtitlesKnown != 8 || s.SubtitlesClear != 8 {
+		t.Errorf("subtitles clear/known = %d/%d, want 8/8", s.SubtitlesClear, s.SubtitlesKnown)
+	}
+	if s.KeyUsageRecommended != 1 {
+		t.Errorf("recommended = %d, want 1 (only Amazon)", s.KeyUsageRecommended)
+	}
+	if s.KeyUsageMinimum != 7 {
+		t.Errorf("minimum = %d, want 7", s.KeyUsageMinimum)
+	}
+	if s.ServingLegacyDevices != 7 {
+		t.Errorf("serving legacy = %d, want 7", s.ServingLegacyDevices)
+	}
+	if s.EnforcingRevocation != 3 {
+		t.Errorf("revoking = %d, want 3 (Disney+, HBO Max, Starz)", s.EnforcingRevocation)
+	}
+}
+
+func TestSummaryRender(t *testing.T) {
+	out := PaperTable().Summarize().Render()
+	for _, want := range []string{"10 apps", "audio in CLEAR for 3", "only 3 enforce revocation"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSummary_MatchesReproducedTable: the aggregate over the observed table
+// equals the aggregate over the paper's.
+func TestSummary_MatchesReproducedTable(t *testing.T) {
+	s := sharedStudy(t)
+	table, err := s.BuildTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table.Summarize() != PaperTable().Summarize() {
+		t.Errorf("summaries diverge:\n got %+v\nwant %+v",
+			table.Summarize(), PaperTable().Summarize())
+	}
+}

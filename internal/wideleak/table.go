@@ -1,0 +1,158 @@
+package wideleak
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Row is one app's line of Table I.
+type Row struct {
+	App           string
+	UsesWidevine  bool
+	CustomDRMOnL3 bool
+	Video         Protection
+	Audio         Protection
+	Subtitles     Protection
+	KeyUsage      KeyUsage
+	Legacy        LegacyOutcome
+}
+
+// Table is the reproduced Table I.
+type Table struct {
+	Rows []Row
+}
+
+// BuildTable runs every research question for every app and assembles
+// Table I.
+func (s *Study) BuildTable() (*Table, error) {
+	t := &Table{}
+	for _, p := range s.World.Profiles() {
+		row, err := s.buildRow(p.Name)
+		if err != nil {
+			return nil, fmt.Errorf("wideleak: row %s: %w", p.Name, err)
+		}
+		t.Rows = append(t.Rows, *row)
+	}
+	return t, nil
+}
+
+func (s *Study) buildRow(app string) (*Row, error) {
+	q1, err := s.RunQ1(app)
+	if err != nil {
+		return nil, err
+	}
+	q2, err := s.RunQ2(app)
+	if err != nil {
+		return nil, err
+	}
+	q3, err := s.RunQ3(app)
+	if err != nil {
+		return nil, err
+	}
+	q4, err := s.RunQ4(app)
+	if err != nil {
+		return nil, err
+	}
+	return &Row{
+		App:           app,
+		UsesWidevine:  q1.UsesWidevine,
+		CustomDRMOnL3: q1.CustomDRMOnL3,
+		Video:         q2.Video,
+		Audio:         q2.Audio,
+		Subtitles:     q2.Subtitles,
+		KeyUsage:      q3.Usage,
+		Legacy:        q4.Outcome,
+	}, nil
+}
+
+// widevineCell renders the "Widevine used" column with the paper's dagger
+// for custom-DRM fallback.
+func (r *Row) widevineCell() string {
+	if !r.UsesWidevine {
+		return "no"
+	}
+	if r.CustomDRMOnL3 {
+		return "yes †"
+	}
+	return "yes"
+}
+
+// legacyCell renders the Q4 column with the paper's symbols: a filled
+// circle for playback, a half circle for provisioning failure.
+func (r *Row) legacyCell() string {
+	switch r.Legacy {
+	case LegacyPlays:
+		return "plays"
+	case LegacyPlaysCustomDRM:
+		return "plays †"
+	case LegacyProvisioningFails:
+		return "provisioning fails"
+	default:
+		return "fails"
+	}
+}
+
+// Render prints the table in the paper's layout.
+func (t *Table) Render() string {
+	var b strings.Builder
+	b.WriteString("TABLE I: WIDEVINE USAGE AND ASSET PROTECTIONS BY OTTS\n")
+	header := fmt.Sprintf("%-20s %-10s %-10s %-10s %-10s %-12s %-20s\n",
+		"OTT", "Widevine", "Video", "Audio", "Subtitles", "Key Usage", "Playback on L3 legacy")
+	b.WriteString(header)
+	b.WriteString(strings.Repeat("-", len(header)-1) + "\n")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-20s %-10s %-10s %-10s %-10s %-12s %-20s\n",
+			r.App, r.widevineCell(), r.Video, r.Audio, r.Subtitles, r.KeyUsage, r.legacyCell())
+	}
+	b.WriteString("† using custom DRM if only Widevine L3 is available.\n")
+	b.WriteString("Minimum: audio in clear or using the same encryption key as the video.\n")
+	b.WriteString("Recommended: audio and video are encrypted with different keys.\n")
+	return b.String()
+}
+
+// PaperTable returns the expected Table I from the paper, cell for cell —
+// the ground truth the reproduction is checked against.
+func PaperTable() *Table {
+	return &Table{Rows: []Row{
+		{App: "Netflix", UsesWidevine: true, Video: ProtectionEncrypted, Audio: ProtectionClear, Subtitles: ProtectionClear, KeyUsage: KeyUsageMinimum, Legacy: LegacyPlays},
+		{App: "Disney+", UsesWidevine: true, Video: ProtectionEncrypted, Audio: ProtectionEncrypted, Subtitles: ProtectionClear, KeyUsage: KeyUsageMinimum, Legacy: LegacyProvisioningFails},
+		{App: "Amazon Prime Video", UsesWidevine: true, CustomDRMOnL3: true, Video: ProtectionEncrypted, Audio: ProtectionEncrypted, Subtitles: ProtectionClear, KeyUsage: KeyUsageRecommended, Legacy: LegacyPlaysCustomDRM},
+		{App: "Hulu", UsesWidevine: true, Video: ProtectionEncrypted, Audio: ProtectionEncrypted, Subtitles: ProtectionUnknown, KeyUsage: KeyUsageUnknown, Legacy: LegacyPlays},
+		{App: "HBO Max", UsesWidevine: true, Video: ProtectionEncrypted, Audio: ProtectionEncrypted, Subtitles: ProtectionClear, KeyUsage: KeyUsageUnknown, Legacy: LegacyProvisioningFails},
+		{App: "Starz", UsesWidevine: true, Video: ProtectionEncrypted, Audio: ProtectionEncrypted, Subtitles: ProtectionUnknown, KeyUsage: KeyUsageMinimum, Legacy: LegacyProvisioningFails},
+		{App: "myCANAL", UsesWidevine: true, Video: ProtectionEncrypted, Audio: ProtectionClear, Subtitles: ProtectionClear, KeyUsage: KeyUsageMinimum, Legacy: LegacyPlays},
+		{App: "Showtime", UsesWidevine: true, Video: ProtectionEncrypted, Audio: ProtectionEncrypted, Subtitles: ProtectionClear, KeyUsage: KeyUsageMinimum, Legacy: LegacyPlays},
+		{App: "OCS", UsesWidevine: true, Video: ProtectionEncrypted, Audio: ProtectionEncrypted, Subtitles: ProtectionClear, KeyUsage: KeyUsageMinimum, Legacy: LegacyPlays},
+		{App: "Salto", UsesWidevine: true, Video: ProtectionEncrypted, Audio: ProtectionClear, Subtitles: ProtectionClear, KeyUsage: KeyUsageMinimum, Legacy: LegacyPlays},
+	}}
+}
+
+// Diff compares two tables and returns a human-readable list of
+// mismatching cells (empty when identical).
+func (t *Table) Diff(other *Table) []string {
+	var out []string
+	byApp := make(map[string]Row, len(other.Rows))
+	for _, r := range other.Rows {
+		byApp[r.App] = r
+	}
+	for _, r := range t.Rows {
+		o, ok := byApp[r.App]
+		if !ok {
+			out = append(out, fmt.Sprintf("%s: missing from other table", r.App))
+			continue
+		}
+		check := func(col string, a, b any) {
+			if a != b {
+				out = append(out, fmt.Sprintf("%s/%s: %v != %v", r.App, col, a, b))
+			}
+		}
+		check("widevine", r.UsesWidevine, o.UsesWidevine)
+		check("customDRM", r.CustomDRMOnL3, o.CustomDRMOnL3)
+		check("video", r.Video, o.Video)
+		check("audio", r.Audio, o.Audio)
+		check("subtitles", r.Subtitles, o.Subtitles)
+		check("keyUsage", r.KeyUsage, o.KeyUsage)
+		check("legacy", r.Legacy, o.Legacy)
+	}
+	return out
+}

@@ -1,0 +1,241 @@
+package wideleak
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/ott"
+)
+
+// The full study is expensive (ten deployments, ~30 provisioned devices),
+// so tests share one world+study.
+var (
+	studyOnce sync.Once
+	study     *Study
+	studyErr  error
+)
+
+func sharedStudy(t testing.TB) *Study {
+	t.Helper()
+	studyOnce.Do(func() {
+		w, err := NewWorld("test", nil)
+		if err != nil {
+			studyErr = err
+			return
+		}
+		study = NewStudy(w)
+	})
+	if studyErr != nil {
+		t.Fatal(studyErr)
+	}
+	return study
+}
+
+// TestTableI is the headline reproduction: the observationally derived
+// table must match the paper's Table I cell for cell.
+func TestTableI(t *testing.T) {
+	s := sharedStudy(t)
+	table, err := s.BuildTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diffs := table.Diff(PaperTable()); len(diffs) != 0 {
+		t.Errorf("reproduced table differs from the paper's:\n%s\n\nrendered:\n%s",
+			strings.Join(diffs, "\n"), table.Render())
+	}
+}
+
+func TestTableI_Q1(t *testing.T) {
+	s := sharedStudy(t)
+	for _, p := range s.World.Profiles() {
+		q1, err := s.RunQ1(p.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !q1.UsesWidevine {
+			t.Errorf("%s: Widevine usage not detected", p.Name)
+		}
+		if !q1.L1Supported {
+			t.Errorf("%s: L1 (liboemcrypto) not detected on TEE device", p.Name)
+		}
+		wantCustom := p.Name == "Amazon Prime Video"
+		if q1.CustomDRMOnL3 != wantCustom {
+			t.Errorf("%s: CustomDRMOnL3 = %v, want %v", p.Name, q1.CustomDRMOnL3, wantCustom)
+		}
+	}
+}
+
+func TestTableI_Q2(t *testing.T) {
+	s := sharedStudy(t)
+	wantAudio := map[string]Protection{
+		"Netflix": ProtectionClear, "myCANAL": ProtectionClear, "Salto": ProtectionClear,
+		"Disney+": ProtectionEncrypted, "Amazon Prime Video": ProtectionEncrypted,
+		"Hulu": ProtectionEncrypted, "HBO Max": ProtectionEncrypted,
+		"Starz": ProtectionEncrypted, "Showtime": ProtectionEncrypted, "OCS": ProtectionEncrypted,
+	}
+	wantSubs := map[string]Protection{
+		"Hulu": ProtectionUnknown, "Starz": ProtectionUnknown,
+	}
+	for _, p := range s.World.Profiles() {
+		q2, err := s.RunQ2(p.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q2.Video != ProtectionEncrypted {
+			t.Errorf("%s: video = %v, want Encrypted", p.Name, q2.Video)
+		}
+		if q2.Audio != wantAudio[p.Name] {
+			t.Errorf("%s: audio = %v, want %v", p.Name, q2.Audio, wantAudio[p.Name])
+		}
+		want := ProtectionClear
+		if w, ok := wantSubs[p.Name]; ok {
+			want = w
+		}
+		if q2.Subtitles != want {
+			t.Errorf("%s: subtitles = %v, want %v", p.Name, q2.Subtitles, want)
+		}
+	}
+}
+
+func TestTableI_Q3(t *testing.T) {
+	s := sharedStudy(t)
+	want := map[string]KeyUsage{
+		"Netflix": KeyUsageMinimum, "Disney+": KeyUsageMinimum,
+		"Amazon Prime Video": KeyUsageRecommended,
+		"Hulu":               KeyUsageUnknown, "HBO Max": KeyUsageUnknown,
+		"Starz": KeyUsageMinimum, "myCANAL": KeyUsageMinimum,
+		"Showtime": KeyUsageMinimum, "OCS": KeyUsageMinimum, "Salto": KeyUsageMinimum,
+	}
+	for _, p := range s.World.Profiles() {
+		q3, err := s.RunQ3(p.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q3.Usage != want[p.Name] {
+			t.Errorf("%s: key usage = %v, want %v", p.Name, q3.Usage, want[p.Name])
+		}
+		// Per-resolution keys hold for every determinable app.
+		if q3.Usage != KeyUsageUnknown && !q3.PerResolutionKeys {
+			t.Errorf("%s: per-resolution keys not observed", p.Name)
+		}
+	}
+}
+
+func TestTableI_Q4(t *testing.T) {
+	s := sharedStudy(t)
+	want := map[string]LegacyOutcome{
+		"Netflix": LegacyPlays, "myCANAL": LegacyPlays, "Showtime": LegacyPlays,
+		"OCS": LegacyPlays, "Salto": LegacyPlays, "Hulu": LegacyPlays,
+		"Disney+": LegacyProvisioningFails, "HBO Max": LegacyProvisioningFails,
+		"Starz":              LegacyProvisioningFails,
+		"Amazon Prime Video": LegacyPlaysCustomDRM,
+	}
+	for _, p := range s.World.Profiles() {
+		q4, err := s.RunQ4(p.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q4.Outcome != want[p.Name] {
+			t.Errorf("%s: legacy outcome = %v (%s), want %v", p.Name, q4.Outcome, q4.Detail, want[p.Name])
+		}
+	}
+}
+
+// TestPracticalImpact reproduces §IV-D: DRM-free content recovered from
+// the six permissive apps, never better than 540p; nothing from the
+// revoking apps or Amazon.
+func TestPracticalImpact(t *testing.T) {
+	s := sharedStudy(t)
+	succeeds := map[string]bool{
+		"Netflix": true, "myCANAL": true, "Showtime": true,
+		"OCS": true, "Salto": true, "Hulu": true,
+		"Disney+": false, "HBO Max": false, "Starz": false,
+		"Amazon Prime Video": false,
+	}
+	for _, p := range s.World.Profiles() {
+		res, err := s.RunPracticalImpact(p.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.DRMFree != succeeds[p.Name] {
+			t.Errorf("%s: DRMFree = %v (reason %q), want %v",
+				p.Name, res.DRMFree, res.FailureReason, succeeds[p.Name])
+			continue
+		}
+		if !res.KeyboxRecovered {
+			t.Errorf("%s: keybox not recovered from L3 process memory", p.Name)
+		}
+		if res.DRMFree {
+			if res.MaxHeight != 540 {
+				t.Errorf("%s: recovered quality = %dp, want capped at 540p", p.Name, res.MaxHeight)
+			}
+			if !res.RSAKeyRecovered || res.ContentKeysFound == 0 {
+				t.Errorf("%s: ladder incomplete: %+v", p.Name, res)
+			}
+		}
+	}
+}
+
+// TestL1Resists verifies the E6 ablation: the same memory-scan attack
+// finds no keybox on a TEE-backed device.
+func TestL1Resists(t *testing.T) {
+	s := sharedStudy(t)
+	found, err := s.RunL1Resistance("Showtime")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found {
+		t.Error("keybox recovered from an L1 device's normal-world memory")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	out := PaperTable().Render()
+	for _, want := range []string{"Netflix", "Recommended", "provisioning fails", "plays †", "TABLE I"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableDiff(t *testing.T) {
+	a := PaperTable()
+	if diffs := a.Diff(PaperTable()); len(diffs) != 0 {
+		t.Errorf("self-diff nonempty: %v", diffs)
+	}
+	b := PaperTable()
+	b.Rows[0].Audio = ProtectionEncrypted
+	if diffs := a.Diff(b); len(diffs) != 1 {
+		t.Errorf("diff = %v, want 1 entry", diffs)
+	}
+	c := &Table{Rows: []Row{{App: "Nobody"}}}
+	if diffs := c.Diff(a); len(diffs) == 0 {
+		t.Error("missing-app diff empty")
+	}
+}
+
+func TestWorld_UnknownApp(t *testing.T) {
+	s := sharedStudy(t)
+	if _, err := s.World.Fixture("NoSuchApp"); err == nil {
+		t.Error("want error for unknown app")
+	}
+}
+
+func TestNewWorld_CustomProfiles(t *testing.T) {
+	w, err := NewWorld("custom", []ott.Profile{ott.Profiles()[7]}) // Showtime
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Profiles()) != 1 {
+		t.Fatalf("profiles = %d", len(w.Profiles()))
+	}
+	st := NewStudy(w)
+	q4, err := st.RunQ4("Showtime")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q4.Outcome != LegacyPlays {
+		t.Errorf("outcome = %v", q4.Outcome)
+	}
+}

@@ -1,0 +1,154 @@
+// Package wideleak is the paper's primary contribution rebuilt as a
+// library: an automated study engine that answers the four research
+// questions (Q1 Widevine usage, Q2 content protection, Q3 key usage, Q4
+// discontinued-device support) for a set of OTT apps, producing Table I,
+// and that runs the §IV-D practical-impact attack chain.
+//
+// The engine is strictly observational: it derives every cell from monitor
+// traces, intercepted network traffic and downloaded assets — never from
+// the apps' configured profiles — mirroring the paper's black-box
+// methodology against closed-source apps.
+package wideleak
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/device"
+	"repro/internal/netsim"
+	"repro/internal/ott"
+	"repro/internal/provision"
+	"repro/internal/wvcrypto"
+)
+
+// ContentID is the catalog title every deployment serves.
+const ContentID = "movie-1"
+
+// World is the full experimental setup: ten OTT deployments on a shared
+// network, a device factory, and per-app device/app fixtures built lazily.
+type World struct {
+	Network  *netsim.Network
+	Registry *provision.Registry
+	Factory  *device.Factory
+
+	rand        io.Reader
+	profiles    []ott.Profile
+	deployments map[string]*ott.Deployment
+
+	mu       sync.Mutex
+	fixtures map[string]*AppFixture
+}
+
+// AppFixture is one app's device set: the modern L1 phone, a modern
+// L3-only phone, and the discontinued Nexus 5, each with the app installed.
+type AppFixture struct {
+	Profile ott.Profile
+
+	PixelDevice  *device.Device
+	L3Device     *device.Device
+	Nexus5Device *device.Device
+
+	PixelApp  *ott.App
+	L3App     *ott.App
+	Nexus5App *ott.App
+}
+
+// NewWorld builds the deployments for the given profiles (defaulting to the
+// paper's ten apps when profiles is nil). The seed makes the whole world
+// reproducible.
+func NewWorld(seed string, profiles []ott.Profile) (*World, error) {
+	if profiles == nil {
+		profiles = ott.Profiles()
+	}
+	rand := wvcrypto.NewDeterministicReader("wideleak-world-" + seed)
+	w := &World{
+		Network:     netsim.NewNetwork(),
+		Registry:    provision.NewRegistry(),
+		rand:        rand,
+		profiles:    profiles,
+		deployments: make(map[string]*ott.Deployment, len(profiles)),
+		fixtures:    make(map[string]*AppFixture, len(profiles)),
+	}
+	w.Factory = device.NewFactory(w.Registry, rand)
+	for _, p := range profiles {
+		dep, err := ott.NewDeployment(p, []string{ContentID}, w.Registry, w.Network, rand)
+		if err != nil {
+			return nil, fmt.Errorf("wideleak: deploy %s: %w", p.Name, err)
+		}
+		w.deployments[p.Name] = dep
+	}
+	return w, nil
+}
+
+// Profiles returns the studied app profiles.
+func (w *World) Profiles() []ott.Profile { return w.profiles }
+
+// Deployment returns one app's backend.
+func (w *World) Deployment(app string) *ott.Deployment { return w.deployments[app] }
+
+// Fixture lazily builds one app's device set.
+func (w *World) Fixture(app string) (*AppFixture, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if f, ok := w.fixtures[app]; ok {
+		return f, nil
+	}
+	var profile *ott.Profile
+	for i := range w.profiles {
+		if w.profiles[i].Name == app {
+			profile = &w.profiles[i]
+			break
+		}
+	}
+	if profile == nil {
+		return nil, fmt.Errorf("wideleak: unknown app %q", app)
+	}
+
+	short := shortName(app)
+	pixel, err := w.Factory.MakePixel("PX-" + short)
+	if err != nil {
+		return nil, err
+	}
+	l3, err := w.Factory.MakeL3Phone("L3-" + short)
+	if err != nil {
+		return nil, err
+	}
+	nexus5, err := w.Factory.MakeNexus5("N5-" + short)
+	if err != nil {
+		return nil, err
+	}
+	f := &AppFixture{Profile: *profile, PixelDevice: pixel, L3Device: l3, Nexus5Device: nexus5}
+
+	if f.PixelApp, err = ott.Install(*profile, pixel, w.Network, w.Registry, w.rand); err != nil {
+		return nil, err
+	}
+	if f.L3App, err = ott.Install(*profile, l3, w.Network, w.Registry, w.rand); err != nil {
+		return nil, err
+	}
+	if f.Nexus5App, err = ott.Install(*profile, nexus5, w.Network, w.Registry, w.rand); err != nil {
+		return nil, err
+	}
+	w.fixtures[app] = f
+	return f, nil
+}
+
+// AttackerClient returns a fresh unpinned network client — the attacker's
+// own machine, with no OTT account or app, used to download CDN assets.
+func (w *World) AttackerClient() *netsim.Client {
+	return netsim.NewClient(w.Network)
+}
+
+// shortName compresses an app name into a serial-safe token.
+func shortName(app string) string {
+	out := make([]byte, 0, 8)
+	for _, c := range app {
+		if c >= 'A' && c <= 'Z' || c >= 'a' && c <= 'z' || c >= '0' && c <= '9' {
+			out = append(out, byte(c))
+		}
+		if len(out) == 8 {
+			break
+		}
+	}
+	return string(out)
+}

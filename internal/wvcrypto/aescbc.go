@@ -1,0 +1,66 @@
+package wvcrypto
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"fmt"
+)
+
+// EncryptCBC encrypts plaintext with AES-128-CBC under key and iv, applying
+// PKCS#7 padding first. It is used to wrap content keys in license
+// responses and the Device RSA key in provisioning responses.
+func EncryptCBC(key, iv, plaintext []byte) ([]byte, error) {
+	block, err := newAES(key)
+	if err != nil {
+		return nil, err
+	}
+	if len(iv) != BlockSize {
+		return nil, fmt.Errorf("wvcrypto: iv must be %d bytes, got %d", BlockSize, len(iv))
+	}
+	padded := PadPKCS7(plaintext)
+	out := make([]byte, len(padded))
+	cipher.NewCBCEncrypter(block, iv).CryptBlocks(out, padded)
+	return out, nil
+}
+
+// DecryptCBC decrypts AES-128-CBC ciphertext under key and iv and strips
+// PKCS#7 padding.
+func DecryptCBC(key, iv, ciphertext []byte) ([]byte, error) {
+	block, err := newAES(key)
+	if err != nil {
+		return nil, err
+	}
+	if len(iv) != BlockSize {
+		return nil, fmt.Errorf("wvcrypto: iv must be %d bytes, got %d", BlockSize, len(iv))
+	}
+	if len(ciphertext) == 0 || len(ciphertext)%BlockSize != 0 {
+		return nil, fmt.Errorf("wvcrypto: ciphertext length %d not a block multiple", len(ciphertext))
+	}
+	out := make([]byte, len(ciphertext))
+	cipher.NewCBCDecrypter(block, iv).CryptBlocks(out, ciphertext)
+	return UnpadPKCS7(out)
+}
+
+// CTRStream returns an AES-128-CTR stream positioned at the given 16-byte
+// counter block. CENC 'cenc' scheme content decryption uses it directly.
+func CTRStream(key, counter []byte) (cipher.Stream, error) {
+	block, err := newAES(key)
+	if err != nil {
+		return nil, err
+	}
+	if len(counter) != BlockSize {
+		return nil, fmt.Errorf("wvcrypto: counter must be %d bytes, got %d", BlockSize, len(counter))
+	}
+	return cipher.NewCTR(block, counter), nil
+}
+
+func newAES(key []byte) (cipher.Block, error) {
+	if len(key) != BlockSize {
+		return nil, fmt.Errorf("wvcrypto: key must be %d bytes, got %d", BlockSize, len(key))
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("wvcrypto: %w", err)
+	}
+	return block, nil
+}

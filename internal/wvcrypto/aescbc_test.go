@@ -1,0 +1,143 @@
+package wvcrypto
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestCBCRoundTrip(t *testing.T) {
+	key := mustHex("000102030405060708090a0b0c0d0e0f")
+	iv := mustHex("101112131415161718191a1b1c1d1e1f")
+	for _, n := range []int{0, 1, 15, 16, 17, 31, 32, 1000} {
+		plaintext := bytes.Repeat([]byte{0x5A}, n)
+		ct, err := EncryptCBC(key, iv, plaintext)
+		if err != nil {
+			t.Fatalf("EncryptCBC(%d bytes): %v", n, err)
+		}
+		if len(ct)%BlockSize != 0 {
+			t.Errorf("ciphertext length %d not block aligned", len(ct))
+		}
+		pt, err := DecryptCBC(key, iv, ct)
+		if err != nil {
+			t.Fatalf("DecryptCBC(%d bytes): %v", n, err)
+		}
+		if !bytes.Equal(pt, plaintext) {
+			t.Errorf("roundtrip(%d bytes) mismatch", n)
+		}
+	}
+}
+
+func TestCBCRoundTrip_Property(t *testing.T) {
+	prop := func(key, iv [16]byte, plaintext []byte) bool {
+		ct, err := EncryptCBC(key[:], iv[:], plaintext)
+		if err != nil {
+			return false
+		}
+		pt, err := DecryptCBC(key[:], iv[:], ct)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(pt, plaintext)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecryptCBC_WrongKeyFailsPadding(t *testing.T) {
+	key := mustHex("000102030405060708090a0b0c0d0e0f")
+	other := mustHex("ffffffffffffffffffffffffffffffff")
+	iv := mustHex("101112131415161718191a1b1c1d1e1f")
+	ct, err := EncryptCBC(key, iv, []byte("a content key payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := DecryptCBC(other, iv, ct)
+	// Decrypting under the wrong key must not silently return the
+	// plaintext; with overwhelming probability padding fails.
+	if err == nil && bytes.Equal(pt, []byte("a content key payload")) {
+		t.Error("wrong key decrypted to original plaintext")
+	}
+}
+
+func TestDecryptCBC_Invalid(t *testing.T) {
+	key := mustHex("000102030405060708090a0b0c0d0e0f")
+	iv := mustHex("101112131415161718191a1b1c1d1e1f")
+	cases := []struct {
+		name string
+		ct   []byte
+	}{
+		{"empty", nil},
+		{"unaligned", make([]byte, 17)},
+	}
+	for _, tt := range cases {
+		if _, err := DecryptCBC(key, iv, tt.ct); err == nil {
+			t.Errorf("%s: want error", tt.name)
+		}
+	}
+	if _, err := DecryptCBC(key, iv[:8], make([]byte, 16)); err == nil {
+		t.Error("short iv: want error")
+	}
+	if _, err := DecryptCBC(key[:8], iv, make([]byte, 16)); err == nil {
+		t.Error("short key: want error")
+	}
+}
+
+func TestUnpadPKCS7_Malformed(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []byte
+	}{
+		{"empty", nil},
+		{"unaligned", make([]byte, 5)},
+		{"zero pad byte", append(bytes.Repeat([]byte{1}, 15), 0)},
+		{"pad too long", append(bytes.Repeat([]byte{1}, 15), 17)},
+		{"inconsistent pad", append(bytes.Repeat([]byte{9}, 14), 3, 2)},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := UnpadPKCS7(tt.in); !errors.Is(err, ErrBadPadding) {
+				t.Errorf("UnpadPKCS7 = %v, want ErrBadPadding", err)
+			}
+		})
+	}
+}
+
+func TestPadPKCS7_FullBlockWhenAligned(t *testing.T) {
+	out := PadPKCS7(make([]byte, 16))
+	if len(out) != 32 {
+		t.Errorf("padded length = %d, want 32", len(out))
+	}
+	if out[31] != 16 {
+		t.Errorf("pad byte = %d, want 16", out[31])
+	}
+}
+
+func TestCTRStream(t *testing.T) {
+	key := mustHex("000102030405060708090a0b0c0d0e0f")
+	counter := mustHex("00000000000000000000000000000001")
+	plaintext := []byte("sample of protected media payload")
+
+	enc, err := CTRStream(key, counter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := make([]byte, len(plaintext))
+	enc.XORKeyStream(ct, plaintext)
+
+	dec, err := CTRStream(key, counter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := make([]byte, len(ct))
+	dec.XORKeyStream(pt, ct)
+	if !bytes.Equal(pt, plaintext) {
+		t.Error("CTR roundtrip mismatch")
+	}
+
+	if _, err := CTRStream(key, counter[:4]); err == nil {
+		t.Error("short counter: want error")
+	}
+}

@@ -1,0 +1,116 @@
+// Package wvcrypto implements the cryptographic primitives used by the
+// simulated Widevine key ladder: AES-128-CMAC (RFC 4493), a CMAC-based key
+// derivation function in the style of NIST SP 800-108 counter mode with
+// Widevine context labels, PKCS#7 padding, the keybox CRC, and small RSA
+// helpers (PSS signatures and OAEP key transport).
+//
+// Everything here is real cryptography from the Go standard library plus a
+// from-scratch CMAC; nothing is stubbed. The package is the foundation of
+// internal/oemcrypto and internal/attack: the attack re-implements the key
+// ladder using exactly these primitives, mirroring the paper's
+// reverse-engineered PoC.
+package wvcrypto
+
+import (
+	"crypto/aes"
+	"crypto/subtle"
+	"fmt"
+)
+
+// BlockSize is the AES block size in bytes. CMAC in this package is only
+// defined over AES-128, matching the Widevine device key size.
+const BlockSize = 16
+
+// cmacRb is the constant from RFC 4493 used when deriving subkeys K1/K2.
+const cmacRb = 0x87
+
+// CMAC computes the AES-128-CMAC (RFC 4493) of msg under a 16-byte key.
+// It returns an error if the key has the wrong length.
+func CMAC(key, msg []byte) ([]byte, error) {
+	if len(key) != BlockSize {
+		return nil, fmt.Errorf("cmac: key must be %d bytes, got %d", BlockSize, len(key))
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("cmac: %w", err)
+	}
+
+	k1, k2 := cmacSubkeys(block.Encrypt)
+
+	n := (len(msg) + BlockSize - 1) / BlockSize
+	complete := n > 0 && len(msg)%BlockSize == 0
+	if n == 0 {
+		n = 1
+	}
+
+	// Last block: XOR with K1 if complete, otherwise pad and XOR with K2.
+	var last [BlockSize]byte
+	if complete {
+		copy(last[:], msg[(n-1)*BlockSize:])
+		xorBlock(&last, k1)
+	} else {
+		rem := msg[(n-1)*BlockSize:]
+		copy(last[:], rem)
+		last[len(rem)] = 0x80
+		xorBlock(&last, k2)
+	}
+
+	var x [BlockSize]byte
+	for i := 0; i < n-1; i++ {
+		xorBytes(&x, msg[i*BlockSize:(i+1)*BlockSize])
+		block.Encrypt(x[:], x[:])
+	}
+	xorBlock(&x, last)
+	block.Encrypt(x[:], x[:])
+
+	out := make([]byte, BlockSize)
+	copy(out, x[:])
+	return out, nil
+}
+
+// VerifyCMAC reports whether mac is the valid AES-CMAC of msg under key,
+// using a constant-time comparison.
+func VerifyCMAC(key, msg, mac []byte) bool {
+	want, err := CMAC(key, msg)
+	if err != nil || len(mac) != BlockSize {
+		return false
+	}
+	return subtle.ConstantTimeCompare(want, mac) == 1
+}
+
+// cmacSubkeys derives the K1 and K2 subkeys from the block cipher per
+// RFC 4493 section 2.3.
+func cmacSubkeys(encrypt func(dst, src []byte)) (k1, k2 [BlockSize]byte) {
+	var l [BlockSize]byte
+	encrypt(l[:], l[:])
+	k1 = shiftLeftConditional(l)
+	k2 = shiftLeftConditional(k1)
+	return k1, k2
+}
+
+// shiftLeftConditional shifts in left by one bit and conditionally XORs the
+// RFC 4493 Rb constant into the last byte when the shifted-out bit was set.
+func shiftLeftConditional(in [BlockSize]byte) [BlockSize]byte {
+	var out [BlockSize]byte
+	var carry byte
+	for i := BlockSize - 1; i >= 0; i-- {
+		out[i] = in[i]<<1 | carry
+		carry = in[i] >> 7
+	}
+	if carry != 0 {
+		out[BlockSize-1] ^= cmacRb
+	}
+	return out
+}
+
+func xorBlock(dst *[BlockSize]byte, src [BlockSize]byte) {
+	for i := range dst {
+		dst[i] ^= src[i]
+	}
+}
+
+func xorBytes(dst *[BlockSize]byte, src []byte) {
+	for i := range dst {
+		dst[i] ^= src[i]
+	}
+}

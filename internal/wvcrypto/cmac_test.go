@@ -1,0 +1,160 @@
+package wvcrypto
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+)
+
+// RFC 4493 test vectors (AES-128 key 2b7e1516...).
+var rfc4493Key = mustHex("2b7e151628aed2a6abf7158809cf4f3c")
+
+func mustHex(s string) []byte {
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+func TestCMAC_RFC4493Vectors(t *testing.T) {
+	tests := []struct {
+		name string
+		msg  []byte
+		want string
+	}{
+		{
+			name: "empty",
+			msg:  nil,
+			want: "bb1d6929e95937287fa37d129b756746",
+		},
+		{
+			name: "16 bytes",
+			msg:  mustHex("6bc1bee22e409f96e93d7e117393172a"),
+			want: "070a16b46b4d4144f79bdd9dd04a287c",
+		},
+		{
+			name: "40 bytes",
+			msg: mustHex("6bc1bee22e409f96e93d7e117393172a" +
+				"ae2d8a571e03ac9c9eb76fac45af8e51" +
+				"30c81c46a35ce411"),
+			want: "dfa66747de9ae63030ca32611497c827",
+		},
+		{
+			name: "64 bytes",
+			msg: mustHex("6bc1bee22e409f96e93d7e117393172a" +
+				"ae2d8a571e03ac9c9eb76fac45af8e51" +
+				"30c81c46a35ce411e5fbc1191a0a52ef" +
+				"f69f2445df4f9b17ad2b417be66c3710"),
+			want: "51f0bebf7e3b9d92fc49741779363cfe",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := CMAC(rfc4493Key, tt.msg)
+			if err != nil {
+				t.Fatalf("CMAC: %v", err)
+			}
+			if hex.EncodeToString(got) != tt.want {
+				t.Errorf("CMAC = %x, want %s", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCMAC_BadKeyLength(t *testing.T) {
+	for _, n := range []int{0, 1, 15, 17, 24, 32} {
+		if _, err := CMAC(make([]byte, n), []byte("msg")); err == nil {
+			t.Errorf("CMAC with %d-byte key: want error, got nil", n)
+		}
+	}
+}
+
+func TestVerifyCMAC(t *testing.T) {
+	msg := []byte("license request payload")
+	mac, err := CMAC(rfc4493Key, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !VerifyCMAC(rfc4493Key, msg, mac) {
+		t.Error("VerifyCMAC rejected a valid tag")
+	}
+	bad := append([]byte(nil), mac...)
+	bad[0] ^= 1
+	if VerifyCMAC(rfc4493Key, msg, bad) {
+		t.Error("VerifyCMAC accepted a corrupted tag")
+	}
+	if VerifyCMAC(rfc4493Key, msg, mac[:8]) {
+		t.Error("VerifyCMAC accepted a truncated tag")
+	}
+	otherKey := mustHex("000102030405060708090a0b0c0d0e0f")
+	if VerifyCMAC(otherKey, msg, mac) {
+		t.Error("VerifyCMAC accepted a tag under the wrong key")
+	}
+}
+
+// Property: a CMAC verifies under the key and message that produced it, and
+// any single-bit flip of the message invalidates it.
+func TestCMAC_Properties(t *testing.T) {
+	prop := func(key [16]byte, msg []byte, flip uint) bool {
+		mac, err := CMAC(key[:], msg)
+		if err != nil {
+			return false
+		}
+		if !VerifyCMAC(key[:], msg, mac) {
+			return false
+		}
+		if len(msg) == 0 {
+			return true
+		}
+		mutated := append([]byte(nil), msg...)
+		mutated[int(flip%uint(len(msg)))] ^= 1 << (flip % 8)
+		return !VerifyCMAC(key[:], mutated, mac)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CMAC of distinct-length zero messages are pairwise distinct
+// (sanity against subkey/padding mistakes around block boundaries).
+func TestCMAC_BlockBoundaryDistinct(t *testing.T) {
+	seen := make(map[string]int, 49)
+	for n := 0; n <= 48; n++ {
+		mac, err := CMAC(rfc4493Key, make([]byte, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		key := string(mac)
+		if prev, dup := seen[key]; dup {
+			t.Fatalf("CMAC collision between lengths %d and %d", prev, n)
+		}
+		seen[key] = n
+	}
+}
+
+func TestShiftLeftConditional(t *testing.T) {
+	in := [BlockSize]byte{0x80}
+	out := shiftLeftConditional(in)
+	if out[0] != 0 || out[BlockSize-1] != cmacRb {
+		t.Errorf("shift of MSB-set block = %x, want Rb in last byte", out)
+	}
+
+	in = [BlockSize]byte{0x01}
+	out = shiftLeftConditional(in)
+	if out[0] != 0x02 || out[BlockSize-1] != 0 {
+		t.Errorf("shift of 0x01 block = %x, want 0x02 leading", out)
+	}
+}
+
+func BenchmarkCMAC(b *testing.B) {
+	msg := bytes.Repeat([]byte{0xAB}, 1024)
+	b.SetBytes(int64(len(msg)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := CMAC(rfc4493Key, msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

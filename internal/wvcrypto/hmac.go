@@ -1,0 +1,21 @@
+package wvcrypto
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+)
+
+// HMACSHA256 computes HMAC-SHA256 of msg under key. License requests and
+// responses are authenticated with the derived 256-bit MAC keys using this
+// construction, as in the real license exchange.
+func HMACSHA256(key, msg []byte) []byte {
+	mac := hmac.New(sha256.New, key)
+	mac.Write(msg)
+	return mac.Sum(nil)
+}
+
+// VerifyHMACSHA256 reports whether tag is the valid HMAC-SHA256 of msg
+// under key, in constant time.
+func VerifyHMACSHA256(key, msg, tag []byte) bool {
+	return hmac.Equal(HMACSHA256(key, msg), tag)
+}

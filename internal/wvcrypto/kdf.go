@@ -1,0 +1,88 @@
+package wvcrypto
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Derivation labels used by the simulated Widevine key ladder. They mirror
+// the context strings the real OEMCrypto uses when deriving session keys
+// from the device key or the license-server session key.
+const (
+	// LabelEncryption derives the key that wraps content keys in a
+	// license response (AES-CBC).
+	LabelEncryption = "ENCRYPTION"
+	// LabelAuthentication derives the MAC keys that authenticate license
+	// requests and responses.
+	LabelAuthentication = "AUTHENTICATION"
+	// LabelProvisioning derives the key that wraps the Device RSA key in
+	// a provisioning response.
+	LabelProvisioning = "PROVISIONING"
+)
+
+// DeriveKey derives bits/8 bytes of key material from a 16-byte AES key
+// using the SP 800-108 CMAC counter-mode construction Widevine uses:
+//
+//	K(i) = CMAC(key, i || label || 0x00 || context || bits)
+//
+// with i a one-byte counter starting at 1 and bits a 32-bit big-endian
+// length. bits must be a positive multiple of 8 and at most 4096.
+func DeriveKey(key []byte, label string, context []byte, bits int) ([]byte, error) {
+	if bits <= 0 || bits%8 != 0 || bits > 4096 {
+		return nil, fmt.Errorf("kdf: invalid output length %d bits", bits)
+	}
+	outLen := bits / 8
+	blocks := (outLen + BlockSize - 1) / BlockSize
+
+	msg := make([]byte, 0, 1+len(label)+1+len(context)+4)
+	msg = append(msg, 0) // counter placeholder
+	msg = append(msg, label...)
+	msg = append(msg, 0x00)
+	msg = append(msg, context...)
+	msg = binary.BigEndian.AppendUint32(msg, uint32(bits))
+
+	out := make([]byte, 0, blocks*BlockSize)
+	for i := 1; i <= blocks; i++ {
+		msg[0] = byte(i)
+		block, err := CMAC(key, msg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, block...)
+	}
+	return out[:outLen], nil
+}
+
+// SessionKeys is the set of keys derived from a single base key for one
+// OEMCrypto session: a 128-bit encryption key plus 256-bit client and
+// server MAC keys, matching the real ladder's DeriveKeysFromSessionKey.
+type SessionKeys struct {
+	// Enc decrypts the content-key container in a license response.
+	Enc []byte
+	// MACClient authenticates messages sent by the device.
+	MACClient []byte
+	// MACServer authenticates messages sent by the license server.
+	MACServer []byte
+}
+
+// DeriveSessionKeys derives the per-session key set from a base key and the
+// serialized request message, as OEMCrypto's DeriveKeysFromSessionKey does:
+// the request message is the derivation context so that keys are bound to
+// the exact license request they answer.
+func DeriveSessionKeys(baseKey, requestMessage []byte) (SessionKeys, error) {
+	enc, err := DeriveKey(baseKey, LabelEncryption, requestMessage, 128)
+	if err != nil {
+		return SessionKeys{}, fmt.Errorf("derive enc key: %w", err)
+	}
+	// A single 512-bit derivation split into client/server halves, as the
+	// real ladder derives 4 MAC key blocks in one pass.
+	mac, err := DeriveKey(baseKey, LabelAuthentication, requestMessage, 512)
+	if err != nil {
+		return SessionKeys{}, fmt.Errorf("derive mac keys: %w", err)
+	}
+	return SessionKeys{
+		Enc:       enc,
+		MACClient: mac[:32],
+		MACServer: mac[32:],
+	}, nil
+}

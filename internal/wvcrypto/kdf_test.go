@@ -1,0 +1,138 @@
+package wvcrypto
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeriveKey_Lengths(t *testing.T) {
+	key := mustHex("000102030405060708090a0b0c0d0e0f")
+	for _, bits := range []int{8, 64, 128, 256, 512, 4096} {
+		out, err := DeriveKey(key, LabelEncryption, []byte("ctx"), bits)
+		if err != nil {
+			t.Fatalf("DeriveKey(%d bits): %v", bits, err)
+		}
+		if len(out) != bits/8 {
+			t.Errorf("DeriveKey(%d bits) length = %d, want %d", bits, len(out), bits/8)
+		}
+	}
+}
+
+func TestDeriveKey_InvalidLengths(t *testing.T) {
+	key := mustHex("000102030405060708090a0b0c0d0e0f")
+	for _, bits := range []int{0, -8, 7, 12, 4104} {
+		if _, err := DeriveKey(key, LabelEncryption, nil, bits); err == nil {
+			t.Errorf("DeriveKey(%d bits): want error", bits)
+		}
+	}
+}
+
+func TestDeriveKey_Deterministic(t *testing.T) {
+	key := mustHex("2b7e151628aed2a6abf7158809cf4f3c")
+	a, err := DeriveKey(key, LabelEncryption, []byte("request"), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DeriveKey(key, LabelEncryption, []byte("request"), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("DeriveKey not deterministic")
+	}
+}
+
+func TestDeriveKey_SeparatesLabelsAndContexts(t *testing.T) {
+	key := mustHex("2b7e151628aed2a6abf7158809cf4f3c")
+	base, err := DeriveKey(key, LabelEncryption, []byte("request"), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := []struct {
+		name    string
+		label   string
+		context []byte
+	}{
+		{"different label", LabelAuthentication, []byte("request")},
+		{"different context", LabelEncryption, []byte("request2")},
+		{"provisioning label", LabelProvisioning, []byte("request")},
+	}
+	for _, v := range variants {
+		out, err := DeriveKey(key, v.label, v.context, 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bytes.Equal(base, out) {
+			t.Errorf("%s produced identical key material", v.name)
+		}
+	}
+}
+
+// Property: the output length participates in the derivation (SP 800-108
+// binds [L] into the PRF input), so outputs of different lengths are
+// unrelated, and equal inputs reproduce equal outputs.
+func TestDeriveKey_LengthDomainSeparation(t *testing.T) {
+	prop := func(key [16]byte, ctx []byte) bool {
+		short, err := DeriveKey(key[:], LabelEncryption, ctx, 128)
+		if err != nil {
+			return false
+		}
+		long, err := DeriveKey(key[:], LabelEncryption, ctx, 256)
+		if err != nil {
+			return false
+		}
+		again, err := DeriveKey(key[:], LabelEncryption, ctx, 128)
+		if err != nil {
+			return false
+		}
+		return !bytes.Equal(short, long[:16]) && bytes.Equal(short, again)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeriveSessionKeys(t *testing.T) {
+	key := mustHex("2b7e151628aed2a6abf7158809cf4f3c")
+	msg := []byte("serialized license request")
+	keys, err := DeriveSessionKeys(key, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys.Enc) != 16 {
+		t.Errorf("Enc length = %d, want 16", len(keys.Enc))
+	}
+	if len(keys.MACClient) != 32 || len(keys.MACServer) != 32 {
+		t.Errorf("MAC lengths = %d,%d, want 32,32", len(keys.MACClient), len(keys.MACServer))
+	}
+	if bytes.Equal(keys.MACClient, keys.MACServer) {
+		t.Error("client and server MAC keys are identical")
+	}
+
+	// Binding to the request message: a different message yields different keys.
+	other, err := DeriveSessionKeys(key, []byte("a different request"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(keys.Enc, other.Enc) {
+		t.Error("session enc keys not bound to request message")
+	}
+}
+
+func TestDeriveSessionKeys_BadKey(t *testing.T) {
+	if _, err := DeriveSessionKeys([]byte("short"), []byte("msg")); err == nil {
+		t.Error("want error for short base key")
+	}
+}
+
+func BenchmarkDeriveSessionKeys(b *testing.B) {
+	key := mustHex("2b7e151628aed2a6abf7158809cf4f3c")
+	msg := bytes.Repeat([]byte{0x42}, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DeriveSessionKeys(key, msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package wvcrypto
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+)
+
+// ErrBadPadding is returned when PKCS#7 padding is malformed. License
+// processing treats it as an authentication failure.
+var ErrBadPadding = errors.New("wvcrypto: bad pkcs7 padding")
+
+// PadPKCS7 appends PKCS#7 padding so that len(result) is a multiple of
+// BlockSize. It always adds between 1 and BlockSize bytes.
+func PadPKCS7(data []byte) []byte {
+	padLen := BlockSize - len(data)%BlockSize
+	out := make([]byte, len(data)+padLen)
+	copy(out, data)
+	for i := len(data); i < len(out); i++ {
+		out[i] = byte(padLen)
+	}
+	return out
+}
+
+// UnpadPKCS7 strips PKCS#7 padding, validating every pad byte.
+func UnpadPKCS7(data []byte) ([]byte, error) {
+	if len(data) == 0 || len(data)%BlockSize != 0 {
+		return nil, fmt.Errorf("%w: length %d", ErrBadPadding, len(data))
+	}
+	padLen := int(data[len(data)-1])
+	if padLen == 0 || padLen > BlockSize || padLen > len(data) {
+		return nil, fmt.Errorf("%w: pad length %d", ErrBadPadding, padLen)
+	}
+	pad := data[len(data)-padLen:]
+	if !bytes.Equal(pad, bytes.Repeat([]byte{byte(padLen)}, padLen)) {
+		return nil, ErrBadPadding
+	}
+	return data[:len(data)-padLen], nil
+}

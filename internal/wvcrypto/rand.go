@@ -1,0 +1,52 @@
+package wvcrypto
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"io"
+	"sync"
+)
+
+// DeterministicReader is an io.Reader producing a reproducible byte stream
+// from a seed, via SHA-256 in counter mode. Worlds built for tests and
+// benchmarks inject it wherever randomness is needed (key generation, IVs,
+// session nonces) so that every run is identical.
+//
+// It is NOT cryptographically suitable for production use; the library's
+// public constructors default to crypto/rand and only tests swap this in.
+type DeterministicReader struct {
+	mu      sync.Mutex
+	seed    [32]byte
+	counter uint64
+	buf     []byte
+}
+
+var _ io.Reader = (*DeterministicReader)(nil)
+
+// NewDeterministicReader returns a reader seeded from the given label.
+func NewDeterministicReader(label string) *DeterministicReader {
+	return &DeterministicReader{seed: sha256.Sum256([]byte(label))}
+}
+
+// Read fills p with the next bytes of the deterministic stream. It never
+// fails.
+func (r *DeterministicReader) Read(p []byte) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	n := len(p)
+	for len(p) > 0 {
+		if len(r.buf) == 0 {
+			var block [40]byte
+			copy(block[:32], r.seed[:])
+			binary.BigEndian.PutUint64(block[32:], r.counter)
+			r.counter++
+			sum := sha256.Sum256(block[:])
+			r.buf = sum[:]
+		}
+		c := copy(p, r.buf)
+		p = p[c:]
+		r.buf = r.buf[c:]
+	}
+	return n, nil
+}

@@ -1,0 +1,100 @@
+package wvcrypto
+
+import (
+	"crypto"
+	"crypto/rsa"
+	"crypto/sha1"
+	"crypto/sha256"
+	"crypto/x509"
+	"fmt"
+	"io"
+)
+
+// RSABits is the modulus size of the Device RSA Key, matching the 2048-bit
+// key the paper reverse-engineered.
+const RSABits = 2048
+
+// GenerateRSAKey generates a Device RSA key pair from the given randomness
+// source. Callers inject a deterministic reader in tests to keep worlds
+// reproducible.
+func GenerateRSAKey(rand io.Reader) (*rsa.PrivateKey, error) {
+	key, err := rsa.GenerateKey(rand, RSABits)
+	if err != nil {
+		return nil, fmt.Errorf("wvcrypto: generate rsa key: %w", err)
+	}
+	return key, nil
+}
+
+// SignPSS signs the SHA-256 digest of msg with RSASSA-PSS, the signature
+// scheme OEMCrypto uses for license requests once a Device RSA key is
+// provisioned.
+func SignPSS(rand io.Reader, key *rsa.PrivateKey, msg []byte) ([]byte, error) {
+	digest := sha256.Sum256(msg)
+	sig, err := rsa.SignPSS(rand, key, crypto.SHA256, digest[:], &rsa.PSSOptions{
+		SaltLength: rsa.PSSSaltLengthEqualsHash,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("wvcrypto: pss sign: %w", err)
+	}
+	return sig, nil
+}
+
+// VerifyPSS reports whether sig is a valid RSASSA-PSS signature of msg.
+func VerifyPSS(pub *rsa.PublicKey, msg, sig []byte) bool {
+	digest := sha256.Sum256(msg)
+	err := rsa.VerifyPSS(pub, crypto.SHA256, digest[:], sig, &rsa.PSSOptions{
+		SaltLength: rsa.PSSSaltLengthEqualsHash,
+	})
+	return err == nil
+}
+
+// EncryptOAEP encrypts a session key to the device's RSA public key with
+// RSAES-OAEP (SHA-1, as in OEMCrypto's RewrapDeviceRSAKey / session-key
+// transport).
+func EncryptOAEP(rand io.Reader, pub *rsa.PublicKey, plaintext []byte) ([]byte, error) {
+	out, err := rsa.EncryptOAEP(sha1.New(), rand, pub, plaintext, nil)
+	if err != nil {
+		return nil, fmt.Errorf("wvcrypto: oaep encrypt: %w", err)
+	}
+	return out, nil
+}
+
+// DecryptOAEP recovers an OAEP-encrypted session key with the Device RSA
+// private key.
+func DecryptOAEP(key *rsa.PrivateKey, ciphertext []byte) ([]byte, error) {
+	out, err := rsa.DecryptOAEP(sha1.New(), nil, key, ciphertext, nil)
+	if err != nil {
+		return nil, fmt.Errorf("wvcrypto: oaep decrypt: %w", err)
+	}
+	return out, nil
+}
+
+// MarshalRSAPrivateKey serializes a Device RSA key in PKCS#1 DER form, the
+// shape in which it crosses the provisioning channel and sits in L3 process
+// memory (the insecure-storage finding, CWE-922).
+func MarshalRSAPrivateKey(key *rsa.PrivateKey) []byte {
+	return x509.MarshalPKCS1PrivateKey(key)
+}
+
+// ParseRSAPrivateKey parses a PKCS#1 DER Device RSA key.
+func ParseRSAPrivateKey(der []byte) (*rsa.PrivateKey, error) {
+	key, err := x509.ParsePKCS1PrivateKey(der)
+	if err != nil {
+		return nil, fmt.Errorf("wvcrypto: parse rsa key: %w", err)
+	}
+	return key, nil
+}
+
+// MarshalRSAPublicKey serializes an RSA public key in PKCS#1 DER form.
+func MarshalRSAPublicKey(pub *rsa.PublicKey) []byte {
+	return x509.MarshalPKCS1PublicKey(pub)
+}
+
+// ParseRSAPublicKey parses a PKCS#1 DER RSA public key.
+func ParseRSAPublicKey(der []byte) (*rsa.PublicKey, error) {
+	pub, err := x509.ParsePKCS1PublicKey(der)
+	if err != nil {
+		return nil, fmt.Errorf("wvcrypto: parse rsa public key: %w", err)
+	}
+	return pub, nil
+}

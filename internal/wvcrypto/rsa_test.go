@@ -1,0 +1,148 @@
+package wvcrypto
+
+import (
+	"bytes"
+	"crypto/rsa"
+	"sync"
+	"testing"
+)
+
+var (
+	testKeyOnce sync.Once
+	testKey     *rsa.PrivateKey
+	testKeyErr  error
+)
+
+// sharedTestKey generates one deterministic 2048-bit RSA key for the whole
+// package's tests; generation is the slow part so it is done once.
+func sharedTestKey(t *testing.T) *rsa.PrivateKey {
+	t.Helper()
+	testKeyOnce.Do(func() {
+		testKey, testKeyErr = GenerateRSAKey(NewDeterministicReader("wvcrypto-test-rsa"))
+	})
+	if testKeyErr != nil {
+		t.Fatalf("generate shared test key: %v", testKeyErr)
+	}
+	return testKey
+}
+
+func TestRSASignAndVerify(t *testing.T) {
+	key := sharedTestKey(t)
+	msg := []byte("license request bytes")
+	rand := NewDeterministicReader("pss-sign")
+	sig, err := SignPSS(rand, key, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !VerifyPSS(&key.PublicKey, msg, sig) {
+		t.Error("VerifyPSS rejected a valid signature")
+	}
+	if VerifyPSS(&key.PublicKey, []byte("other message"), sig) {
+		t.Error("VerifyPSS accepted a signature over another message")
+	}
+	sig[0] ^= 1
+	if VerifyPSS(&key.PublicKey, msg, sig) {
+		t.Error("VerifyPSS accepted a corrupted signature")
+	}
+}
+
+func TestRSAOAEPRoundTrip(t *testing.T) {
+	key := sharedTestKey(t)
+	sessionKey := bytes.Repeat([]byte{0x77}, 16)
+	rand := NewDeterministicReader("oaep")
+	ct, err := EncryptOAEP(rand, &key.PublicKey, sessionKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := DecryptOAEP(key, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pt, sessionKey) {
+		t.Error("OAEP roundtrip mismatch")
+	}
+
+	ct[0] ^= 1
+	if _, err := DecryptOAEP(key, ct); err == nil {
+		t.Error("DecryptOAEP accepted a corrupted ciphertext")
+	}
+}
+
+func TestRSAKeyMarshalRoundTrip(t *testing.T) {
+	key := sharedTestKey(t)
+	der := MarshalRSAPrivateKey(key)
+	parsed, err := ParseRSAPrivateKey(der)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.D.Cmp(key.D) != 0 || parsed.N.Cmp(key.N) != 0 {
+		t.Error("private key roundtrip mismatch")
+	}
+
+	pubDER := MarshalRSAPublicKey(&key.PublicKey)
+	pub, err := ParseRSAPublicKey(pubDER)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pub.N.Cmp(key.N) != 0 || pub.E != key.E {
+		t.Error("public key roundtrip mismatch")
+	}
+}
+
+func TestParseRSAPrivateKey_Garbage(t *testing.T) {
+	if _, err := ParseRSAPrivateKey([]byte("not a der key")); err == nil {
+		t.Error("want error for garbage DER")
+	}
+	if _, err := ParseRSAPublicKey([]byte{0x30, 0x00}); err == nil {
+		t.Error("want error for garbage public DER")
+	}
+}
+
+func TestDeterministicReader_Reproducible(t *testing.T) {
+	a := NewDeterministicReader("seed")
+	b := NewDeterministicReader("seed")
+	bufA := make([]byte, 100)
+	bufB := make([]byte, 100)
+	if _, err := a.Read(bufA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Read(bufB); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufA, bufB) {
+		t.Error("same seed produced different streams")
+	}
+
+	c := NewDeterministicReader("other seed")
+	bufC := make([]byte, 100)
+	if _, err := c.Read(bufC); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(bufA, bufC) {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestDeterministicReader_SplitReadsMatch(t *testing.T) {
+	whole := NewDeterministicReader("split")
+	parts := NewDeterministicReader("split")
+
+	bufWhole := make([]byte, 71)
+	if _, err := whole.Read(bufWhole); err != nil {
+		t.Fatal(err)
+	}
+	bufParts := make([]byte, 71)
+	for off := 0; off < len(bufParts); {
+		n := 7
+		if off+n > len(bufParts) {
+			n = len(bufParts) - off
+		}
+		if _, err := parts.Read(bufParts[off : off+n]); err != nil {
+			t.Fatal(err)
+		}
+		off += n
+	}
+	if !bytes.Equal(bufWhole, bufParts) {
+		t.Error("split reads diverge from whole read")
+	}
+}

@@ -1,0 +1,93 @@
+// Package wideleak reproduces "WideLeak: How Over-the-Top Platforms Fail
+// in Android" (Patat, Sabt, Fouque — DSN 2022) as a self-contained Go
+// library: a simulated Android Widevine ecosystem (OEMCrypto engines at L1
+// and L3, TEE, the Android DRM framework, provisioning and license
+// servers, DASH/CENC packaging and CDNs, ten OTT app models) plus the
+// paper's contribution — an automated, observation-only study engine that
+// regenerates Table I and the §IV-D keybox-recovery attack chain.
+//
+// Quick start:
+//
+//	world, err := wideleak.NewWorld("seed", nil)
+//	if err != nil { ... }
+//	study := wideleak.NewStudy(world)
+//	table, err := study.BuildTable()
+//	fmt.Print(table.Render())
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record of every table and figure.
+package wideleak
+
+import (
+	"repro/internal/ott"
+	"repro/internal/wideleak"
+)
+
+// Core study types, re-exported from the internal engine.
+type (
+	// World is the full experimental setup: ten OTT deployments on a
+	// shared simulated network plus per-app device fixtures.
+	World = wideleak.World
+	// Study runs the paper's four research questions over a World.
+	Study = wideleak.Study
+	// Table is the reproduced Table I.
+	Table = wideleak.Table
+	// Row is one app's line of Table I.
+	Row = wideleak.Row
+	// AppFixture is one app's device set (L1 Pixel, modern L3 phone,
+	// discontinued Nexus 5).
+	AppFixture = wideleak.AppFixture
+
+	// Q1Result through Q4Result answer the four research questions.
+	Q1Result = wideleak.Q1Result
+	Q2Result = wideleak.Q2Result
+	Q3Result = wideleak.Q3Result
+	Q4Result = wideleak.Q4Result
+	// ImpactResult reports one app's §IV-D attack-chain outcome.
+	ImpactResult = wideleak.ImpactResult
+
+	// Protection classifies asset protection (Encrypted/Clear/Unknown).
+	Protection = wideleak.Protection
+	// KeyUsage classifies key assignment (Minimum/Recommended/Unknown).
+	KeyUsage = wideleak.KeyUsage
+	// LegacyOutcome classifies discontinued-device playback.
+	LegacyOutcome = wideleak.LegacyOutcome
+
+	// Profile describes one OTT app's implementation choices.
+	Profile = ott.Profile
+)
+
+// Classification values.
+const (
+	ProtectionUnknown   = wideleak.ProtectionUnknown
+	ProtectionEncrypted = wideleak.ProtectionEncrypted
+	ProtectionClear     = wideleak.ProtectionClear
+
+	KeyUsageUnknown     = wideleak.KeyUsageUnknown
+	KeyUsageMinimum     = wideleak.KeyUsageMinimum
+	KeyUsageRecommended = wideleak.KeyUsageRecommended
+
+	LegacyPlays             = wideleak.LegacyPlays
+	LegacyProvisioningFails = wideleak.LegacyProvisioningFails
+	LegacyPlaysCustomDRM    = wideleak.LegacyPlaysCustomDRM
+	LegacyOtherFailure      = wideleak.LegacyOtherFailure
+)
+
+// ContentID is the catalog title every deployment serves.
+const ContentID = wideleak.ContentID
+
+// NewWorld builds a reproducible experimental world for the given profiles
+// (nil selects the paper's ten apps).
+func NewWorld(seed string, profiles []Profile) (*World, error) {
+	return wideleak.NewWorld(seed, profiles)
+}
+
+// NewStudy wraps a world in a study runner.
+func NewStudy(w *World) *Study { return wideleak.NewStudy(w) }
+
+// PaperTable returns the paper's Table I verbatim — the expected result the
+// reproduction is compared against.
+func PaperTable() *Table { return wideleak.PaperTable() }
+
+// Profiles returns the ten evaluated apps with their observed behaviours.
+func Profiles() []Profile { return ott.Profiles() }

@@ -1,0 +1,92 @@
+package wideleak_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+// The facade test exercises the library exactly as README documents it:
+// everything a downstream user touches must work through the root package.
+func TestPublicAPI_EndToEnd(t *testing.T) {
+	profiles := wideleak.Profiles()
+	if len(profiles) != 10 {
+		t.Fatalf("Profiles() = %d apps, want 10", len(profiles))
+	}
+
+	// A one-app world keeps the facade test fast.
+	var netflix []wideleak.Profile
+	for _, p := range profiles {
+		if p.Name == "Netflix" {
+			netflix = append(netflix, p)
+		}
+	}
+	world, err := wideleak.NewWorld("facade", netflix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	study := wideleak.NewStudy(world)
+
+	table, err := study.BuildTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 1 {
+		t.Fatalf("table rows = %d", len(table.Rows))
+	}
+	row := table.Rows[0]
+	if row.Audio != wideleak.ProtectionClear {
+		t.Errorf("Netflix audio = %v, want Clear", row.Audio)
+	}
+	if row.KeyUsage != wideleak.KeyUsageMinimum {
+		t.Errorf("Netflix key usage = %v", row.KeyUsage)
+	}
+	if row.Legacy != wideleak.LegacyPlays {
+		t.Errorf("Netflix legacy = %v", row.Legacy)
+	}
+	if !strings.Contains(table.Render(), "Netflix") {
+		t.Error("render missing app")
+	}
+
+	impact, err := study.RunPracticalImpact("Netflix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !impact.DRMFree || impact.MaxHeight != 540 {
+		t.Errorf("impact = %+v", impact)
+	}
+}
+
+func TestPublicAPI_PaperTable(t *testing.T) {
+	paper := wideleak.PaperTable()
+	if len(paper.Rows) != 10 {
+		t.Fatalf("paper table rows = %d", len(paper.Rows))
+	}
+	if diffs := paper.Diff(wideleak.PaperTable()); len(diffs) != 0 {
+		t.Errorf("paper table self-diff: %v", diffs)
+	}
+}
+
+func TestPublicAPI_Determinism(t *testing.T) {
+	build := func(seed string) string {
+		var showtime []wideleak.Profile
+		for _, p := range wideleak.Profiles() {
+			if p.Name == "Showtime" {
+				showtime = append(showtime, p)
+			}
+		}
+		w, err := wideleak.NewWorld(seed, showtime)
+		if err != nil {
+			t.Fatal(err)
+		}
+		table, err := wideleak.NewStudy(w).BuildTable()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return table.Render()
+	}
+	if build("same") != build("same") {
+		t.Error("identical seeds produced different tables")
+	}
+}

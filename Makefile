@@ -2,9 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench study impact report clean
+.PHONY: all build vet test race bench check study impact report clean
 
 all: build vet test
+
+# check is the full verification gate: build, vet, plain tests, the race
+# detector, and a benchmark pass recording BENCH_tableI.json.
+check: build vet test race bench
 
 build:
 	$(GO) build ./...
@@ -18,8 +22,14 @@ test:
 race:
 	$(GO) test -race ./...
 
+# bench runs every root-package benchmark, tees the raw output, and distills
+# it into BENCH_tableI.json ({"name": ns_per_op, ...}) for tooling that
+# tracks the Table I numbers across commits.
 bench:
-	$(GO) test -run xxx -bench . -benchmem ./...
+	$(GO) test -bench . -benchmem -run '^$$' . | tee BENCH_tableI.txt
+	awk 'BEGIN { print "{"; n = 0 } \
+	     /^Benchmark/ { if (n++) printf ",\n"; printf "  \"%s\": %s", $$1, $$3 } \
+	     END { print "\n}" }' BENCH_tableI.txt > BENCH_tableI.json
 
 # Reproduce Table I and check it against the paper.
 study:
@@ -34,4 +44,4 @@ report:
 	$(GO) run ./cmd/wideleak -report report.md
 
 clean:
-	rm -f report.md test_output.txt bench_output.txt
+	rm -f report.md test_output.txt bench_output.txt BENCH_tableI.txt BENCH_tableI.json

@@ -7,7 +7,10 @@ package wideleak
 //	BenchmarkTableI_Q2_ContentProtection  — Table I cols 2-4
 //	BenchmarkTableI_Q3_KeyUsage           — Table I col 5
 //	BenchmarkTableI_Q4_Playback           — Table I col 6
-//	BenchmarkTableI_Full                  — the whole table from a cold world
+//	BenchmarkTableI_Full                  — the whole table, warm world, sequential
+//	BenchmarkTableI_Full_Parallel{1,4,N}  — the whole study from a cold world at 1/4/NumCPU row workers
+//	BenchmarkTableI_Full_WarmParallelN    — warm world, cold observations, NumCPU workers
+//	BenchmarkWarmFixtures_ParallelN       — fixture pre-build (keyboxes + installs) on a bounded pool
 //	BenchmarkFigure1_PlaybackFlow         — the Figure 1 message flow
 //	BenchmarkE5_KeyboxRecovery            — §IV-D step 1 (memory scan)
 //	BenchmarkE5_KeyLadder                 — §IV-D step 3 (ladder replay)
@@ -19,6 +22,8 @@ package wideleak
 // operation itself.
 
 import (
+	"context"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -42,6 +47,9 @@ func benchSharedStudy(b *testing.B) *iwl.Study {
 			return
 		}
 		benchStudy = iwl.NewStudy(w)
+		// The shared study is the sequential baseline; the parallel
+		// variants below request their own worker counts explicitly.
+		benchStudy.Concurrency = 1
 		// Warm every fixture (provisioning, RSA minting) outside timing.
 		for _, p := range w.Profiles() {
 			if _, err := benchStudy.RunQ4(p.Name); err != nil {
@@ -140,6 +148,78 @@ func BenchmarkTableI_Full(b *testing.B) {
 		}
 		if diffs := table.Diff(iwl.PaperTable()); len(diffs) != 0 {
 			b.Fatalf("table diverged from paper: %v", diffs)
+		}
+	}
+}
+
+// benchColdTable measures one complete study from scratch — world build,
+// per-app device minting and provisioning (the 2048-bit RSA phase), every
+// observation, and table assembly — at the given row parallelism. This is
+// the end-to-end cost the parallel engine attacks: fixtures and rows for
+// different apps draw from independent deterministic streams, so workers
+// never contend on a shared rand cursor or a coarse world lock.
+func benchColdTable(b *testing.B, parallelism int) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w, err := iwl.NewWorld("bench-cold", nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := iwl.NewStudy(w)
+		table, err := s.BuildTableParallel(parallelism)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if diffs := table.Diff(iwl.PaperTable()); len(diffs) != 0 {
+			b.Fatalf("table diverged from paper: %v", diffs)
+		}
+	}
+}
+
+// BenchmarkTableI_Full_Parallel1 is the sequential cold-world baseline:
+// the same work as the parallel variants with one row in flight.
+func BenchmarkTableI_Full_Parallel1(b *testing.B) { benchColdTable(b, 1) }
+
+// BenchmarkTableI_Full_Parallel4 builds four app rows concurrently.
+func BenchmarkTableI_Full_Parallel4(b *testing.B) { benchColdTable(b, 4) }
+
+// BenchmarkTableI_Full_ParallelN builds rows with one worker per logical
+// CPU (runtime.GOMAXPROCS(0)).
+func BenchmarkTableI_Full_ParallelN(b *testing.B) { benchColdTable(b, runtime.GOMAXPROCS(0)) }
+
+// BenchmarkTableI_Full_WarmParallelN isolates the observation phase: warm
+// fixtures (no RSA minting in the loop), cold observations, rows fanned
+// out over one worker per CPU — the parallel counterpart of
+// BenchmarkTableI_Full.
+func BenchmarkTableI_Full_WarmParallelN(b *testing.B) {
+	s := benchSharedStudy(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ResetObservations()
+		table, err := s.BuildTableParallel(runtime.GOMAXPROCS(0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if diffs := table.Diff(iwl.PaperTable()); len(diffs) != 0 {
+			b.Fatalf("table diverged from paper: %v", diffs)
+		}
+	}
+}
+
+// BenchmarkWarmFixtures_ParallelN measures pre-building every fixture on a
+// bounded pool from a cold world: keybox minting and app installs. (Device
+// RSA keys are minted later, at each device's first provisioning.)
+func BenchmarkWarmFixtures_ParallelN(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w, err := iwl.NewWorld("bench-warmup", nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := w.WarmFixtures(context.Background(), runtime.GOMAXPROCS(0)); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	wideleak [-seed s] [-impact] [-diff] [-app name]
+//	wideleak [-seed s] [-impact] [-diff] [-app name] [-parallel n]
 package main
 
 import (
@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro"
@@ -32,8 +33,12 @@ func run(args []string) error {
 	app := fs.String("app", "", "restrict to one app (default: all ten)")
 	format := fs.String("format", "text", "output format: text, csv, json")
 	reportPath := fs.String("report", "", "write a full markdown report (table + impact + forgery) to this file")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "app rows built concurrently (1 = sequential; output is identical at any setting)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *parallel < 1 {
+		return fmt.Errorf("-parallel must be >= 1, got %d", *parallel)
 	}
 
 	profiles := wideleak.Profiles()
@@ -55,6 +60,7 @@ func run(args []string) error {
 		return err
 	}
 	study := wideleak.NewStudy(world)
+	study.Concurrency = *parallel
 
 	if *reportPath != "" {
 		report, err := study.BuildReport()

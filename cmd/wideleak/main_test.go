@@ -33,6 +33,16 @@ func TestRun_BadFlag(t *testing.T) {
 	}
 }
 
+func TestRun_ParallelFlag(t *testing.T) {
+	if err := run([]string{"-app", "Showtime", "-format", "csv", "-diff=false", "-parallel", "4"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-app", "Showtime", "-parallel", "0"}); err == nil ||
+		!strings.Contains(err.Error(), "-parallel") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
 func TestRun_Report(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full report is expensive")

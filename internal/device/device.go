@@ -93,6 +93,14 @@ func NewFactory(registry *provision.Registry, rand io.Reader) *Factory {
 	return &Factory{registry: registry, rand: rand}
 }
 
+// WithRand returns a factory feeding the same registry but minting from a
+// different randomness source. Callers that manufacture devices
+// concurrently hand each worker its own derived deterministic stream so
+// device material never depends on manufacturing order.
+func (f *Factory) WithRand(rand io.Reader) *Factory {
+	return &Factory{registry: f.registry, rand: rand}
+}
+
 // MakeNexus5 manufactures the discontinued L3 phone of the paper's Q4
 // experiment: Android 6.0.1, Widevine L3, CDM 3.1.0, keybox in flash and
 // (once the CDM loads) in process memory.

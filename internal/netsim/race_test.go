@@ -1,0 +1,91 @@
+package netsim
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestInterceptor_ConcurrentRecordCaptured exercises the Captured()/record()
+// pair under -race: readers drain snapshots while writers append, the
+// pattern the parallel study engine drives when several app rows are
+// observed at once.
+func TestInterceptor_ConcurrentRecordCaptured(t *testing.T) {
+	i := NewInterceptor()
+	const writers, perWriter = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for n := 0; n < perWriter; n++ {
+				i.record(Exchange{Request: Request{Host: fmt.Sprintf("h%d", w), Path: fmt.Sprintf("/%d", n)}})
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = i.Captured()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	if got := len(i.Captured()); got != writers*perWriter {
+		t.Fatalf("captured %d exchanges, want %d", got, writers*perWriter)
+	}
+}
+
+// TestNetwork_ConcurrentClients drives many clients through a shared
+// network — including MITM'd and re-pinned ones — under -race, mimicking
+// parallel per-app observation over one World.Network.
+func TestNetwork_ConcurrentClients(t *testing.T) {
+	n := NewNetwork()
+	for h := 0; h < 4; h++ {
+		host := fmt.Sprintf("host%d.example", h)
+		n.RegisterHost(host, func(req Request) (Response, error) {
+			return Response{Status: 200, Body: []byte(req.Path)}, nil
+		})
+	}
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := NewClient(n)
+			host := fmt.Sprintf("host%d.example", c%4)
+			client.Pin(host)
+			tap := NewInterceptor()
+			if c%2 == 0 {
+				client.InstallMITM(tap)
+				client.DisablePinning()
+			}
+			for r := 0; r < 100; r++ {
+				resp, err := client.Do(Request{Host: host, Path: fmt.Sprintf("/obj/%d", r)})
+				if err != nil {
+					t.Errorf("client %d: %v", c, err)
+					return
+				}
+				if resp.Status != 200 {
+					t.Errorf("client %d: status %d", c, resp.Status)
+					return
+				}
+			}
+			if c%2 == 0 && len(tap.Captured()) != 100 {
+				t.Errorf("client %d: tap captured %d exchanges, want 100", c, len(tap.Captured()))
+			}
+		}(c)
+	}
+	wg.Wait()
+}

@@ -37,6 +37,16 @@ type Registry struct {
 	mu         sync.RWMutex
 	deviceKeys map[string][16]byte
 	rsaKeys    map[string]*rsa.PrivateKey
+	minting    map[string]*rsaMint
+}
+
+// rsaMint is the in-flight singleflight guard for one device's RSA mint, so
+// concurrent provisioning of *different* devices generates keys in parallel
+// while duplicate requests for the same device share one generation.
+type rsaMint struct {
+	once sync.Once
+	key  *rsa.PrivateKey
+	err  error
 }
 
 // NewRegistry returns an empty registry.
@@ -44,6 +54,7 @@ func NewRegistry() *Registry {
 	return &Registry{
 		deviceKeys: make(map[string][16]byte),
 		rsaKeys:    make(map[string]*rsa.PrivateKey),
+		minting:    make(map[string]*rsaMint),
 	}
 }
 
@@ -76,19 +87,33 @@ func (r *Registry) RSAPublicKey(stableID string) (*rsa.PublicKey, bool) {
 }
 
 // deviceRSA returns (minting if needed) the device's RSA key pair, so
-// provisioning is idempotent per device.
+// provisioning is idempotent per device. The registry lock is never held
+// across key generation: each device gets its own singleflight guard, so
+// concurrent provisioning of different devices mints 2048-bit keys in
+// parallel.
 func (r *Registry) deviceRSA(stableID string, rand io.Reader) (*rsa.PrivateKey, error) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if k, ok := r.rsaKeys[stableID]; ok {
+		r.mu.Unlock()
 		return k, nil
 	}
-	k, err := wvcrypto.GenerateRSAKey(rand)
-	if err != nil {
-		return nil, err
+	m, ok := r.minting[stableID]
+	if !ok {
+		m = &rsaMint{}
+		r.minting[stableID] = m
 	}
-	r.rsaKeys[stableID] = k
-	return k, nil
+	r.mu.Unlock()
+
+	m.once.Do(func() {
+		m.key, m.err = wvcrypto.GenerateRSAKey(rand)
+		r.mu.Lock()
+		if m.err == nil {
+			r.rsaKeys[stableID] = m.key
+		}
+		delete(r.minting, stableID)
+		r.mu.Unlock()
+	})
+	return m.key, m.err
 }
 
 // Policy is the provisioning admission rule. The zero value admits every

@@ -2,6 +2,8 @@ package provision_test
 
 import (
 	"errors"
+	"fmt"
+	"sync"
 	"testing"
 
 	"repro/internal/cdm"
@@ -109,5 +111,57 @@ func TestPolicyCheck(t *testing.T) {
 	}
 	if err := (provision.Policy{}).Check(testRequest("0.1")); err != nil {
 		t.Errorf("empty policy rejected: %v", err)
+	}
+}
+
+// TestProvision_ConcurrentDevices provisions many distinct devices in
+// parallel: the registry must mint each device's RSA key exactly once
+// (idempotence) without serializing distinct devices' generations behind
+// one lock, and duplicate concurrent requests for the same device must
+// share a single mint.
+func TestProvision_ConcurrentDevices(t *testing.T) {
+	registry := provision.NewRegistry()
+	const devices = 6
+	for d := 0; d < devices; d++ {
+		registry.RegisterDevice(fmt.Sprintf("DEV-%d", d), [16]byte{byte(d)})
+	}
+	srv := provision.NewServer(registry, provision.Policy{}, wvcrypto.NewDeterministicReader("prov-conc"))
+
+	var wg sync.WaitGroup
+	moduli := make([][]string, devices)
+	for d := 0; d < devices; d++ {
+		moduli[d] = make([]string, 3)
+		for r := 0; r < 3; r++ {
+			wg.Add(1)
+			go func(d, r int) {
+				defer wg.Done()
+				req := testRequest("15.0")
+				req.StableID = fmt.Sprintf("DEV-%d", d)
+				if _, err := srv.Provision(req); err != nil {
+					t.Errorf("provision DEV-%d: %v", d, err)
+					return
+				}
+				pub, ok := registry.RSAPublicKey(req.StableID)
+				if !ok {
+					t.Errorf("DEV-%d: no RSA key registered", d)
+					return
+				}
+				moduli[d][r] = pub.N.String()
+			}(d, r)
+		}
+	}
+	wg.Wait()
+	seen := make(map[string]string, devices)
+	for d := 0; d < devices; d++ {
+		if moduli[d][0] == "" {
+			continue // already reported
+		}
+		if moduli[d][1] != moduli[d][0] || moduli[d][2] != moduli[d][0] {
+			t.Errorf("DEV-%d: concurrent provisioning minted multiple RSA keys", d)
+		}
+		if prev, dup := seen[moduli[d][0]]; dup {
+			t.Errorf("DEV-%d shares an RSA modulus with %s", d, prev)
+		}
+		seen[moduli[d][0]] = fmt.Sprintf("DEV-%d", d)
 	}
 }

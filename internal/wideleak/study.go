@@ -143,13 +143,29 @@ type Q4Result struct {
 type Study struct {
 	World *World
 
+	// Concurrency caps the worker pool BuildTable fans app rows out on.
+	// Zero (the default) selects runtime.GOMAXPROCS(0); one forces the
+	// strictly sequential build. The rendered table is byte-identical at
+	// every setting: each app draws from its own deterministic stream.
+	Concurrency int
+
+	// mu guards only the observation map; observation runs themselves are
+	// deduplicated per app by a singleflight guard so Q1–Q3 (and
+	// concurrent callers) share one instrumented playback per app.
 	mu  sync.Mutex
-	obs map[string]*observation
+	obs map[string]*obsEntry
+}
+
+// obsEntry is the per-app singleflight guard around one observation run.
+type obsEntry struct {
+	once sync.Once
+	o    *observation
+	err  error
 }
 
 // NewStudy wraps a world.
 func NewStudy(w *World) *Study {
-	return &Study{World: w, obs: make(map[string]*observation)}
+	return &Study{World: w, obs: make(map[string]*obsEntry)}
 }
 
 // ResetObservations drops cached monitored playbacks so the next question
@@ -158,7 +174,7 @@ func NewStudy(w *World) *Study {
 func (s *Study) ResetObservations() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.obs = make(map[string]*observation)
+	s.obs = make(map[string]*obsEntry)
 }
 
 // observation caches one app's monitored playbacks (shared across Q1-Q3).
@@ -180,12 +196,18 @@ type observation struct {
 // Netflix path.
 func (s *Study) observe(app string) (*observation, error) {
 	s.mu.Lock()
-	if o, ok := s.obs[app]; ok {
-		s.mu.Unlock()
-		return o, nil
+	e, ok := s.obs[app]
+	if !ok {
+		e = &obsEntry{}
+		s.obs[app] = e
 	}
 	s.mu.Unlock()
+	e.once.Do(func() { e.o, e.err = s.runObservation(app) })
+	return e.o, e.err
+}
 
+// runObservation performs the actual instrumented playbacks for one app.
+func (s *Study) runObservation(app string) (*observation, error) {
 	f, err := s.World.Fixture(app)
 	if err != nil {
 		return nil, err
@@ -209,10 +231,6 @@ func (s *Study) observe(app string) (*observation, error) {
 	monL3.Detach()
 
 	o.mpd, o.cdnHost = recoverManifest(o.l3Exchanges, monL3Dumps(o.l3Events))
-
-	s.mu.Lock()
-	s.obs[app] = o
-	s.mu.Unlock()
 	return o, nil
 }
 

@@ -2,7 +2,10 @@ package wideleak
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Row is one app's line of Table I.
@@ -23,15 +26,76 @@ type Table struct {
 }
 
 // BuildTable runs every research question for every app and assembles
-// Table I.
+// Table I. It fans rows out over Study.Concurrency workers (default
+// runtime.GOMAXPROCS(0)); the result is byte-identical to the sequential
+// build because every app draws from its own deterministic rand stream.
 func (s *Study) BuildTable() (*Table, error) {
-	t := &Table{}
-	for _, p := range s.World.Profiles() {
-		row, err := s.buildRow(p.Name)
-		if err != nil {
-			return nil, fmt.Errorf("wideleak: row %s: %w", p.Name, err)
+	return s.BuildTableParallel(s.Concurrency)
+}
+
+// BuildTableParallel assembles Table I with up to parallelism app rows in
+// flight at once (<= 0 selects runtime.GOMAXPROCS(0), 1 is the sequential
+// build). Rows are reassembled in profile order, and the first error in
+// profile order is propagated; remaining rows are not started once any
+// worker has failed.
+func (s *Study) BuildTableParallel(parallelism int) (*Table, error) {
+	profiles := s.World.Profiles()
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(profiles) {
+		parallelism = len(profiles)
+	}
+
+	if parallelism <= 1 {
+		t := &Table{}
+		for _, p := range profiles {
+			row, err := s.buildRow(p.Name)
+			if err != nil {
+				return nil, fmt.Errorf("wideleak: row %s: %w", p.Name, err)
+			}
+			t.Rows = append(t.Rows, *row)
 		}
-		t.Rows = append(t.Rows, *row)
+		return t, nil
+	}
+
+	rows := make([]*Row, len(profiles))
+	errs := make([]error, len(profiles))
+	var failed atomic.Bool
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(parallelism)
+	for i := 0; i < parallelism; i++ {
+		go func() {
+			defer wg.Done()
+			for idx := range next {
+				rows[idx], errs[idx] = s.buildRow(profiles[idx].Name)
+				if errs[idx] != nil {
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	for i := range profiles {
+		if failed.Load() {
+			break
+		}
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	t := &Table{Rows: make([]Row, 0, len(profiles))}
+	for i, p := range profiles {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("wideleak: row %s: %w", p.Name, errs[i])
+		}
+		if rows[i] == nil {
+			// Rows are fed in profile order, so a skipped row can only sit
+			// after a failed one — which returned above. Guard anyway.
+			return nil, fmt.Errorf("wideleak: row %s: build skipped", p.Name)
+		}
+		t.Rows = append(t.Rows, *rows[i])
 	}
 	return t, nil
 }

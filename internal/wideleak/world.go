@@ -11,8 +11,10 @@
 package wideleak
 
 import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
-	"io"
 	"sync"
 
 	"repro/internal/device"
@@ -27,17 +29,33 @@ const ContentID = "movie-1"
 
 // World is the full experimental setup: ten OTT deployments on a shared
 // network, a device factory, and per-app device/app fixtures built lazily.
+//
+// Every randomness consumer gets its own stream forked from the world seed
+// by stable label, so the world's material is identical regardless of the
+// order (or concurrency) in which fixtures are built.
 type World struct {
 	Network  *netsim.Network
 	Registry *provision.Registry
 	Factory  *device.Factory
 
-	rand        io.Reader
-	profiles    []ott.Profile
+	root     *wvcrypto.DeterministicReader
+	profiles []ott.Profile
+
 	deployments map[string]*ott.Deployment
 
+	// mu guards only the fixtures map; fixture construction itself runs
+	// under a per-app once-guard so concurrent callers building different
+	// apps never serialize.
 	mu       sync.Mutex
-	fixtures map[string]*AppFixture
+	fixtures map[string]*fixtureEntry
+}
+
+// fixtureEntry is the per-app build guard: concurrent Fixture calls for the
+// same app share one build, calls for different apps proceed in parallel.
+type fixtureEntry struct {
+	once sync.Once
+	f    *AppFixture
+	err  error
 }
 
 // AppFixture is one app's device set: the modern L1 phone, a modern
@@ -56,23 +74,24 @@ type AppFixture struct {
 
 // NewWorld builds the deployments for the given profiles (defaulting to the
 // paper's ten apps when profiles is nil). The seed makes the whole world
-// reproducible.
+// reproducible: every deployment and fixture draws from a stream forked
+// from the seed by stable label, never from a shared cursor.
 func NewWorld(seed string, profiles []ott.Profile) (*World, error) {
 	if profiles == nil {
 		profiles = ott.Profiles()
 	}
-	rand := wvcrypto.NewDeterministicReader("wideleak-world-" + seed)
+	root := wvcrypto.NewDeterministicReader("wideleak-world-" + seed)
 	w := &World{
 		Network:     netsim.NewNetwork(),
 		Registry:    provision.NewRegistry(),
-		rand:        rand,
+		root:        root,
 		profiles:    profiles,
 		deployments: make(map[string]*ott.Deployment, len(profiles)),
-		fixtures:    make(map[string]*AppFixture, len(profiles)),
+		fixtures:    make(map[string]*fixtureEntry, len(profiles)),
 	}
-	w.Factory = device.NewFactory(w.Registry, rand)
+	w.Factory = device.NewFactory(w.Registry, root.Fork("factory"))
 	for _, p := range profiles {
-		dep, err := ott.NewDeployment(p, []string{ContentID}, w.Registry, w.Network, rand)
+		dep, err := ott.NewDeployment(p, []string{ContentID}, w.Registry, w.Network, root.Fork("deploy/"+p.Name))
 		if err != nil {
 			return nil, fmt.Errorf("wideleak: deploy %s: %w", p.Name, err)
 		}
@@ -87,13 +106,25 @@ func (w *World) Profiles() []ott.Profile { return w.profiles }
 // Deployment returns one app's backend.
 func (w *World) Deployment(app string) *ott.Deployment { return w.deployments[app] }
 
-// Fixture lazily builds one app's device set.
+// Fixture lazily builds one app's device set. Concurrent calls for the same
+// app share a single build; calls for different apps run fully in parallel
+// (fixture minting is the study's RSA-heavy phase, so this is the
+// scalability pivot for parallel table construction).
 func (w *World) Fixture(app string) (*AppFixture, error) {
 	w.mu.Lock()
-	defer w.mu.Unlock()
-	if f, ok := w.fixtures[app]; ok {
-		return f, nil
+	e, ok := w.fixtures[app]
+	if !ok {
+		e = &fixtureEntry{}
+		w.fixtures[app] = e
 	}
+	w.mu.Unlock()
+	e.once.Do(func() { e.f, e.err = w.buildFixture(app) })
+	return e.f, e.err
+}
+
+// buildFixture manufactures one app's three devices and installs the app on
+// each, drawing every byte of randomness from the app's own forked stream.
+func (w *World) buildFixture(app string) (*AppFixture, error) {
 	var profile *ott.Profile
 	for i := range w.profiles {
 		if w.profiles[i].Name == app {
@@ -105,32 +136,80 @@ func (w *World) Fixture(app string) (*AppFixture, error) {
 		return nil, fmt.Errorf("wideleak: unknown app %q", app)
 	}
 
+	rand := w.root.Fork("fixture/" + app)
+	factory := w.Factory.WithRand(rand)
+
 	short := shortName(app)
-	pixel, err := w.Factory.MakePixel("PX-" + short)
+	pixel, err := factory.MakePixel("PX-" + short)
 	if err != nil {
 		return nil, err
 	}
-	l3, err := w.Factory.MakeL3Phone("L3-" + short)
+	l3, err := factory.MakeL3Phone("L3-" + short)
 	if err != nil {
 		return nil, err
 	}
-	nexus5, err := w.Factory.MakeNexus5("N5-" + short)
+	nexus5, err := factory.MakeNexus5("N5-" + short)
 	if err != nil {
 		return nil, err
 	}
 	f := &AppFixture{Profile: *profile, PixelDevice: pixel, L3Device: l3, Nexus5Device: nexus5}
 
-	if f.PixelApp, err = ott.Install(*profile, pixel, w.Network, w.Registry, w.rand); err != nil {
+	if f.PixelApp, err = ott.Install(*profile, pixel, w.Network, w.Registry, rand); err != nil {
 		return nil, err
 	}
-	if f.L3App, err = ott.Install(*profile, l3, w.Network, w.Registry, w.rand); err != nil {
+	if f.L3App, err = ott.Install(*profile, l3, w.Network, w.Registry, rand); err != nil {
 		return nil, err
 	}
-	if f.Nexus5App, err = ott.Install(*profile, nexus5, w.Network, w.Registry, w.rand); err != nil {
+	if f.Nexus5App, err = ott.Install(*profile, nexus5, w.Network, w.Registry, rand); err != nil {
 		return nil, err
 	}
-	w.fixtures[app] = f
 	return f, nil
+}
+
+// WarmFixtures pre-builds every app's fixture on a bounded worker pool,
+// so a subsequent table build (or any per-question run) finds all device
+// material minted. parallelism <= 0 selects one worker per app. The first
+// error in profile order is returned; ctx cancellation stops workers from
+// picking up further apps.
+func (w *World) WarmFixtures(ctx context.Context, parallelism int) error {
+	apps := w.profiles
+	if parallelism <= 0 || parallelism > len(apps) {
+		parallelism = len(apps)
+	}
+	if parallelism == 0 {
+		return nil
+	}
+	errs := make([]error, len(apps))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(parallelism)
+	for i := 0; i < parallelism; i++ {
+		go func() {
+			defer wg.Done()
+			for idx := range next {
+				_, errs[idx] = w.Fixture(apps[idx].Name)
+			}
+		}()
+	}
+feed:
+	for i := range apps {
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("wideleak: warm fixture %s: %w", apps[i].Name, err)
+		}
+	}
+	return nil
 }
 
 // AttackerClient returns a fresh unpinned network client — the attacker's
@@ -139,7 +218,10 @@ func (w *World) AttackerClient() *netsim.Client {
 	return netsim.NewClient(w.Network)
 }
 
-// shortName compresses an app name into a serial-safe token.
+// shortName compresses an app name into a serial-safe token: up to eight
+// alphanumeric characters plus a stable hash suffix of the full name, so
+// apps sharing an eight-character prefix ("Disney+ Originals" vs
+// "Disney+ Kids") still mint distinct device serials.
 func shortName(app string) string {
 	out := make([]byte, 0, 8)
 	for _, c := range app {
@@ -150,5 +232,6 @@ func shortName(app string) string {
 			break
 		}
 	}
-	return string(out)
+	sum := sha256.Sum256([]byte(app))
+	return string(out) + "-" + hex.EncodeToString(sum[:2])
 }

@@ -28,6 +28,25 @@ func NewDeterministicReader(label string) *DeterministicReader {
 	return &DeterministicReader{seed: sha256.Sum256([]byte(label))}
 }
 
+// Fork derives an independent child stream, HKDF-style: the child's seed is
+// a hash of the parent's seed and the label, with a domain separator so
+// forked seeds can never collide with the parent's counter-mode blocks.
+//
+// The child depends only on the parent's *seed* — not on how many bytes
+// have already been read from the parent — so forking is stable regardless
+// of consumption order. That property is what lets one world seed fan out
+// into per-app streams that stay identical whether fixtures are built
+// sequentially or concurrently.
+func (r *DeterministicReader) Fork(label string) *DeterministicReader {
+	h := sha256.New()
+	h.Write(r.seed[:])
+	h.Write([]byte("/fork/"))
+	h.Write([]byte(label))
+	child := &DeterministicReader{}
+	h.Sum(child.seed[:0])
+	return child
+}
+
 // Read fills p with the next bytes of the deterministic stream. It never
 // fails.
 func (r *DeterministicReader) Read(p []byte) (int, error) {

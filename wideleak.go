@@ -14,6 +14,14 @@
 //	table, err := study.BuildTable()
 //	fmt.Print(table.Render())
 //
+// BuildTable fans app rows out over Study.Concurrency workers (default
+// runtime.GOMAXPROCS(0)); set Concurrency to 1 for a strictly sequential
+// pass or call study.BuildTableParallel(n) for an explicit worker count.
+// Every app draws from its own deterministic rand stream forked from the
+// world seed, so the rendered table is byte-identical at every
+// parallelism level. World.WarmFixtures pre-builds all device fixtures on
+// a bounded pool when the minting cost should be paid up front.
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-vs-measured record of every table and figure.
 package wideleak

@@ -2,13 +2,17 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench check study impact report clean
+# Per-target budget for the native fuzz pass wired into check.
+FUZZTIME ?= 5s
+
+.PHONY: all build vet test race bench fuzz chaos check study impact report clean
 
 all: build vet test
 
 # check is the full verification gate: build, vet, plain tests, the race
-# detector, and a benchmark pass recording BENCH_tableI.json.
-check: build vet test race bench
+# detector, a benchmark pass recording BENCH_tableI.json, and a short
+# native-fuzz pass over the attacker-facing parsers.
+check: build vet test race bench fuzz
 
 build:
 	$(GO) build ./...
@@ -30,6 +34,21 @@ bench:
 	awk 'BEGIN { print "{"; n = 0 } \
 	     /^Benchmark/ { if (n++) printf ",\n"; printf "  \"%s\": %s", $$1, $$3 } \
 	     END { print "\n}" }' BENCH_tableI.txt > BENCH_tableI.json
+
+# fuzz runs the native fuzz targets over the parsers that consume
+# attacker-controlled bytes, each for FUZZTIME (go permits one -fuzz
+# pattern per invocation, hence the three runs).
+fuzz:
+	$(GO) test ./internal/dash -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/mp4 -run '^$$' -fuzz '^FuzzParseInitSegment$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/mp4 -run '^$$' -fuzz '^FuzzParseMediaSegment$$' -fuzztime $(FUZZTIME)
+
+# chaos runs the fault-injection suite under the race detector: for the
+# five fixed seeds, Table I under transient faults must render
+# byte-identical to the fault-free run, and dead hosts must degrade to
+# annotated cells instead of failing the table.
+chaos:
+	$(GO) test -race -count=1 -run 'TestChaos|TestFault|TestRetry|TestBackoff|TestPlayback' ./internal/wideleak ./internal/netsim ./internal/ott
 
 # Reproduce Table I and check it against the paper.
 study:

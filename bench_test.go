@@ -152,6 +152,44 @@ func BenchmarkTableI_Full(b *testing.B) {
 	}
 }
 
+// BenchmarkTableI_Full_Faulty is BenchmarkTableI_Full under a 25%
+// transient fault plan: the retry overhead (extra attempts, virtual-clock
+// backoff, jitter draws) of a full study pass. The table must still match
+// the paper — faults are masked, not tolerated-by-luck.
+func BenchmarkTableI_Full_Faulty(b *testing.B) {
+	w, err := iwl.NewWorld("bench-faulty", nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w.InstallFaults(iwl.FaultSpec{Seed: "bench", Default: iwl.TransientFaults(0.25)})
+	s := iwl.NewStudy(w)
+	s.Concurrency = 1
+	// Warm fixtures and lazy device provisioning (the RSA phase) outside
+	// timing with one discarded pass, so iterations measure the same
+	// steady state as BenchmarkTableI_Full — plus the fault/retry work.
+	if err := w.WarmFixtures(context.Background(), runtime.GOMAXPROCS(0)); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.BuildTable(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ResetObservations()
+		table, err := s.BuildTable()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if diffs := table.Diff(iwl.PaperTable()); len(diffs) != 0 {
+			b.Fatalf("faulty table diverged from paper: %v", diffs)
+		}
+	}
+	if w.FaultPlan().Stats().Total() == 0 {
+		b.Fatal("no faults injected")
+	}
+}
+
 // benchColdTable measures one complete study from scratch — world build,
 // per-app device minting and provisioning (the 2048-bit RSA phase), every
 // observation, and table assembly — at the given row parallelism. This is

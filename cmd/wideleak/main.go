@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	wideleak [-seed s] [-impact] [-diff] [-app name] [-parallel n]
+//	wideleak [-seed s] [-impact] [-diff] [-app name] [-parallel n] [-faults rate] [-fault-seed s]
 package main
 
 import (
@@ -34,11 +34,16 @@ func run(args []string) error {
 	format := fs.String("format", "text", "output format: text, csv, json")
 	reportPath := fs.String("report", "", "write a full markdown report (table + impact + forgery) to this file")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "app rows built concurrently (1 = sequential; output is identical at any setting)")
+	faults := fs.Float64("faults", 0, "transient fault rate in [0,1) injected per connection attempt (0 = perfect network; retries mask the faults, so output is identical)")
+	faultSeed := fs.String("fault-seed", "chaos", "fault schedule seed (same seeds reproduce the same faults)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *parallel < 1 {
 		return fmt.Errorf("-parallel must be >= 1, got %d", *parallel)
+	}
+	if *faults < 0 || *faults >= 1 {
+		return fmt.Errorf("-faults must be in [0,1), got %g", *faults)
 	}
 
 	profiles := wideleak.Profiles()
@@ -61,6 +66,12 @@ func run(args []string) error {
 	}
 	study := wideleak.NewStudy(world)
 	study.Concurrency = *parallel
+	if *faults > 0 {
+		world.InstallFaults(wideleak.FaultSpec{
+			Seed:    *faultSeed,
+			Default: wideleak.TransientFaults(*faults),
+		})
+	}
 
 	if *reportPath != "" {
 		report, err := study.BuildReport()

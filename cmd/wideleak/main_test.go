@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -40,6 +41,55 @@ func TestRun_ParallelFlag(t *testing.T) {
 	if err := run([]string{"-app", "Showtime", "-parallel", "0"}); err == nil ||
 		!strings.Contains(err.Error(), "-parallel") {
 		t.Fatalf("err = %v", err)
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and returns
+// what it printed.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	fnErr := fn()
+	w.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fnErr != nil {
+		t.Fatal(fnErr)
+	}
+	return string(out)
+}
+
+func TestRun_FaultFlagValidation(t *testing.T) {
+	for _, bad := range []string{"-0.1", "1", "1.5"} {
+		if err := run([]string{"-app", "Showtime", "-faults", bad}); err == nil ||
+			!strings.Contains(err.Error(), "-faults") {
+			t.Errorf("-faults %s: err = %v", bad, err)
+		}
+	}
+}
+
+// TestRun_FaultsInvariantOutput is the CLI-level invariance check: the
+// same seed with and without transient fault injection prints the exact
+// same bytes.
+func TestRun_FaultsInvariantOutput(t *testing.T) {
+	args := []string{"-app", "Showtime", "-format", "csv", "-diff=false"}
+	clean := captureStdout(t, func() error { return run(args) })
+	faulty := captureStdout(t, func() error {
+		return run(append(args, "-faults", "0.25", "-fault-seed", "cli-chaos"))
+	})
+	if clean != faulty {
+		t.Errorf("output diverged under -faults:\n--- clean ---\n%s--- faulty ---\n%s", clean, faulty)
+	}
+	if !strings.Contains(clean, "Showtime") {
+		t.Errorf("unexpected output:\n%s", clean)
 	}
 }
 

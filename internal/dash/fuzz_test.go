@@ -23,6 +23,56 @@ func TestParse_NeverPanics(t *testing.T) {
 	}
 }
 
+// validManifest marshals a representative manifest covering the protected
+// and URL-carrying decoder paths — the fuzz seed and mutation base.
+func validManifest(t interface{ Fatal(...any) }) []byte {
+	valid, err := (&MPD{
+		Profiles: "p", Type: "static",
+		Periods: []Period{{AdaptationSets: []AdaptationSet{{
+			ContentType: ContentVideo,
+			ContentProtections: []ContentProtection{{
+				SchemeIDURI: WidevineSchemeIDURI, DefaultKID: "00112233445566778899aabbccddeeff",
+			}},
+			Representations: []Representation{{
+				ID: "v", Bandwidth: 1, Width: 960, Height: 540,
+				BaseURL: "v/",
+				SegmentList: &SegmentList{
+					Initialization: &SegmentURL{SourceURL: "init.mp4"},
+					SegmentURLs:    []SegmentURL{{SourceURL: "s1.m4s"}},
+				},
+			}},
+		}}}},
+	}).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return valid
+}
+
+// FuzzParse is the native fuzz target over the same attack surface: run
+// via `make fuzz` (short budget) or `go test -fuzz FuzzParse ./internal/dash`.
+func FuzzParse(f *testing.F) {
+	valid := validManifest(f)
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("<MPD>"))
+	f.Add(valid[:len(valid)/2])
+	f.Add(append(append([]byte(nil), valid...), "<extra></extra>"...))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Parse(data)
+		if err != nil {
+			return
+		}
+		// Whatever parsed must survive the analysis helpers.
+		m.AllURLs()
+		m.KeyUsage()
+		_, _ = m.FindAdaptationSet(ContentVideo, "")
+		if _, err := m.Marshal(); err != nil {
+			t.Errorf("parsed manifest does not re-marshal: %v", err)
+		}
+	})
+}
+
 // Mutations of a valid manifest exercise deeper decoder paths.
 func TestParse_MutatedManifestNeverPanics(t *testing.T) {
 	valid, err := (&MPD{

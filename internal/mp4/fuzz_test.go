@@ -101,6 +101,72 @@ func TestParseMediaSegment_NeverPanics(t *testing.T) {
 	}
 }
 
+// validInit and validMedia marshal representative documents as fuzz
+// corpus seeds (protected video init, two-sample encrypted segment).
+func validInit() []byte {
+	return (&InitSegment{Track: TrackInfo{
+		TrackID: 1, Handler: HandlerVideo, Codec: "avc1", Timescale: 90000,
+		Width: 960, Height: 540,
+		Protection: &ProtectionInfo{
+			Scheme: SchemeCENC, DefaultKID: [16]byte{1},
+			PSSH: []PSSH{{SystemID: WidevineSystemID, KIDs: [][16]byte{{1}}, Data: []byte("d")}},
+		},
+	}}).Marshal()
+}
+
+func validMedia(t interface{ Fatal(...any) }) []byte {
+	valid, err := (&MediaSegment{
+		SequenceNumber: 1, TrackID: 1,
+		SampleData: [][]byte{make([]byte, 64), make([]byte, 32)},
+		Encryption: &SampleEncryption{Entries: []SampleEncryptionEntry{
+			{IV: [8]byte{1}, Subsamples: []SubsampleEntry{{ClearBytes: 4, ProtectedBytes: 60}}},
+			{IV: [8]byte{2}, Subsamples: []SubsampleEntry{{ClearBytes: 4, ProtectedBytes: 28}}},
+		}},
+	}).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return valid
+}
+
+// FuzzParseInitSegment is the native fuzz target for the init-segment
+// parser; run via `make fuzz` or `go test -fuzz FuzzParseInitSegment`.
+func FuzzParseInitSegment(f *testing.F) {
+	valid := validInit()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("ftypmoov"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		init, err := ParseInitSegment(data)
+		if err != nil {
+			return
+		}
+		// Downstream consumers read these without re-validating.
+		_ = init.Track.Protection
+		_, _ = IsProtected(data)
+	})
+}
+
+// FuzzParseMediaSegment is the native fuzz target for the media-segment
+// parser.
+func FuzzParseMediaSegment(f *testing.F) {
+	valid := validMedia(f)
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("moofmdat"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		seg, err := ParseMediaSegment(data)
+		if err != nil {
+			return
+		}
+		if len(seg.SampleData) > 0 {
+			_, _ = seg.Marshal()
+		}
+	})
+}
+
 func TestLeafParsers_NeverPanic(t *testing.T) {
 	neverPanics(t, "ParseFileType", func(b []byte) { _, _ = ParseFileType(b) })
 	neverPanics(t, "ParseMovieHeader", func(b []byte) { _, _ = ParseMovieHeader(b) })

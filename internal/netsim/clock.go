@@ -1,0 +1,81 @@
+package netsim
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Clock abstracts waiting so injected latency and retry backoff can run on
+// a virtual timeline (tests, the simulated study) or the wall clock
+// (interactive use). Now reports time elapsed on the clock's own timeline
+// since it was created.
+type Clock interface {
+	Now() time.Duration
+	// Sleep blocks for d or until ctx is done, returning ctx.Err() in the
+	// latter case.
+	Sleep(ctx context.Context, d time.Duration) error
+}
+
+// RealClock ticks with the wall clock.
+type RealClock struct {
+	start time.Time
+}
+
+// NewRealClock returns a wall clock whose Now starts at zero.
+func NewRealClock() *RealClock {
+	return &RealClock{start: time.Now()}
+}
+
+// Now reports wall time elapsed since the clock was created.
+func (c *RealClock) Now() time.Duration { return time.Since(c.start) }
+
+// Sleep waits in real time, honouring context cancellation.
+func (c *RealClock) Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
+	}
+}
+
+// VirtualClock is a simulated timeline: Sleep advances it instantly, so a
+// study run that "waits" through thousands of injected latencies and
+// backoffs still completes in real milliseconds, while the accumulated
+// virtual time remains observable via Now.
+type VirtualClock struct {
+	mu  sync.Mutex
+	now time.Duration
+}
+
+// NewVirtualClock returns a virtual clock at time zero.
+func NewVirtualClock() *VirtualClock {
+	return &VirtualClock{}
+}
+
+// Now reports the accumulated virtual time.
+func (c *VirtualClock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Sleep advances the virtual timeline by d without blocking.
+func (c *VirtualClock) Sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if d <= 0 {
+		return nil
+	}
+	c.mu.Lock()
+	c.now += d
+	c.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,264 @@
+// Deterministic fault injection. The paper's measurements ran against
+// real, flaky networks — license servers timing out, CDNs throttling,
+// provisioning calls dying mid-study — while the simulator's network is
+// perfect. A FaultPlan puts that flakiness back, reproducibly: every
+// fault decision is drawn from a per-host deterministic stream forked
+// from one seed, so a given seed yields the exact same fault schedule on
+// every run, at any concurrency.
+package netsim
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/wvcrypto"
+)
+
+// Injected transport faults. All three are transient by construction
+// (bounded bursts, see FaultProfile.MaxConsecutive) and retryable —
+// unlike ErrPinMismatch, which is a deterministic finding, not a flake.
+var (
+	// ErrConnDropped is an injected connection drop: the TCP session died
+	// before any application bytes moved.
+	ErrConnDropped = errors.New("netsim: connection dropped")
+	// ErrServerBusy is an injected application-layer 503: the backend
+	// accepted the connection, then shed the request.
+	ErrServerBusy = errors.New("netsim: server busy (503)")
+	// ErrHandshakeFlap is an injected TLS handshake interruption — the
+	// connection flapped before certificate verification completed, so no
+	// pin decision was ever made.
+	ErrHandshakeFlap = errors.New("netsim: handshake flapped")
+)
+
+// FaultKind identifies one injected fault.
+type FaultKind int
+
+// Fault kinds, in the order they strike a connection attempt: a drop or
+// flap kills it outright, latency delays it, a busy reply sheds it after
+// the handshake (and pin check) completed.
+const (
+	FaultNone FaultKind = iota
+	FaultDrop
+	FaultBusy
+	FaultFlap
+	FaultLatency
+)
+
+// DefaultMaxConsecutive bounds transient fault bursts per host: after
+// this many back-to-back failures the next attempt passes through, which
+// guarantees any retry policy allowing MaxConsecutive+1 attempts masks
+// every transient fault.
+const DefaultMaxConsecutive = 3
+
+// FaultProfile configures the fault mix for a host (or, as a plan's
+// default, for every host). Rates are per connection attempt in [0,1).
+type FaultProfile struct {
+	// DropRate, BusyRate and FlapRate select the failure injected on an
+	// attempt; their sum must stay below 1.
+	DropRate float64
+	BusyRate float64
+	FlapRate float64
+
+	// LatencyRate adds Latency of virtual-clock delay to an attempt.
+	// Latency never fails a request and does not count toward bursts.
+	LatencyRate float64
+	Latency     time.Duration
+
+	// MaxConsecutive caps the failure burst length (0 selects
+	// DefaultMaxConsecutive). Keep it below the consumer's retry budget
+	// and transient faults can never change an outcome.
+	MaxConsecutive int
+
+	// Permanent marks the host dead: every attempt drops, with no burst
+	// cap. Retries exhaust and the failure surfaces to the caller — the
+	// study reports it as an annotated cell.
+	Permanent bool
+}
+
+// zero reports whether the profile injects nothing.
+func (fp FaultProfile) zero() bool {
+	return !fp.Permanent && fp.DropRate == 0 && fp.BusyRate == 0 &&
+		fp.FlapRate == 0 && fp.LatencyRate == 0
+}
+
+// FaultStats counts injected faults, for tests that must prove a run was
+// actually perturbed (an invariance check against zero faults is vacuous).
+type FaultStats struct {
+	Drops     int
+	Busies    int
+	Flaps     int
+	Latencies int
+}
+
+// Total sums every injected failure (latency excluded: it delays, it
+// doesn't fail).
+func (s FaultStats) Total() int { return s.Drops + s.Busies + s.Flaps }
+
+// FaultPlan is a deterministic fault schedule over a network's hosts.
+// Each host draws from its own stream forked by hostname, so the schedule
+// a host sees depends only on the plan seed and that host's own request
+// sequence — never on scheduling order across hosts.
+type FaultPlan struct {
+	clock Clock
+
+	mu      sync.Mutex
+	rand    *wvcrypto.DeterministicReader
+	def     FaultProfile
+	perHost map[string]FaultProfile
+	state   map[string]*hostFaultState
+	stats   FaultStats
+}
+
+// hostFaultState is one host's stream cursor and burst counter.
+type hostFaultState struct {
+	mu          sync.Mutex
+	rand        *wvcrypto.DeterministicReader
+	consecutive int
+}
+
+// NewFaultPlan builds a plan drawing from the given deterministic stream
+// (conventionally the world's root.Fork("faults")), applying def to every
+// host without an explicit profile. Latency runs on a virtual clock until
+// SetClock overrides it.
+func NewFaultPlan(rand *wvcrypto.DeterministicReader, def FaultProfile) *FaultPlan {
+	return &FaultPlan{
+		clock:   NewVirtualClock(),
+		rand:    rand,
+		def:     def,
+		perHost: make(map[string]FaultProfile),
+		state:   make(map[string]*hostFaultState),
+	}
+}
+
+// SetClock replaces the clock injected latency is charged to.
+func (p *FaultPlan) SetClock(c Clock) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.clock = c
+}
+
+// SetHostProfile overrides the fault mix for one host.
+func (p *FaultPlan) SetHostProfile(host string, fp FaultProfile) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.perHost[host] = fp
+}
+
+// Stats returns a snapshot of the injected-fault counters.
+func (p *FaultPlan) Stats() FaultStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// profileFor resolves the effective profile for a host.
+func (p *FaultPlan) profileFor(host string) FaultProfile {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if fp, ok := p.perHost[host]; ok {
+		return fp
+	}
+	return p.def
+}
+
+// hostState returns (minting on first use) the host's stream cursor. The
+// stream is forked from the plan seed by hostname, so it is identical
+// regardless of which host is contacted first.
+func (p *FaultPlan) hostState(host string) *hostFaultState {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st, ok := p.state[host]
+	if !ok {
+		st = &hostFaultState{rand: p.rand.Fork("host/" + host)}
+		p.state[host] = st
+	}
+	return st
+}
+
+// count bumps one stats counter.
+func (p *FaultPlan) count(kind FaultKind) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch kind {
+	case FaultDrop:
+		p.stats.Drops++
+	case FaultBusy:
+		p.stats.Busies++
+	case FaultFlap:
+		p.stats.Flaps++
+	case FaultLatency:
+		p.stats.Latencies++
+	}
+}
+
+// decide draws the fault for one connection attempt to host. It returns
+// the failure to inject (FaultNone to let the attempt through) and any
+// virtual latency to charge first.
+func (p *FaultPlan) decide(host string) (FaultKind, time.Duration) {
+	fp := p.profileFor(host)
+	if fp.Permanent {
+		p.count(FaultDrop)
+		return FaultDrop, 0
+	}
+	if fp.zero() {
+		return FaultNone, 0
+	}
+
+	st := p.hostState(host)
+	st.mu.Lock()
+	// Two draws per attempt — failure and latency — so the per-host
+	// stream advances identically whatever the profile selects.
+	fail := drawUnit(st.rand)
+	lat := drawUnit(st.rand)
+
+	maxBurst := fp.MaxConsecutive
+	if maxBurst <= 0 {
+		maxBurst = DefaultMaxConsecutive
+	}
+	kind := FaultNone
+	switch {
+	case st.consecutive >= maxBurst:
+		// Burst cap reached: force a pass-through so retries are
+		// guaranteed to mask the burst.
+	case fail < fp.DropRate:
+		kind = FaultDrop
+	case fail < fp.DropRate+fp.BusyRate:
+		kind = FaultBusy
+	case fail < fp.DropRate+fp.BusyRate+fp.FlapRate:
+		kind = FaultFlap
+	}
+	if kind == FaultNone {
+		st.consecutive = 0
+	} else {
+		st.consecutive++
+	}
+	st.mu.Unlock()
+
+	var latency time.Duration
+	if fp.Latency > 0 && lat < fp.LatencyRate {
+		latency = fp.Latency
+		p.count(FaultLatency)
+	}
+	if kind != FaultNone {
+		p.count(kind)
+	}
+	return kind, latency
+}
+
+// sleep charges injected latency to the plan's clock.
+func (p *FaultPlan) sleep(ctx context.Context, d time.Duration) error {
+	p.mu.Lock()
+	clock := p.clock
+	p.mu.Unlock()
+	return clock.Sleep(ctx, d)
+}
+
+// drawUnit reads 8 bytes from the stream and maps them to [0,1).
+func drawUnit(r *wvcrypto.DeterministicReader) float64 {
+	var b [8]byte
+	_, _ = r.Read(b[:]) // DeterministicReader never fails
+	return float64(binary.BigEndian.Uint64(b[:])>>11) / (1 << 53)
+}

@@ -1,0 +1,311 @@
+package netsim
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/wvcrypto"
+)
+
+// faultyNetwork registers two echo hosts and installs a fault plan with
+// the given default profile, seeded from the label.
+func faultyNetwork(seed string, def FaultProfile) (*Network, *FaultPlan) {
+	n := NewNetwork()
+	for _, host := range []string{"api.example", "cdn.example"} {
+		host := host
+		n.RegisterHost(host, func(req Request) (Response, error) {
+			return Response{Status: 200, Body: append([]byte(host+":"), req.Body...)}, nil
+		})
+	}
+	plan := NewFaultPlan(wvcrypto.NewDeterministicReader(seed), def)
+	n.SetFaultPlan(plan)
+	return n, plan
+}
+
+// outcomes records the error sequence a client sees over n requests.
+func outcomes(c *Client, host string, n int) []string {
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		_, err := c.Do(Request{Host: host, Path: "/x"})
+		switch {
+		case err == nil:
+			out = append(out, "ok")
+		case errors.Is(err, ErrConnDropped):
+			out = append(out, "drop")
+		case errors.Is(err, ErrServerBusy):
+			out = append(out, "busy")
+		case errors.Is(err, ErrHandshakeFlap):
+			out = append(out, "flap")
+		default:
+			out = append(out, err.Error())
+		}
+	}
+	return out
+}
+
+func TestFaultPlan_DeterministicSchedule(t *testing.T) {
+	profile := FaultProfile{DropRate: 0.2, BusyRate: 0.2, FlapRate: 0.2}
+	seqFor := func() []string {
+		n, _ := faultyNetwork("fault-seed", profile)
+		return outcomes(NewClient(n), "api.example", 200)
+	}
+	a, b := seqFor(), seqFor()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at request %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+
+	n, _ := faultyNetwork("other-seed", profile)
+	c := outcomes(NewClient(n), "api.example", 200)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("distinct seeds produced identical 200-request schedules")
+	}
+}
+
+func TestFaultPlan_PerHostStreamsIndependent(t *testing.T) {
+	profile := FaultProfile{DropRate: 0.3}
+	// Contact order must not change a host's schedule: cdn-first vs
+	// api-first runs see identical per-host sequences.
+	n1, _ := faultyNetwork("seed", profile)
+	c1 := NewClient(n1)
+	apiFirst := outcomes(c1, "api.example", 50)
+	_ = outcomes(c1, "cdn.example", 50)
+
+	n2, _ := faultyNetwork("seed", profile)
+	c2 := NewClient(n2)
+	_ = outcomes(c2, "cdn.example", 50)
+	apiSecond := outcomes(c2, "api.example", 50)
+
+	for i := range apiFirst {
+		if apiFirst[i] != apiSecond[i] {
+			t.Fatalf("api schedule depends on host contact order at request %d", i)
+		}
+	}
+}
+
+func TestFaultPlan_BurstCapForcesPassThrough(t *testing.T) {
+	// DropRate ~1 would fail forever; the cap must let every
+	// MaxConsecutive+1'th attempt through.
+	n, _ := faultyNetwork("seed", FaultProfile{DropRate: 0.999, MaxConsecutive: 2})
+	seq := outcomes(NewClient(n), "api.example", 30)
+	run := 0
+	oks := 0
+	for i, o := range seq {
+		if o == "ok" {
+			oks++
+			run = 0
+			continue
+		}
+		run++
+		if run > 2 {
+			t.Fatalf("burst of %d consecutive failures at request %d exceeds cap 2", run, i)
+		}
+	}
+	if oks == 0 {
+		t.Fatal("no request ever passed through")
+	}
+}
+
+func TestFaultPlan_PermanentHostAlwaysDrops(t *testing.T) {
+	n, plan := faultyNetwork("seed", FaultProfile{})
+	plan.SetHostProfile("api.example", FaultProfile{Permanent: true})
+	c := NewClient(n)
+	for i := 0; i < 20; i++ {
+		if _, err := c.Do(Request{Host: "api.example"}); !errors.Is(err, ErrConnDropped) {
+			t.Fatalf("request %d: err = %v, want ErrConnDropped", i, err)
+		}
+	}
+	// The other host is untouched.
+	if _, err := c.Do(Request{Host: "cdn.example"}); err != nil {
+		t.Fatalf("healthy host failed: %v", err)
+	}
+	if got := plan.Stats().Drops; got != 20 {
+		t.Errorf("drops = %d, want 20", got)
+	}
+}
+
+func TestFaultPlan_LatencyChargesVirtualClock(t *testing.T) {
+	n, plan := faultyNetwork("seed", FaultProfile{LatencyRate: 1, Latency: 30 * time.Millisecond})
+	clock := NewVirtualClock()
+	plan.SetClock(clock)
+	c := NewClient(n)
+	start := time.Now()
+	for i := 0; i < 100; i++ {
+		if _, err := c.Do(Request{Host: "cdn.example"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if wall := time.Since(start); wall > 2*time.Second {
+		t.Errorf("100 virtual latencies took %v of wall time", wall)
+	}
+	if got, want := clock.Now(), 100*30*time.Millisecond; got != want {
+		t.Errorf("virtual clock = %v, want %v", got, want)
+	}
+	if got := plan.Stats().Latencies; got != 100 {
+		t.Errorf("latency count = %d, want 100", got)
+	}
+	if got := plan.Stats().Total(); got != 0 {
+		t.Errorf("Total() counts latency: %d", got)
+	}
+}
+
+func TestFaultPlan_ZeroProfileInjectsNothing(t *testing.T) {
+	n, plan := faultyNetwork("seed", FaultProfile{})
+	c := NewClient(n)
+	for _, o := range outcomes(c, "api.example", 50) {
+		if o != "ok" {
+			t.Fatalf("zero profile injected %q", o)
+		}
+	}
+	if got := plan.Stats(); got != (FaultStats{}) {
+		t.Errorf("stats = %+v, want zero", got)
+	}
+}
+
+// TestFaultSentinels_Distinct is the table-driven error-path check: each
+// failure mode returns its own sentinel, distinguishable with errors.Is
+// both directly and through the retry wrapper.
+func TestFaultSentinels_Distinct(t *testing.T) {
+	sentinels := []error{ErrConnDropped, ErrServerBusy, ErrHandshakeFlap, ErrPinMismatch, ErrUnknownHost}
+
+	cases := []struct {
+		name      string
+		setup     func() *Client
+		host      string
+		want      error
+		transient bool
+	}{
+		{
+			name: "unknown host",
+			setup: func() *Client {
+				n, _ := faultyNetwork("seed", FaultProfile{})
+				return NewClient(n)
+			},
+			host: "ghost.example",
+			want: ErrUnknownHost,
+		},
+		{
+			name: "pin mismatch",
+			setup: func() *Client {
+				n, _ := faultyNetwork("seed", FaultProfile{})
+				c := NewClient(n)
+				c.Pin("api.example")
+				c.InstallMITM(NewInterceptor())
+				return c
+			},
+			host: "api.example",
+			want: ErrPinMismatch,
+		},
+		{
+			name: "injected drop",
+			setup: func() *Client {
+				n, _ := faultyNetwork("seed", FaultProfile{DropRate: 1, MaxConsecutive: 1 << 30})
+				return NewClient(n)
+			},
+			host:      "api.example",
+			want:      ErrConnDropped,
+			transient: true,
+		},
+		{
+			name: "injected busy",
+			setup: func() *Client {
+				n, _ := faultyNetwork("seed", FaultProfile{BusyRate: 1, MaxConsecutive: 1 << 30})
+				return NewClient(n)
+			},
+			host:      "api.example",
+			want:      ErrServerBusy,
+			transient: true,
+		},
+		{
+			name: "injected flap",
+			setup: func() *Client {
+				n, _ := faultyNetwork("seed", FaultProfile{FlapRate: 1, MaxConsecutive: 1 << 30})
+				return NewClient(n)
+			},
+			host:      "api.example",
+			want:      ErrHandshakeFlap,
+			transient: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := tc.setup()
+			_, err := c.Do(Request{Host: tc.host})
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("err = %v, want %v", err, tc.want)
+			}
+			for _, s := range sentinels {
+				if s != tc.want && errors.Is(err, s) {
+					t.Errorf("err also matches %v", s)
+				}
+			}
+			if got := IsTransient(err); got != tc.transient {
+				t.Errorf("IsTransient = %v, want %v", got, tc.transient)
+			}
+
+			// Through the retry wrapper the sentinel must stay matchable;
+			// transient errors additionally gain ErrRetriesExhausted.
+			c2 := tc.setup()
+			c2.SetRetryPolicy(&RetryPolicy{MaxAttempts: 2, Clock: NewVirtualClock()})
+			_, err = c2.Do(Request{Host: tc.host})
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("through retry wrapper: err = %v, want %v", err, tc.want)
+			}
+			if got := errors.Is(err, ErrRetriesExhausted); got != tc.transient {
+				t.Errorf("through retry wrapper: exhausted = %v, want %v", got, tc.transient)
+			}
+		})
+	}
+}
+
+func TestFaultPlan_FlapRecordsNoExchange(t *testing.T) {
+	// A flap dies before the handshake completes: the interceptor must not
+	// record anything, unlike a busy reply which arrives over an
+	// established connection.
+	n, _ := faultyNetwork("seed", FaultProfile{FlapRate: 1, MaxConsecutive: 1 << 30})
+	c := NewClient(n)
+	mitm := NewInterceptor()
+	c.InstallMITM(mitm)
+	c.DisablePinning()
+	if _, err := c.Do(Request{Host: "api.example"}); !errors.Is(err, ErrHandshakeFlap) {
+		t.Fatal("want flap")
+	}
+	if got := len(mitm.Captured()); got != 0 {
+		t.Errorf("interceptor captured %d exchanges across a flapped handshake", got)
+	}
+
+	n2, _ := faultyNetwork("seed", FaultProfile{BusyRate: 1, MaxConsecutive: 1 << 30})
+	c2 := NewClient(n2)
+	mitm2 := NewInterceptor()
+	c2.InstallMITM(mitm2)
+	c2.DisablePinning()
+	if _, err := c2.Do(Request{Host: "api.example"}); !errors.Is(err, ErrServerBusy) {
+		t.Fatal("want busy")
+	}
+	captured := mitm2.Captured()
+	if len(captured) != 1 || captured[0].Response.Status != 503 {
+		t.Errorf("busy reply not recorded as a 503 exchange: %+v", captured)
+	}
+}
+
+func TestVirtualClock_SleepHonoursContext(t *testing.T) {
+	clock := NewVirtualClock()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := clock.Sleep(ctx, time.Second); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if clock.Now() != 0 {
+		t.Error("cancelled sleep advanced the clock")
+	}
+}

@@ -11,6 +11,7 @@
 package netsim
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"errors"
@@ -45,8 +46,9 @@ type Handler func(req Request) (Response, error)
 
 // Network is the set of reachable hosts.
 type Network struct {
-	mu    sync.RWMutex
-	hosts map[string]hostEntry
+	mu     sync.RWMutex
+	hosts  map[string]hostEntry
+	faults *FaultPlan
 }
 
 type hostEntry struct {
@@ -79,6 +81,22 @@ func (n *Network) lookup(host string) (hostEntry, bool) {
 	defer n.mu.RUnlock()
 	e, ok := n.hosts[host]
 	return e, ok
+}
+
+// SetFaultPlan installs (or, with nil, removes) the network's fault
+// layer. Every client connection attempt consults the plan.
+func (n *Network) SetFaultPlan(p *FaultPlan) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.faults = p
+}
+
+// FaultPlan returns the installed fault layer, nil when the network is
+// perfect.
+func (n *Network) FaultPlan() *FaultPlan {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.faults
 }
 
 // Exchange is one recorded plaintext request/response pair.
@@ -126,6 +144,7 @@ type Client struct {
 	pins           map[string]string
 	mitm           *Interceptor
 	pinningEnabled bool
+	retry          *RetryPolicy
 }
 
 // NewClient builds an app network client over the network. Pinning starts
@@ -168,10 +187,48 @@ func (c *Client) PinningEnabled() bool {
 	return c.pinningEnabled
 }
 
+// SetRetryPolicy installs (or, with nil, removes) the client's retry
+// layer: Do and DoCtx then transparently retry transient transport
+// faults. Deterministic failures (pin mismatch, unknown host, handler
+// errors) are never retried.
+func (c *Client) SetRetryPolicy(p *RetryPolicy) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.retry = p
+}
+
+// RetryPolicy returns the installed retry policy, nil when absent.
+func (c *Client) RetryPolicy() *RetryPolicy {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.retry
+}
+
 // Do performs one exchange, enforcing the pin against whatever certificate
 // the connection presents (the host's, or the interceptor's when a MITM is
-// in the path).
+// in the path). With a retry policy installed, transient injected faults
+// are retried transparently.
 func (c *Client) Do(req Request) (Response, error) {
+	return c.DoCtx(context.Background(), req)
+}
+
+// DoCtx is Do with a context bounding the whole exchange including retry
+// backoff: cancellation or a deadline stops the retry loop.
+func (c *Client) DoCtx(ctx context.Context, req Request) (Response, error) {
+	c.mu.Lock()
+	policy := c.retry
+	c.mu.Unlock()
+	if policy == nil {
+		return c.attempt(ctx, req)
+	}
+	return policy.Do(ctx, func() (Response, error) { return c.attempt(ctx, req) })
+}
+
+// attempt is one connection attempt: fault layer, pin check, handler.
+func (c *Client) attempt(ctx context.Context, req Request) (Response, error) {
+	if err := ctx.Err(); err != nil {
+		return Response{}, err
+	}
 	entry, ok := c.network.lookup(req.Host)
 	if !ok {
 		return Response{}, fmt.Errorf("%w: %q", ErrUnknownHost, req.Host)
@@ -183,6 +240,26 @@ func (c *Client) Do(req Request) (Response, error) {
 	pin, pinned := c.pins[req.Host]
 	c.mu.Unlock()
 
+	// Connection-level faults strike before any certificate is presented;
+	// a flapped handshake dies before the pin check could run.
+	busy := false
+	if plan := c.network.FaultPlan(); plan != nil {
+		kind, latency := plan.decide(req.Host)
+		if latency > 0 {
+			if err := plan.sleep(ctx, latency); err != nil {
+				return Response{}, err
+			}
+		}
+		switch kind {
+		case FaultDrop:
+			return Response{}, fmt.Errorf("%w: host %q", ErrConnDropped, req.Host)
+		case FaultFlap:
+			return Response{}, fmt.Errorf("%w: host %q", ErrHandshakeFlap, req.Host)
+		case FaultBusy:
+			busy = true
+		}
+	}
+
 	presented := entry.cert
 	if mitm != nil {
 		presented = mitm.cert
@@ -190,6 +267,15 @@ func (c *Client) Do(req Request) (Response, error) {
 	if pinning && pinned && presented != pin {
 		return Response{}, fmt.Errorf("%w: host %q presented %s, pinned %s",
 			ErrPinMismatch, req.Host, presented, pin)
+	}
+
+	// An injected 503 is an application-layer reply over an established
+	// (and pin-checked) connection, so an interceptor in the path sees it.
+	if busy {
+		if mitm != nil {
+			mitm.record(Exchange{Request: req, Response: Response{Status: 503}, Err: ErrServerBusy})
+		}
+		return Response{}, fmt.Errorf("%w: host %q", ErrServerBusy, req.Host)
 	}
 
 	resp, err := entry.handler(req)

@@ -1,0 +1,133 @@
+package netsim
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Retry defaults. DefaultMaxAttempts exceeds DefaultMaxConsecutive by
+// enough margin that a default policy is guaranteed to mask any
+// burst-capped transient fault plan.
+const (
+	DefaultMaxAttempts = 5
+	DefaultBaseDelay   = 50 * time.Millisecond
+	DefaultMaxDelay    = 2 * time.Second
+)
+
+// ErrRetriesExhausted wraps the last transient error once every attempt
+// has been spent; errors.Is still matches the underlying fault through it.
+var ErrRetriesExhausted = errors.New("netsim: retries exhausted")
+
+// IsTransient reports whether err is a transport fault worth retrying.
+// Deterministic outcomes — ErrPinMismatch above all, which the paper
+// treats as a finding, never a flake — are excluded, as are handler
+// errors (a 404 stays a 404 however often it is asked).
+func IsTransient(err error) bool {
+	return errors.Is(err, ErrConnDropped) ||
+		errors.Is(err, ErrServerBusy) ||
+		errors.Is(err, ErrHandshakeFlap)
+}
+
+// defaultRetryClock backs policies that did not inject a clock.
+var defaultRetryClock = NewRealClock()
+
+// RetryPolicy retries transient transport faults with capped exponential
+// backoff plus deterministic jitter. The zero value behaves like the
+// defaults with no jitter on the wall clock.
+type RetryPolicy struct {
+	MaxAttempts int           // total attempts (0 → DefaultMaxAttempts)
+	BaseDelay   time.Duration // first backoff (0 → DefaultBaseDelay)
+	MaxDelay    time.Duration // backoff cap (0 → DefaultMaxDelay)
+
+	// Jitter supplies the randomness spreading retries out (nil disables
+	// jitter). Studies pass a forked deterministic stream so runs stay
+	// reproducible.
+	Jitter io.Reader
+	// Clock is what backoff sleeps on (nil → wall clock). Studies pass
+	// the world's virtual clock so retries cost no real time.
+	Clock Clock
+}
+
+// DefaultRetryPolicy returns the shared policy consumers install: default
+// attempt budget and delays, jitter from the given stream, waiting on the
+// given clock.
+func DefaultRetryPolicy(jitter io.Reader, clock Clock) *RetryPolicy {
+	return &RetryPolicy{Jitter: jitter, Clock: clock}
+}
+
+func (p *RetryPolicy) attempts() int {
+	if p.MaxAttempts > 0 {
+		return p.MaxAttempts
+	}
+	return DefaultMaxAttempts
+}
+
+func (p *RetryPolicy) clock() Clock {
+	if p.Clock != nil {
+		return p.Clock
+	}
+	return defaultRetryClock
+}
+
+// Backoff returns the delay before retry number retry (1-based): base
+// doubled per retry, capped at MaxDelay, plus up to half that again of
+// jitter drawn from the policy's stream.
+func (p *RetryPolicy) Backoff(retry int) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = DefaultBaseDelay
+	}
+	maxDelay := p.MaxDelay
+	if maxDelay <= 0 {
+		maxDelay = DefaultMaxDelay
+	}
+	d := base
+	for i := 1; i < retry; i++ {
+		d *= 2
+		if d >= maxDelay {
+			d = maxDelay
+			break
+		}
+	}
+	if d > maxDelay {
+		d = maxDelay
+	}
+	if p.Jitter != nil {
+		var b [8]byte
+		if _, err := io.ReadFull(p.Jitter, b[:]); err == nil {
+			d += time.Duration(binary.BigEndian.Uint64(b[:]) % uint64(d/2+1))
+		}
+	}
+	return d
+}
+
+// Do runs fn until it succeeds, fails non-transiently, the context ends,
+// or the attempt budget is spent — in which case the last transient error
+// is returned wrapped in ErrRetriesExhausted.
+func (p *RetryPolicy) Do(ctx context.Context, fn func() (Response, error)) (Response, error) {
+	attempts := p.attempts()
+	var lastErr error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if attempt > 1 {
+			if err := p.clock().Sleep(ctx, p.Backoff(attempt-1)); err != nil {
+				return Response{}, err
+			}
+		}
+		resp, err := fn()
+		if err == nil {
+			return resp, nil
+		}
+		if !IsTransient(err) {
+			return resp, err
+		}
+		lastErr = err
+		if err := ctx.Err(); err != nil {
+			return Response{}, err
+		}
+	}
+	return Response{}, fmt.Errorf("%w: %d attempts: %w", ErrRetriesExhausted, attempts, lastErr)
+}

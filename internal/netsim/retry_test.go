@@ -1,0 +1,207 @@
+package netsim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/wvcrypto"
+)
+
+func TestRetry_MasksTransientBurst(t *testing.T) {
+	// Fail twice, then succeed: the default policy must absorb the burst.
+	calls := 0
+	p := &RetryPolicy{Clock: NewVirtualClock()}
+	resp, err := p.Do(context.Background(), func() (Response, error) {
+		calls++
+		if calls <= 2 {
+			return Response{}, fmt.Errorf("wrapped: %w", ErrConnDropped)
+		}
+		return Response{Status: 200}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 200 || calls != 3 {
+		t.Errorf("status %d after %d calls", resp.Status, calls)
+	}
+}
+
+func TestRetry_ExhaustionWrapsLastError(t *testing.T) {
+	calls := 0
+	p := &RetryPolicy{MaxAttempts: 3, Clock: NewVirtualClock()}
+	_, err := p.Do(context.Background(), func() (Response, error) {
+		calls++
+		return Response{}, fmt.Errorf("attempt %d: %w", calls, ErrServerBusy)
+	})
+	if calls != 3 {
+		t.Errorf("calls = %d, want 3", calls)
+	}
+	if !errors.Is(err, ErrRetriesExhausted) {
+		t.Errorf("err = %v, want ErrRetriesExhausted", err)
+	}
+	if !errors.Is(err, ErrServerBusy) {
+		t.Errorf("underlying fault not matchable through the wrapper: %v", err)
+	}
+}
+
+// TestRetry_NoRetryOnPinMismatch is the regression test for the core
+// semantic rule: a pin mismatch is the paper's finding — the interceptor
+// was detected — not a transient flake, so exactly one attempt is made.
+func TestRetry_NoRetryOnPinMismatch(t *testing.T) {
+	calls := 0
+	p := &RetryPolicy{Clock: NewVirtualClock()}
+	_, err := p.Do(context.Background(), func() (Response, error) {
+		calls++
+		return Response{}, fmt.Errorf("%w: host %q", ErrPinMismatch, "api.example")
+	})
+	if calls != 1 {
+		t.Fatalf("pin mismatch retried: %d attempts", calls)
+	}
+	if !errors.Is(err, ErrPinMismatch) {
+		t.Errorf("err = %v", err)
+	}
+	if errors.Is(err, ErrRetriesExhausted) {
+		t.Error("deterministic failure reported as retry exhaustion")
+	}
+
+	// End to end: a pinned client behind a MITM fails once, not five times.
+	n := NewNetwork()
+	handlerCalls := 0
+	n.RegisterHost("api.example", func(Request) (Response, error) {
+		handlerCalls++
+		return Response{Status: 200}, nil
+	})
+	c := NewClient(n)
+	c.Pin("api.example")
+	c.InstallMITM(NewInterceptor())
+	c.SetRetryPolicy(&RetryPolicy{Clock: NewVirtualClock()})
+	if _, err := c.Do(Request{Host: "api.example"}); !errors.Is(err, ErrPinMismatch) {
+		t.Fatalf("err = %v", err)
+	}
+	if handlerCalls != 0 {
+		t.Errorf("handler reached %d times across a pin failure", handlerCalls)
+	}
+}
+
+func TestRetry_NoRetryOnHandlerError(t *testing.T) {
+	n := NewNetwork()
+	calls := 0
+	n.RegisterHost("api.example", func(Request) (Response, error) {
+		calls++
+		return Response{}, errors.New("404 not found")
+	})
+	c := NewClient(n)
+	c.SetRetryPolicy(&RetryPolicy{Clock: NewVirtualClock()})
+	if _, err := c.Do(Request{Host: "api.example"}); err == nil {
+		t.Fatal("want error")
+	}
+	if calls != 1 {
+		t.Errorf("handler error retried: %d calls", calls)
+	}
+}
+
+func TestRetry_NoRetryOnUnknownHost(t *testing.T) {
+	c := NewClient(NewNetwork())
+	c.SetRetryPolicy(&RetryPolicy{Clock: NewVirtualClock()})
+	if _, err := c.Do(Request{Host: "ghost.example"}); !errors.Is(err, ErrUnknownHost) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestBackoff_GrowthAndCap(t *testing.T) {
+	p := &RetryPolicy{BaseDelay: 100 * time.Millisecond, MaxDelay: 500 * time.Millisecond}
+	want := []time.Duration{100, 200, 400, 500, 500, 500}
+	for i, w := range want {
+		if got := p.Backoff(i + 1); got != w*time.Millisecond {
+			t.Errorf("Backoff(%d) = %v, want %v", i+1, got, w*time.Millisecond)
+		}
+	}
+}
+
+func TestBackoff_DeterministicJitter(t *testing.T) {
+	seq := func() []time.Duration {
+		p := &RetryPolicy{Jitter: wvcrypto.NewDeterministicReader("jitter-seed")}
+		out := make([]time.Duration, 6)
+		for i := range out {
+			out[i] = p.Backoff(i + 1)
+		}
+		return out
+	}
+	a, b := seq(), seq()
+	varied := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("jittered backoff not reproducible at retry %d: %v vs %v", i+1, a[i], b[i])
+		}
+		base := &RetryPolicy{}
+		if a[i] != base.Backoff(i+1) {
+			varied = true
+		}
+		if a[i] < base.Backoff(i+1) {
+			t.Errorf("jitter shortened backoff %d below base", i+1)
+		}
+	}
+	if !varied {
+		t.Error("jitter stream never changed any backoff")
+	}
+}
+
+func TestRetry_ContextCancelStopsLoop(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	p := &RetryPolicy{MaxAttempts: 100, Clock: NewVirtualClock()}
+	_, err := p.Do(ctx, func() (Response, error) {
+		calls++
+		if calls == 2 {
+			cancel()
+		}
+		return Response{}, ErrConnDropped
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if calls != 2 {
+		t.Errorf("calls = %d, want 2", calls)
+	}
+}
+
+func TestRetry_BackoffWaitsOnPolicyClock(t *testing.T) {
+	clock := NewVirtualClock()
+	p := &RetryPolicy{MaxAttempts: 4, BaseDelay: 100 * time.Millisecond, Clock: clock}
+	_, err := p.Do(context.Background(), func() (Response, error) {
+		return Response{}, ErrConnDropped
+	})
+	if !errors.Is(err, ErrRetriesExhausted) {
+		t.Fatal(err)
+	}
+	// Three backoffs: 100 + 200 + 400 ms on the virtual timeline.
+	if got, want := clock.Now(), 700*time.Millisecond; got != want {
+		t.Errorf("virtual clock = %v, want %v", got, want)
+	}
+}
+
+func TestRetry_DefaultBudgetCoversDefaultBurstCap(t *testing.T) {
+	// The invariance guarantee rests on this arithmetic: a default policy
+	// must survive the longest burst a default profile can produce.
+	if DefaultMaxAttempts <= DefaultMaxConsecutive {
+		t.Fatalf("DefaultMaxAttempts (%d) must exceed DefaultMaxConsecutive (%d)",
+			DefaultMaxAttempts, DefaultMaxConsecutive)
+	}
+
+	// End to end: a client with the default policy on a saturated-rate,
+	// default-capped network never surfaces a fault.
+	n, plan := faultyNetwork("seed", FaultProfile{DropRate: 0.5, BusyRate: 0.25, FlapRate: 0.24})
+	c := NewClient(n)
+	c.SetRetryPolicy(DefaultRetryPolicy(wvcrypto.NewDeterministicReader("jitter"), NewVirtualClock()))
+	for i := 0; i < 100; i++ {
+		if _, err := c.Do(Request{Host: "api.example"}); err != nil {
+			t.Fatalf("request %d surfaced %v despite retries", i, err)
+		}
+	}
+	if plan.Stats().Total() == 0 {
+		t.Fatal("no faults injected — the masking check is vacuous")
+	}
+}

@@ -1,7 +1,9 @@
 package ott
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -52,11 +54,34 @@ type PlaybackReport struct {
 
 	// Err records any other failure that stopped playback.
 	Err string
+	// TransportFailure marks Err as an exhausted-retries transport
+	// failure (a host stayed unreachable through the whole retry budget)
+	// rather than an app-level outcome — the study reports these as
+	// annotated cells instead of misclassifying them.
+	TransportFailure bool
 }
 
 // Played reports overall success.
 func (r *PlaybackReport) Played() bool {
 	return r.FramesDecoded > 0 && r.Err == "" && !r.ProvisionDenied && !r.LicenseDenied
+}
+
+// setErr records a failure, flagging transport exhaustion separately from
+// app-level denials and decode errors.
+func (r *PlaybackReport) setErr(err error) {
+	r.Err = err.Error()
+	if errors.Is(err, netsim.ErrRetriesExhausted) {
+		r.TransportFailure = true
+	}
+}
+
+// TransportErr returns a typed error when playback died on exhausted
+// transport retries, nil otherwise. The full failure text stays in Err.
+func (r *PlaybackReport) TransportErr() error {
+	if !r.TransportFailure {
+		return nil
+	}
+	return fmt.Errorf("ott: %s on %s: %w", r.App, r.Device, netsim.ErrRetriesExhausted)
 }
 
 // App is one installed OTT application on one device.
@@ -188,6 +213,12 @@ func (a *App) chooseEngine() (engine oemcrypto.Engine, embedded bool) {
 
 // Play streams one title end to end and reports what happened.
 func (a *App) Play(contentID string) *PlaybackReport {
+	return a.PlayCtx(context.Background(), contentID)
+}
+
+// PlayCtx is Play bounded by a context: cancellation or a deadline stops
+// network exchanges (including their retry backoff) mid-stream.
+func (a *App) PlayCtx(ctx context.Context, contentID string) *PlaybackReport {
 	report := &PlaybackReport{App: a.profile.Name, Device: a.dev.Model}
 	engine, embedded := a.chooseEngine()
 	report.Level = engine.SecurityLevel()
@@ -196,101 +227,102 @@ func (a *App) Play(contentID string) *PlaybackReport {
 
 	drm, err := android.NewMediaDrm(android.WidevineUUID, engine, a.rand, a.recordFlow)
 	if err != nil {
-		report.Err = err.Error()
+		report.setErr(err)
 		return report
 	}
 
 	// Provisioning, when the device has no Device RSA key yet.
 	if drm.NeedsProvisioning() {
 		report.ProvisionAttempted = true
-		if denied, msg := a.provision(drm); denied {
+		if denied, err := a.provision(ctx, drm); denied {
 			report.ProvisionDenied = true
-			report.ProvisionErr = msg
+			report.ProvisionErr = err.Error()
 			return report
-		} else if msg != "" {
-			report.Err = msg
+		} else if err != nil {
+			report.setErr(err)
 			return report
 		}
 	}
 
-	manifest, err := a.fetchManifest(drm, contentID)
+	manifest, err := a.fetchManifest(ctx, drm, contentID)
 	if err != nil {
-		report.Err = fmt.Sprintf("fetch manifest: %v", err)
+		report.setErr(fmt.Errorf("fetch manifest: %w", err))
 		return report
 	}
 	mpd, err := dash.Parse(manifest)
 	if err != nil {
-		report.Err = fmt.Sprintf("parse manifest: %v", err)
+		report.setErr(fmt.Errorf("parse manifest: %w", err))
 		return report
 	}
 
 	session, err := drm.OpenSession()
 	if err != nil {
-		report.Err = err.Error()
+		report.setErr(err)
 		return report
 	}
 	defer func() { _ = drm.CloseSession(session) }()
-	granted, denied, msg := a.acquireLicense(drm, session, contentID)
+	granted, denied, err := a.acquireLicense(ctx, drm, session, contentID)
 	if denied {
 		report.LicenseDenied = true
-		report.LicenseErr = msg
+		report.LicenseErr = err.Error()
 		return report
 	}
-	if msg != "" {
-		report.Err = msg
+	if err != nil {
+		report.setErr(err)
 		return report
 	}
 
 	crypto, err := android.NewMediaCrypto(drm, session)
 	if err != nil {
-		report.Err = err.Error()
+		report.setErr(err)
 		return report
 	}
 	codec := android.NewMediaCodec(crypto, a.recordFlow)
 
-	if err := a.playVideo(mpd, codec, granted, report); err != nil {
-		report.Err = err.Error()
+	if err := a.playVideo(ctx, mpd, codec, granted, report); err != nil {
+		report.setErr(err)
 		return report
 	}
-	if err := a.playAudio(mpd, codec, report); err != nil {
-		report.Err = err.Error()
+	if err := a.playAudio(ctx, mpd, codec, report); err != nil {
+		report.setErr(err)
 		return report
 	}
-	a.showSubtitles(mpd, report)
+	a.showSubtitles(ctx, mpd, report)
 	report.FramesDecoded = codec.FrameCount()
 	return report
 }
 
 // provision runs the provisioning exchange against the app's backend.
-// Returns (denied, message).
-func (a *App) provision(drm *android.MediaDrm) (bool, string) {
+// denied marks a backend refusal (the paper's revocation case); any other
+// non-nil error is a mechanical failure.
+func (a *App) provision(ctx context.Context, drm *android.MediaDrm) (denied bool, err error) {
 	s, err := drm.OpenSession()
 	if err != nil {
-		return false, err.Error()
+		return false, err
 	}
 	defer func() { _ = drm.CloseSession(s) }()
 	blob, err := drm.GetProvisionRequest(s)
 	if err != nil {
-		return false, err.Error()
+		return false, err
 	}
-	resp, err := a.net.Do(netsim.Request{Host: a.profile.APIHost(), Path: PathProvision, Body: blob})
+	resp, err := a.net.DoCtx(ctx, netsim.Request{Host: a.profile.APIHost(), Path: PathProvision, Body: blob})
 	if err != nil {
-		return false, err.Error()
+		return false, err
 	}
 	if resp.Status != 200 {
-		return true, decodeAPIError(resp)
+		return true, errors.New(decodeAPIError(resp))
 	}
 	if err := drm.ProvideProvisionResponse(s, resp.Body); err != nil {
-		return false, err.Error()
+		return false, err
 	}
-	return false, ""
+	return false, nil
 }
 
 // fetchManifest retrieves the MPD, over the CDM secure channel when the app
 // protects its URI links (Netflix).
-func (a *App) fetchManifest(drm *android.MediaDrm, contentID string) ([]byte, error) {
+func (a *App) fetchManifest(ctx context.Context, drm *android.MediaDrm, contentID string) ([]byte, error) {
 	if !a.profile.SecureManifestURIs {
-		resp, err := a.net.Do(netsim.Request{Host: a.profile.APIHost(), Path: PathManifest + contentID})
+		resp, err := a.net.DoCtx(ctx, netsim.Request{Host: a.profile.APIHost(), Path: PathManifest + contentID})
 		if err != nil {
 			return nil, err
 		}
@@ -327,7 +359,7 @@ func (a *App) fetchManifest(drm *android.MediaDrm, contentID string) ([]byte, er
 	if err != nil {
 		return nil, err
 	}
-	resp, err := a.net.Do(netsim.Request{Host: a.profile.APIHost(), Path: PathSecureManifest + contentID, Body: body})
+	resp, err := a.net.DoCtx(ctx, netsim.Request{Host: a.profile.APIHost(), Path: PathSecureManifest + contentID, Body: body})
 	if err != nil {
 		return nil, err
 	}
@@ -342,38 +374,40 @@ func (a *App) fetchManifest(drm *android.MediaDrm, contentID string) ([]byte, er
 }
 
 // acquireLicense runs the license exchange and returns the granted KIDs.
-func (a *App) acquireLicense(drm *android.MediaDrm, session oemcrypto.SessionID, contentID string) (map[[16]byte]bool, bool, string) {
+// denied marks a license-server refusal; any other non-nil error is a
+// mechanical failure.
+func (a *App) acquireLicense(ctx context.Context, drm *android.MediaDrm, session oemcrypto.SessionID, contentID string) (granted map[[16]byte]bool, denied bool, err error) {
 	blob, err := drm.GetKeyRequest(session, contentID, nil)
 	if err != nil {
-		return nil, false, err.Error()
+		return nil, false, err
 	}
 	a.recordFlow(android.FlowEvent{From: "Application", To: "License Server", Call: "Get License"})
-	resp, err := a.net.Do(netsim.Request{Host: a.profile.LicenseHost(), Path: PathLicense, Body: blob})
+	resp, err := a.net.DoCtx(ctx, netsim.Request{Host: a.profile.LicenseHost(), Path: PathLicense, Body: blob})
 	if err != nil {
-		return nil, false, err.Error()
+		return nil, false, err
 	}
 	if resp.Status != 200 {
-		return nil, true, decodeAPIError(resp)
+		return nil, true, errors.New(decodeAPIError(resp))
 	}
 	a.recordFlow(android.FlowEvent{From: "License Server", To: "Application", Call: "License"})
 	if err := drm.ProvideKeyResponse(session, resp.Body); err != nil {
-		return nil, false, err.Error()
+		return nil, false, err
 	}
 	var lr cdm.LicenseResponse
 	if err := json.Unmarshal(resp.Body, &lr); err != nil {
-		return nil, false, err.Error()
+		return nil, false, err
 	}
-	granted := make(map[[16]byte]bool, len(lr.Keys))
+	granted = make(map[[16]byte]bool, len(lr.Keys))
 	for _, k := range lr.Keys {
 		granted[k.KID] = true
 	}
-	return granted, false, ""
+	return granted, false, nil
 }
 
 // fetchObject downloads one CDN asset (Figure 1: Get Media / Media).
-func (a *App) fetchObject(path string) ([]byte, error) {
+func (a *App) fetchObject(ctx context.Context, path string) ([]byte, error) {
 	a.recordFlow(android.FlowEvent{From: "Application", To: "CDN", Call: "Get Media"})
-	resp, err := a.net.Do(netsim.Request{Host: a.profile.CDNHost(), Path: cdn.ObjectPrefix + path})
+	resp, err := a.net.DoCtx(ctx, netsim.Request{Host: a.profile.CDNHost(), Path: cdn.ObjectPrefix + path})
 	if err != nil {
 		return nil, err
 	}
@@ -384,7 +418,7 @@ func (a *App) fetchObject(path string) ([]byte, error) {
 }
 
 // playVideo picks the best granted representation, downloads and decodes it.
-func (a *App) playVideo(mpd *dash.MPD, codec *android.MediaCodec, granted map[[16]byte]bool, report *PlaybackReport) error {
+func (a *App) playVideo(ctx context.Context, mpd *dash.MPD, codec *android.MediaCodec, granted map[[16]byte]bool, report *PlaybackReport) error {
 	videoSet, err := mpd.FindAdaptationSet(dash.ContentVideo, "")
 	if err != nil {
 		return err
@@ -397,14 +431,14 @@ func (a *App) playVideo(mpd *dash.MPD, codec *android.MediaCodec, granted map[[1
 		}
 	}
 	for _, rep := range reps {
-		init, kid, scheme, err := a.fetchInit(&rep)
+		init, kid, scheme, err := a.fetchInit(ctx, &rep)
 		if err != nil {
 			return err
 		}
 		if init.Track.Protection != nil && !granted[kid] {
 			continue // key withheld (e.g. HD on an L3 device)
 		}
-		if err := a.playRepresentation(&rep, init, kid, scheme, codec); err != nil {
+		if err := a.playRepresentation(ctx, &rep, init, kid, scheme, codec); err != nil {
 			return err
 		}
 		report.PlayedHeight = rep.Height
@@ -414,29 +448,29 @@ func (a *App) playVideo(mpd *dash.MPD, codec *android.MediaCodec, granted map[[1
 }
 
 // playAudio plays the default-language audio representation.
-func (a *App) playAudio(mpd *dash.MPD, codec *android.MediaCodec, report *PlaybackReport) error {
+func (a *App) playAudio(ctx context.Context, mpd *dash.MPD, codec *android.MediaCodec, report *PlaybackReport) error {
 	audioSet, err := mpd.FindAdaptationSet(dash.ContentAudio, "en")
 	if err != nil {
 		return err
 	}
 	rep := audioSet.Representations[0]
-	init, kid, scheme, err := a.fetchInit(&rep)
+	init, kid, scheme, err := a.fetchInit(ctx, &rep)
 	if err != nil {
 		return err
 	}
-	return a.playRepresentation(&rep, init, kid, scheme, codec)
+	return a.playRepresentation(ctx, &rep, init, kid, scheme, codec)
 }
 
 // fetchInit downloads a representation's init segment and extracts its
 // protection parameters. Apps learn the KID from the init segment's tenc
 // box (not the MPD), so manifests with stripped key-ID metadata still play.
-func (a *App) fetchInit(rep *dash.Representation) (*mp4.InitSegment, [16]byte, string, error) {
+func (a *App) fetchInit(ctx context.Context, rep *dash.Representation) (*mp4.InitSegment, [16]byte, string, error) {
 	var kid [16]byte
 	list := rep.Segments()
 	if list == nil || list.Initialization == nil {
 		return nil, kid, "", fmt.Errorf("representation %s has no init segment", rep.ID)
 	}
-	raw, err := a.fetchObject(rep.BaseURL + list.Initialization.SourceURL)
+	raw, err := a.fetchObject(ctx, rep.BaseURL+list.Initialization.SourceURL)
 	if err != nil {
 		return nil, kid, "", err
 	}
@@ -454,9 +488,9 @@ func (a *App) fetchInit(rep *dash.Representation) (*mp4.InitSegment, [16]byte, s
 
 // playRepresentation downloads and decodes every media segment of one
 // representation.
-func (a *App) playRepresentation(rep *dash.Representation, init *mp4.InitSegment, kid [16]byte, scheme string, codec *android.MediaCodec) error {
+func (a *App) playRepresentation(ctx context.Context, rep *dash.Representation, init *mp4.InitSegment, kid [16]byte, scheme string, codec *android.MediaCodec) error {
 	for _, su := range rep.Segments().SegmentURLs {
-		raw, err := a.fetchObject(rep.BaseURL + su.SourceURL)
+		raw, err := a.fetchObject(ctx, rep.BaseURL+su.SourceURL)
 		if err != nil {
 			return err
 		}
@@ -485,7 +519,7 @@ func (a *App) playRepresentation(rep *dash.Representation, init *mp4.InitSegment
 
 // showSubtitles fetches and renders the default-language subtitle, when the
 // manifest offers one.
-func (a *App) showSubtitles(mpd *dash.MPD, report *PlaybackReport) {
+func (a *App) showSubtitles(ctx context.Context, mpd *dash.MPD, report *PlaybackReport) {
 	subSet, err := mpd.FindAdaptationSet(dash.ContentSubtitle, "en")
 	if err != nil {
 		return // regionally unavailable — playback proceeds without subs
@@ -495,7 +529,7 @@ func (a *App) showSubtitles(mpd *dash.MPD, report *PlaybackReport) {
 	if list == nil || len(list.SegmentURLs) == 0 {
 		return
 	}
-	raw, err := a.fetchObject(rep.BaseURL + list.SegmentURLs[0].SourceURL)
+	raw, err := a.fetchObject(ctx, rep.BaseURL+list.SegmentURLs[0].SourceURL)
 	if err != nil {
 		return
 	}

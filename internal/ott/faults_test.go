@@ -1,0 +1,123 @@
+package ott
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/wvcrypto"
+)
+
+// withFaults puts a transient fault plan on the test world's network and
+// a default retry policy on the app, both deterministically seeded.
+func withFaults(w *testWorld, app *App, profile netsim.FaultProfile) *netsim.FaultPlan {
+	plan := netsim.NewFaultPlan(wvcrypto.NewDeterministicReader("ott-faults"), profile)
+	w.network.SetFaultPlan(plan)
+	app.NetworkClient().SetRetryPolicy(netsim.DefaultRetryPolicy(
+		wvcrypto.NewDeterministicReader("ott-jitter"), netsim.NewVirtualClock()))
+	return plan
+}
+
+// TestPlayback_SurvivesTransientFaults drives the whole playback pipeline
+// — provisioning, manifest, license, CDN segments — through a network
+// failing a third of all attempts, and requires the same outcome as on a
+// perfect network.
+func TestPlayback_SurvivesTransientFaults(t *testing.T) {
+	profile := profileByName(t, "Showtime")
+
+	w := newTestWorld(t, profile)
+	pixel, err := w.factory.MakePixel("PX-clean")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := w.install(t, pixel).Play("movie-1")
+	if !clean.Played() {
+		t.Fatalf("baseline playback failed: %+v", clean)
+	}
+
+	w2 := newTestWorld(t, profile)
+	pixel2, err := w2.factory.MakePixel("PX-clean")
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := w2.install(t, pixel2)
+	plan := withFaults(w2, app, netsim.FaultProfile{DropRate: 0.11, BusyRate: 0.11, FlapRate: 0.11})
+	faulty := app.Play("movie-1")
+
+	if !faulty.Played() {
+		t.Fatalf("playback under transient faults failed: %+v", faulty)
+	}
+	if faulty.TransportFailure {
+		t.Error("masked faults flagged as transport failure")
+	}
+	if faulty.PlayedHeight != clean.PlayedHeight || faulty.FramesDecoded != clean.FramesDecoded {
+		t.Errorf("faulty outcome diverged: %dp/%d frames vs %dp/%d frames",
+			faulty.PlayedHeight, faulty.FramesDecoded, clean.PlayedHeight, clean.FramesDecoded)
+	}
+	if plan.Stats().Total() == 0 {
+		t.Fatal("no faults injected — the survival check is vacuous")
+	}
+}
+
+// TestPlayback_PermanentFaultSetsTransportFailure: a license server dead
+// through every retry must surface as a typed transport failure, not a
+// license denial (which would corrupt the Q4 classification).
+func TestPlayback_PermanentFaultSetsTransportFailure(t *testing.T) {
+	profile := profileByName(t, "Showtime")
+	w := newTestWorld(t, profile)
+	pixel, err := w.factory.MakePixel("PX-dead")
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := w.install(t, pixel)
+	plan := withFaults(w, app, netsim.FaultProfile{})
+	plan.SetHostProfile(profile.LicenseHost(), netsim.FaultProfile{Permanent: true})
+
+	report := app.Play("movie-1")
+	if report.Played() {
+		t.Fatal("playback succeeded against a dead license server")
+	}
+	if !report.TransportFailure {
+		t.Fatalf("transport failure not flagged: %+v", report)
+	}
+	if report.LicenseDenied {
+		t.Error("dead host misclassified as a license denial")
+	}
+	if err := report.TransportErr(); !errors.Is(err, netsim.ErrRetriesExhausted) {
+		t.Errorf("TransportErr = %v", err)
+	}
+}
+
+// TestPlayback_DenialNotRetried: an application-layer refusal (the
+// backend revoking a device) is deterministic and must be returned after
+// exactly one license request, not hammered MaxAttempts times.
+func TestPlayback_DenialNotRetried(t *testing.T) {
+	profile := profileByName(t, "Disney+") // enforces revocation on legacy devices
+	w := newTestWorld(t, profile)
+	nexus5, err := w.factory.MakeNexus5("N5-denied")
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := w.install(t, nexus5)
+	withFaults(w, app, netsim.FaultProfile{}) // retry policy installed, no faults
+	mitm := netsim.NewInterceptor()
+	app.NetworkClient().InstallMITM(mitm)
+	app.NetworkClient().DisablePinning()
+
+	report := app.Play("movie-1")
+	if !report.ProvisionDenied {
+		t.Fatalf("expected provisioning denial on the discontinued device: %+v", report)
+	}
+	if report.TransportFailure {
+		t.Error("deterministic denial flagged as transport failure")
+	}
+	provisions := 0
+	for _, ex := range mitm.Captured() {
+		if ex.Request.Path == PathProvision {
+			provisions++
+		}
+	}
+	if provisions != 1 {
+		t.Errorf("denied provisioning request sent %d times, want 1", provisions)
+	}
+}

@@ -1,0 +1,142 @@
+package wideleak
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/netsim"
+)
+
+// chaosSeeds are the fixed seeds the invariance guarantee is checked
+// against (the Makefile's chaos target runs all five under -race).
+var chaosSeeds = []string{"chaos-1", "chaos-2", "chaos-3", "chaos-4", "chaos-5"}
+
+// renderTable builds the full Table I for a world seed, optionally under
+// a fault spec, returning the rendered text and the installed plan.
+func renderTable(t *testing.T, worldSeed string, spec *FaultSpec) (string, *netsim.FaultPlan, *World) {
+	t.Helper()
+	w, err := NewWorld(worldSeed, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plan *netsim.FaultPlan
+	if spec != nil {
+		plan = w.InstallFaults(*spec)
+	}
+	table, err := NewStudy(w).BuildTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return table.Render(), plan, w
+}
+
+// TestChaos_TableIFaultInvariance is the headline chaos property: under a
+// transient-only fault plan — whose bursts stay below the retry budget by
+// construction — the rendered Table I is byte-identical to the fault-free
+// run, for every fixed seed.
+func TestChaos_TableIFaultInvariance(t *testing.T) {
+	seeds := chaosSeeds
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(seed, func(t *testing.T) {
+			clean, _, _ := renderTable(t, seed, nil)
+
+			spec := &FaultSpec{Seed: seed, Default: TransientFaults(0.25)}
+			faulty, plan, w := renderTable(t, seed, spec)
+
+			if faulty != clean {
+				t.Errorf("faulty table diverged from fault-free run:\n--- clean ---\n%s--- faulty ---\n%s", clean, faulty)
+			}
+			// Guard against a vacuous pass: the run must actually have been
+			// perturbed, and the delays must have landed on the virtual
+			// clock, not the wall clock.
+			stats := plan.Stats()
+			if stats.Total() == 0 {
+				t.Error("no transient faults injected — invariance check is vacuous")
+			}
+			if stats.Latencies == 0 {
+				t.Error("no latency injected")
+			}
+			if w.Clock().Now() == 0 {
+				t.Error("virtual clock never advanced despite injected latency and backoff")
+			}
+		})
+	}
+}
+
+// TestChaos_PermanentFaultAnnotatesCell: a host that is dead through
+// every retry must cost exactly its own app's row — annotated, not
+// fabricated — while every other row still matches the paper.
+func TestChaos_PermanentFaultAnnotatesCell(t *testing.T) {
+	w, err := NewWorld("chaos-permanent", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := w.Profiles()[7] // Showtime
+	w.InstallFaults(FaultSpec{
+		Seed:    "permanent",
+		Default: TransientFaults(0.2),
+		PerHost: map[string]netsim.FaultProfile{
+			victim.LicenseHost(): {Permanent: true},
+		},
+	})
+
+	table, err := NewStudy(w).BuildTable()
+	if err != nil {
+		t.Fatalf("one dead host failed the whole table: %v", err)
+	}
+	if len(table.Rows) != len(w.Profiles()) {
+		t.Fatalf("table has %d rows, want %d", len(table.Rows), len(w.Profiles()))
+	}
+
+	paper := PaperTable()
+	for i, row := range table.Rows {
+		if row.App == victim.Name {
+			if !row.Failed() {
+				t.Fatalf("%s row not annotated: %+v", victim.Name, row)
+			}
+			if !strings.Contains(row.Err, "retries exhausted") {
+				t.Errorf("%s annotation %q does not name retry exhaustion", victim.Name, row.Err)
+			}
+			continue
+		}
+		single := &Table{Rows: []Row{row}}
+		expect := &Table{Rows: []Row{paper.Rows[i]}}
+		if diffs := single.Diff(expect); len(diffs) != 0 {
+			t.Errorf("healthy row %s diverged: %v", row.App, diffs)
+		}
+	}
+
+	// The annotated row renders as an unavailable line, the summary counts
+	// it, and the diff against the paper flags exactly the victim.
+	rendered := table.Render()
+	if !strings.Contains(rendered, victim.Name) || !strings.Contains(rendered, "unavailable:") {
+		t.Errorf("render lacks the unavailable annotation:\n%s", rendered)
+	}
+	if got := table.Summarize().Unavailable; got != 1 {
+		t.Errorf("summary Unavailable = %d, want 1", got)
+	}
+	for _, d := range table.Diff(paper) {
+		if !strings.HasPrefix(d, victim.Name+"/") {
+			t.Errorf("diff names a healthy row: %q", d)
+		}
+	}
+}
+
+// TestChaos_FaultScheduleReproducible: same world seed + same fault seed
+// must inject the exact same number of each fault kind across two full
+// studies (the cell-level invariance above can't see schedule drift, the
+// counters can).
+func TestChaos_FaultScheduleReproducible(t *testing.T) {
+	run := func() netsim.FaultStats {
+		spec := &FaultSpec{Seed: "repro", Default: TransientFaults(0.3)}
+		_, plan, _ := renderTable(t, "chaos-repro", spec)
+		return plan.Stats()
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("fault schedules diverged: %+v vs %+v", a, b)
+	}
+}

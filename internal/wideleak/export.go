@@ -17,9 +17,13 @@ type rowExport struct {
 	Subtitles     string `json:"subtitles"`
 	KeyUsage      string `json:"keyUsage"`
 	Legacy        string `json:"legacyPlayback"`
+	Err           string `json:"error,omitempty"`
 }
 
 func (r *Row) export() rowExport {
+	if r.Failed() {
+		return rowExport{App: r.App, Err: r.Err}
+	}
 	return rowExport{
 		App:           r.App,
 		UsesWidevine:  r.UsesWidevine,
@@ -46,7 +50,7 @@ func (t *Table) MarshalCSV() ([]byte, error) {
 	var buf bytes.Buffer
 	w := csv.NewWriter(&buf)
 	if err := w.Write([]string{"app", "uses_widevine", "custom_drm_on_l3",
-		"video", "audio", "subtitles", "key_usage", "legacy_playback"}); err != nil {
+		"video", "audio", "subtitles", "key_usage", "legacy_playback", "error"}); err != nil {
 		return nil, fmt.Errorf("wideleak: csv header: %w", err)
 	}
 	for i := range t.Rows {
@@ -55,7 +59,7 @@ func (t *Table) MarshalCSV() ([]byte, error) {
 			e.App,
 			fmt.Sprintf("%t", e.UsesWidevine),
 			fmt.Sprintf("%t", e.CustomDRMOnL3),
-			e.Video, e.Audio, e.Subtitles, e.KeyUsage, e.Legacy,
+			e.Video, e.Audio, e.Subtitles, e.KeyUsage, e.Legacy, e.Err,
 		}); err != nil {
 			return nil, fmt.Errorf("wideleak: csv row %s: %w", e.App, err)
 		}

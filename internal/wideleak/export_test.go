@@ -43,8 +43,36 @@ func TestTableMarshalCSV(t *testing.T) {
 		t.Errorf("csv layout: %v / %v", records[0], records[1])
 	}
 	for _, rec := range records[1:] {
-		if len(rec) != 8 {
+		if len(rec) != 9 {
 			t.Errorf("row %v has %d fields", rec[0], len(rec))
 		}
+	}
+}
+
+func TestTableExportFailedRow(t *testing.T) {
+	table := &Table{Rows: []Row{
+		{App: "DeadCo", Err: "netsim: retries exhausted: 5 attempts"},
+	}}
+	b, err := json.Marshal(table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []map[string]any
+	if err := json.Unmarshal(b, &rows); err != nil {
+		t.Fatal(err)
+	}
+	if rows[0]["error"] != "netsim: retries exhausted: 5 attempts" {
+		t.Errorf("json error field = %v", rows[0]["error"])
+	}
+	csvOut, err := table.MarshalCSV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(strings.NewReader(string(csvOut))).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := records[1][8]; got != "netsim: retries exhausted: 5 attempts" {
+		t.Errorf("csv error field = %q", got)
 	}
 }

@@ -1,6 +1,7 @@
 package wideleak
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -220,6 +221,9 @@ func (s *Study) runObservation(app string) (*observation, error) {
 	o.pixelReport = f.PixelApp.Play(ContentID)
 	o.pixelEvents = monL1.Events()
 	monL1.Detach()
+	if err := o.pixelReport.TransportErr(); err != nil {
+		return nil, err
+	}
 
 	// L3 run: CDM hooks + network MITM with SSL re-pinning.
 	monL3 := monitor.New()
@@ -229,6 +233,9 @@ func (s *Study) runObservation(app string) (*observation, error) {
 	o.l3Events = monL3.Events()
 	o.l3Exchanges = tap.Exchanges()
 	monL3.Detach()
+	if err := o.l3Report.TransportErr(); err != nil {
+		return nil, err
+	}
 
 	o.mpd, o.cdnHost = recoverManifest(o.l3Exchanges, monL3Dumps(o.l3Events))
 	return o, nil
@@ -320,23 +327,43 @@ func (s *Study) RunQ2(app string) (*Q2Result, error) {
 	attacker := s.World.AttackerClient()
 
 	if set, err := o.mpd.FindAdaptationSet(dash.ContentVideo, ""); err == nil {
-		res.Video = s.probeMP4Track(attacker, o.cdnHost, set)
+		if res.Video, err = s.probeMP4Track(attacker, o.cdnHost, set); err != nil {
+			return nil, err
+		}
 	}
 	if set, err := o.mpd.FindAdaptationSet(dash.ContentAudio, ""); err == nil {
-		res.Audio = s.probeMP4Track(attacker, o.cdnHost, set)
+		if res.Audio, err = s.probeMP4Track(attacker, o.cdnHost, set); err != nil {
+			return nil, err
+		}
 	}
 	if res.Audio == ProtectionClear {
-		res.ClearAudioLangs = s.playableAudioLangs(attacker, o)
+		langs, err := s.playableAudioLangs(attacker, o)
+		if err != nil {
+			return nil, err
+		}
+		res.ClearAudioLangs = langs
 	}
 	if set, err := o.mpd.FindAdaptationSet(dash.ContentSubtitle, ""); err == nil {
-		res.Subtitles = s.probeSubtitles(attacker, o.cdnHost, set)
+		if res.Subtitles, err = s.probeSubtitles(attacker, o.cdnHost, set); err != nil {
+			return nil, err
+		}
 	}
 	return res, nil
 }
 
+// transportOnly filters a fetch error down to transport exhaustion: a
+// dead host must surface as an annotated cell, while any other fetch
+// failure keeps the paper's "-" (asset not obtainable) semantics.
+func transportOnly(err error) error {
+	if errors.Is(err, netsim.ErrRetriesExhausted) {
+		return err
+	}
+	return nil
+}
+
 // playableAudioLangs verifies, per language, that the clear audio actually
 // plays on the attacker's machine with no keys or account.
-func (s *Study) playableAudioLangs(attacker *netsim.Client, o *observation) []string {
+func (s *Study) playableAudioLangs(attacker *netsim.Client, o *observation) ([]string, error) {
 	var langs []string
 	for _, p := range o.mpd.Periods {
 		for _, set := range p.AdaptationSets {
@@ -350,6 +377,9 @@ func (s *Study) playableAudioLangs(attacker *netsim.Client, o *observation) []st
 			}
 			raw, err := fetchObject(attacker, o.cdnHost, rep.BaseURL+list.SegmentURLs[0].SourceURL)
 			if err != nil {
+				if terr := transportOnly(err); terr != nil {
+					return nil, terr
+				}
 				continue
 			}
 			seg, err := mp4.ParseMediaSegment(raw)
@@ -359,64 +389,65 @@ func (s *Study) playableAudioLangs(attacker *netsim.Client, o *observation) []st
 			langs = append(langs, set.Lang)
 		}
 	}
-	return langs
+	return langs, nil
 }
 
 // probeMP4Track downloads a representation's init and first media segment
-// and classifies its protection.
-func (s *Study) probeMP4Track(attacker *netsim.Client, host string, set *dash.AdaptationSet) Protection {
+// and classifies its protection. A non-nil error means transport
+// exhaustion (a dead host), never a classification failure.
+func (s *Study) probeMP4Track(attacker *netsim.Client, host string, set *dash.AdaptationSet) (Protection, error) {
 	if len(set.Representations) == 0 {
-		return ProtectionUnknown
+		return ProtectionUnknown, nil
 	}
 	rep := set.Representations[0]
 	list := rep.Segments()
 	if list == nil || list.Initialization == nil {
-		return ProtectionUnknown
+		return ProtectionUnknown, nil
 	}
 	initRaw, err := fetchObject(attacker, host, rep.BaseURL+list.Initialization.SourceURL)
 	if err != nil {
-		return ProtectionUnknown
+		return ProtectionUnknown, transportOnly(err)
 	}
 	protected, err := mp4.IsProtected(initRaw)
 	if err != nil {
-		return ProtectionUnknown
+		return ProtectionUnknown, nil
 	}
 	if protected {
-		return ProtectionEncrypted
+		return ProtectionEncrypted, nil
 	}
 	// Confirm the clear classification by actually reading a segment.
 	if len(list.SegmentURLs) > 0 {
 		raw, err := fetchObject(attacker, host, rep.BaseURL+list.SegmentURLs[0].SourceURL)
 		if err != nil {
-			return ProtectionUnknown
+			return ProtectionUnknown, transportOnly(err)
 		}
 		seg, err := mp4.ParseMediaSegment(raw)
 		if err != nil || !media.SegmentPlayable(seg) {
-			return ProtectionUnknown
+			return ProtectionUnknown, nil
 		}
 	}
-	return ProtectionClear
+	return ProtectionClear, nil
 }
 
 // probeSubtitles downloads a subtitle asset and applies the readable-text
 // check.
-func (s *Study) probeSubtitles(attacker *netsim.Client, host string, set *dash.AdaptationSet) Protection {
+func (s *Study) probeSubtitles(attacker *netsim.Client, host string, set *dash.AdaptationSet) (Protection, error) {
 	if len(set.Representations) == 0 {
-		return ProtectionUnknown
+		return ProtectionUnknown, nil
 	}
 	rep := set.Representations[0]
 	list := rep.Segments()
 	if list == nil || len(list.SegmentURLs) == 0 {
-		return ProtectionUnknown
+		return ProtectionUnknown, nil
 	}
 	raw, err := fetchObject(attacker, host, rep.BaseURL+list.SegmentURLs[0].SourceURL)
 	if err != nil {
-		return ProtectionUnknown
+		return ProtectionUnknown, transportOnly(err)
 	}
 	if media.SubtitleReadable(raw) {
-		return ProtectionClear
+		return ProtectionClear, nil
 	}
-	return ProtectionEncrypted
+	return ProtectionEncrypted, nil
 }
 
 // RunQ3 classifies key usage from the manifest's key-ID metadata, as the
@@ -493,6 +524,9 @@ func (s *Study) RunQ4(app string) (*Q4Result, error) {
 	mon.AttachCDM(f.Nexus5Device.Engine)
 	defer mon.Detach()
 	report := f.Nexus5App.Play(ContentID)
+	if err := report.TransportErr(); err != nil {
+		return nil, err
+	}
 
 	res := &Q4Result{App: app}
 	switch {

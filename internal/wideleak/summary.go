@@ -11,6 +11,11 @@ import (
 type Summary struct {
 	Apps int
 
+	// Unavailable counts apps whose backends stayed unreachable through
+	// every retry; their rows carry annotations, not cells, and are
+	// excluded from every aggregate below.
+	Unavailable int
+
 	// Q1
 	UsingWidevine int
 	CustomDRMOnL3 int
@@ -36,6 +41,10 @@ type Summary struct {
 func (t *Table) Summarize() Summary {
 	s := Summary{Apps: len(t.Rows)}
 	for _, r := range t.Rows {
+		if r.Failed() {
+			s.Unavailable++
+			continue
+		}
 		if r.UsesWidevine {
 			s.UsingWidevine++
 		}
@@ -89,5 +98,9 @@ func (s Summary) Render() string {
 		s.KeyUsageMinimum, s.KeyUsageRecommended, s.KeyUsageUnknown)
 	fmt.Fprintf(&b, "  - %d/%d still serve a device with no security updates; only %d enforce revocation\n",
 		s.ServingLegacyDevices, s.Apps, s.EnforcingRevocation)
+	if s.Unavailable > 0 {
+		fmt.Fprintf(&b, "  - %d/%d apps unavailable (backend unreachable through every retry)\n",
+			s.Unavailable, s.Apps)
+	}
 	return b.String()
 }

@@ -1,11 +1,14 @@
 package wideleak
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/netsim"
 )
 
 // Row is one app's line of Table I.
@@ -18,7 +21,17 @@ type Row struct {
 	Subtitles     Protection
 	KeyUsage      KeyUsage
 	Legacy        LegacyOutcome
+
+	// Err annotates a row whose app could not be studied because its
+	// backend stayed unreachable through every retry. The other cells are
+	// zero; Render prints the row as unavailable instead of failing the
+	// whole table.
+	Err string
 }
+
+// Failed reports whether the row is a transport-failure annotation
+// rather than study results.
+func (r *Row) Failed() bool { return r.Err != "" }
 
 // Table is the reproduced Table I.
 type Table struct {
@@ -50,7 +63,7 @@ func (s *Study) BuildTableParallel(parallelism int) (*Table, error) {
 	if parallelism <= 1 {
 		t := &Table{}
 		for _, p := range profiles {
-			row, err := s.buildRow(p.Name)
+			row, err := s.buildRowGraceful(p.Name)
 			if err != nil {
 				return nil, fmt.Errorf("wideleak: row %s: %w", p.Name, err)
 			}
@@ -69,7 +82,7 @@ func (s *Study) BuildTableParallel(parallelism int) (*Table, error) {
 		go func() {
 			defer wg.Done()
 			for idx := range next {
-				rows[idx], errs[idx] = s.buildRow(profiles[idx].Name)
+				rows[idx], errs[idx] = s.buildRowGraceful(profiles[idx].Name)
 				if errs[idx] != nil {
 					failed.Store(true)
 				}
@@ -98,6 +111,21 @@ func (s *Study) BuildTableParallel(parallelism int) (*Table, error) {
 		t.Rows = append(t.Rows, *rows[i])
 	}
 	return t, nil
+}
+
+// buildRowGraceful degrades a transport failure — the app's backend dead
+// through every retry — into an annotated row, so one unreachable
+// deployment costs its own cell, not the whole table. Every other error
+// (a genuine study bug) still propagates.
+func (s *Study) buildRowGraceful(app string) (*Row, error) {
+	row, err := s.buildRow(app)
+	if err == nil {
+		return row, nil
+	}
+	if errors.Is(err, netsim.ErrRetriesExhausted) {
+		return &Row{App: app, Err: err.Error()}, nil
+	}
+	return nil, err
 }
 
 func (s *Study) buildRow(app string) (*Row, error) {
@@ -165,6 +193,10 @@ func (t *Table) Render() string {
 	b.WriteString(header)
 	b.WriteString(strings.Repeat("-", len(header)-1) + "\n")
 	for _, r := range t.Rows {
+		if r.Failed() {
+			fmt.Fprintf(&b, "%-20s unavailable: %s\n", r.App, r.Err)
+			continue
+		}
 		fmt.Fprintf(&b, "%-20s %-10s %-10s %-10s %-10s %-12s %-20s\n",
 			r.App, r.widevineCell(), r.Video, r.Audio, r.Subtitles, r.KeyUsage, r.legacyCell())
 	}
@@ -209,6 +241,11 @@ func (t *Table) Diff(other *Table) []string {
 			if a != b {
 				out = append(out, fmt.Sprintf("%s/%s: %v != %v", r.App, col, a, b))
 			}
+		}
+		// A failed row carries no cells; compare only the annotations.
+		if r.Failed() || o.Failed() {
+			check("error", r.Err, o.Err)
+			continue
 		}
 		check("widevine", r.UsesWidevine, o.UsesWidevine)
 		check("customDRM", r.CustomDRMOnL3, o.CustomDRMOnL3)

@@ -16,6 +16,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/device"
 	"repro/internal/netsim"
@@ -39,6 +40,7 @@ type World struct {
 	Factory  *device.Factory
 
 	root     *wvcrypto.DeterministicReader
+	clock    *netsim.VirtualClock
 	profiles []ott.Profile
 
 	deployments map[string]*ott.Deployment
@@ -85,6 +87,7 @@ func NewWorld(seed string, profiles []ott.Profile) (*World, error) {
 		Network:     netsim.NewNetwork(),
 		Registry:    provision.NewRegistry(),
 		root:        root,
+		clock:       netsim.NewVirtualClock(),
 		profiles:    profiles,
 		deployments: make(map[string]*ott.Deployment, len(profiles)),
 		fixtures:    make(map[string]*fixtureEntry, len(profiles)),
@@ -102,6 +105,58 @@ func NewWorld(seed string, profiles []ott.Profile) (*World, error) {
 
 // Profiles returns the studied app profiles.
 func (w *World) Profiles() []ott.Profile { return w.profiles }
+
+// Clock returns the world's virtual clock. Injected latency and retry
+// backoff are charged to it, so fault-laden studies complete in real
+// milliseconds while the accumulated delay stays observable.
+func (w *World) Clock() *netsim.VirtualClock { return w.clock }
+
+// FaultSpec configures deterministic fault injection for a world. The
+// schedule depends only on the world seed, the fault seed, and each
+// host's own request sequence — never on wall time or goroutine order.
+type FaultSpec struct {
+	// Seed names the fault schedule: the same world seed and fault seed
+	// always reproduce the exact same faults.
+	Seed string
+	// Default applies to every host without a PerHost override.
+	Default netsim.FaultProfile
+	// PerHost overrides the mix for specific hosts (e.g. one app's
+	// license server marked Permanent).
+	PerHost map[string]netsim.FaultProfile
+}
+
+// InstallFaults puts a deterministic fault layer on the world's network.
+// Transient profiles with the default burst cap are masked by the stock
+// retry policies (the rendered Table I is byte-identical to the
+// fault-free run); Permanent profiles exhaust retries and surface as
+// annotated per-app cells.
+func (w *World) InstallFaults(spec FaultSpec) *netsim.FaultPlan {
+	plan := netsim.NewFaultPlan(w.root.Fork("faults/"+spec.Seed), spec.Default)
+	plan.SetClock(w.clock)
+	for host, fp := range spec.PerHost {
+		plan.SetHostProfile(host, fp)
+	}
+	w.Network.SetFaultPlan(plan)
+	return plan
+}
+
+// FaultPlan returns the installed fault layer, nil when the network is
+// perfect.
+func (w *World) FaultPlan() *netsim.FaultPlan { return w.Network.FaultPlan() }
+
+// TransientFaults builds a transient-only profile failing roughly rate
+// of all attempts (split evenly across drops, busies and flaps), with
+// occasional injected latency. Bursts stay under the default retry
+// budget, so installing it never changes a study's outcome.
+func TransientFaults(rate float64) netsim.FaultProfile {
+	return netsim.FaultProfile{
+		DropRate:    rate / 3,
+		BusyRate:    rate / 3,
+		FlapRate:    rate / 3,
+		LatencyRate: 0.1,
+		Latency:     20 * time.Millisecond,
+	}
+}
 
 // Deployment returns one app's backend.
 func (w *World) Deployment(app string) *ott.Deployment { return w.deployments[app] }
@@ -163,6 +218,13 @@ func (w *World) buildFixture(app string) (*AppFixture, error) {
 	if f.Nexus5App, err = ott.Install(*profile, nexus5, w.Network, w.Registry, rand); err != nil {
 		return nil, err
 	}
+
+	// Every installed app retries transient transport faults, with jitter
+	// from its own forked stream and backoff on the world's virtual clock,
+	// so fault-laden runs stay reproducible and cost no wall time.
+	f.PixelApp.NetworkClient().SetRetryPolicy(netsim.DefaultRetryPolicy(rand.Fork("retry/pixel"), w.clock))
+	f.L3App.NetworkClient().SetRetryPolicy(netsim.DefaultRetryPolicy(rand.Fork("retry/l3"), w.clock))
+	f.Nexus5App.NetworkClient().SetRetryPolicy(netsim.DefaultRetryPolicy(rand.Fork("retry/nexus5"), w.clock))
 	return f, nil
 }
 
@@ -214,8 +276,11 @@ feed:
 
 // AttackerClient returns a fresh unpinned network client — the attacker's
 // own machine, with no OTT account or app, used to download CDN assets.
+// Like the apps, it retries transient faults deterministically.
 func (w *World) AttackerClient() *netsim.Client {
-	return netsim.NewClient(w.Network)
+	c := netsim.NewClient(w.Network)
+	c.SetRetryPolicy(netsim.DefaultRetryPolicy(w.root.Fork("retry/attacker"), w.clock))
+	return c
 }
 
 // shortName compresses an app name into a serial-safe token: up to eight

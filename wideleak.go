@@ -27,6 +27,7 @@
 package wideleak
 
 import (
+	"repro/internal/netsim"
 	"repro/internal/ott"
 	"repro/internal/wideleak"
 )
@@ -63,6 +64,11 @@ type (
 
 	// Profile describes one OTT app's implementation choices.
 	Profile = ott.Profile
+
+	// FaultSpec configures deterministic fault injection for a world.
+	FaultSpec = wideleak.FaultSpec
+	// FaultProfile is one host's (or the default) fault mix.
+	FaultProfile = netsim.FaultProfile
 )
 
 // Classification values.
@@ -99,3 +105,8 @@ func PaperTable() *Table { return wideleak.PaperTable() }
 
 // Profiles returns the ten evaluated apps with their observed behaviours.
 func Profiles() []Profile { return ott.Profiles() }
+
+// TransientFaults builds a transient-only fault profile failing roughly
+// rate of connection attempts; the stock retry policies mask it, so the
+// study's results are unchanged — only the virtual timeline stretches.
+func TransientFaults(rate float64) FaultProfile { return wideleak.TransientFaults(rate) }

@@ -5,19 +5,27 @@ GO ?= go
 # Per-target budget for the native fuzz pass wired into check.
 FUZZTIME ?= 5s
 
-.PHONY: all build vet test race bench fuzz chaos check study impact report clean
+.PHONY: all build vet lint test race bench fuzz chaos check study impact report clean
 
 all: build vet test
 
-# check is the full verification gate: build, vet, plain tests, the race
-# detector, a benchmark pass recording BENCH_tableI.json, and a short
-# native-fuzz pass over the attacker-facing parsers.
-check: build vet test race bench fuzz
+# check is the full verification gate: build, lint (gofmt + vet), plain
+# tests, the race detector, a benchmark pass recording BENCH_tableI.json,
+# and a short native-fuzz pass over the attacker-facing parsers.
+check: build lint test race bench fuzz
 
 build:
 	$(GO) build ./...
 
 vet:
+	$(GO) vet ./...
+
+# lint fails on any file gofmt would rewrite, then runs go vet.
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 	$(GO) vet ./...
 
 test:
@@ -62,5 +70,7 @@ impact:
 report:
 	$(GO) run ./cmd/wideleak -report report.md
 
+# clean leaves BENCH_tableI.json in place: it is the committed benchmark
+# baseline, regenerated (not discarded) by `make bench`.
 clean:
-	rm -f report.md test_output.txt bench_output.txt BENCH_tableI.txt BENCH_tableI.json
+	rm -f report.md test_output.txt bench_output.txt BENCH_tableI.txt

@@ -8,6 +8,7 @@ package wideleak
 //	BenchmarkTableI_Q3_KeyUsage           — Table I col 5
 //	BenchmarkTableI_Q4_Playback           — Table I col 6
 //	BenchmarkTableI_Full                  — the whole table, warm world, sequential
+//	BenchmarkTableI_ProbeSubset           — q2+q3 only via probe selection, warm world
 //	BenchmarkTableI_Full_Parallel{1,4,N}  — the whole study from a cold world at 1/4/NumCPU row workers
 //	BenchmarkTableI_Full_WarmParallelN    — warm world, cold observations, NumCPU workers
 //	BenchmarkWarmFixtures_ParallelN       — fixture pre-build (keyboxes + installs) on a bounded pool
@@ -187,6 +188,27 @@ func BenchmarkTableI_Full_Faulty(b *testing.B) {
 	}
 	if w.FaultPlan().Stats().Total() == 0 {
 		b.Fatal("no faults injected")
+	}
+}
+
+// BenchmarkTableI_ProbeSubset measures a registry-restricted pass (q2+q3
+// only) over a warm world: the shared observation plus manifest analysis,
+// with no Q1/Q4 device playbacks — the cost floor of probe selection.
+func BenchmarkTableI_ProbeSubset(b *testing.B) {
+	shared := benchSharedStudy(b)
+	s := iwl.NewStudy(shared.World)
+	s.Concurrency = 1
+	s.Probes = []string{"q2", "q3"}
+	if _, err := s.BuildTable(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ResetObservations()
+		if _, err := s.BuildTable(); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

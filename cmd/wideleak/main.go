@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	wideleak [-seed s] [-impact] [-diff] [-app name] [-parallel n] [-faults rate] [-fault-seed s]
+//	wideleak [-seed s] [-impact] [-diff] [-app name] [-probes q1,q4] [-list-probes] [-parallel n] [-faults rate] [-fault-seed s]
 package main
 
 import (
@@ -31,6 +31,8 @@ func run(args []string) error {
 	impact := fs.Bool("impact", false, "also run the §IV-D attack chain per app")
 	diff := fs.Bool("diff", true, "compare the reproduced table against the paper's")
 	app := fs.String("app", "", "restrict to one app (default: all ten)")
+	probes := fs.String("probes", "", "comma-separated probe IDs to run (default: the paper's Q1-Q4; see -list-probes)")
+	listProbes := fs.Bool("list-probes", false, "list the registered probes and exit")
 	format := fs.String("format", "text", "output format: text, csv, json")
 	reportPath := fs.String("report", "", "write a full markdown report (table + impact + forgery) to this file")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "app rows built concurrently (1 = sequential; output is identical at any setting)")
@@ -44,6 +46,33 @@ func run(args []string) error {
 	}
 	if *faults < 0 || *faults >= 1 {
 		return fmt.Errorf("-faults must be in [0,1), got %g", *faults)
+	}
+
+	if *listProbes {
+		fmt.Println("Registered probes:")
+		for _, info := range wideleak.ProbeInfos() {
+			tags := ""
+			if info.Default {
+				tags = " [default]"
+			}
+			if len(info.Requires) > 0 {
+				tags += " (requires " + strings.Join(info.Requires, ", ") + ")"
+			}
+			fmt.Printf("  %-4s %s%s\n       %s\n", info.ID, info.Title, tags, info.Doc)
+		}
+		return nil
+	}
+
+	var probeIDs []string
+	if *probes != "" {
+		for _, id := range strings.Split(*probes, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				probeIDs = append(probeIDs, id)
+			}
+		}
+		if err := wideleak.ValidateProbes(probeIDs); err != nil {
+			return err
+		}
 	}
 
 	profiles := wideleak.Profiles()
@@ -66,6 +95,7 @@ func run(args []string) error {
 	}
 	study := wideleak.NewStudy(world)
 	study.Concurrency = *parallel
+	study.Probes = probeIDs
 	if *faults > 0 {
 		world.InstallFaults(wideleak.FaultSpec{
 			Seed:    *faultSeed,
@@ -113,7 +143,7 @@ func run(args []string) error {
 		fmt.Print(table.Summarize().Render())
 	}
 
-	if *diff && *app == "" {
+	if *diff && *app == "" && *probes == "" {
 		diffs := table.Diff(wideleak.PaperTable())
 		if len(diffs) == 0 {
 			fmt.Println("\nReproduction check: table matches the paper's Table I cell for cell.")

@@ -93,6 +93,60 @@ func TestRun_FaultsInvariantOutput(t *testing.T) {
 	}
 }
 
+func TestRun_ListProbes(t *testing.T) {
+	out := captureStdout(t, func() error { return run([]string{"-list-probes"}) })
+	if !strings.Contains(out, "Registered probes:") {
+		t.Errorf("missing listing header:\n%s", out)
+	}
+	for _, id := range []string{"q1", "q2", "q3", "q4", "q5"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("listing missing probe %s:\n%s", id, out)
+		}
+	}
+	if !strings.Contains(out, "[default]") {
+		t.Errorf("listing does not mark default probes:\n%s", out)
+	}
+	if !strings.Contains(out, "requires q2") {
+		t.Errorf("listing does not show q3's dependency:\n%s", out)
+	}
+}
+
+func TestRun_UnknownProbe(t *testing.T) {
+	err := run([]string{"-app", "Showtime", "-probes", "q2,q9"})
+	if err == nil {
+		t.Fatal("unknown probe accepted")
+	}
+	if !strings.Contains(err.Error(), `"q9"`) || !strings.Contains(err.Error(), "q1, q2, q3, q4, q5") {
+		t.Errorf("error does not name the bad ID and list the registry: %v", err)
+	}
+}
+
+func TestRun_ProbeSubsetOutput(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return run([]string{"-app", "Showtime", "-probes", "q2,q3"})
+	})
+	for _, want := range []string{"Video", "Key Usage", "Showtime"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("subset output missing %q:\n%s", want, out)
+		}
+	}
+	// The header row must carry only the selected probes' columns (the
+	// insights prose below it still mentions Widevine by name).
+	lines := strings.Split(out, "\n")
+	if len(lines) < 2 {
+		t.Fatalf("output too short:\n%s", out)
+	}
+	header := lines[1]
+	for _, forbidden := range []string{"Widevine", "Playback on L3 legacy"} {
+		if strings.Contains(header, forbidden) {
+			t.Errorf("subset header contains %q: %s", forbidden, header)
+		}
+	}
+	if strings.Contains(out, "Reproduction check") {
+		t.Errorf("paper diff ran despite a probe subset:\n%s", out)
+	}
+}
+
 func TestRun_Report(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full report is expensive")

@@ -29,7 +29,7 @@ func Example() {
 	}
 	row := table.Rows[0]
 	fmt.Printf("%s: video=%s audio=%s keyUsage=%s legacy=%s\n",
-		row.App, row.Video, row.Audio, row.KeyUsage, row.Legacy)
+		row.App, row.Video(), row.Audio(), row.KeyUsage(), row.Legacy())
 	// Output:
 	// Netflix: video=Encrypted audio=Clear keyUsage=Minimum legacy=Plays
 }

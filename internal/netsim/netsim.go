@@ -44,11 +44,18 @@ type Response struct {
 // Handler serves requests for one host.
 type Handler func(req Request) (Response, error)
 
+// RetryObserver receives one notification per failed transient connection
+// attempt that a client's retry layer observed: the unreachable host, the
+// 1-based attempt number, and the transport error. Observers run inline on
+// the requesting goroutine and must be safe for concurrent use.
+type RetryObserver func(host string, attempt int, err error)
+
 // Network is the set of reachable hosts.
 type Network struct {
-	mu     sync.RWMutex
-	hosts  map[string]hostEntry
-	faults *FaultPlan
+	mu      sync.RWMutex
+	hosts   map[string]hostEntry
+	faults  *FaultPlan
+	onRetry RetryObserver
 }
 
 type hostEntry struct {
@@ -97,6 +104,22 @@ func (n *Network) FaultPlan() *FaultPlan {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
 	return n.faults
+}
+
+// SetRetryObserver installs (or, with nil, removes) the network-wide
+// observer for transient attempt failures. Every client on the network
+// reports through it, so one sink sees the whole study's masked faults.
+func (n *Network) SetRetryObserver(obs RetryObserver) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.onRetry = obs
+}
+
+// retryObserver returns the installed observer, nil when absent.
+func (n *Network) retryObserver() RetryObserver {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.onRetry
 }
 
 // Exchange is one recorded plaintext request/response pair.
@@ -221,7 +244,17 @@ func (c *Client) DoCtx(ctx context.Context, req Request) (Response, error) {
 	if policy == nil {
 		return c.attempt(ctx, req)
 	}
-	return policy.Do(ctx, func() (Response, error) { return c.attempt(ctx, req) })
+	attempt := 0
+	return policy.Do(ctx, func() (Response, error) {
+		attempt++
+		resp, err := c.attempt(ctx, req)
+		if err != nil && IsTransient(err) {
+			if obs := c.network.retryObserver(); obs != nil {
+				obs(req.Host, attempt, err)
+			}
+		}
+		return resp, err
+	})
 }
 
 // attempt is one connection attempt: fault layer, pin check, handler.

@@ -1,0 +1,84 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/wvcrypto"
+)
+
+// TestRetryObserver_SeesMaskedAttempts: every transient failure the retry
+// loop swallows is reported to the observer with the host, the 1-based
+// attempt number, and the underlying error — even though the caller only
+// ever sees success.
+func TestRetryObserver_SeesMaskedAttempts(t *testing.T) {
+	n, plan := faultyNetwork("observer", FaultProfile{DropRate: 0.5})
+	type retry struct {
+		host    string
+		attempt int
+		err     error
+	}
+	var seen []retry
+	n.SetRetryObserver(func(host string, attempt int, err error) {
+		seen = append(seen, retry{host, attempt, err})
+	})
+
+	c := NewClient(n)
+	c.SetRetryPolicy(DefaultRetryPolicy(wvcrypto.NewDeterministicReader("jitter"), NewVirtualClock()))
+	for i := 0; i < 50; i++ {
+		if _, err := c.Do(Request{Host: "api.example"}); err != nil {
+			t.Fatalf("request %d surfaced %v despite retries", i, err)
+		}
+	}
+
+	injected := plan.Stats().Total()
+	if injected == 0 {
+		t.Fatal("no faults injected — nothing to observe")
+	}
+	if len(seen) != injected {
+		t.Errorf("observer saw %d retries, plan injected %d faults", len(seen), injected)
+	}
+	for _, r := range seen {
+		if r.host != "api.example" {
+			t.Errorf("retry host = %q", r.host)
+		}
+		if r.attempt < 1 {
+			t.Errorf("retry attempt = %d, want >= 1", r.attempt)
+		}
+		if r.err == nil || !IsTransient(r.err) {
+			t.Errorf("retry err = %v, want transient", r.err)
+		}
+	}
+}
+
+// TestRetryObserver_DetachAndQuietNetwork: a nil observer detaches, and a
+// fault-free network never calls the observer at all.
+func TestRetryObserver_DetachAndQuietNetwork(t *testing.T) {
+	n, _ := faultyNetwork("observer-detach", FaultProfile{DropRate: 0.5})
+	calls := 0
+	n.SetRetryObserver(func(string, int, error) { calls++ })
+	n.SetRetryObserver(nil)
+
+	c := NewClient(n)
+	c.SetRetryPolicy(DefaultRetryPolicy(wvcrypto.NewDeterministicReader("jitter"), NewVirtualClock()))
+	for i := 0; i < 20; i++ {
+		if _, err := c.Do(Request{Host: "api.example"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if calls != 0 {
+		t.Errorf("detached observer called %d times", calls)
+	}
+
+	quiet := NewNetwork()
+	quiet.RegisterHost("api.example", func(req Request) (Response, error) {
+		return Response{Status: 200}, nil
+	})
+	quiet.SetRetryObserver(func(string, int, error) { calls++ })
+	qc := NewClient(quiet)
+	if _, err := qc.Do(Request{Host: "api.example"}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 0 {
+		t.Errorf("observer fired %d times on a fault-free network", calls)
+	}
+}

@@ -98,6 +98,15 @@ type App struct {
 	mu       sync.Mutex
 	embedded oemcrypto.Engine
 	flowLog  []android.FlowEvent
+
+	// License cache (CachesLicenses profiles): the first successful
+	// playback keeps its MediaDrm and license session alive, and later
+	// playbacks of the same title decrypt with the already-loaded keys —
+	// no fresh license exchange, hence no LoadKeys on a monitored replay.
+	licDrm     *android.MediaDrm
+	licSession oemcrypto.SessionID
+	licContent string
+	licGranted map[[16]byte]bool
 }
 
 // Install puts the app on a device. For apps shipping an embedded Widevine
@@ -225,6 +234,17 @@ func (a *App) PlayCtx(ctx context.Context, contentID string) *PlaybackReport {
 	report.UsedSystemCDM = !embedded
 	report.UsedEmbeddedCDM = embedded
 
+	if a.profile.CachesLicenses {
+		a.mu.Lock()
+		cachedDrm, cachedSession, cachedGranted := a.licDrm, a.licSession, a.licGranted
+		hit := cachedDrm != nil && a.licContent == contentID
+		a.mu.Unlock()
+		if hit {
+			a.replayFromCache(ctx, contentID, cachedDrm, cachedSession, cachedGranted, report)
+			return report
+		}
+	}
+
 	drm, err := android.NewMediaDrm(android.WidevineUUID, engine, a.rand, a.recordFlow)
 	if err != nil {
 		report.setErr(err)
@@ -260,7 +280,12 @@ func (a *App) PlayCtx(ctx context.Context, contentID string) *PlaybackReport {
 		report.setErr(err)
 		return report
 	}
-	defer func() { _ = drm.CloseSession(session) }()
+	keepSession := false
+	defer func() {
+		if !keepSession {
+			_ = drm.CloseSession(session)
+		}
+	}()
 	granted, denied, err := a.acquireLicense(ctx, drm, session, contentID)
 	if denied {
 		report.LicenseDenied = true
@@ -270,6 +295,14 @@ func (a *App) PlayCtx(ctx context.Context, contentID string) *PlaybackReport {
 	if err != nil {
 		report.setErr(err)
 		return report
+	}
+	if a.profile.CachesLicenses {
+		// Keep the licensed session alive (closing it would unload its
+		// keys) and remember it for later playbacks of the same title.
+		keepSession = true
+		a.mu.Lock()
+		a.licDrm, a.licSession, a.licContent, a.licGranted = drm, session, contentID, granted
+		a.mu.Unlock()
 	}
 
 	crypto, err := android.NewMediaCrypto(drm, session)
@@ -290,6 +323,39 @@ func (a *App) PlayCtx(ctx context.Context, contentID string) *PlaybackReport {
 	a.showSubtitles(ctx, mpd, report)
 	report.FramesDecoded = codec.FrameCount()
 	return report
+}
+
+// replayFromCache plays a title whose license session is still alive from
+// an earlier playback: manifest and media are re-fetched, but the cached
+// session's loaded keys decrypt everything — the license server is never
+// contacted again.
+func (a *App) replayFromCache(ctx context.Context, contentID string, drm *android.MediaDrm, session oemcrypto.SessionID, granted map[[16]byte]bool, report *PlaybackReport) {
+	manifest, err := a.fetchManifest(ctx, drm, contentID)
+	if err != nil {
+		report.setErr(fmt.Errorf("fetch manifest: %w", err))
+		return
+	}
+	mpd, err := dash.Parse(manifest)
+	if err != nil {
+		report.setErr(fmt.Errorf("parse manifest: %w", err))
+		return
+	}
+	crypto, err := android.NewMediaCrypto(drm, session)
+	if err != nil {
+		report.setErr(err)
+		return
+	}
+	codec := android.NewMediaCodec(crypto, a.recordFlow)
+	if err := a.playVideo(ctx, mpd, codec, granted, report); err != nil {
+		report.setErr(err)
+		return
+	}
+	if err := a.playAudio(ctx, mpd, codec, report); err != nil {
+		report.setErr(err)
+		return
+	}
+	a.showSubtitles(ctx, mpd, report)
+	report.FramesDecoded = codec.FrameCount()
 }
 
 // provision runs the provisioning exchange against the app's backend.

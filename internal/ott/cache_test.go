@@ -1,0 +1,103 @@
+package ott
+
+import (
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/monitor"
+	"repro/internal/netsim"
+	"repro/internal/oemcrypto"
+	"repro/internal/provision"
+	"repro/internal/wvcrypto"
+)
+
+// loadKeysDuring counts OEMCrypto LoadKeys calls observed while fn runs.
+func loadKeysDuring(t *testing.T, engine oemcrypto.Engine, fn func() *PlaybackReport) (int, *PlaybackReport) {
+	t.Helper()
+	mon := monitor.New()
+	mon.AttachCDM(engine)
+	defer mon.Detach()
+	report := fn()
+	return len(mon.EventsByFunc(oemcrypto.FuncLoadKeys)), report
+}
+
+// A caching app licenses once: the first playback runs the full exchange,
+// the replay decrypts with the retained session and never loads keys.
+func TestLicenseCache_ReplaySkipsLicenseExchange(t *testing.T) {
+	w := newTestWorld(t, profileByName(t, "Disney+"))
+	pixel, err := w.factory.MakePixel("PX-CACHE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := w.install(t, pixel)
+
+	firstLoads, first := loadKeysDuring(t, pixel.Engine, func() *PlaybackReport { return app.Play("movie-1") })
+	if !first.Played() {
+		t.Fatalf("first playback failed: %+v", first)
+	}
+	if firstLoads == 0 {
+		t.Fatal("first playback performed no license load")
+	}
+
+	replayLoads, second := loadKeysDuring(t, pixel.Engine, func() *PlaybackReport { return app.Play("movie-1") })
+	if !second.Played() {
+		t.Fatalf("replay failed: %+v", second)
+	}
+	if replayLoads != 0 {
+		t.Errorf("replay loaded keys %d times; the cached license should serve", replayLoads)
+	}
+	if second.PlayedHeight != first.PlayedHeight {
+		t.Errorf("replay height %d != first height %d", second.PlayedHeight, first.PlayedHeight)
+	}
+}
+
+// A different title misses the cache and runs its own license exchange.
+func TestLicenseCache_DifferentTitleMisses(t *testing.T) {
+	profile := profileByName(t, "Disney+")
+	rand := wvcrypto.NewDeterministicReader("ott-test-cache-miss")
+	network := netsim.NewNetwork()
+	registry := provision.NewRegistry()
+	if _, err := NewDeployment(profile, []string{"movie-1", "movie-2"}, registry, network, rand); err != nil {
+		t.Fatal(err)
+	}
+	pixel, err := device.NewFactory(registry, rand).MakePixel("PX-MISS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := Install(profile, pixel, network, registry, rand)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, first := loadKeysDuring(t, pixel.Engine, func() *PlaybackReport { return app.Play("movie-1") }); !first.Played() {
+		t.Fatalf("first playback failed: %+v", first)
+	}
+	otherLoads, other := loadKeysDuring(t, pixel.Engine, func() *PlaybackReport { return app.Play("movie-2") })
+	if !other.Played() {
+		t.Fatalf("second-title playback failed: %+v", other)
+	}
+	if otherLoads == 0 {
+		t.Error("different title served without a license exchange")
+	}
+}
+
+// A non-caching app re-licenses on every playback.
+func TestLicenseCache_NonCachingAppRelicenses(t *testing.T) {
+	w := newTestWorld(t, profileByName(t, "Showtime"))
+	pixel, err := w.factory.MakePixel("PX-RELIC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := w.install(t, pixel)
+
+	if _, first := loadKeysDuring(t, pixel.Engine, func() *PlaybackReport { return app.Play("movie-1") }); !first.Played() {
+		t.Fatalf("first playback failed: %+v", first)
+	}
+	replayLoads, second := loadKeysDuring(t, pixel.Engine, func() *PlaybackReport { return app.Play("movie-1") })
+	if !second.Played() {
+		t.Fatalf("replay failed: %+v", second)
+	}
+	if replayLoads == 0 {
+		t.Error("non-caching app replayed without a license exchange")
+	}
+}

@@ -44,6 +44,12 @@ type Profile struct {
 	// is illustrative — Netflix and Amazon are known custom-player apps.)
 	UsesExoPlayer bool
 
+	// CachesLicenses keeps the first successful license session alive and
+	// reuses it for later playbacks of the same title, instead of running a
+	// fresh license exchange per playback (Q5's licensing column: a
+	// monitored replay shows zero LoadKeys calls for caching apps).
+	CachesLicenses bool
+
 	// SubtitleUnavailable models the regional restriction that kept the
 	// authors from obtaining subtitle URIs (Hulu, Starz).
 	SubtitleUnavailable bool
@@ -91,12 +97,14 @@ func Profiles() []Profile {
 			InstallsMillions: 100,
 			KeyPolicy:        minimumPolicy(),
 			ProvisionMinCDM:  revokingCDMVersion,
+			CachesLicenses:   true,
 		},
 		{
 			Name:             "Amazon Prime Video",
 			InstallsMillions: 100,
 			KeyPolicy:        recommendedPolicy(),
 			EmbeddedCDMOnL3:  true,
+			CachesLicenses:   true,
 		},
 		{
 			Name:                "Hulu",

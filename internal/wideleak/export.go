@@ -5,63 +5,125 @@ import (
 	"encoding/csv"
 	"encoding/json"
 	"fmt"
+
+	"repro/internal/wideleak/probe"
 )
 
-// rowExport is the serialized form of one Table I row.
-type rowExport struct {
-	App           string `json:"app"`
-	UsesWidevine  bool   `json:"usesWidevine"`
-	CustomDRMOnL3 bool   `json:"customDrmOnL3"`
-	Video         string `json:"video"`
-	Audio         string `json:"audio"`
-	Subtitles     string `json:"subtitles"`
-	KeyUsage      string `json:"keyUsage"`
-	Legacy        string `json:"legacyPlayback"`
-	Err           string `json:"error,omitempty"`
+// exportValues flattens one row into the table's field values, in
+// registry order. Failed rows (and probes absent from the row) export
+// each field's Zero placeholder.
+func exportValues(ids []string, r *Row) []any {
+	var out []any
+	for _, id := range ids {
+		spec := probeSpec(id)
+		if res := r.Result(id); res != nil && !r.Failed() {
+			out = append(out, res.Values()...)
+		} else {
+			out = append(out, spec.ZeroValues()...)
+		}
+	}
+	return out
 }
 
-func (r *Row) export() rowExport {
-	if r.Failed() {
-		return rowExport{App: r.App, Err: r.Err}
+// exportFields lists the table's field specs in registry order,
+// parallel to exportValues.
+func exportFields(ids []string) []probe.Field {
+	var out []probe.Field
+	for _, id := range ids {
+		out = append(out, probeSpec(id).Fields...)
 	}
-	return rowExport{
-		App:           r.App,
-		UsesWidevine:  r.UsesWidevine,
-		CustomDRMOnL3: r.CustomDRMOnL3,
-		Video:         r.Video.String(),
-		Audio:         r.Audio.String(),
-		Subtitles:     r.Subtitles.String(),
-		KeyUsage:      r.KeyUsage.String(),
-		Legacy:        r.Legacy.String(),
-	}
+	return out
 }
 
-// MarshalJSON renders the table as a JSON array of rows.
+// MarshalJSON renders the table as a JSON array of row objects. Keys are
+// derived from the registered probes' field specs, in registry order,
+// framed by "app" and a trailing "error" (omitted when empty) — the
+// same shape hand-written struct tags produced before the registry.
 func (t *Table) MarshalJSON() ([]byte, error) {
-	rows := make([]rowExport, len(t.Rows))
+	ids := t.probeIDs()
+	fields := exportFields(ids)
+	var buf bytes.Buffer
+	buf.WriteByte('[')
 	for i := range t.Rows {
-		rows[i] = t.Rows[i].export()
+		r := &t.Rows[i]
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		buf.WriteByte('{')
+		if err := writeJSONField(&buf, "app", r.App); err != nil {
+			return nil, err
+		}
+		for j, v := range exportValues(ids, r) {
+			buf.WriteByte(',')
+			if err := writeJSONField(&buf, fields[j].JSON, v); err != nil {
+				return nil, err
+			}
+		}
+		if r.Err != "" {
+			buf.WriteByte(',')
+			if err := writeJSONField(&buf, "error", r.Err); err != nil {
+				return nil, err
+			}
+		}
+		buf.WriteByte('}')
 	}
-	return json.Marshal(rows)
+	buf.WriteByte(']')
+	return buf.Bytes(), nil
 }
 
-// MarshalCSV renders the table as CSV with a header row.
+// writeJSONField appends one `"key":value` pair. Booleans encode as JSON
+// booleans; everything else stringifies first (enum values through their
+// String method) and encodes as a JSON string.
+func writeJSONField(buf *bytes.Buffer, key string, v any) error {
+	k, err := json.Marshal(key)
+	if err != nil {
+		return fmt.Errorf("wideleak: json key %s: %w", key, err)
+	}
+	buf.Write(k)
+	buf.WriteByte(':')
+	var raw []byte
+	switch val := v.(type) {
+	case bool:
+		raw, err = json.Marshal(val)
+	case string:
+		raw, err = json.Marshal(val)
+	default:
+		raw, err = json.Marshal(fmt.Sprint(val))
+	}
+	if err != nil {
+		return fmt.Errorf("wideleak: json field %s: %w", key, err)
+	}
+	buf.Write(raw)
+	return nil
+}
+
+// MarshalCSV renders the table as CSV with a header row derived from the
+// registered probes' field specs, framed by "app" and "error".
 func (t *Table) MarshalCSV() ([]byte, error) {
+	ids := t.probeIDs()
+	fields := exportFields(ids)
+	header := make([]string, 0, len(fields)+2)
+	header = append(header, "app")
+	for _, f := range fields {
+		header = append(header, f.CSV)
+	}
+	header = append(header, "error")
+
 	var buf bytes.Buffer
 	w := csv.NewWriter(&buf)
-	if err := w.Write([]string{"app", "uses_widevine", "custom_drm_on_l3",
-		"video", "audio", "subtitles", "key_usage", "legacy_playback", "error"}); err != nil {
+	if err := w.Write(header); err != nil {
 		return nil, fmt.Errorf("wideleak: csv header: %w", err)
 	}
 	for i := range t.Rows {
-		e := t.Rows[i].export()
-		if err := w.Write([]string{
-			e.App,
-			fmt.Sprintf("%t", e.UsesWidevine),
-			fmt.Sprintf("%t", e.CustomDRMOnL3),
-			e.Video, e.Audio, e.Subtitles, e.KeyUsage, e.Legacy, e.Err,
-		}); err != nil {
-			return nil, fmt.Errorf("wideleak: csv row %s: %w", e.App, err)
+		r := &t.Rows[i]
+		record := make([]string, 0, len(header))
+		record = append(record, r.App)
+		for _, v := range exportValues(ids, r) {
+			record = append(record, csvCell(v))
+		}
+		record = append(record, r.Err)
+		if err := w.Write(record); err != nil {
+			return nil, fmt.Errorf("wideleak: csv row %s: %w", r.App, err)
 		}
 	}
 	w.Flush()
@@ -69,4 +131,17 @@ func (t *Table) MarshalCSV() ([]byte, error) {
 		return nil, fmt.Errorf("wideleak: csv flush: %w", err)
 	}
 	return buf.Bytes(), nil
+}
+
+// csvCell stringifies one exported value: booleans as true/false,
+// everything else through fmt (enum values via their String method).
+func csvCell(v any) string {
+	switch val := v.(type) {
+	case bool:
+		return fmt.Sprintf("%t", val)
+	case string:
+		return val
+	default:
+		return fmt.Sprint(val)
+	}
 }

@@ -1,0 +1,105 @@
+package probe
+
+import (
+	"sync"
+	"time"
+)
+
+// EventKind classifies one pipeline event.
+type EventKind int
+
+// Event kinds. Started/Finished bracket one probe run for one app;
+// Degraded marks a probe whose transport died through every retry (the
+// row is annotated instead of failing the table); Retry surfaces one
+// masked transient transport fault from the network layer.
+const (
+	EventProbeStarted EventKind = iota + 1
+	EventProbeFinished
+	EventProbeDegraded
+	EventRetry
+)
+
+// String names the kind for logs.
+func (k EventKind) String() string {
+	switch k {
+	case EventProbeStarted:
+		return "probe-started"
+	case EventProbeFinished:
+		return "probe-finished"
+	case EventProbeDegraded:
+		return "probe-degraded"
+	case EventRetry:
+		return "retry"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one structured pipeline observation, threaded from the
+// network simulator up through the probe engine.
+type Event struct {
+	Kind EventKind
+	// Probe and App identify the run for probe events (empty on Retry
+	// events, which are attributed by host).
+	Probe string
+	App   string
+
+	// Host and Attempt describe Retry events: the unreachable host and
+	// the 1-based attempt number that failed.
+	Host    string
+	Attempt int
+
+	// Err carries the failure text for Degraded and Retry events.
+	Err string
+
+	// Wall is the real time the probe run took; Virtual is how far the
+	// world's virtual clock advanced during it (injected latency and
+	// retry backoff are charged there, not to the wall).
+	Wall    time.Duration
+	Virtual time.Duration
+}
+
+// Sink receives pipeline events. Sinks must be safe for concurrent use:
+// parallel row builds emit from multiple goroutines.
+type Sink func(Event)
+
+// Log is a concurrency-safe event collector — the trivial Sink for
+// tests and CLIs that want the stream after the fact.
+type Log struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Record appends one event; use it as a Sink via (*Log).Record.
+func (l *Log) Record(ev Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = append(l.events, ev)
+}
+
+// Events returns a copy of everything recorded so far.
+func (l *Log) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, len(l.events))
+	copy(out, l.events)
+	return out
+}
+
+// ByKind filters the recorded events.
+func (l *Log) ByKind(kind EventKind) []Event {
+	var out []Event
+	for _, ev := range l.Events() {
+		if ev.Kind == kind {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// Len reports how many events were recorded.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}

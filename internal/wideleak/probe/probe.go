@@ -1,0 +1,116 @@
+// Package probe defines the pluggable measurement pipeline the study
+// engine is built on: each research question is a self-describing Spec
+// (stable ID, column layout, field encodings, dependencies, an entry
+// point returning a typed Result), and a Registry owns ordering and
+// dependency resolution. Renderers, exporters and differs derive their
+// column sets from the registry instead of hard-coding struct fields, so
+// a new question ships by registering one Spec — no renderer edits.
+//
+// The package is generic over the run target T (the study engine passes
+// *wideleak.Study) so it carries no dependency on the engine itself.
+package probe
+
+import "context"
+
+// Column describes one rendered table column contributed by a probe.
+// A probe may render fewer columns than it exports fields (Q1 folds two
+// booleans into one dagger-annotated cell).
+type Column struct {
+	// Key is the stable machine name of the column.
+	Key string
+	// Header is the rendered column title.
+	Header string
+	// Width is the minimum rendered cell width (left-aligned padding).
+	Width int
+}
+
+// Field describes one exported value of a probe's result: how it is
+// named in CSV, JSON and diff output, and what stands in for it when a
+// row failed and carries no result.
+type Field struct {
+	// CSV is the CSV header cell for this field.
+	CSV string
+	// JSON is the JSON object key for this field.
+	JSON string
+	// Diff is the short name diff messages identify the field by.
+	Diff string
+	// Zero is the value exported for rows that failed before the probe
+	// could run (false for booleans, "" for everything rendered).
+	Zero any
+}
+
+// Result is one probe's typed answer for one app. Implementations are
+// the engine's QnResult structs; the pipeline only needs the uniform
+// encoding surface.
+type Result interface {
+	// ProbeID names the probe that produced the result.
+	ProbeID() string
+	// Cells renders the result's table cells, one per Spec column.
+	Cells() []string
+	// Values exports the result's field values, one per Spec field, in
+	// CSV/JSON/diff order. Values must be comparable; non-bool values
+	// are serialized through fmt-style formatting (so enum types with a
+	// String method export their rendered form).
+	Values() []any
+}
+
+// Results maps probe IDs to completed results — the dependency view a
+// probe's Run receives (every Requires entry is present and non-nil).
+type Results map[string]Result
+
+// Spec is one registered probe: identity, presentation, dependencies and
+// the entry point.
+type Spec[T any] struct {
+	// ID is the stable identifier (e.g. "q3") used for selection,
+	// dependency references and row keying.
+	ID string
+	// Title is the short human name shown by probe listings.
+	Title string
+	// Doc is a one-line description of what the probe measures.
+	Doc string
+	// Requires lists probe IDs that must have run before this one; their
+	// results are handed to Run. Dependencies must already be registered.
+	Requires []string
+	// Default marks the probe as part of the default selection (an
+	// empty probe filter). Opt-in probes register with Default false and
+	// run only when selected explicitly.
+	Default bool
+
+	// Columns are the table columns the probe renders.
+	Columns []Column
+	// Fields are the values the probe exports (CSV/JSON/diff).
+	Fields []Field
+	// Legend lines are appended below the rendered table; duplicate
+	// lines across probes are printed once.
+	Legend []string
+
+	// Run answers the question for one app against the target.
+	Run func(ctx context.Context, target T, app string, deps Results) (Result, error)
+}
+
+// Info is the registry's engine-agnostic description of one probe, for
+// listings (CLI -list-probes) and validation messages.
+type Info struct {
+	ID       string
+	Title    string
+	Doc      string
+	Requires []string
+	Default  bool
+	Columns  []Column
+}
+
+// ZeroValues returns the Zero placeholder of every field, in field
+// order — the export row of a probe that never ran.
+func (s *Spec[T]) ZeroValues() []any {
+	out := make([]any, len(s.Fields))
+	for i, f := range s.Fields {
+		out[i] = f.Zero
+	}
+	return out
+}
+
+// ZeroCells returns one empty cell per column — the rendered row of a
+// probe that never ran.
+func (s *Spec[T]) ZeroCells() []string {
+	return make([]string, len(s.Columns))
+}

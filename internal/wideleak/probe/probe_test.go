@@ -1,0 +1,178 @@
+package probe
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+)
+
+type fakeResult struct {
+	id string
+}
+
+func (f *fakeResult) ProbeID() string { return f.id }
+func (f *fakeResult) Cells() []string { return []string{f.id} }
+func (f *fakeResult) Values() []any   { return []any{f.id} }
+
+func spec(id string, def bool, requires ...string) Spec[int] {
+	return Spec[int]{
+		ID:       id,
+		Title:    strings.ToUpper(id),
+		Default:  def,
+		Requires: requires,
+		Columns:  []Column{{Key: id, Header: strings.ToUpper(id), Width: 10}},
+		Fields:   []Field{{CSV: id, JSON: id, Diff: id, Zero: ""}},
+		Run: func(ctx context.Context, target int, app string, deps Results) (Result, error) {
+			return &fakeResult{id: id}, nil
+		},
+	}
+}
+
+func testRegistry(t *testing.T) *Registry[int] {
+	t.Helper()
+	r := NewRegistry[int]()
+	for _, s := range []Spec[int]{
+		spec("a", true),
+		spec("b", true),
+		spec("c", true, "b"),
+		spec("x", false, "a"),
+	} {
+		if err := r.Register(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+func TestRegister_Validation(t *testing.T) {
+	r := NewRegistry[int]()
+	if err := r.Register(Spec[int]{ID: "", Run: spec("z", true).Run}); err == nil {
+		t.Error("empty ID accepted")
+	}
+	if err := r.Register(Spec[int]{ID: "norun"}); err == nil {
+		t.Error("nil Run accepted")
+	}
+	if err := r.Register(spec("a", true)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(spec("a", true)); err == nil {
+		t.Error("duplicate ID accepted")
+	}
+	if err := r.Register(spec("d", true, "ghost")); err == nil ||
+		!strings.Contains(err.Error(), "ghost") {
+		t.Errorf("unregistered dependency accepted: %v", err)
+	}
+}
+
+func TestRegistry_Order(t *testing.T) {
+	r := testRegistry(t)
+	if got := strings.Join(r.IDs(), ","); got != "a,b,c,x" {
+		t.Errorf("IDs() = %s", got)
+	}
+	if got := strings.Join(r.DefaultIDs(), ","); got != "a,b,c" {
+		t.Errorf("DefaultIDs() = %s", got)
+	}
+	infos := r.Infos()
+	if len(infos) != 4 || infos[3].ID != "x" || infos[3].Default {
+		t.Errorf("Infos() = %+v", infos)
+	}
+	if len(infos[2].Requires) != 1 || infos[2].Requires[0] != "b" {
+		t.Errorf("Infos()[2].Requires = %v", infos[2].Requires)
+	}
+}
+
+func TestResolve(t *testing.T) {
+	r := testRegistry(t)
+	cases := []struct {
+		name     string
+		ids      []string
+		selected string
+		exec     string
+	}{
+		{"default", nil, "a,b,c", "a,b,c"},
+		{"explicit order normalized", []string{"c", "a"}, "a,c", "a,b,c"},
+		{"dependency pulled in", []string{"c"}, "c", "b,c"},
+		{"opt-in probe", []string{"x"}, "x", "a,x"},
+		{"duplicates collapse", []string{"b", "b"}, "b", "b"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			selected, exec, err := r.Resolve(tc.ids)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := strings.Join(selected, ","); got != tc.selected {
+				t.Errorf("selected = %s, want %s", got, tc.selected)
+			}
+			if got := strings.Join(exec, ","); got != tc.exec {
+				t.Errorf("execution = %s, want %s", got, tc.exec)
+			}
+		})
+	}
+}
+
+func TestResolve_UnknownIDListsRegistered(t *testing.T) {
+	r := testRegistry(t)
+	_, _, err := r.Resolve([]string{"q9"})
+	if err == nil {
+		t.Fatal("unknown ID accepted")
+	}
+	for _, want := range []string{`"q9"`, "a, b, c, x"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not contain %q", err, want)
+		}
+	}
+}
+
+func TestSpec_Zeros(t *testing.T) {
+	r := testRegistry(t)
+	s, ok := r.Get("a")
+	if !ok {
+		t.Fatal("spec a missing")
+	}
+	if vals := s.ZeroValues(); len(vals) != 1 || vals[0] != "" {
+		t.Errorf("ZeroValues() = %v", vals)
+	}
+	if cells := s.ZeroCells(); len(cells) != 1 || cells[0] != "" {
+		t.Errorf("ZeroCells() = %v", cells)
+	}
+}
+
+func TestEventLog_Concurrent(t *testing.T) {
+	var log Log
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				log.Record(Event{Kind: EventRetry, Host: "h", Attempt: j})
+			}
+		}()
+	}
+	wg.Wait()
+	if log.Len() != 400 {
+		t.Errorf("Len() = %d, want 400", log.Len())
+	}
+	if got := len(log.ByKind(EventRetry)); got != 400 {
+		t.Errorf("ByKind(retry) = %d", got)
+	}
+	if got := len(log.ByKind(EventProbeStarted)); got != 0 {
+		t.Errorf("ByKind(started) = %d", got)
+	}
+}
+
+func TestEventKind_String(t *testing.T) {
+	for kind, want := range map[EventKind]string{
+		EventProbeStarted:  "probe-started",
+		EventProbeFinished: "probe-finished",
+		EventProbeDegraded: "probe-degraded",
+		EventRetry:         "retry",
+		EventKind(99):      "unknown",
+	} {
+		if kind.String() != want {
+			t.Errorf("%d.String() = %s, want %s", kind, kind, want)
+		}
+	}
+}

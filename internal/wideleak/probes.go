@@ -1,0 +1,316 @@
+package wideleak
+
+import (
+	"context"
+
+	"repro/internal/monitor"
+	"repro/internal/oemcrypto"
+	"repro/internal/wideleak/probe"
+)
+
+// probeRegistry is the engine's probe set. Every research question is
+// registered here and nowhere else: the table builder, renderer, differ,
+// summarizer and both exporters derive their column sets from this
+// registry, so adding a question means adding one Spec (plus its typed
+// result) — no renderer or exporter edits.
+var probeRegistry = probe.NewRegistry[*Study]()
+
+func init() {
+	probeRegistry.MustRegister(probe.Spec[*Study]{
+		ID:      "q1",
+		Title:   "Widevine usage",
+		Doc:     "does the app rely on the system Widevine CDM? (static scan + dynamic hook confirmation)",
+		Default: true,
+		Columns: []probe.Column{{Key: "widevine", Header: "Widevine", Width: 10}},
+		Fields: []probe.Field{
+			{CSV: "uses_widevine", JSON: "usesWidevine", Diff: "widevine", Zero: false},
+			{CSV: "custom_drm_on_l3", JSON: "customDrmOnL3", Diff: "customDRM", Zero: false},
+		},
+		Legend: []string{"† using custom DRM if only Widevine L3 is available."},
+		Run: func(ctx context.Context, s *Study, app string, deps probe.Results) (probe.Result, error) {
+			return s.RunQ1(app)
+		},
+	})
+	probeRegistry.MustRegister(probe.Spec[*Study]{
+		ID:      "q2",
+		Title:   "Content protection",
+		Doc:     "are video, audio and subtitle assets encrypted? (attacker-side download + parse)",
+		Default: true,
+		Columns: []probe.Column{
+			{Key: "video", Header: "Video", Width: 10},
+			{Key: "audio", Header: "Audio", Width: 10},
+			{Key: "subtitles", Header: "Subtitles", Width: 10},
+		},
+		Fields: []probe.Field{
+			{CSV: "video", JSON: "video", Diff: "video", Zero: ""},
+			{CSV: "audio", JSON: "audio", Diff: "audio", Zero: ""},
+			{CSV: "subtitles", JSON: "subtitles", Diff: "subtitles", Zero: ""},
+		},
+		Run: func(ctx context.Context, s *Study, app string, deps probe.Results) (probe.Result, error) {
+			return s.RunQ2(app)
+		},
+	})
+	probeRegistry.MustRegister(probe.Spec[*Study]{
+		ID:       "q3",
+		Title:    "Key usage",
+		Doc:      "one key per track or shared keys? (manifest key-ID analysis)",
+		Default:  true,
+		Requires: []string{"q2"},
+		Columns:  []probe.Column{{Key: "keyUsage", Header: "Key Usage", Width: 12}},
+		Fields: []probe.Field{
+			{CSV: "key_usage", JSON: "keyUsage", Diff: "keyUsage", Zero: ""},
+		},
+		Legend: []string{
+			"Minimum: audio in clear or using the same encryption key as the video.",
+			"Recommended: audio and video are encrypted with different keys.",
+		},
+		Run: func(ctx context.Context, s *Study, app string, deps probe.Results) (probe.Result, error) {
+			q2, _ := deps["q2"].(*Q2Result)
+			return s.classifyQ3(app, q2)
+		},
+	})
+	probeRegistry.MustRegister(probe.Spec[*Study]{
+		ID:      "q4",
+		Title:   "Legacy-device policy",
+		Doc:     "does playback still work on the discontinued Nexus 5?",
+		Default: true,
+		Columns: []probe.Column{{Key: "legacy", Header: "Playback on L3 legacy", Width: 20}},
+		Fields: []probe.Field{
+			{CSV: "legacy_playback", JSON: "legacyPlayback", Diff: "legacy", Zero: ""},
+		},
+		Legend: []string{"† using custom DRM if only Widevine L3 is available."},
+		Run: func(ctx context.Context, s *Study, app string, deps probe.Results) (probe.Result, error) {
+			return s.RunQ4(app)
+		},
+	})
+	probeRegistry.MustRegister(probe.Spec[*Study]{
+		ID:      "q5",
+		Title:   "License caching",
+		Doc:     "re-license per playback, or cache licenses across sessions? (LoadKeys count on a monitored replay)",
+		Default: false,
+		Columns: []probe.Column{{Key: "licensing", Header: "Licensing", Width: 14}},
+		Fields: []probe.Field{
+			{CSV: "licensing", JSON: "licensing", Diff: "licensing", Zero: ""},
+		},
+		Run: func(ctx context.Context, s *Study, app string, deps probe.Results) (probe.Result, error) {
+			return s.RunQ5(app)
+		},
+	})
+}
+
+// ProbeIDs returns every registered probe ID in registration order.
+func ProbeIDs() []string { return probeRegistry.IDs() }
+
+// DefaultProbeIDs returns the default probe selection (the paper's
+// Q1–Q4), in registration order.
+func DefaultProbeIDs() []string { return probeRegistry.DefaultIDs() }
+
+// ProbeInfos describes every registered probe for listings.
+func ProbeInfos() []probe.Info { return probeRegistry.Infos() }
+
+// ValidateProbes checks a probe selection without running anything; the
+// error for an unknown ID lists the registered probes.
+func ValidateProbes(ids []string) error {
+	_, _, err := probeRegistry.Resolve(ids)
+	return err
+}
+
+// probeSpec returns a registered spec; the registry is populated in
+// init, so a miss is a programming error.
+func probeSpec(id string) *probe.Spec[*Study] {
+	s, ok := probeRegistry.Get(id)
+	if !ok {
+		panic("wideleak: unregistered probe " + id)
+	}
+	return s
+}
+
+// summaryAggregators fold one probe result into the table summary. The
+// summarizer walks rows generically and dispatches by probe ID; probes
+// with no aggregate contribution (Q5) simply do not register one.
+var summaryAggregators = map[string]func(probe.Result, *Summary){
+	"q1": func(res probe.Result, s *Summary) {
+		q := res.(*Q1Result)
+		if q.UsesWidevine {
+			s.UsingWidevine++
+		}
+		if q.CustomDRMOnL3 {
+			s.CustomDRMOnL3++
+		}
+	},
+	"q2": func(res probe.Result, s *Summary) {
+		q := res.(*Q2Result)
+		if q.Video == ProtectionEncrypted {
+			s.VideoEncrypted++
+		}
+		switch q.Audio {
+		case ProtectionClear:
+			s.AudioClear++
+		case ProtectionEncrypted:
+			s.AudioEncrypted++
+		}
+		if q.Subtitles != ProtectionUnknown {
+			s.SubtitlesKnown++
+			if q.Subtitles == ProtectionClear {
+				s.SubtitlesClear++
+			}
+		}
+	},
+	"q3": func(res probe.Result, s *Summary) {
+		switch res.(*Q3Result).Usage {
+		case KeyUsageMinimum:
+			s.KeyUsageMinimum++
+		case KeyUsageRecommended:
+			s.KeyUsageRecommended++
+		default:
+			s.KeyUsageUnknown++
+		}
+	},
+	"q4": func(res probe.Result, s *Summary) {
+		switch res.(*Q4Result).Outcome {
+		case LegacyPlays, LegacyPlaysCustomDRM:
+			s.ServingLegacyDevices++
+		case LegacyProvisioningFails:
+			s.EnforcingRevocation++
+		}
+	},
+}
+
+// --- Typed results: the uniform encoding surface ---
+
+// ProbeID implements probe.Result.
+func (q *Q1Result) ProbeID() string { return "q1" }
+
+// Cells renders the Widevine column with the paper's dagger for
+// custom-DRM fallback.
+func (q *Q1Result) Cells() []string {
+	switch {
+	case !q.UsesWidevine:
+		return []string{"no"}
+	case q.CustomDRMOnL3:
+		return []string{"yes †"}
+	default:
+		return []string{"yes"}
+	}
+}
+
+// Values implements probe.Result.
+func (q *Q1Result) Values() []any { return []any{q.UsesWidevine, q.CustomDRMOnL3} }
+
+// ProbeID implements probe.Result.
+func (q *Q2Result) ProbeID() string { return "q2" }
+
+// Cells implements probe.Result.
+func (q *Q2Result) Cells() []string {
+	return []string{q.Video.String(), q.Audio.String(), q.Subtitles.String()}
+}
+
+// Values implements probe.Result.
+func (q *Q2Result) Values() []any { return []any{q.Video, q.Audio, q.Subtitles} }
+
+// ProbeID implements probe.Result.
+func (q *Q3Result) ProbeID() string { return "q3" }
+
+// Cells implements probe.Result.
+func (q *Q3Result) Cells() []string { return []string{q.Usage.String()} }
+
+// Values implements probe.Result.
+func (q *Q3Result) Values() []any { return []any{q.Usage} }
+
+// ProbeID implements probe.Result.
+func (q *Q4Result) ProbeID() string { return "q4" }
+
+// Cells renders the Q4 column with the paper's symbols: a filled circle
+// for playback, a half circle for provisioning failure.
+func (q *Q4Result) Cells() []string {
+	switch q.Outcome {
+	case LegacyPlays:
+		return []string{"plays"}
+	case LegacyPlaysCustomDRM:
+		return []string{"plays †"}
+	case LegacyProvisioningFails:
+		return []string{"provisioning fails"}
+	default:
+		return []string{"fails"}
+	}
+}
+
+// Values implements probe.Result.
+func (q *Q4Result) Values() []any { return []any{q.Outcome} }
+
+// --- Q5: license caching, the probe shipped purely through the registry ---
+
+// LicensePolicy classifies how an app licenses repeated playbacks of the
+// same title (the Q5 column).
+type LicensePolicy int
+
+// LicensePolicy values: PerPlayback = a fresh license exchange on every
+// playback (every LoadKeys observable); Cached = the license persists
+// across playback sessions, so a replay loads no keys at all.
+const (
+	LicenseUnknown LicensePolicy = iota
+	LicensePerPlayback
+	LicenseCached
+)
+
+// String renders the Q5 cell.
+func (p LicensePolicy) String() string {
+	switch p {
+	case LicensePerPlayback:
+		return "per-playback"
+	case LicenseCached:
+		return "cached"
+	default:
+		return "-"
+	}
+}
+
+// Q5Result answers "does the app re-license per playback?" for one app.
+type Q5Result struct {
+	App    string
+	Policy LicensePolicy
+	// ReplayLoadKeys counts OEMCrypto LoadKeys calls observed during the
+	// monitored replay — zero means the first session's license was
+	// still serving keys.
+	ReplayLoadKeys int
+}
+
+// ProbeID implements probe.Result.
+func (q *Q5Result) ProbeID() string { return "q5" }
+
+// Cells implements probe.Result.
+func (q *Q5Result) Cells() []string { return []string{q.Policy.String()} }
+
+// Values implements probe.Result.
+func (q *Q5Result) Values() []any { return []any{q.Policy} }
+
+// RunQ5 classifies an app's licensing behaviour from the oemcrypto call
+// events of a monitored replay: after the baseline observation playback,
+// the title is played again on the same (L1) device under CDM hooks. An
+// app that re-licenses performs a fresh key exchange — LoadKeys fires —
+// while an app that cached its license decrypts with the keys already
+// loaded in the retained session.
+func (s *Study) RunQ5(app string) (*Q5Result, error) {
+	if _, err := s.observe(app); err != nil {
+		return nil, err
+	}
+	f, err := s.World.Fixture(app)
+	if err != nil {
+		return nil, err
+	}
+	mon := monitor.New()
+	mon.AttachCDM(f.PixelDevice.Engine)
+	defer mon.Detach()
+	report := f.PixelApp.Play(ContentID)
+	if err := report.TransportErr(); err != nil {
+		return nil, err
+	}
+	res := &Q5Result{App: app, ReplayLoadKeys: len(mon.EventsByFunc(oemcrypto.FuncLoadKeys))}
+	switch {
+	case report.Played() && res.ReplayLoadKeys == 0:
+		res.Policy = LicenseCached
+	case res.ReplayLoadKeys > 0:
+		res.Policy = LicensePerPlayback
+	}
+	return res, nil
+}

@@ -50,12 +50,30 @@ func (r *Report) Markdown() string {
 	var b strings.Builder
 	b.WriteString("# WideLeak study report\n\n")
 	b.WriteString("## Table I — Widevine usage and asset protection\n\n")
-	b.WriteString("| OTT | Widevine | Video | Audio | Subtitles | Key usage | Legacy playback |\n")
-	b.WriteString("|---|---|---|---|---|---|---|\n")
+	ids := r.Table.probeIDs()
+	headers := []string{appColumn.Header}
+	for _, id := range ids {
+		for _, col := range probeSpec(id).Columns {
+			headers = append(headers, col.Header)
+		}
+	}
+	fmt.Fprintf(&b, "| %s |\n", strings.Join(headers, " | "))
+	b.WriteString("|" + strings.Repeat("---|", len(headers)) + "\n")
 	for _, row := range r.Table.Rows {
-		fmt.Fprintf(&b, "| %s | %s | %s | %s | %s | %s | %s |\n",
-			row.App, row.widevineCell(), row.Video, row.Audio, row.Subtitles,
-			row.KeyUsage, row.legacyCell())
+		if row.Failed() {
+			fmt.Fprintf(&b, "| %s | unavailable: %s |\n", row.App, row.Err)
+			continue
+		}
+		cells := []string{row.App}
+		for _, id := range ids {
+			spec := probeSpec(id)
+			if res := row.Result(id); res != nil {
+				cells = append(cells, res.Cells()...)
+			} else {
+				cells = append(cells, spec.ZeroCells()...)
+			}
+		}
+		fmt.Fprintf(&b, "| %s |\n", strings.Join(cells, " | "))
 	}
 	if r.MatchesPaper {
 		b.WriteString("\nReproduction check: **matches the paper's Table I cell for cell.**\n")

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cdn"
 	"repro/internal/dash"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/oemcrypto"
 	"repro/internal/ott"
 	"repro/internal/staticscan"
+	"repro/internal/wideleak/probe"
 )
 
 // Protection classifies one asset class of one app (Table I cols 2-4).
@@ -140,7 +142,7 @@ type Q4Result struct {
 	Detail  string
 }
 
-// Study runs the four research questions over a World.
+// Study runs the registered research questions over a World.
 type Study struct {
 	World *World
 
@@ -149,6 +151,22 @@ type Study struct {
 	// strictly sequential build. The rendered table is byte-identical at
 	// every setting: each app draws from its own deterministic stream.
 	Concurrency int
+
+	// Probes selects which registered probes BuildTable runs, by ID.
+	// Nil or empty selects the default set (the paper's Q1–Q4).
+	// Dependencies of selected probes run automatically but contribute no
+	// columns unless selected themselves.
+	Probes []string
+
+	// sink receives structured pipeline events (probe started/finished/
+	// degraded, masked transport retries). Installed via SetEventSink.
+	sink probe.Sink
+
+	// obsRuns counts instrumented observation runs that actually executed;
+	// legacyPlays counts Nexus 5 playbacks. Probe-selection tests use the
+	// counters to assert that unselected probes did no playback work.
+	obsRuns     atomic.Int64
+	legacyPlays atomic.Int64
 
 	// mu guards only the observation map; observation runs themselves are
 	// deduplicated per app by a singleflight guard so Q1–Q3 (and
@@ -177,6 +195,37 @@ func (s *Study) ResetObservations() {
 	defer s.mu.Unlock()
 	s.obs = make(map[string]*obsEntry)
 }
+
+// SetEventSink installs the structured run-event stream: probe
+// started/finished/degraded events from the table builder, plus one Retry
+// event per masked transient transport fault, forwarded from the network
+// layer. A nil sink detaches both. The sink must be safe for concurrent
+// use — parallel builds emit from multiple goroutines.
+func (s *Study) SetEventSink(sink probe.Sink) {
+	s.sink = sink
+	if sink == nil {
+		s.World.Network.SetRetryObserver(nil)
+		return
+	}
+	s.World.Network.SetRetryObserver(func(host string, attempt int, err error) {
+		sink(probe.Event{Kind: probe.EventRetry, Host: host, Attempt: attempt, Err: err.Error()})
+	})
+}
+
+// emit forwards one pipeline event when a sink is installed.
+func (s *Study) emit(ev probe.Event) {
+	if s.sink != nil {
+		s.sink(ev)
+	}
+}
+
+// Observations reports how many instrumented observation runs actually
+// executed. Q1–Q3 share one observation per app, so a full default table
+// build over N apps reports N.
+func (s *Study) Observations() int { return int(s.obsRuns.Load()) }
+
+// LegacyPlaybacks reports how many Nexus 5 playbacks (Q4 runs) executed.
+func (s *Study) LegacyPlaybacks() int { return int(s.legacyPlays.Load()) }
 
 // observation caches one app's monitored playbacks (shared across Q1-Q3).
 type observation struct {
@@ -209,6 +258,7 @@ func (s *Study) observe(app string) (*observation, error) {
 
 // runObservation performs the actual instrumented playbacks for one app.
 func (s *Study) runObservation(app string) (*observation, error) {
+	s.obsRuns.Add(1)
 	f, err := s.World.Fixture(app)
 	if err != nil {
 		return nil, err
@@ -454,6 +504,13 @@ func (s *Study) probeSubtitles(attacker *netsim.Client, host string, set *dash.A
 // paper does ("we note the used key IDs for each content by parsing the
 // MPD files").
 func (s *Study) RunQ3(app string) (*Q3Result, error) {
+	return s.classifyQ3(app, nil)
+}
+
+// classifyQ3 is Q3's classification core. The registry hands it the Q2
+// dependency result; a nil q2 (the direct RunQ3 path) computes it on
+// demand, and only once the manifest is known recoverable.
+func (s *Study) classifyQ3(app string, q2 *Q2Result) (*Q3Result, error) {
 	o, err := s.observe(app)
 	if err != nil {
 		return nil, err
@@ -462,9 +519,10 @@ func (s *Study) RunQ3(app string) (*Q3Result, error) {
 	if o.mpd == nil {
 		return res, nil
 	}
-	q2, err := s.RunQ2(app)
-	if err != nil {
-		return nil, err
+	if q2 == nil {
+		if q2, err = s.RunQ2(app); err != nil {
+			return nil, err
+		}
 	}
 
 	videoKIDs := make(map[string]bool)
@@ -516,6 +574,7 @@ func (s *Study) RunQ3(app string) (*Q3Result, error) {
 
 // RunQ4 plays on the discontinued Nexus 5 and classifies the outcome.
 func (s *Study) RunQ4(app string) (*Q4Result, error) {
+	s.legacyPlays.Add(1)
 	f, err := s.World.Fixture(app)
 	if err != nil {
 		return nil, err

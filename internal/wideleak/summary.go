@@ -37,48 +37,25 @@ type Summary struct {
 	EnforcingRevocation  int
 }
 
-// Summarize computes the aggregate over a table.
+// Summarize computes the aggregate over a table. Each selected probe
+// folds its own results in through its registered aggregator; probes
+// without one (Q5) contribute cells but no aggregate.
 func (t *Table) Summarize() Summary {
 	s := Summary{Apps: len(t.Rows)}
+	ids := t.probeIDs()
 	for _, r := range t.Rows {
 		if r.Failed() {
 			s.Unavailable++
 			continue
 		}
-		if r.UsesWidevine {
-			s.UsingWidevine++
-		}
-		if r.CustomDRMOnL3 {
-			s.CustomDRMOnL3++
-		}
-		if r.Video == ProtectionEncrypted {
-			s.VideoEncrypted++
-		}
-		switch r.Audio {
-		case ProtectionClear:
-			s.AudioClear++
-		case ProtectionEncrypted:
-			s.AudioEncrypted++
-		}
-		if r.Subtitles != ProtectionUnknown {
-			s.SubtitlesKnown++
-			if r.Subtitles == ProtectionClear {
-				s.SubtitlesClear++
+		for _, id := range ids {
+			agg := summaryAggregators[id]
+			if agg == nil {
+				continue
 			}
-		}
-		switch r.KeyUsage {
-		case KeyUsageMinimum:
-			s.KeyUsageMinimum++
-		case KeyUsageRecommended:
-			s.KeyUsageRecommended++
-		default:
-			s.KeyUsageUnknown++
-		}
-		switch r.Legacy {
-		case LegacyPlays, LegacyPlaysCustomDRM:
-			s.ServingLegacyDevices++
-		case LegacyProvisioningFails:
-			s.EnforcingRevocation++
+			if res := r.Result(id); res != nil {
+				agg(res, &s)
+			}
 		}
 	}
 	return s

@@ -1,26 +1,34 @@
 package wideleak
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/netsim"
+	"repro/internal/wideleak/probe"
 )
 
-// Row is one app's line of Table I.
+// appColumn is the fixed leading column every table renders.
+var appColumn = probe.Column{Key: "app", Header: "OTT", Width: 20}
+
+// Row is one app's line of Table I: the app name plus one typed result
+// per selected probe.
 type Row struct {
-	App           string
-	UsesWidevine  bool
-	CustomDRMOnL3 bool
-	Video         Protection
-	Audio         Protection
-	Subtitles     Protection
-	KeyUsage      KeyUsage
-	Legacy        LegacyOutcome
+	App string
+
+	// Probes lists the selected probe IDs in registry order — the row's
+	// column set. Dependencies that ran only to feed a selected probe do
+	// not appear.
+	Probes []string
+
+	// Results holds the typed probe results, keyed by probe ID.
+	Results map[string]probe.Result
 
 	// Err annotates a row whose app could not be studied because its
 	// backend stayed unreachable through every retry. The other cells are
@@ -29,16 +37,132 @@ type Row struct {
 	Err string
 }
 
+// NewRow assembles a row from typed probe results, ordering the probe
+// list by registry order.
+func NewRow(app string, results ...probe.Result) Row {
+	row := Row{App: app, Results: make(map[string]probe.Result, len(results))}
+	for _, res := range results {
+		if res != nil {
+			row.Results[res.ProbeID()] = res
+		}
+	}
+	for _, id := range probeRegistry.IDs() {
+		if _, ok := row.Results[id]; ok {
+			row.Probes = append(row.Probes, id)
+		}
+	}
+	return row
+}
+
 // Failed reports whether the row is a transport-failure annotation
 // rather than study results.
 func (r *Row) Failed() bool { return r.Err != "" }
 
+// Result returns the row's typed result for a probe ID, nil when the
+// probe was not selected or the row failed.
+func (r *Row) Result(id string) probe.Result {
+	if r.Results == nil {
+		return nil
+	}
+	return r.Results[id]
+}
+
+// Q1 returns the row's Widevine-usage result, nil when absent.
+func (r *Row) Q1() *Q1Result { q, _ := r.Result("q1").(*Q1Result); return q }
+
+// Q2 returns the row's content-protection result, nil when absent.
+func (r *Row) Q2() *Q2Result { q, _ := r.Result("q2").(*Q2Result); return q }
+
+// Q3 returns the row's key-usage result, nil when absent.
+func (r *Row) Q3() *Q3Result { q, _ := r.Result("q3").(*Q3Result); return q }
+
+// Q4 returns the row's legacy-device result, nil when absent.
+func (r *Row) Q4() *Q4Result { q, _ := r.Result("q4").(*Q4Result); return q }
+
+// Q5 returns the row's license-caching result, nil when absent.
+func (r *Row) Q5() *Q5Result { q, _ := r.Result("q5").(*Q5Result); return q }
+
+// UsesWidevine reports the Q1 verdict (false when Q1 is absent).
+func (r *Row) UsesWidevine() bool {
+	if q := r.Q1(); q != nil {
+		return q.UsesWidevine
+	}
+	return false
+}
+
+// CustomDRMOnL3 reports the Q1 custom-DRM verdict (false when absent).
+func (r *Row) CustomDRMOnL3() bool {
+	if q := r.Q1(); q != nil {
+		return q.CustomDRMOnL3
+	}
+	return false
+}
+
+// Video reports the Q2 video protection (Unknown when absent).
+func (r *Row) Video() Protection {
+	if q := r.Q2(); q != nil {
+		return q.Video
+	}
+	return ProtectionUnknown
+}
+
+// Audio reports the Q2 audio protection (Unknown when absent).
+func (r *Row) Audio() Protection {
+	if q := r.Q2(); q != nil {
+		return q.Audio
+	}
+	return ProtectionUnknown
+}
+
+// Subtitles reports the Q2 subtitle protection (Unknown when absent).
+func (r *Row) Subtitles() Protection {
+	if q := r.Q2(); q != nil {
+		return q.Subtitles
+	}
+	return ProtectionUnknown
+}
+
+// KeyUsage reports the Q3 classification (Unknown when absent).
+func (r *Row) KeyUsage() KeyUsage {
+	if q := r.Q3(); q != nil {
+		return q.Usage
+	}
+	return KeyUsageUnknown
+}
+
+// Legacy reports the Q4 outcome (OtherFailure when absent).
+func (r *Row) Legacy() LegacyOutcome {
+	if q := r.Q4(); q != nil {
+		return q.Outcome
+	}
+	return LegacyOtherFailure
+}
+
 // Table is the reproduced Table I.
 type Table struct {
+	// Probes is the selected probe ID set the table was built with, in
+	// registry order. Empty means "derive from rows, defaulting to the
+	// registry's default set" — so hand-built tables keep working.
+	Probes []string
+
 	Rows []Row
 }
 
-// BuildTable runs every research question for every app and assembles
+// probeIDs resolves the table's column set: the explicit selection,
+// else the first populated row's probe list, else the default probes.
+func (t *Table) probeIDs() []string {
+	if len(t.Probes) > 0 {
+		return t.Probes
+	}
+	for _, r := range t.Rows {
+		if len(r.Probes) > 0 {
+			return r.Probes
+		}
+	}
+	return probeRegistry.DefaultIDs()
+}
+
+// BuildTable runs every selected probe for every app and assembles
 // Table I. It fans rows out over Study.Concurrency workers (default
 // runtime.GOMAXPROCS(0)); the result is byte-identical to the sequential
 // build because every app draws from its own deterministic rand stream.
@@ -52,6 +176,10 @@ func (s *Study) BuildTable() (*Table, error) {
 // profile order is propagated; remaining rows are not started once any
 // worker has failed.
 func (s *Study) BuildTableParallel(parallelism int) (*Table, error) {
+	selected, _, err := probeRegistry.Resolve(s.Probes)
+	if err != nil {
+		return nil, err
+	}
 	profiles := s.World.Profiles()
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
@@ -61,7 +189,7 @@ func (s *Study) BuildTableParallel(parallelism int) (*Table, error) {
 	}
 
 	if parallelism <= 1 {
-		t := &Table{}
+		t := &Table{Probes: selected}
 		for _, p := range profiles {
 			row, err := s.buildRowGraceful(p.Name)
 			if err != nil {
@@ -98,7 +226,7 @@ func (s *Study) BuildTableParallel(parallelism int) (*Table, error) {
 	close(next)
 	wg.Wait()
 
-	t := &Table{Rows: make([]Row, 0, len(profiles))}
+	t := &Table{Probes: selected, Rows: make([]Row, 0, len(profiles))}
 	for i, p := range profiles {
 		if errs[i] != nil {
 			return nil, fmt.Errorf("wideleak: row %s: %w", p.Name, errs[i])
@@ -128,105 +256,157 @@ func (s *Study) buildRowGraceful(app string) (*Row, error) {
 	return nil, err
 }
 
+// buildRow resolves the study's probe selection and runs the execution
+// order — dependencies first, by registry construction — feeding each
+// probe the results it requires. Only selected probes land on the row.
 func (s *Study) buildRow(app string) (*Row, error) {
-	q1, err := s.RunQ1(app)
+	selected, execution, err := probeRegistry.Resolve(s.Probes)
 	if err != nil {
 		return nil, err
 	}
-	q2, err := s.RunQ2(app)
-	if err != nil {
-		return nil, err
+	ctx := context.Background()
+	results := make(probe.Results, len(execution))
+	for _, id := range execution {
+		spec := probeSpec(id)
+		s.emit(probe.Event{Kind: probe.EventProbeStarted, Probe: id, App: app})
+		wallStart := time.Now()
+		virtStart := s.World.Clock().Now()
+		res, err := spec.Run(ctx, s, app, results)
+		wall := time.Since(wallStart)
+		virtual := s.World.Clock().Now() - virtStart
+		if err != nil {
+			if errors.Is(err, netsim.ErrRetriesExhausted) {
+				s.emit(probe.Event{Kind: probe.EventProbeDegraded, Probe: id, App: app,
+					Err: err.Error(), Wall: wall, Virtual: virtual})
+			}
+			return nil, err
+		}
+		s.emit(probe.Event{Kind: probe.EventProbeFinished, Probe: id, App: app,
+			Wall: wall, Virtual: virtual})
+		results[id] = res
 	}
-	q3, err := s.RunQ3(app)
-	if err != nil {
-		return nil, err
+	row := &Row{App: app, Probes: selected, Results: make(map[string]probe.Result, len(selected))}
+	for _, id := range selected {
+		row.Results[id] = results[id]
 	}
-	q4, err := s.RunQ4(app)
-	if err != nil {
-		return nil, err
-	}
-	return &Row{
-		App:           app,
-		UsesWidevine:  q1.UsesWidevine,
-		CustomDRMOnL3: q1.CustomDRMOnL3,
-		Video:         q2.Video,
-		Audio:         q2.Audio,
-		Subtitles:     q2.Subtitles,
-		KeyUsage:      q3.Usage,
-		Legacy:        q4.Outcome,
-	}, nil
+	return row, nil
 }
 
-// widevineCell renders the "Widevine used" column with the paper's dagger
-// for custom-DRM fallback.
-func (r *Row) widevineCell() string {
-	if !r.UsesWidevine {
-		return "no"
-	}
-	if r.CustomDRMOnL3 {
-		return "yes †"
-	}
-	return "yes"
-}
-
-// legacyCell renders the Q4 column with the paper's symbols: a filled
-// circle for playback, a half circle for provisioning failure.
-func (r *Row) legacyCell() string {
-	switch r.Legacy {
-	case LegacyPlays:
-		return "plays"
-	case LegacyPlaysCustomDRM:
-		return "plays †"
-	case LegacyProvisioningFails:
-		return "provisioning fails"
-	default:
-		return "fails"
-	}
-}
-
-// Render prints the table in the paper's layout.
+// Render prints the table in the paper's layout, deriving columns and
+// legend from the registered probes.
 func (t *Table) Render() string {
+	ids := t.probeIDs()
+	cols := []probe.Column{appColumn}
+	for _, id := range ids {
+		cols = append(cols, probeSpec(id).Columns...)
+	}
+
 	var b strings.Builder
 	b.WriteString("TABLE I: WIDEVINE USAGE AND ASSET PROTECTIONS BY OTTS\n")
-	header := fmt.Sprintf("%-20s %-10s %-10s %-10s %-10s %-12s %-20s\n",
-		"OTT", "Widevine", "Video", "Audio", "Subtitles", "Key Usage", "Playback on L3 legacy")
-	b.WriteString(header)
-	b.WriteString(strings.Repeat("-", len(header)-1) + "\n")
+	header := make([]string, len(cols))
+	for i, c := range cols {
+		header[i] = fmt.Sprintf("%-*s", c.Width, c.Header)
+	}
+	headerLine := strings.Join(header, " ") + "\n"
+	b.WriteString(headerLine)
+	b.WriteString(strings.Repeat("-", len(headerLine)-1) + "\n")
+
 	for _, r := range t.Rows {
 		if r.Failed() {
-			fmt.Fprintf(&b, "%-20s unavailable: %s\n", r.App, r.Err)
+			fmt.Fprintf(&b, "%-*s unavailable: %s\n", appColumn.Width, r.App, r.Err)
 			continue
 		}
-		fmt.Fprintf(&b, "%-20s %-10s %-10s %-10s %-10s %-12s %-20s\n",
-			r.App, r.widevineCell(), r.Video, r.Audio, r.Subtitles, r.KeyUsage, r.legacyCell())
+		cells := []string{r.App}
+		for _, id := range ids {
+			spec := probeSpec(id)
+			if res := r.Result(id); res != nil {
+				cells = append(cells, res.Cells()...)
+			} else {
+				cells = append(cells, spec.ZeroCells()...)
+			}
+		}
+		padded := make([]string, len(cells))
+		for i, cell := range cells {
+			padded[i] = fmt.Sprintf("%-*s", cols[i].Width, cell)
+		}
+		b.WriteString(strings.Join(padded, " ") + "\n")
 	}
-	b.WriteString("† using custom DRM if only Widevine L3 is available.\n")
-	b.WriteString("Minimum: audio in clear or using the same encryption key as the video.\n")
-	b.WriteString("Recommended: audio and video are encrypted with different keys.\n")
+
+	seen := make(map[string]bool)
+	for _, id := range ids {
+		for _, line := range probeSpec(id).Legend {
+			if seen[line] {
+				continue
+			}
+			seen[line] = true
+			b.WriteString(line + "\n")
+		}
+	}
 	return b.String()
+}
+
+// paperRow builds one ground-truth row of the paper's Table I (every app
+// uses Widevine).
+func paperRow(app string, customDRM bool, video, audio, subs Protection, usage KeyUsage, legacy LegacyOutcome) Row {
+	return NewRow(app,
+		&Q1Result{App: app, UsesWidevine: true, CustomDRMOnL3: customDRM},
+		&Q2Result{App: app, Video: video, Audio: audio, Subtitles: subs},
+		&Q3Result{App: app, Usage: usage},
+		&Q4Result{App: app, Outcome: legacy},
+	)
 }
 
 // PaperTable returns the expected Table I from the paper, cell for cell —
 // the ground truth the reproduction is checked against.
 func PaperTable() *Table {
 	return &Table{Rows: []Row{
-		{App: "Netflix", UsesWidevine: true, Video: ProtectionEncrypted, Audio: ProtectionClear, Subtitles: ProtectionClear, KeyUsage: KeyUsageMinimum, Legacy: LegacyPlays},
-		{App: "Disney+", UsesWidevine: true, Video: ProtectionEncrypted, Audio: ProtectionEncrypted, Subtitles: ProtectionClear, KeyUsage: KeyUsageMinimum, Legacy: LegacyProvisioningFails},
-		{App: "Amazon Prime Video", UsesWidevine: true, CustomDRMOnL3: true, Video: ProtectionEncrypted, Audio: ProtectionEncrypted, Subtitles: ProtectionClear, KeyUsage: KeyUsageRecommended, Legacy: LegacyPlaysCustomDRM},
-		{App: "Hulu", UsesWidevine: true, Video: ProtectionEncrypted, Audio: ProtectionEncrypted, Subtitles: ProtectionUnknown, KeyUsage: KeyUsageUnknown, Legacy: LegacyPlays},
-		{App: "HBO Max", UsesWidevine: true, Video: ProtectionEncrypted, Audio: ProtectionEncrypted, Subtitles: ProtectionClear, KeyUsage: KeyUsageUnknown, Legacy: LegacyProvisioningFails},
-		{App: "Starz", UsesWidevine: true, Video: ProtectionEncrypted, Audio: ProtectionEncrypted, Subtitles: ProtectionUnknown, KeyUsage: KeyUsageMinimum, Legacy: LegacyProvisioningFails},
-		{App: "myCANAL", UsesWidevine: true, Video: ProtectionEncrypted, Audio: ProtectionClear, Subtitles: ProtectionClear, KeyUsage: KeyUsageMinimum, Legacy: LegacyPlays},
-		{App: "Showtime", UsesWidevine: true, Video: ProtectionEncrypted, Audio: ProtectionEncrypted, Subtitles: ProtectionClear, KeyUsage: KeyUsageMinimum, Legacy: LegacyPlays},
-		{App: "OCS", UsesWidevine: true, Video: ProtectionEncrypted, Audio: ProtectionEncrypted, Subtitles: ProtectionClear, KeyUsage: KeyUsageMinimum, Legacy: LegacyPlays},
-		{App: "Salto", UsesWidevine: true, Video: ProtectionEncrypted, Audio: ProtectionClear, Subtitles: ProtectionClear, KeyUsage: KeyUsageMinimum, Legacy: LegacyPlays},
+		paperRow("Netflix", false, ProtectionEncrypted, ProtectionClear, ProtectionClear, KeyUsageMinimum, LegacyPlays),
+		paperRow("Disney+", false, ProtectionEncrypted, ProtectionEncrypted, ProtectionClear, KeyUsageMinimum, LegacyProvisioningFails),
+		paperRow("Amazon Prime Video", true, ProtectionEncrypted, ProtectionEncrypted, ProtectionClear, KeyUsageRecommended, LegacyPlaysCustomDRM),
+		paperRow("Hulu", false, ProtectionEncrypted, ProtectionEncrypted, ProtectionUnknown, KeyUsageUnknown, LegacyPlays),
+		paperRow("HBO Max", false, ProtectionEncrypted, ProtectionEncrypted, ProtectionClear, KeyUsageUnknown, LegacyProvisioningFails),
+		paperRow("Starz", false, ProtectionEncrypted, ProtectionEncrypted, ProtectionUnknown, KeyUsageMinimum, LegacyProvisioningFails),
+		paperRow("myCANAL", false, ProtectionEncrypted, ProtectionClear, ProtectionClear, KeyUsageMinimum, LegacyPlays),
+		paperRow("Showtime", false, ProtectionEncrypted, ProtectionEncrypted, ProtectionClear, KeyUsageMinimum, LegacyPlays),
+		paperRow("OCS", false, ProtectionEncrypted, ProtectionEncrypted, ProtectionClear, KeyUsageMinimum, LegacyPlays),
+		paperRow("Salto", false, ProtectionEncrypted, ProtectionClear, ProtectionClear, KeyUsageMinimum, LegacyPlays),
 	}}
 }
 
 // Diff compares two tables and returns a human-readable list of
-// mismatching cells (empty when identical).
+// mismatching cells (empty when identical). Column sets are compared
+// first — a probe selected on one side only reports its columns as
+// added or removed — then rows are compared over the shared probes.
 func (t *Table) Diff(other *Table) []string {
 	var out []string
+	ids := t.probeIDs()
+	otherIDs := other.probeIDs()
+	has := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		has[id] = true
+	}
+	otherHas := make(map[string]bool, len(otherIDs))
+	for _, id := range otherIDs {
+		otherHas[id] = true
+	}
+	var shared []string
+	for _, id := range ids {
+		if !otherHas[id] {
+			for _, col := range probeSpec(id).Columns {
+				out = append(out, fmt.Sprintf("column %s: missing from other table", col.Key))
+			}
+			continue
+		}
+		shared = append(shared, id)
+	}
+	for _, id := range otherIDs {
+		if !has[id] {
+			for _, col := range probeSpec(id).Columns {
+				out = append(out, fmt.Sprintf("column %s: only in other table", col.Key))
+			}
+		}
+	}
+
 	byApp := make(map[string]Row, len(other.Rows))
 	for _, r := range other.Rows {
 		byApp[r.App] = r
@@ -247,13 +427,19 @@ func (t *Table) Diff(other *Table) []string {
 			check("error", r.Err, o.Err)
 			continue
 		}
-		check("widevine", r.UsesWidevine, o.UsesWidevine)
-		check("customDRM", r.CustomDRMOnL3, o.CustomDRMOnL3)
-		check("video", r.Video, o.Video)
-		check("audio", r.Audio, o.Audio)
-		check("subtitles", r.Subtitles, o.Subtitles)
-		check("keyUsage", r.KeyUsage, o.KeyUsage)
-		check("legacy", r.Legacy, o.Legacy)
+		for _, id := range shared {
+			spec := probeSpec(id)
+			mine, theirs := spec.ZeroValues(), spec.ZeroValues()
+			if res := r.Result(id); res != nil {
+				mine = res.Values()
+			}
+			if res := o.Result(id); res != nil {
+				theirs = res.Values()
+			}
+			for i, f := range spec.Fields {
+				check(f.Diff, mine[i], theirs[i])
+			}
+		}
 	}
 	return out
 }

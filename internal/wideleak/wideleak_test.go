@@ -205,7 +205,9 @@ func TestTableDiff(t *testing.T) {
 		t.Errorf("self-diff nonempty: %v", diffs)
 	}
 	b := PaperTable()
-	b.Rows[0].Audio = ProtectionEncrypted
+	q2 := *b.Rows[0].Q2()
+	q2.Audio = ProtectionEncrypted
+	b.Rows[0].Results["q2"] = &q2
 	if diffs := a.Diff(b); len(diffs) != 1 {
 		t.Errorf("diff = %v, want 1 entry", diffs)
 	}

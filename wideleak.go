@@ -30,6 +30,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/ott"
 	"repro/internal/wideleak"
+	"repro/internal/wideleak/probe"
 )
 
 // Core study types, re-exported from the internal engine.
@@ -47,13 +48,26 @@ type (
 	// discontinued Nexus 5).
 	AppFixture = wideleak.AppFixture
 
-	// Q1Result through Q4Result answer the four research questions.
+	// Q1Result through Q5Result answer the research questions.
 	Q1Result = wideleak.Q1Result
 	Q2Result = wideleak.Q2Result
 	Q3Result = wideleak.Q3Result
 	Q4Result = wideleak.Q4Result
+	Q5Result = wideleak.Q5Result
 	// ImpactResult reports one app's §IV-D attack-chain outcome.
 	ImpactResult = wideleak.ImpactResult
+
+	// ProbeInfo describes one registered probe (for listings).
+	ProbeInfo = probe.Info
+	// ProbeEvent is one structured pipeline event (probe started/
+	// finished/degraded, masked transport retry).
+	ProbeEvent = probe.Event
+	// ProbeEventKind classifies a ProbeEvent.
+	ProbeEventKind = probe.EventKind
+	// ProbeSink receives pipeline events (install via Study.SetEventSink).
+	ProbeSink = probe.Sink
+	// ProbeLog is a concurrency-safe event collector usable as a sink.
+	ProbeLog = probe.Log
 
 	// Protection classifies asset protection (Encrypted/Clear/Unknown).
 	Protection = wideleak.Protection
@@ -61,6 +75,8 @@ type (
 	KeyUsage = wideleak.KeyUsage
 	// LegacyOutcome classifies discontinued-device playback.
 	LegacyOutcome = wideleak.LegacyOutcome
+	// LicensePolicy classifies licensing across playbacks (Q5).
+	LicensePolicy = wideleak.LicensePolicy
 
 	// Profile describes one OTT app's implementation choices.
 	Profile = ott.Profile
@@ -85,6 +101,18 @@ const (
 	LegacyProvisioningFails = wideleak.LegacyProvisioningFails
 	LegacyPlaysCustomDRM    = wideleak.LegacyPlaysCustomDRM
 	LegacyOtherFailure      = wideleak.LegacyOtherFailure
+
+	LicenseUnknown     = wideleak.LicenseUnknown
+	LicensePerPlayback = wideleak.LicensePerPlayback
+	LicenseCached      = wideleak.LicenseCached
+)
+
+// Pipeline event kinds.
+const (
+	EventProbeStarted  = probe.EventProbeStarted
+	EventProbeFinished = probe.EventProbeFinished
+	EventProbeDegraded = probe.EventProbeDegraded
+	EventRetry         = probe.EventRetry
 )
 
 // ContentID is the catalog title every deployment serves.
@@ -105,6 +133,20 @@ func PaperTable() *Table { return wideleak.PaperTable() }
 
 // Profiles returns the ten evaluated apps with their observed behaviours.
 func Profiles() []Profile { return ott.Profiles() }
+
+// ProbeIDs returns every registered probe ID in registration order.
+func ProbeIDs() []string { return wideleak.ProbeIDs() }
+
+// DefaultProbeIDs returns the default probe selection (the paper's
+// Q1–Q4), in registration order.
+func DefaultProbeIDs() []string { return wideleak.DefaultProbeIDs() }
+
+// ProbeInfos describes every registered probe.
+func ProbeInfos() []ProbeInfo { return wideleak.ProbeInfos() }
+
+// ValidateProbes checks a probe selection without running anything; the
+// error for an unknown ID lists the registered probes.
+func ValidateProbes(ids []string) error { return wideleak.ValidateProbes(ids) }
 
 // TransientFaults builds a transient-only fault profile failing roughly
 // rate of connection attempts; the stock retry policies mask it, so the

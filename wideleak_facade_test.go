@@ -36,14 +36,14 @@ func TestPublicAPI_EndToEnd(t *testing.T) {
 		t.Fatalf("table rows = %d", len(table.Rows))
 	}
 	row := table.Rows[0]
-	if row.Audio != wideleak.ProtectionClear {
-		t.Errorf("Netflix audio = %v, want Clear", row.Audio)
+	if row.Audio() != wideleak.ProtectionClear {
+		t.Errorf("Netflix audio = %v, want Clear", row.Audio())
 	}
-	if row.KeyUsage != wideleak.KeyUsageMinimum {
-		t.Errorf("Netflix key usage = %v", row.KeyUsage)
+	if row.KeyUsage() != wideleak.KeyUsageMinimum {
+		t.Errorf("Netflix key usage = %v", row.KeyUsage())
 	}
-	if row.Legacy != wideleak.LegacyPlays {
-		t.Errorf("Netflix legacy = %v", row.Legacy)
+	if row.Legacy() != wideleak.LegacyPlays {
+		t.Errorf("Netflix legacy = %v", row.Legacy())
 	}
 	if !strings.Contains(table.Render(), "Netflix") {
 		t.Error("render missing app")

@@ -5,14 +5,15 @@ GO ?= go
 # Per-target budget for the native fuzz pass wired into check.
 FUZZTIME ?= 5s
 
-.PHONY: all build vet lint test race bench fuzz chaos check study impact report clean
+.PHONY: all build vet lint test race bench fuzz chaos check study impact report serve serve-smoke clean
 
 all: build vet test
 
 # check is the full verification gate: build, lint (gofmt + vet), plain
-# tests, the race detector, a benchmark pass recording BENCH_tableI.json,
-# and a short native-fuzz pass over the attacker-facing parsers.
-check: build lint test race bench fuzz
+# tests, the race detector, the daemon smoke test, a benchmark pass
+# recording BENCH_tableI.json, and a short native-fuzz pass over the
+# attacker-facing parsers.
+check: build lint test race serve-smoke bench fuzz
 
 build:
 	$(GO) build ./...
@@ -57,6 +58,16 @@ fuzz:
 # annotated cells instead of failing the table.
 chaos:
 	$(GO) test -race -count=1 -run 'TestChaos|TestFault|TestRetry|TestBackoff|TestPlayback' ./internal/wideleak ./internal/netsim ./internal/ott
+
+# Run the study-as-a-service daemon on the default port.
+serve:
+	$(GO) run ./cmd/wideleakd
+
+# serve-smoke boots the real daemon on a random port, submits the
+# default Q1-Q4 study over HTTP, and diffs the served table against
+# internal/wideleak/testdata/tableI_default.txt — then SIGTERM-drains it.
+serve-smoke:
+	$(GO) test ./cmd/wideleakd -run '^TestServeSmoke$$' -count=1 -v
 
 # Reproduce Table I and check it against the paper.
 study:

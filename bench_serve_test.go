@@ -1,0 +1,121 @@
+package wideleak
+
+// Service-layer benchmarks: the wideleakd job pipeline measured through
+// its real HTTP surface (submit → poll → fetch). Cold runs pay for the
+// full study; Warm runs hit the content-addressed result cache, so the
+// Cold/Warm ratio is the cache's measured speedup (recorded in
+// EXPERIMENTS.md §serve).
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// benchServeRoundTrip submits one spec and drives it to completion, fetching the
+// text table at the end — a full client round trip.
+func benchServeRoundTrip(b *testing.B, ts *httptest.Server, spec RunSpec) {
+	b.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/studies", "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sub struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		b.Fatalf("submit = %d", resp.StatusCode)
+	}
+
+	deadline := time.Now().Add(120 * time.Second)
+	for sub.State != "done" {
+		if time.Now().After(deadline) {
+			b.Fatalf("study %s never finished", sub.ID)
+		}
+		if sub.State == "failed" || sub.State == "canceled" {
+			b.Fatalf("study %s reached %s", sub.ID, sub.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+		resp, err := http.Get(ts.URL + "/v1/studies/" + sub.ID)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var st struct {
+			State string `json:"state"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		sub.State = st.State
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/studies/" + sub.ID + "/table?format=txt")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var table bytes.Buffer
+	table.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || table.Len() == 0 {
+		b.Fatalf("table fetch = %d (%d bytes)", resp.StatusCode, table.Len())
+	}
+}
+
+// BenchmarkServer_Throughput measures the daemon's submit→poll→fetch
+// round trip for a one-app study. Cold gives every iteration a fresh
+// seed (full device work each time); Warm submits the same canonical
+// request concurrently, so all but the first are cache hits.
+func BenchmarkServer_Throughput(b *testing.B) {
+	newServer := func(b *testing.B) *httptest.Server {
+		srv := serve.New(serve.Config{Workers: 4, QueueSize: 64, CacheSize: 128})
+		ts := httptest.NewServer(srv.Handler())
+		b.Cleanup(func() {
+			ts.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+		})
+		return ts
+	}
+	spec := func(seed string) RunSpec {
+		return RunSpec{Seed: seed, Profiles: []string{"Showtime"}, Probes: []string{"q2"}}
+	}
+
+	b.Run("Cold", func(b *testing.B) {
+		ts := newServer(b)
+		var n atomic.Int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			benchServeRoundTrip(b, ts, spec(fmt.Sprintf("bench-cold-%d", n.Add(1))))
+		}
+	})
+
+	b.Run("Warm", func(b *testing.B) {
+		ts := newServer(b)
+		benchServeRoundTrip(b, ts, spec("bench-warm")) // populate the cache
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				benchServeRoundTrip(b, ts, spec("bench-warm"))
+			}
+		})
+	})
+}

@@ -4,11 +4,10 @@
 //
 // Usage:
 //
-//	wideleak [-seed s] [-impact] [-diff] [-app name] [-probes q1,q4] [-list-probes] [-parallel n] [-faults rate] [-fault-seed s]
+//	wideleak [-seed s] [-impact] [-diff] [-app name] [-probes q1,q4] [-list-probes] [-format txt|csv|json] [-o file] [-parallel n] [-faults rate] [-fault-seed s]
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -33,7 +32,8 @@ func run(args []string) error {
 	app := fs.String("app", "", "restrict to one app (default: all ten)")
 	probes := fs.String("probes", "", "comma-separated probe IDs to run (default: the paper's Q1-Q4; see -list-probes)")
 	listProbes := fs.Bool("list-probes", false, "list the registered probes and exit")
-	format := fs.String("format", "text", "output format: text, csv, json")
+	format := fs.String("format", "txt", "output format: txt (alias text), csv, json")
+	outPath := fs.String("o", "", "write the table to this file instead of stdout")
 	reportPath := fs.String("report", "", "write a full markdown report (table + impact + forgery) to this file")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "app rows built concurrently (1 = sequential; output is identical at any setting)")
 	faults := fs.Float64("faults", 0, "transient fault rate in [0,1) injected per connection attempt (0 = perfect network; retries mask the faults, so output is identical)")
@@ -46,6 +46,11 @@ func run(args []string) error {
 	}
 	if *faults < 0 || *faults >= 1 {
 		return fmt.Errorf("-faults must be in [0,1), got %g", *faults)
+	}
+	switch *format {
+	case "txt", "text", "csv", "json":
+	default:
+		return fmt.Errorf("unknown format %q (supported: txt, csv, json)", *format)
 	}
 
 	if *listProbes {
@@ -119,28 +124,19 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	switch *format {
-	case "text":
-		fmt.Print(table.Render())
-	case "csv":
-		out, err := table.MarshalCSV()
-		if err != nil {
-			return err
-		}
-		fmt.Print(string(out))
-	case "json":
-		out, err := json.MarshalIndent(table, "", "  ")
-		if err != nil {
-			return err
-		}
-		fmt.Println(string(out))
-	default:
-		return fmt.Errorf("unknown format %q", *format)
+	// One encoder serves both frontends: these are the same bytes the
+	// wideleakd table endpoint returns for ?format=.
+	out, err := table.Encode(*format)
+	if err != nil {
+		return err
 	}
-
-	if *format == "text" {
-		fmt.Println()
-		fmt.Print(table.Summarize().Render())
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, out, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("Table written to %s (%d bytes, %s)\n", *outPath, len(out), *format)
+	} else {
+		fmt.Print(string(out))
 	}
 
 	if *diff && *app == "" && *probes == "" {

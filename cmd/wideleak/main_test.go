@@ -67,6 +67,42 @@ func captureStdout(t *testing.T, fn func() error) string {
 	return string(out)
 }
 
+// TestRun_FormatAliases: "txt" and "text" select the same encoder and
+// print identical bytes.
+func TestRun_FormatAliases(t *testing.T) {
+	args := []string{"-app", "Showtime", "-diff=false"}
+	txt := captureStdout(t, func() error { return run(append(args, "-format", "txt")) })
+	text := captureStdout(t, func() error { return run(append(args, "-format", "text")) })
+	if txt != text {
+		t.Errorf("-format txt and text diverged:\n--- txt ---\n%s--- text ---\n%s", txt, text)
+	}
+	if !strings.Contains(txt, "TABLE I:") || !strings.Contains(txt, "Insights (over") {
+		t.Errorf("text output missing table or summary:\n%s", txt)
+	}
+}
+
+// TestRun_OutputFile: -o writes the encoded table to a file — the same
+// bytes stdout would have carried — and prints a note instead.
+func TestRun_OutputFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "table.csv")
+	args := []string{"-app", "Showtime", "-diff=false", "-format", "csv"}
+	direct := captureStdout(t, func() error { return run(args) })
+	note := captureStdout(t, func() error { return run(append(args, "-o", path)) })
+	if !strings.Contains(note, "Table written to "+path) {
+		t.Errorf("missing confirmation note:\n%s", note)
+	}
+	if strings.Contains(note, "Showtime") {
+		t.Errorf("-o still printed the table to stdout:\n%s", note)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != direct {
+		t.Errorf("-o file differs from stdout bytes:\n--- file ---\n%s--- stdout ---\n%s", data, direct)
+	}
+}
+
 func TestRun_FaultFlagValidation(t *testing.T) {
 	for _, bad := range []string{"-0.1", "1", "1.5"} {
 		if err := run([]string{"-app", "Showtime", "-faults", bad}); err == nil ||

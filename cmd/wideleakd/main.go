@@ -1,0 +1,90 @@
+// Command wideleakd serves the WideLeak study engine over HTTP: a job
+// queue and worker pool behind a JSON API, with a content-addressed
+// result cache, per-job event logs, Prometheus metrics, load shedding
+// and graceful drain on SIGINT/SIGTERM.
+//
+// Usage:
+//
+//	wideleakd [-addr host:port] [-workers n] [-queue n] [-cache n] [-drain-timeout d]
+//
+// See internal/serve for the API surface and README.md for curl
+// examples.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], nil); err != nil {
+		fmt.Fprintln(os.Stderr, "wideleakd:", err)
+		os.Exit(1)
+	}
+}
+
+// run boots the daemon and blocks until a shutdown signal has been
+// handled and every accepted job has drained. ready, when non-nil, is
+// called with the bound address once the listener is accepting —
+// tests bind :0 and learn the real port through it.
+func run(args []string, ready func(addr string)) error {
+	fs := flag.NewFlagSet("wideleakd", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	workers := fs.Int("workers", 0, "study worker pool size (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 16, "job queue capacity (a full queue sheds submissions with 429)")
+	cacheSize := fs.Int("cache", 64, "result cache capacity (content-addressed LRU)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "max time to finish accepted jobs on shutdown")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv := serve.New(serve.Config{Workers: *workers, QueueSize: *queue, CacheSize: *cacheSize})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	fmt.Printf("wideleakd: listening on http://%s\n", ln.Addr())
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
+
+	select {
+	case err := <-serveErr:
+		// The listener died before any signal arrived.
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal now kills the process the default way
+	fmt.Fprintln(os.Stderr, "wideleakd: signal received, draining")
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Stop accepting connections first, then run every accepted job to
+	// completion. An expired drain budget cancels the in-flight jobs.
+	httpErr := httpSrv.Shutdown(drainCtx)
+	if err := srv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("drain incomplete: %w", err)
+	}
+	<-serveErr // http.ErrServerClosed once Shutdown has begun
+	if httpErr != nil {
+		return fmt.Errorf("http shutdown: %w", httpErr)
+	}
+	fmt.Fprintln(os.Stderr, "wideleakd: drained cleanly")
+	return nil
+}

@@ -1,0 +1,169 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// daemon boots the real daemon on a random port and returns its base
+// URL plus the channel run's error will land on.
+func daemon(t *testing.T, extraArgs ...string) (string, chan error) {
+	t.Helper()
+	args := append([]string{"-addr", "127.0.0.1:0", "-drain-timeout", "120s"}, extraArgs...)
+	addrCh := make(chan string, 1)
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- run(args, func(addr string) { addrCh <- addr })
+	}()
+	select {
+	case addr := <-addrCh:
+		return "http://" + addr, runErr
+	case err := <-runErr:
+		t.Fatalf("daemon exited before listening: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	return "", nil
+}
+
+// sigterm delivers SIGTERM to this process — the daemon under test
+// catches it via signal.NotifyContext, exactly like a real deploy.
+func sigterm(t *testing.T) {
+	t.Helper()
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func waitExit(t *testing.T, runErr chan error) {
+	t.Helper()
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("daemon exited with error: %v", err)
+		}
+	case <-time.After(150 * time.Second):
+		t.Fatal("daemon never exited after SIGTERM")
+	}
+}
+
+// TestServeSmoke is the `make serve-smoke` contract: boot the daemon,
+// submit the default Q1-Q4 study over HTTP, poll it to completion, and
+// the text table must be byte-identical to the golden file. Then a
+// SIGTERM drains the daemon cleanly.
+func TestServeSmoke(t *testing.T) {
+	base, runErr := daemon(t)
+
+	resp, err := http.Post(base+"/v1/studies", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || sub.ID == "" {
+		t.Fatalf("submit = %d %+v", resp.StatusCode, sub)
+	}
+
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("study never finished")
+		}
+		resp, err := http.Get(base + "/v1/studies/" + sub.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st struct {
+			State string `json:"state"`
+			Error string `json:"error"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if st.State == "done" {
+			break
+		}
+		if st.State == "failed" || st.State == "canceled" {
+			t.Fatalf("study %s: %s", st.State, st.Error)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	resp, err = http.Get(base + "/v1/studies/" + sub.ID + "/table?format=txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	got.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("table fetch = %d", resp.StatusCode)
+	}
+	want, err := os.ReadFile(filepath.Join("..", "..", "internal", "wideleak", "testdata", "tableI_default.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Errorf("served table diverges from golden (%d bytes vs %d)", got.Len(), len(want))
+	}
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics bytes.Buffer
+	metrics.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(metrics.String(), `wideleakd_jobs_total{state="done"} 1`) {
+		t.Error("metrics do not report the finished job")
+	}
+
+	sigterm(t)
+	waitExit(t, runErr)
+}
+
+// TestSigtermDrainsInFlight: a SIGTERM arriving while a job is still in
+// the works drains it — run returns nil only after the queue is empty
+// and the workers have wound down.
+func TestSigtermDrainsInFlight(t *testing.T) {
+	base, runErr := daemon(t, "-workers", "1", "-queue", "4")
+
+	body := `{"seed": "smoke-drain", "profiles": ["Showtime"], "probes": ["q2"]}`
+	resp, err := http.Post(base+"/v1/studies", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d", resp.StatusCode)
+	}
+
+	sigterm(t)
+	waitExit(t, runErr)
+}
+
+func TestRun_BadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}, nil); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRun_BadAddr(t *testing.T) {
+	if err := run([]string{"-addr", "not-an-address"}, nil); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}

@@ -109,10 +109,42 @@ func (n *Network) FaultPlan() *FaultPlan {
 // SetRetryObserver installs (or, with nil, removes) the network-wide
 // observer for transient attempt failures. Every client on the network
 // reports through it, so one sink sees the whole study's masked faults.
+// To feed several consumers — an event log and a metrics exporter, say —
+// combine them with CombineRetryObservers.
 func (n *Network) SetRetryObserver(obs RetryObserver) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.onRetry = obs
+}
+
+// RetryObserver returns the currently installed observer, nil when none
+// is. Layers that add their own observation compose with whatever is
+// already wired: CombineRetryObservers(n.RetryObserver(), extra).
+func (n *Network) RetryObserver() RetryObserver {
+	return n.retryObserver()
+}
+
+// CombineRetryObservers fans each retry notification out to every
+// non-nil observer, in argument order. Nil observers are skipped; with
+// none left it returns nil, so the result is always installable as-is.
+func CombineRetryObservers(observers ...RetryObserver) RetryObserver {
+	live := make([]RetryObserver, 0, len(observers))
+	for _, obs := range observers {
+		if obs != nil {
+			live = append(live, obs)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return func(host string, attempt int, err error) {
+		for _, obs := range live {
+			obs(host, attempt, err)
+		}
+	}
 }
 
 // retryObserver returns the installed observer, nil when absent.

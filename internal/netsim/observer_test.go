@@ -50,6 +50,59 @@ func TestRetryObserver_SeesMaskedAttempts(t *testing.T) {
 	}
 }
 
+// TestCombineRetryObservers: the fan-out forwards to every non-nil
+// observer in order, collapses to the single live observer, and returns
+// nil when nothing is left to call.
+func TestCombineRetryObservers(t *testing.T) {
+	var order []string
+	a := func(host string, attempt int, err error) { order = append(order, "a:"+host) }
+	b := func(host string, attempt int, err error) { order = append(order, "b:"+host) }
+
+	combined := CombineRetryObservers(nil, a, nil, b)
+	if combined == nil {
+		t.Fatal("combined observer is nil")
+	}
+	combined("api.example", 1, ErrConnDropped)
+	if len(order) != 2 || order[0] != "a:api.example" || order[1] != "b:api.example" {
+		t.Errorf("fan-out order = %v", order)
+	}
+
+	if CombineRetryObservers(nil, nil) != nil {
+		t.Error("all-nil combination is not nil")
+	}
+
+	calls := 0
+	single := CombineRetryObservers(nil, func(string, int, error) { calls++ })
+	single("x", 1, ErrServerBusy)
+	if calls != 1 {
+		t.Errorf("single observer called %d times", calls)
+	}
+}
+
+// TestCombineRetryObservers_OnNetwork: composing the network's installed
+// observer with an extra consumer keeps both streams fed — the serve
+// layer's metrics adapter rides alongside the study's event sink this way.
+func TestCombineRetryObservers_OnNetwork(t *testing.T) {
+	n, _ := faultyNetwork("observer-combine", FaultProfile{DropRate: 0.5})
+	first, second := 0, 0
+	n.SetRetryObserver(func(string, int, error) { first++ })
+	n.SetRetryObserver(CombineRetryObservers(n.RetryObserver(), func(string, int, error) { second++ }))
+
+	c := NewClient(n)
+	c.SetRetryPolicy(DefaultRetryPolicy(wvcrypto.NewDeterministicReader("jitter"), NewVirtualClock()))
+	for i := 0; i < 30; i++ {
+		if _, err := c.Do(Request{Host: "api.example"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if first == 0 {
+		t.Fatal("no retries observed — nothing composed")
+	}
+	if first != second {
+		t.Errorf("composed observers diverged: first %d, second %d", first, second)
+	}
+}
+
 // TestRetryObserver_DetachAndQuietNetwork: a nil observer detaches, and a
 // fault-free network never calls the observer at all.
 func TestRetryObserver_DetachAndQuietNetwork(t *testing.T) {

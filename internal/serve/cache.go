@@ -1,0 +1,69 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is the content-addressed result store: canonical request
+// key → fully encoded study result. Identical canonical requests are
+// served from here without re-running any device work. Bounded LRU: when
+// the cap is exceeded, the least recently served entry is dropped.
+type resultCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+}
+
+type cacheEntry struct {
+	key string
+	res *studyResult
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap:     capacity,
+		entries: make(map[string]*list.Element),
+		order:   list.New(),
+	}
+}
+
+// get returns the cached result for a key (nil on miss) and marks it
+// most recently used.
+func (c *resultCache) get(key string) *studyResult {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).res
+}
+
+// put stores a result under its content address, evicting the least
+// recently used entry when over capacity. Storing an existing key
+// refreshes its recency (the bytes are identical by construction).
+func (c *resultCache) put(key string, res *studyResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*cacheEntry).res = res
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// len reports the resident entry count.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

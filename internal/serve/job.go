@@ -1,0 +1,249 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/wideleak"
+	"repro/internal/wideleak/probe"
+)
+
+// JobState is a job's lifecycle phase.
+type JobState string
+
+// Job states. Queued and Running are live; Done, Failed and Canceled are
+// terminal. A cache-hit submission mints a job that is born Done.
+const (
+	JobQueued   JobState = "queued"
+	JobRunning  JobState = "running"
+	JobDone     JobState = "done"
+	JobFailed   JobState = "failed"
+	JobCanceled JobState = "canceled"
+)
+
+// terminal reports whether the state is final.
+func (s JobState) terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCanceled
+}
+
+// studyResult is one completed study, fully encoded: the table in every
+// supported format, the marshaled event log, and the run's accounting.
+// Results are immutable once built, so the cache shares them freely.
+type studyResult struct {
+	tables     map[string][]byte // format → bytes (txt, csv, json)
+	events     []byte            // probe.Log marshaled as JSON
+	eventCount int
+
+	rows            int
+	observations    int // instrumented observation runs the job executed
+	legacyPlaybacks int
+	wall            time.Duration
+	virtual         time.Duration
+}
+
+// Job is one study submission: the canonical request, its lifecycle
+// state, the structured event log, and — once terminal — the result.
+type Job struct {
+	ID   string
+	Key  string
+	Spec wideleak.RunSpec // canonical form
+
+	log *probe.Log
+
+	mu        sync.Mutex
+	state     JobState
+	cached    bool
+	errText   string
+	result    *studyResult
+	cancel    context.CancelFunc
+	cancelled bool
+	subs      []chan probe.Event
+	done      chan struct{}
+
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+func newJob(id, key string, spec wideleak.RunSpec) *Job {
+	return &Job{
+		ID:        id,
+		Key:       key,
+		Spec:      spec,
+		log:       &probe.Log{},
+		state:     JobQueued,
+		done:      make(chan struct{}),
+		submitted: time.Now(),
+	}
+}
+
+// State returns the current lifecycle phase.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Done exposes the completion channel (closed on any terminal state).
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// start transitions queued → running and installs the cancel hook. It
+// reports false when the job was already cancelled (or otherwise
+// terminal) before a worker picked it up.
+func (j *Job) start(cancel context.CancelFunc) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != JobQueued {
+		return false
+	}
+	j.state = JobRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	if j.cancelled {
+		cancel()
+	}
+	return true
+}
+
+// finish moves the job to a terminal state, publishes the result, closes
+// every event subscription and the done channel. Finishing a job twice
+// is a no-op (a queued job cancelled by the client stays cancelled even
+// when a worker later drains it off the queue).
+func (j *Job) finish(state JobState, res *studyResult, errText string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.terminal() {
+		return
+	}
+	j.state = state
+	j.result = res
+	j.errText = errText
+	j.finished = time.Now()
+	j.cancel = nil
+	for _, ch := range j.subs {
+		close(ch)
+	}
+	j.subs = nil
+	close(j.done)
+}
+
+// requestCancel asks the job to stop: a running job has its context
+// cancelled, a queued job is finished as canceled immediately. Returns
+// false when the job is already terminal.
+func (j *Job) requestCancel() bool {
+	j.mu.Lock()
+	if j.state.terminal() {
+		j.mu.Unlock()
+		return false
+	}
+	j.cancelled = true
+	if j.cancel != nil {
+		j.mu.Unlock()
+		j.cancel()
+		return true
+	}
+	// Still queued: terminal-ize in place; the worker will skip it.
+	j.state = JobCanceled
+	j.errText = "canceled before start"
+	j.finished = time.Now()
+	for _, ch := range j.subs {
+		close(ch)
+	}
+	j.subs = nil
+	close(j.done)
+	j.mu.Unlock()
+	return true
+}
+
+// record appends one pipeline event to the job's log and fans the
+// stamped copy out to live subscribers. Slow subscribers never block the
+// study: a full channel drops the event for that subscriber only (the
+// events endpoint re-reads the full log, so nothing is lost at rest).
+func (j *Job) record(ev probe.Event) probe.Event {
+	j.mu.Lock()
+	stamped := j.log.Append(ev)
+	for _, ch := range j.subs {
+		select {
+		case ch <- stamped:
+		default:
+		}
+	}
+	j.mu.Unlock()
+	return stamped
+}
+
+// subscribe returns a snapshot of everything recorded so far plus a
+// channel carrying every later event, closed when the job finishes. A
+// nil channel means the job was already terminal — the snapshot is the
+// whole stream.
+func (j *Job) subscribe() ([]probe.Event, <-chan probe.Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	snapshot := j.log.Events()
+	if j.state.terminal() {
+		return snapshot, nil
+	}
+	ch := make(chan probe.Event, 256)
+	j.subs = append(j.subs, ch)
+	return snapshot, ch
+}
+
+// jobStatus is the wire shape of GET /v1/studies/{id}.
+type jobStatus struct {
+	ID      string           `json:"id"`
+	State   JobState         `json:"state"`
+	Cached  bool             `json:"cached"`
+	Request wideleak.RunSpec `json:"request"`
+	Error   string           `json:"error,omitempty"`
+
+	Rows            int   `json:"rows,omitempty"`
+	Observations    int   `json:"observations"`
+	LegacyPlaybacks int   `json:"legacy_playbacks"`
+	Events          int   `json:"events"`
+	WallMS          int64 `json:"wall_ms,omitempty"`
+	VirtualMS       int64 `json:"virtual_ms,omitempty"`
+
+	TableURL  string `json:"table_url,omitempty"`
+	EventsURL string `json:"events_url,omitempty"`
+}
+
+// status snapshots the job for the API. A cached job reports zero
+// observations and playbacks: it did no device work of its own.
+func (j *Job) status() jobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := jobStatus{
+		ID:      j.ID,
+		State:   j.state,
+		Cached:  j.cached,
+		Request: j.Spec,
+		Error:   j.errText,
+		Events:  j.log.Len(),
+	}
+	if j.result != nil {
+		st.Rows = j.result.rows
+		st.Events = j.result.eventCount
+		st.WallMS = j.result.wall.Milliseconds()
+		st.VirtualMS = j.result.virtual.Milliseconds()
+		if !j.cached {
+			st.Observations = j.result.observations
+			st.LegacyPlaybacks = j.result.legacyPlaybacks
+		}
+	}
+	if j.state == JobDone {
+		st.TableURL = "/v1/studies/" + j.ID + "/table"
+		st.EventsURL = "/v1/studies/" + j.ID + "/events"
+	}
+	return st
+}
+
+// snapshotResult returns the published result, nil until Done.
+func (j *Job) snapshotResult() *studyResult {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != JobDone {
+		return nil
+	}
+	return j.result
+}

@@ -1,0 +1,188 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/netsim"
+	"repro/internal/wideleak/probe"
+)
+
+// Metrics is the daemon's instrumentation: hand-rolled counters, gauges
+// and histograms rendered in the Prometheus text exposition format, fed
+// from the study engine's probe.Event stream and the network layer's
+// RetryObserver. Everything is safe for concurrent use.
+type Metrics struct {
+	mu sync.Mutex
+
+	submitted   int64
+	shed        int64
+	coalesced   int64
+	cacheHits   int64
+	cacheMisses int64
+	degraded    int64
+	jobs        map[string]int64 // terminal state → count
+	retries     map[string]int64 // host → masked transient attempts
+
+	probeWall    *histogram
+	probeVirtual *histogram
+
+	// queueDepth and inFlight are sampled live at render time.
+	queueDepth func() int
+	inFlight   func() int
+}
+
+func newMetrics(queueDepth, inFlight func() int) *Metrics {
+	return &Metrics{
+		jobs:    make(map[string]int64),
+		retries: make(map[string]int64),
+		// Probe wall times are sub-second on the simulator; virtual times
+		// accumulate injected latency and backoff, so their buckets reach
+		// into minutes.
+		probeWall:    newHistogram(.0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5),
+		probeVirtual: newHistogram(.005, .01, .05, .1, .5, 1, 5, 10, 30, 60, 120),
+		queueDepth:   queueDepth,
+		inFlight:     inFlight,
+	}
+}
+
+// ObserveEvent folds one probe pipeline event into the metrics: finished
+// and degraded probes feed the wall/virtual duration histograms (and the
+// degraded counter). Retry events are deliberately NOT counted here —
+// retries reach the metrics exactly once, through the RetryObserver
+// adapter composed onto the network, so wiring both paths (as the
+// server does) cannot double-count.
+func (m *Metrics) ObserveEvent(ev probe.Event) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch ev.Kind {
+	case probe.EventProbeFinished:
+		m.probeWall.observe(ev.Wall.Seconds())
+		m.probeVirtual.observe(ev.Virtual.Seconds())
+	case probe.EventProbeDegraded:
+		m.degraded++
+		m.probeWall.observe(ev.Wall.Seconds())
+		m.probeVirtual.observe(ev.Virtual.Seconds())
+	}
+}
+
+// RetryObserver returns a netsim adapter counting masked transient
+// attempts per host — installed alongside the study's own observer via
+// netsim.CombineRetryObservers, so the event log and the metrics both
+// see every retry.
+func (m *Metrics) RetryObserver() netsim.RetryObserver {
+	return func(host string, attempt int, err error) {
+		m.mu.Lock()
+		m.retries[host]++
+		m.mu.Unlock()
+	}
+}
+
+func (m *Metrics) addSubmitted() { m.add(&m.submitted) }
+func (m *Metrics) addShed()      { m.add(&m.shed) }
+func (m *Metrics) addCoalesced() { m.add(&m.coalesced) }
+func (m *Metrics) addCacheHit()  { m.add(&m.cacheHits) }
+func (m *Metrics) addCacheMiss() { m.add(&m.cacheMisses) }
+
+func (m *Metrics) add(field *int64) {
+	m.mu.Lock()
+	*field++
+	m.mu.Unlock()
+}
+
+// jobFinished counts one job reaching a terminal state.
+func (m *Metrics) jobFinished(state JobState) {
+	m.mu.Lock()
+	m.jobs[string(state)]++
+	m.mu.Unlock()
+}
+
+// Render produces the Prometheus text exposition. Output is stable:
+// metric families in fixed order, label values sorted.
+func (m *Metrics) Render() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var b strings.Builder
+
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("wideleakd_jobs_submitted_total", "Study submissions accepted into the queue.", m.submitted)
+	counter("wideleakd_jobs_shed_total", "Submissions rejected with 429 because the queue was full.", m.shed)
+	counter("wideleakd_jobs_coalesced_total", "Submissions attached to an identical in-flight job.", m.coalesced)
+	counter("wideleakd_cache_hits_total", "Submissions served from the result cache with no device work.", m.cacheHits)
+	counter("wideleakd_cache_misses_total", "Submissions that had to run the study.", m.cacheMisses)
+	counter("wideleakd_probe_degraded_total", "Probe runs that exhausted transport retries and degraded.", m.degraded)
+
+	fmt.Fprintf(&b, "# HELP wideleakd_jobs_total Jobs finished, by terminal state.\n# TYPE wideleakd_jobs_total counter\n")
+	for _, state := range sortedKeys(m.jobs) {
+		fmt.Fprintf(&b, "wideleakd_jobs_total{state=%q} %d\n", state, m.jobs[state])
+	}
+
+	fmt.Fprintf(&b, "# HELP wideleakd_netsim_retries_total Masked transient transport faults, by host.\n# TYPE wideleakd_netsim_retries_total counter\n")
+	for _, host := range sortedKeys(m.retries) {
+		fmt.Fprintf(&b, "wideleakd_netsim_retries_total{host=%q} %d\n", host, m.retries[host])
+	}
+
+	fmt.Fprintf(&b, "# HELP wideleakd_queue_depth Jobs waiting in the queue.\n# TYPE wideleakd_queue_depth gauge\nwideleakd_queue_depth %d\n", m.queueDepth())
+	fmt.Fprintf(&b, "# HELP wideleakd_jobs_inflight Jobs currently running on workers.\n# TYPE wideleakd_jobs_inflight gauge\nwideleakd_jobs_inflight %d\n", m.inFlight())
+
+	m.probeWall.render(&b, "wideleakd_probe_wall_seconds", "Wall-clock duration of one probe run.")
+	m.probeVirtual.render(&b, "wideleakd_probe_virtual_seconds", "Virtual-clock time charged to one probe run (injected latency, backoff).")
+	return b.String()
+}
+
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// histogram is a fixed-bucket Prometheus histogram. Callers hold the
+// Metrics lock around observe and render.
+type histogram struct {
+	bounds []float64 // upper bounds, ascending
+	counts []uint64  // per-bucket (non-cumulative)
+	sum    float64
+	count  uint64
+}
+
+func newHistogram(bounds ...float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+func (h *histogram) observe(v float64) {
+	h.sum += v
+	h.count++
+	for i, bound := range h.bounds {
+		if v <= bound {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[len(h.bounds)]++ // +Inf bucket
+}
+
+func (h *histogram) render(b *strings.Builder, name, help string) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	cumulative := uint64(0)
+	for i, bound := range h.bounds {
+		cumulative += h.counts[i]
+		fmt.Fprintf(b, "%s_bucket{le=%q} %d\n", name, trimFloat(bound), cumulative)
+	}
+	cumulative += h.counts[len(h.bounds)]
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, cumulative)
+	fmt.Fprintf(b, "%s_sum %g\n", name, h.sum)
+	fmt.Fprintf(b, "%s_count %d\n", name, h.count)
+}
+
+// trimFloat renders a bucket bound the way Prometheus clients do: the
+// shortest decimal form, no exponent for these magnitudes.
+func trimFloat(v float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%f", v), "0"), ".")
+}

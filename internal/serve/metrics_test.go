@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/wideleak/probe"
+)
+
+func staticGauge(v int) func() int { return func() int { return v } }
+
+// TestMetrics_Render pins the exposition format: counters, labeled
+// families with sorted labels, live-sampled gauges, and histograms with
+// cumulative buckets.
+func TestMetrics_Render(t *testing.T) {
+	m := newMetrics(staticGauge(3), staticGauge(2))
+	m.addSubmitted()
+	m.addSubmitted()
+	m.addShed()
+	m.addCacheHit()
+	m.addCacheMiss()
+	m.addCoalesced()
+	m.jobFinished(JobDone)
+	m.jobFinished(JobDone)
+	m.jobFinished(JobFailed)
+
+	observe := m.RetryObserver()
+	observe("cdn.example", 1, errors.New("transient"))
+	observe("cdn.example", 2, errors.New("transient"))
+	observe("api.example", 1, errors.New("transient"))
+
+	m.ObserveEvent(probe.Event{Kind: probe.EventProbeFinished, Wall: 2 * time.Millisecond, Virtual: 40 * time.Millisecond})
+	m.ObserveEvent(probe.Event{Kind: probe.EventProbeDegraded, Wall: 80 * time.Millisecond, Virtual: 90 * time.Second})
+
+	out := m.Render()
+	for _, want := range []string{
+		"wideleakd_jobs_submitted_total 2",
+		"wideleakd_jobs_shed_total 1",
+		"wideleakd_jobs_coalesced_total 1",
+		"wideleakd_cache_hits_total 1",
+		"wideleakd_cache_misses_total 1",
+		"wideleakd_probe_degraded_total 1",
+		`wideleakd_jobs_total{state="done"} 2`,
+		`wideleakd_jobs_total{state="failed"} 1`,
+		`wideleakd_netsim_retries_total{host="api.example"} 1`,
+		`wideleakd_netsim_retries_total{host="cdn.example"} 2`,
+		"wideleakd_queue_depth 3",
+		"wideleakd_jobs_inflight 2",
+		"wideleakd_probe_wall_seconds_count 2",
+		"wideleakd_probe_virtual_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+	// Labels render sorted, so api.example precedes cdn.example.
+	if strings.Index(out, `host="api.example"`) > strings.Index(out, `host="cdn.example"`) {
+		t.Error("retry hosts not sorted")
+	}
+	// Retry events reaching the probe sink must NOT double-count: only
+	// the RetryObserver path feeds the retry counters.
+	m.ObserveEvent(probe.Event{Kind: probe.EventRetry, Host: "cdn.example"})
+	if out := m.Render(); !strings.Contains(out, `wideleakd_netsim_retries_total{host="cdn.example"} 2`) {
+		t.Error("EventRetry through the sink changed the retry counter")
+	}
+}
+
+// TestHistogram pins bucket assignment, the cumulative rendering, and
+// the +Inf overflow bucket.
+func TestHistogram(t *testing.T) {
+	h := newHistogram(0.01, 0.1, 1)
+	for _, v := range []float64{0.005, 0.05, 0.05, 0.5, 99} {
+		h.observe(v)
+	}
+	if h.count != 5 {
+		t.Fatalf("count = %d", h.count)
+	}
+
+	var b strings.Builder
+	h.render(&b, "x_seconds", "test histogram")
+	out := b.String()
+	for _, want := range []string{
+		`x_seconds_bucket{le="0.01"} 1`,
+		`x_seconds_bucket{le="0.1"} 3`,
+		`x_seconds_bucket{le="1"} 4`,
+		`x_seconds_bucket{le="+Inf"} 5`,
+		"x_seconds_count 5",
+		"x_seconds_sum 99.605",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("histogram missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestTrimFloat: bucket bounds render in short decimal form.
+func TestTrimFloat(t *testing.T) {
+	cases := map[float64]string{0.0005: "0.0005", 0.5: "0.5", 1: "1", 2.5: "2.5", 120: "120"}
+	for in, want := range cases {
+		if got := trimFloat(in); got != want {
+			t.Errorf("trimFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

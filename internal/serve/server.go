@@ -1,0 +1,526 @@
+// Package serve turns the WideLeak study engine into a service: an HTTP
+// JSON API over a bounded job queue and worker pool, with a
+// content-addressed result cache, structured per-job event logs
+// (polled or streamed as server-sent events), Prometheus-text metrics,
+// load shedding, and graceful drain.
+//
+// API surface (see cmd/wideleakd for the daemon):
+//
+//	POST   /v1/studies               submit {seed, probes, profiles, faults, concurrency}
+//	GET    /v1/studies               list jobs, newest first
+//	GET    /v1/studies/{id}          job status
+//	DELETE /v1/studies/{id}          cancel a queued or running job
+//	GET    /v1/studies/{id}/table    results (?format=txt|csv|json)
+//	GET    /v1/studies/{id}/events   structured probe event log (?stream=1 for SSE)
+//	GET    /metrics                  Prometheus text exposition
+//	GET    /healthz                  liveness (503 while draining)
+//
+// Identical canonical requests (same seed, probes, profiles and fault
+// schedule — wideleak.RunSpec.Key) are served from the cache with zero
+// new device work; a full queue sheds load with 429 + Retry-After; and
+// Shutdown drains every queued and in-flight job before returning.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/wideleak"
+	"repro/internal/wideleak/probe"
+)
+
+// Config sizes the server. Zero values select the defaults.
+type Config struct {
+	// Workers is the study worker pool size (default GOMAXPROCS).
+	Workers int
+	// QueueSize bounds the backlog of accepted-but-not-running jobs
+	// (default 16). Submissions beyond it are shed with HTTP 429.
+	QueueSize int
+	// CacheSize bounds the LRU result cache (default 64 entries).
+	CacheSize int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 16
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 64
+	}
+	return c
+}
+
+// Server owns the job table, queue, worker pool, cache and metrics.
+// Create with New, expose via Handler, stop with Shutdown.
+type Server struct {
+	cfg     Config
+	metrics *Metrics
+	cache   *resultCache
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	ids      []string        // submission order (for listing)
+	active   map[string]*Job // canonical key → live job (coalescing)
+	queue    chan *Job
+	draining bool
+	seq      int64
+
+	inFlight atomic.Int64
+	wg       sync.WaitGroup
+
+	// testHookJobStart, when set, runs at the top of every worker job —
+	// tests use it to hold jobs in the running state deterministically.
+	testHookJobStart func(*Job)
+}
+
+// New builds a server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:    cfg,
+		cache:  newResultCache(cfg.CacheSize),
+		jobs:   make(map[string]*Job),
+		active: make(map[string]*Job),
+		queue:  make(chan *Job, cfg.QueueSize),
+	}
+	s.metrics = newMetrics(
+		func() int { return len(s.queue) },
+		func() int { return int(s.inFlight.Load()) },
+	)
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Metrics exposes the server's instrumentation (the /metrics handler
+// renders it; tests and embedders may too).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Shutdown drains the server: no further submissions are accepted (503),
+// every queued and in-flight job runs to completion, then the worker
+// pool exits. If ctx expires first, in-flight jobs are cancelled and
+// Shutdown returns the context error once the workers wind down.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for _, j := range s.jobs {
+			j.requestCancel()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// worker drains the queue until Shutdown closes it.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		s.runJob(job)
+	}
+}
+
+// runJob executes one queued job end to end.
+func (s *Server) runJob(job *Job) {
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+	if hook := s.testHookJobStart; hook != nil {
+		hook(job)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if !job.start(cancel) {
+		// Cancelled while still queued; nothing to run.
+		s.clearActive(job)
+		return
+	}
+
+	res, err := s.execute(ctx, job)
+	s.clearActive(job)
+	switch {
+	case err == nil:
+		s.cache.put(job.Key, res)
+		job.finish(JobDone, res, "")
+		s.metrics.jobFinished(JobDone)
+	case errors.Is(err, context.Canceled):
+		job.finish(JobCanceled, nil, err.Error())
+		s.metrics.jobFinished(JobCanceled)
+	default:
+		job.finish(JobFailed, nil, err.Error())
+		s.metrics.jobFinished(JobFailed)
+	}
+}
+
+// execute runs the study described by the job's spec under the job's
+// context, wiring the probe event stream into the job log, SSE
+// subscribers and the metrics, and the network retry stream into the
+// per-host retry counters.
+func (s *Server) execute(ctx context.Context, job *Job) (*studyResult, error) {
+	study, err := job.Spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	study.SetEventSink(func(ev probe.Event) {
+		s.metrics.ObserveEvent(job.record(ev))
+	})
+	// SetEventSink installed the sink's own retry forwarder on the
+	// network; compose the per-host metrics adapter alongside it.
+	network := study.World.Network
+	network.SetRetryObserver(netsim.CombineRetryObservers(network.RetryObserver(), s.metrics.RetryObserver()))
+
+	wallStart := time.Now()
+	virtualStart := study.World.Clock().Now()
+	table, err := study.BuildTableCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &studyResult{
+		tables:          make(map[string][]byte, len(wideleak.TableFormats())),
+		rows:            len(table.Rows),
+		observations:    study.Observations(),
+		legacyPlaybacks: study.LegacyPlaybacks(),
+		wall:            time.Since(wallStart),
+		virtual:         study.World.Clock().Now() - virtualStart,
+	}
+	for _, format := range wideleak.TableFormats() {
+		out, err := table.Encode(format)
+		if err != nil {
+			return nil, fmt.Errorf("serve: encode %s: %w", format, err)
+		}
+		res.tables[format] = out
+	}
+	if res.events, err = job.log.MarshalJSON(); err != nil {
+		return nil, fmt.Errorf("serve: encode events: %w", err)
+	}
+	res.eventCount = job.log.Len()
+	return res, nil
+}
+
+// clearActive drops the job from the coalescing index.
+func (s *Server) clearActive(job *Job) {
+	s.mu.Lock()
+	if s.active[job.Key] == job {
+		delete(s.active, job.Key)
+	}
+	s.mu.Unlock()
+}
+
+// job looks one job up by ID.
+func (s *Server) job(id string) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// newJobLocked mints and registers a job; the caller holds s.mu.
+func (s *Server) newJobLocked(spec wideleak.RunSpec, key string) *Job {
+	s.seq++
+	id := fmt.Sprintf("s%06d-%.8s", s.seq, key)
+	job := newJob(id, key, spec)
+	s.jobs[id] = job
+	s.ids = append(s.ids, id)
+	return job
+}
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/studies", s.handleSubmit)
+	mux.HandleFunc("GET /v1/studies", s.handleList)
+	mux.HandleFunc("GET /v1/studies/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /v1/studies/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/studies/{id}/table", s.handleTable)
+	mux.HandleFunc("GET /v1/studies/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+// submitResponse is the wire shape of POST /v1/studies.
+type submitResponse struct {
+	ID        string   `json:"id"`
+	State     JobState `json:"state"`
+	Cached    bool     `json:"cached"`
+	Coalesced bool     `json:"coalesced,omitempty"`
+	StatusURL string   `json:"status_url"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec wideleak.RunSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	canonical, err := spec.Canonicalize()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	key, err := canonical.Key()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+
+	// Content-addressed cache: an identical canonical request is served
+	// without any device work — the job is born done.
+	if res := s.cache.get(key); res != nil {
+		job := s.newJobLocked(canonical, key)
+		job.cached = true
+		job.state = JobDone
+		job.result = res
+		close(job.done)
+		s.metrics.addCacheHit()
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, submitResponse{
+			ID: job.ID, State: JobDone, Cached: true,
+			StatusURL: "/v1/studies/" + job.ID,
+		})
+		return
+	}
+
+	// Coalesce with an identical queued/running job instead of doing the
+	// same device work twice.
+	if live := s.active[key]; live != nil {
+		state := live.State()
+		s.metrics.addCoalesced()
+		s.mu.Unlock()
+		writeJSON(w, http.StatusAccepted, submitResponse{
+			ID: live.ID, State: state, Coalesced: true,
+			StatusURL: "/v1/studies/" + live.ID,
+		})
+		return
+	}
+
+	job := s.newJobLocked(canonical, key)
+	select {
+	case s.queue <- job:
+		s.active[key] = job
+		s.metrics.addSubmitted()
+		s.metrics.addCacheMiss()
+		s.mu.Unlock()
+		w.Header().Set("Location", "/v1/studies/"+job.ID)
+		writeJSON(w, http.StatusAccepted, submitResponse{
+			ID: job.ID, State: JobQueued,
+			StatusURL: "/v1/studies/" + job.ID,
+		})
+	default:
+		// Load shedding: the queue is full. Unregister the stillborn job
+		// and tell the client when to come back.
+		delete(s.jobs, job.ID)
+		s.ids = s.ids[:len(s.ids)-1]
+		s.metrics.addShed()
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "job queue is full")
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	statuses := make([]jobStatus, 0, len(s.ids))
+	for i := len(s.ids) - 1; i >= 0; i-- {
+		statuses = append(statuses, s.jobs[s.ids[i]].status())
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, statuses)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	job := s.job(r.PathValue("id"))
+	if job == nil {
+		writeError(w, http.StatusNotFound, "no such study")
+		return
+	}
+	writeJSON(w, http.StatusOK, job.status())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job := s.job(r.PathValue("id"))
+	if job == nil {
+		writeError(w, http.StatusNotFound, "no such study")
+		return
+	}
+	if !job.requestCancel() {
+		writeError(w, http.StatusConflict, fmt.Sprintf("study is already %s", job.State()))
+		return
+	}
+	s.clearActive(job)
+	writeJSON(w, http.StatusAccepted, map[string]any{"id": job.ID, "state": job.State()})
+}
+
+func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
+	job := s.job(r.PathValue("id"))
+	if job == nil {
+		writeError(w, http.StatusNotFound, "no such study")
+		return
+	}
+	format := r.URL.Query().Get("format")
+	if format == "" || format == "text" {
+		format = "txt"
+	}
+	res := job.snapshotResult()
+	if res == nil {
+		writeError(w, http.StatusConflict, fmt.Sprintf("study is %s, not done", job.State()))
+		return
+	}
+	out, ok := res.tables[format]
+	if !ok {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown format %q (supported: txt, csv, json)", format))
+		return
+	}
+	switch format {
+	case "json":
+		w.Header().Set("Content-Type", "application/json")
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+	default:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	}
+	w.Write(out)
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	job := s.job(r.PathValue("id"))
+	if job == nil {
+		writeError(w, http.StatusNotFound, "no such study")
+		return
+	}
+	if r.URL.Query().Get("stream") != "" {
+		s.streamEvents(w, r, job)
+		return
+	}
+	// A done job serves its result's log verbatim (for cache hits, the
+	// log of the run that produced the cached table); a live job serves
+	// whatever has been recorded so far.
+	if res := job.snapshotResult(); res != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(res.events)
+		return
+	}
+	out, err := job.log.MarshalJSON()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(out)
+}
+
+// streamEvents serves the event log as server-sent events: first the
+// backlog, then live events until the job reaches a terminal state (or
+// the client goes away). Each event is `event: <kind>` + JSON data; a
+// final `event: done` carries the terminal job state.
+func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, job *Job) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	writeEvent := func(ev probe.Event) bool {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Kind, data); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+
+	backlog, live := job.subscribe()
+	for _, ev := range backlog {
+		if !writeEvent(ev) {
+			return
+		}
+	}
+	if live != nil {
+		for {
+			select {
+			case ev, ok := <-live:
+				if !ok {
+					live = nil
+				} else if !writeEvent(ev) {
+					return
+				}
+			case <-r.Context().Done():
+				return
+			}
+			if live == nil {
+				break
+			}
+		}
+	}
+	fmt.Fprintf(w, "event: done\ndata: {\"state\":%q}\n\n", job.State())
+	flusher.Flush()
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprint(w, s.metrics.Render())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

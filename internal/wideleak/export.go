@@ -133,6 +133,37 @@ func (t *Table) MarshalCSV() ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
+// TableFormats lists the encodings Encode supports, in preference order.
+func TableFormats() []string { return []string{"txt", "csv", "json"} }
+
+// Encode renders the table in one of the shared output formats — the
+// single encoding path behind both the CLI's -format flag and the
+// daemon's ?format= query parameter, so the two frontends can never
+// drift byte-wise:
+//
+//	txt (alias text) — Render plus the Summarize insights block, exactly
+//	                   the CLI's default stdout output and the pinned
+//	                   testdata/tableI_default.txt golden;
+//	csv              — MarshalCSV;
+//	json             — two-space-indented MarshalJSON with a trailing
+//	                   newline, the tableI_default.json golden bytes.
+func (t *Table) Encode(format string) ([]byte, error) {
+	switch format {
+	case "txt", "text":
+		return []byte(t.Render() + "\n" + t.Summarize().Render()), nil
+	case "csv":
+		return t.MarshalCSV()
+	case "json":
+		out, err := json.MarshalIndent(t, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		return append(out, '\n'), nil
+	default:
+		return nil, fmt.Errorf("wideleak: unknown format %q (supported: txt, csv, json)", format)
+	}
+}
+
 // csvCell stringifies one exported value: booleans as true/false,
 // everything else through fmt (enum values via their String method).
 func csvCell(v any) string {

@@ -1,6 +1,7 @@
 package probe
 
 import (
+	"encoding/json"
 	"sync"
 	"time"
 )
@@ -57,6 +58,49 @@ type Event struct {
 	// retry backoff are charged there, not to the wall).
 	Wall    time.Duration
 	Virtual time.Duration
+
+	// Seq and At are stamped by Log.Append when the event is recorded:
+	// Seq is the 1-based position in the log, At the wall-clock instant
+	// of recording. Both are zero on events that never passed through a
+	// Log, so sinks that only forward see them unset.
+	Seq int64
+	At  time.Time
+}
+
+// eventJSON is the export shape of one recorded event: the kind by name,
+// durations in integer nanoseconds, empty fields omitted.
+type eventJSON struct {
+	Seq       int64  `json:"seq,omitempty"`
+	At        string `json:"at,omitempty"`
+	Kind      string `json:"kind"`
+	Probe     string `json:"probe,omitempty"`
+	App       string `json:"app,omitempty"`
+	Host      string `json:"host,omitempty"`
+	Attempt   int    `json:"attempt,omitempty"`
+	Err       string `json:"err,omitempty"`
+	WallNS    int64  `json:"wall_ns,omitempty"`
+	VirtualNS int64  `json:"virtual_ns,omitempty"`
+}
+
+// MarshalJSON exports the event verbatim: kind as its String name, the
+// recording timestamp as RFC 3339 with nanoseconds, wall and virtual
+// durations as nanosecond integers.
+func (e Event) MarshalJSON() ([]byte, error) {
+	out := eventJSON{
+		Seq:       e.Seq,
+		Kind:      e.Kind.String(),
+		Probe:     e.Probe,
+		App:       e.App,
+		Host:      e.Host,
+		Attempt:   e.Attempt,
+		Err:       e.Err,
+		WallNS:    int64(e.Wall),
+		VirtualNS: int64(e.Virtual),
+	}
+	if !e.At.IsZero() {
+		out.At = e.At.Format(time.RFC3339Nano)
+	}
+	return json.Marshal(out)
 }
 
 // Sink receives pipeline events. Sinks must be safe for concurrent use:
@@ -71,10 +115,33 @@ type Log struct {
 }
 
 // Record appends one event; use it as a Sink via (*Log).Record.
-func (l *Log) Record(ev Event) {
+func (l *Log) Record(ev Event) { l.Append(ev) }
+
+// Append records one event and returns the stamped copy: Seq set to the
+// event's 1-based log position and At to the recording instant (an
+// already-set At is preserved, so logs can be replayed verbatim). Safe
+// for concurrent use with every other Log method.
+func (l *Log) Append(ev Event) Event {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	ev.Seq = int64(len(l.events) + 1)
+	if ev.At.IsZero() {
+		ev.At = time.Now()
+	}
 	l.events = append(l.events, ev)
+	return ev
+}
+
+// MarshalJSON exports the whole recorded stream as a JSON array, in
+// recording (Seq) order. It takes the same lock as Append only long
+// enough to copy the slice, so a log can be marshalled verbatim while
+// parallel builds are still appending to it.
+func (l *Log) MarshalJSON() ([]byte, error) {
+	events := l.Events()
+	if events == nil {
+		return []byte("[]"), nil
+	}
+	return json.Marshal(events)
 }
 
 // Events returns a copy of everything recorded so far.

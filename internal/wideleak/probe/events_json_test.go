@@ -1,0 +1,163 @@
+package probe
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestEventMarshalJSON pins the export shape: kind by name, durations in
+// nanoseconds, empty fields omitted, timestamps in RFC 3339.
+func TestEventMarshalJSON(t *testing.T) {
+	at := time.Date(2026, 8, 6, 12, 0, 0, 123456789, time.UTC)
+	ev := Event{
+		Kind:    EventProbeFinished,
+		Probe:   "q2",
+		App:     "Netflix",
+		Wall:    1500 * time.Microsecond,
+		Virtual: 2 * time.Second,
+		Seq:     7,
+		At:      at,
+	}
+	out, err := json.Marshal(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]any
+	if err := json.Unmarshal(out, &got); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]any{
+		"seq":        float64(7),
+		"at":         "2026-08-06T12:00:00.123456789Z",
+		"kind":       "probe-finished",
+		"probe":      "q2",
+		"app":        "Netflix",
+		"wall_ns":    float64(1500000),
+		"virtual_ns": float64(2000000000),
+	}
+	if len(got) != len(want) {
+		t.Errorf("exported keys = %v, want %v", got, want)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("%s = %v, want %v", k, got[k], v)
+		}
+	}
+
+	retry, err := json.Marshal(Event{Kind: EventRetry, Host: "cdn.example", Attempt: 2, Err: "dropped"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, forbidden := range []string{"probe", "app", "wall_ns", "virtual_ns", "seq", "at"} {
+		if strings.Contains(string(retry), `"`+forbidden+`"`) {
+			t.Errorf("retry export carries empty field %q: %s", forbidden, retry)
+		}
+	}
+}
+
+// TestLogAppendStamps: Append assigns 1-based sequence numbers and a
+// recording timestamp, preserving a caller-set At.
+func TestLogAppendStamps(t *testing.T) {
+	var log Log
+	first := log.Append(Event{Kind: EventProbeStarted})
+	if first.Seq != 1 || first.At.IsZero() {
+		t.Errorf("first stamped as %+v", first)
+	}
+	at := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	second := log.Append(Event{Kind: EventProbeFinished, At: at})
+	if second.Seq != 2 || !second.At.Equal(at) {
+		t.Errorf("second stamped as %+v", second)
+	}
+	if events := log.Events(); len(events) != 2 || events[1].Seq != 2 {
+		t.Errorf("log holds %+v", events)
+	}
+}
+
+// TestLogEmptyMarshal: an untouched log exports as an empty array, not
+// JSON null.
+func TestLogEmptyMarshal(t *testing.T) {
+	var log Log
+	out, err := log.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "[]" {
+		t.Errorf("empty log = %s", out)
+	}
+}
+
+// TestLog_ConcurrentAppendMarshal hammers one log with parallel appends
+// and marshals — the -race test backing the claim that the event log is
+// exportable verbatim while a parallel build is still writing to it.
+func TestLog_ConcurrentAppendMarshal(t *testing.T) {
+	const writers, perWriter, readers = 8, 200, 4
+	var log Log
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				out, err := log.MarshalJSON()
+				if err != nil {
+					t.Errorf("marshal: %v", err)
+					return
+				}
+				if !json.Valid(out) {
+					t.Errorf("invalid JSON: %.100s", out)
+					return
+				}
+				log.ByKind(EventRetry)
+				log.Len()
+			}
+		}()
+	}
+
+	var writerWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			for i := 0; i < perWriter; i++ {
+				kind := EventProbeFinished
+				if i%3 == 0 {
+					kind = EventRetry
+				}
+				log.Record(Event{Kind: kind, Probe: "q1", App: "app", Host: "host", Attempt: w})
+			}
+		}(w)
+	}
+	writerWG.Wait()
+	close(stop)
+	wg.Wait()
+
+	out, err := log.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]any
+	if err := json.Unmarshal(out, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != writers*perWriter {
+		t.Fatalf("exported %d events, want %d", len(decoded), writers*perWriter)
+	}
+	for i, ev := range decoded {
+		if seq, ok := ev["seq"].(float64); !ok || int(seq) != i+1 {
+			t.Fatalf("event %d has seq %v, want %d", i, ev["seq"], i+1)
+		}
+		if kind, ok := ev["kind"].(string); !ok || kind == "unknown" {
+			t.Fatalf("event %d has kind %v", i, ev["kind"])
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package wideleak
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+
+	"repro/internal/ott"
+)
+
+// RunSpec is the canonical description of one study run — the unit the
+// service layer queues, caches and hashes. Two specs that canonicalize to
+// the same value describe the same device work and therefore the same
+// table bytes, so a content-addressed cache may serve one's result for
+// the other without re-running anything.
+type RunSpec struct {
+	// Seed names the reproducible world ("" canonicalizes to "default").
+	Seed string `json:"seed"`
+	// Probes selects the probes to run by ID; empty selects the default
+	// set, and canonicalization expands both to the resolved selection in
+	// registry order (so [] and ["q1","q2","q3","q4"] share a cache key).
+	Probes []string `json:"probes,omitempty"`
+	// Profiles restricts the studied apps by exact name (empty = all).
+	// Order is significant — it is the table's row order.
+	Profiles []string `json:"profiles,omitempty"`
+	// Faults optionally installs deterministic fault injection.
+	Faults *RunFaults `json:"faults,omitempty"`
+	// Concurrency caps the row workers. It does not contribute to the
+	// cache key: the rendered table is byte-identical at every setting.
+	Concurrency int `json:"concurrency,omitempty"`
+}
+
+// RunFaults configures a spec's deterministic fault layer: a transient
+// fault rate in [0,1) and the fault schedule seed ("" canonicalizes to
+// "chaos", matching the CLI default).
+type RunFaults struct {
+	Rate float64 `json:"rate"`
+	Seed string  `json:"seed,omitempty"`
+}
+
+// Canonicalize validates the spec and returns its canonical form: seed
+// defaulted, probes resolved through the registry (deduplicated, registry
+// order), profiles expanded and matched to their exact registered names,
+// zero-rate fault configs dropped. The canonical form is what Key hashes
+// and what job status endpoints echo back.
+func (r RunSpec) Canonicalize() (RunSpec, error) {
+	c := RunSpec{Seed: r.Seed, Concurrency: r.Concurrency}
+	if c.Seed == "" {
+		c.Seed = "default"
+	}
+	if c.Concurrency < 0 {
+		c.Concurrency = 0
+	}
+
+	selected, _, err := probeRegistry.Resolve(r.Probes)
+	if err != nil {
+		return RunSpec{}, err
+	}
+	c.Probes = selected
+
+	known := ott.Profiles()
+	if len(r.Profiles) == 0 {
+		for _, p := range known {
+			c.Profiles = append(c.Profiles, p.Name)
+		}
+	} else {
+		seen := make(map[string]bool, len(r.Profiles))
+		for _, name := range r.Profiles {
+			resolved := ""
+			for _, p := range known {
+				if strings.EqualFold(p.Name, name) {
+					resolved = p.Name
+					break
+				}
+			}
+			if resolved == "" {
+				return RunSpec{}, fmt.Errorf("wideleak: unknown app %q", name)
+			}
+			if seen[resolved] {
+				return RunSpec{}, fmt.Errorf("wideleak: duplicate app %q", resolved)
+			}
+			seen[resolved] = true
+			c.Profiles = append(c.Profiles, resolved)
+		}
+	}
+
+	if r.Faults != nil && r.Faults.Rate != 0 {
+		if r.Faults.Rate < 0 || r.Faults.Rate >= 1 {
+			return RunSpec{}, fmt.Errorf("wideleak: fault rate must be in [0,1), got %g", r.Faults.Rate)
+		}
+		seed := r.Faults.Seed
+		if seed == "" {
+			seed = "chaos"
+		}
+		c.Faults = &RunFaults{Rate: r.Faults.Rate, Seed: seed}
+	}
+	return c, nil
+}
+
+// Key returns the spec's content address: a hex SHA-256 over the
+// canonical form's result-determining fields. Concurrency is excluded —
+// it never changes the produced bytes — while the fault schedule is
+// included, because it changes the run's event log and virtual timeline
+// even when the rendered table is invariant.
+func (r RunSpec) Key() (string, error) {
+	c, err := r.Canonicalize()
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "wideleak-run-v1\nseed=%s\nprobes=%s\nprofiles=%s\n",
+		c.Seed, strings.Join(c.Probes, ","), strings.Join(c.Profiles, ","))
+	if c.Faults != nil {
+		fmt.Fprintf(h, "faults=%g:%s\n", c.Faults.Rate, c.Faults.Seed)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// Build materializes the spec: a fresh world for its seed and profile
+// set, faults installed when configured, and a study with the spec's
+// probe selection and concurrency.
+func (r RunSpec) Build() (*Study, error) {
+	c, err := r.Canonicalize()
+	if err != nil {
+		return nil, err
+	}
+	var profiles []ott.Profile
+	for _, name := range c.Profiles {
+		for _, p := range ott.Profiles() {
+			if p.Name == name {
+				profiles = append(profiles, p)
+				break
+			}
+		}
+	}
+	world, err := NewWorld(c.Seed, profiles)
+	if err != nil {
+		return nil, err
+	}
+	if c.Faults != nil {
+		world.InstallFaults(FaultSpec{
+			Seed:    c.Faults.Seed,
+			Default: TransientFaults(c.Faults.Rate),
+		})
+	}
+	study := NewStudy(world)
+	study.Probes = c.Probes
+	study.Concurrency = c.Concurrency
+	return study, nil
+}

@@ -1,0 +1,158 @@
+package wideleak
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ott"
+)
+
+func mustKey(t *testing.T, spec RunSpec) string {
+	t.Helper()
+	key, err := spec.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return key
+}
+
+// TestRunSpec_CanonicalKey: the cache key is content-addressed over the
+// canonical request — equivalent spellings collide, result-changing
+// fields separate, and concurrency never matters.
+func TestRunSpec_CanonicalKey(t *testing.T) {
+	base := mustKey(t, RunSpec{Seed: "default"})
+
+	equivalent := []RunSpec{
+		{},
+		{Seed: "default", Probes: []string{"q1", "q2", "q3", "q4"}},
+		{Seed: "default", Probes: []string{"q4", "q2", "q1", "q3", "q2"}},
+		{Seed: "default", Concurrency: 7},
+		{Seed: "default", Faults: &RunFaults{Rate: 0}},
+	}
+	for i, spec := range equivalent {
+		if got := mustKey(t, spec); got != base {
+			t.Errorf("spec %d: key %s != base %s", i, got, base)
+		}
+	}
+
+	different := []RunSpec{
+		{Seed: "other"},
+		{Seed: "default", Probes: []string{"q2"}},
+		{Seed: "default", Probes: []string{"q1", "q2", "q3", "q4", "q5"}},
+		{Seed: "default", Profiles: []string{"Netflix"}},
+		{Seed: "default", Faults: &RunFaults{Rate: 0.25}},
+	}
+	seen := map[string]int{base: -1}
+	for i, spec := range different {
+		key := mustKey(t, spec)
+		if prev, dup := seen[key]; dup {
+			t.Errorf("spec %d collides with spec %d: %s", i, prev, key)
+		}
+		seen[key] = i
+	}
+
+	// Differing fault seeds are different schedules, hence different keys.
+	a := mustKey(t, RunSpec{Faults: &RunFaults{Rate: 0.25, Seed: "a"}})
+	b := mustKey(t, RunSpec{Faults: &RunFaults{Rate: 0.25, Seed: "b"}})
+	if a == b {
+		t.Error("fault seeds a and b share a key")
+	}
+	// The default fault seed is "chaos", matching the CLI.
+	implicit := mustKey(t, RunSpec{Faults: &RunFaults{Rate: 0.25}})
+	explicit := mustKey(t, RunSpec{Faults: &RunFaults{Rate: 0.25, Seed: "chaos"}})
+	if implicit != explicit {
+		t.Error("implicit fault seed does not canonicalize to chaos")
+	}
+
+	// Row order is output order, so profile order is part of the address.
+	ab := mustKey(t, RunSpec{Profiles: []string{"Netflix", "Hulu"}})
+	ba := mustKey(t, RunSpec{Profiles: []string{"Hulu", "Netflix"}})
+	if ab == ba {
+		t.Error("profile order ignored by the key")
+	}
+}
+
+// TestRunSpec_CanonicalizeValidation: bad specs explain themselves.
+func TestRunSpec_CanonicalizeValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		spec RunSpec
+		want string
+	}{
+		{"unknown probe", RunSpec{Probes: []string{"q9"}}, "unknown probe"},
+		{"unknown app", RunSpec{Profiles: []string{"NoSuchService"}}, "unknown app"},
+		{"duplicate app", RunSpec{Profiles: []string{"Netflix", "netflix"}}, "duplicate app"},
+		{"bad fault rate", RunSpec{Faults: &RunFaults{Rate: 1.5}}, "fault rate"},
+		{"negative fault rate", RunSpec{Faults: &RunFaults{Rate: -0.1}}, "fault rate"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := tc.spec.Canonicalize(); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestRunSpec_CanonicalForm: canonicalization expands the defaults into
+// explicit, stable values and normalizes case-folded profile names.
+func TestRunSpec_CanonicalForm(t *testing.T) {
+	c, err := RunSpec{Profiles: []string{"netflix", "HULU"}}.Canonicalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Seed != "default" {
+		t.Errorf("seed = %q", c.Seed)
+	}
+	if got, want := strings.Join(c.Probes, ","), "q1,q2,q3,q4"; got != want {
+		t.Errorf("probes = %s, want %s", got, want)
+	}
+	if got, want := strings.Join(c.Profiles, ","), "Netflix,Hulu"; got != want {
+		t.Errorf("profiles = %s, want %s", got, want)
+	}
+
+	full, err := RunSpec{}.Canonicalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Profiles) != len(ott.Profiles()) {
+		t.Errorf("empty profile set canonicalized to %d apps, want %d", len(full.Profiles), len(ott.Profiles()))
+	}
+}
+
+// TestRunSpec_BuildMatchesManualStudy: a spec-built study produces the
+// same bytes as the hand-assembled equivalent.
+func TestRunSpec_BuildMatchesManualStudy(t *testing.T) {
+	spec := RunSpec{Seed: "spec-build", Profiles: []string{"Showtime"}, Probes: []string{"q2", "q3"}, Concurrency: 1}
+	study, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := study.BuildTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	world, err := NewWorld("spec-build", profilesNamed(t, "Showtime"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	manual := NewStudy(world)
+	manual.Probes = []string{"q2", "q3"}
+	manual.Concurrency = 1
+	want, err := manual.BuildTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotBytes, err := got.Encode("txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes, err := want.Encode("txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotBytes) != string(wantBytes) {
+		t.Errorf("spec-built table diverged:\n%s\nvs\n%s", gotBytes, wantBytes)
+	}
+}

@@ -167,7 +167,14 @@ func (t *Table) probeIDs() []string {
 // runtime.GOMAXPROCS(0)); the result is byte-identical to the sequential
 // build because every app draws from its own deterministic rand stream.
 func (s *Study) BuildTable() (*Table, error) {
-	return s.BuildTableParallel(s.Concurrency)
+	return s.BuildTableCtx(context.Background())
+}
+
+// BuildTableCtx is BuildTable under a caller-supplied context: cancelling
+// it stops the build at the next probe boundary, making long studies
+// abortable jobs. A cancelled build returns the context's error.
+func (s *Study) BuildTableCtx(ctx context.Context) (*Table, error) {
+	return s.BuildTableParallelCtx(ctx, s.Concurrency)
 }
 
 // BuildTableParallel assembles Table I with up to parallelism app rows in
@@ -176,6 +183,13 @@ func (s *Study) BuildTable() (*Table, error) {
 // profile order is propagated; remaining rows are not started once any
 // worker has failed.
 func (s *Study) BuildTableParallel(parallelism int) (*Table, error) {
+	return s.BuildTableParallelCtx(context.Background(), parallelism)
+}
+
+// BuildTableParallelCtx is BuildTableParallel bounded by a context: row
+// workers observe cancellation between probes, and no further rows start
+// once the context is done.
+func (s *Study) BuildTableParallelCtx(ctx context.Context, parallelism int) (*Table, error) {
 	selected, _, err := probeRegistry.Resolve(s.Probes)
 	if err != nil {
 		return nil, err
@@ -191,7 +205,7 @@ func (s *Study) BuildTableParallel(parallelism int) (*Table, error) {
 	if parallelism <= 1 {
 		t := &Table{Probes: selected}
 		for _, p := range profiles {
-			row, err := s.buildRowGraceful(p.Name)
+			row, err := s.buildRowGraceful(ctx, p.Name)
 			if err != nil {
 				return nil, fmt.Errorf("wideleak: row %s: %w", p.Name, err)
 			}
@@ -210,7 +224,7 @@ func (s *Study) BuildTableParallel(parallelism int) (*Table, error) {
 		go func() {
 			defer wg.Done()
 			for idx := range next {
-				rows[idx], errs[idx] = s.buildRowGraceful(profiles[idx].Name)
+				rows[idx], errs[idx] = s.buildRowGraceful(ctx, profiles[idx].Name)
 				if errs[idx] != nil {
 					failed.Store(true)
 				}
@@ -218,7 +232,7 @@ func (s *Study) BuildTableParallel(parallelism int) (*Table, error) {
 		}()
 	}
 	for i := range profiles {
-		if failed.Load() {
+		if failed.Load() || ctx.Err() != nil {
 			break
 		}
 		next <- i
@@ -232,8 +246,11 @@ func (s *Study) BuildTableParallel(parallelism int) (*Table, error) {
 			return nil, fmt.Errorf("wideleak: row %s: %w", p.Name, errs[i])
 		}
 		if rows[i] == nil {
-			// Rows are fed in profile order, so a skipped row can only sit
-			// after a failed one — which returned above. Guard anyway.
+			// Rows are fed in profile order, so a skipped row sits after a
+			// failed one (returned above) or follows a context cancellation.
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			return nil, fmt.Errorf("wideleak: row %s: build skipped", p.Name)
 		}
 		t.Rows = append(t.Rows, *rows[i])
@@ -245,8 +262,8 @@ func (s *Study) BuildTableParallel(parallelism int) (*Table, error) {
 // through every retry — into an annotated row, so one unreachable
 // deployment costs its own cell, not the whole table. Every other error
 // (a genuine study bug) still propagates.
-func (s *Study) buildRowGraceful(app string) (*Row, error) {
-	row, err := s.buildRow(app)
+func (s *Study) buildRowGraceful(ctx context.Context, app string) (*Row, error) {
+	row, err := s.buildRow(ctx, app)
 	if err == nil {
 		return row, nil
 	}
@@ -259,14 +276,18 @@ func (s *Study) buildRowGraceful(app string) (*Row, error) {
 // buildRow resolves the study's probe selection and runs the execution
 // order — dependencies first, by registry construction — feeding each
 // probe the results it requires. Only selected probes land on the row.
-func (s *Study) buildRow(app string) (*Row, error) {
+// Cancellation is observed between probes: a done context stops the row
+// before the next probe starts.
+func (s *Study) buildRow(ctx context.Context, app string) (*Row, error) {
 	selected, execution, err := probeRegistry.Resolve(s.Probes)
 	if err != nil {
 		return nil, err
 	}
-	ctx := context.Background()
 	results := make(probe.Results, len(execution))
 	for _, id := range execution {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		spec := probeSpec(id)
 		s.emit(probe.Event{Kind: probe.EventProbeStarted, Probe: id, App: app})
 		wallStart := time.Now()

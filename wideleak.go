@@ -85,6 +85,12 @@ type (
 	FaultSpec = wideleak.FaultSpec
 	// FaultProfile is one host's (or the default) fault mix.
 	FaultProfile = netsim.FaultProfile
+
+	// RunSpec is the canonical description of one study run — the unit
+	// the wideleakd service queues, content-addresses and caches.
+	RunSpec = wideleak.RunSpec
+	// RunFaults is a RunSpec's optional fault-injection layer.
+	RunFaults = wideleak.RunFaults
 )
 
 // Classification values.

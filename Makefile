@@ -5,7 +5,7 @@ GO ?= go
 # Per-target budget for the native fuzz pass wired into check.
 FUZZTIME ?= 5s
 
-.PHONY: all build vet lint test race bench fuzz chaos check study impact report serve serve-smoke clean
+.PHONY: all build vet lint test race bench bench-cold fuzz chaos check study impact report serve serve-smoke clean
 
 all: build vet test
 
@@ -34,6 +34,9 @@ test:
 
 race:
 	$(GO) test -race ./...
+	# The keypool's concurrency contract gets a dedicated -race pass:
+	# hammer tests exercise singleflight mints under contention.
+	$(GO) test -race -count=1 -run 'TestKeyPool' ./internal/provision
 
 # bench runs every root-package benchmark, tees the raw output, and distills
 # it into BENCH_tableI.json ({"name": ns_per_op, ...}) for tooling that
@@ -43,6 +46,19 @@ bench:
 	awk 'BEGIN { print "{"; n = 0 } \
 	     /^Benchmark/ { if (n++) printf ",\n"; printf "  \"%s\": %s", $$1, $$3 } \
 	     END { print "\n}" }' BENCH_tableI.txt > BENCH_tableI.json
+
+# bench-cold runs only the cold-start benchmarks (one iteration each —
+# they are end-to-end studies, not microbenchmarks) and merges their
+# numbers into BENCH_tableI.json alongside the full-suite entries.
+bench-cold:
+	$(GO) test -bench 'ColdStart_Pooled|WorldSnapshot_Restore|Server_ColdWithWorldCache|TableI_Full_Parallel1' -benchtime=1x -benchmem -run '^$$' . | tee BENCH_cold.txt
+	awk 'BEGIN { print "{"; n = 0 } \
+	     /^Benchmark/ { if (n++) printf ",\n"; printf "  \"%s\": %s", $$1, $$3 } \
+	     END { print "\n}" }' BENCH_cold.txt > BENCH_cold.json
+	@if [ -f BENCH_tableI.json ]; then \
+		$(GO) run ./cmd/benchmerge BENCH_tableI.json BENCH_cold.json > BENCH_tableI.json.tmp && \
+		mv BENCH_tableI.json.tmp BENCH_tableI.json && rm BENCH_cold.json; \
+	else mv BENCH_cold.json BENCH_tableI.json; fi
 
 # fuzz runs the native fuzz targets over the parsers that consume
 # attacker-controlled bytes, each for FUZZTIME (go permits one -fuzz
@@ -84,4 +100,4 @@ report:
 # clean leaves BENCH_tableI.json in place: it is the committed benchmark
 # baseline, regenerated (not discarded) by `make bench`.
 clean:
-	rm -f report.md test_output.txt bench_output.txt BENCH_tableI.txt
+	rm -f report.md test_output.txt bench_output.txt BENCH_tableI.txt BENCH_cold.txt BENCH_cold.json

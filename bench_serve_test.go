@@ -119,3 +119,46 @@ func BenchmarkServer_Throughput(b *testing.B) {
 		})
 	})
 }
+
+// BenchmarkServer_ColdWithWorldCache measures the tier-2 path the
+// cold-start work attacks: every iteration is a tier-1 MISS (a request
+// shape the daemon has never served — the probe subset and profile vary
+// per iteration) over a prewarmed seed, so the study runs for real but
+// its world restores from the banked snapshot and its keys come from the
+// boot-warmed pool. Compare against Throughput/Cold — same full
+// submit→run→fetch round trip, minus world build and RSA minting.
+func BenchmarkServer_ColdWithWorldCache(b *testing.B) {
+	srv := serve.New(serve.Config{Workers: 4, QueueSize: 64, CacheSize: 1024})
+	ts := httptest.NewServer(srv.Handler())
+	b.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	// Boot-time warm-up, outside timing: every device key for the seed,
+	// plus the banked world snapshot.
+	if _, err := srv.Prewarm(context.Background(), "bench-worldcache", 0, 4); err != nil {
+		b.Fatal(err)
+	}
+
+	apps := Profiles()
+	probes := [][]string{{"q1"}, {"q2"}, {"q3"}, {"q4"}, {"q1", "q2"}, {"q2", "q3"}, {"q3", "q4"}, {"q1", "q4"}, {"q1", "q2", "q3"}, {"q2", "q3", "q4"}}
+	var n atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A request shape never seen before: misses the result cache,
+		// hits the world cache.
+		k := n.Add(1) - 1
+		spec := RunSpec{
+			Seed:     "bench-worldcache",
+			Profiles: []string{apps[k%int64(len(apps))].Name},
+			Probes:   probes[(k/int64(len(apps)))%int64(len(probes))],
+		}
+		benchServeRoundTrip(b, ts, spec)
+	}
+	if minted := srv.Metrics().RSAMinted(); minted != 0 {
+		b.Fatalf("world-cache path minted %d keys, want 0", minted)
+	}
+}

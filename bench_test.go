@@ -268,6 +268,69 @@ func BenchmarkTableI_Full_WarmParallelN(b *testing.B) {
 	}
 }
 
+// BenchmarkColdStart_Pooled is the keypool's headline number: the same
+// end-to-end cold study as BenchmarkTableI_Full_Parallel1 — world build,
+// provisioning, every observation, table assembly — but with the seed's
+// key pool pre-minted outside timing, so iterations pay everything EXCEPT
+// 2048-bit key generation. Compare against Parallel1 to read off the RSA
+// share of the cold start.
+func BenchmarkColdStart_Pooled(b *testing.B) {
+	pool := iwl.NewKeyPool("bench-cold")
+	if err := pool.Prewarm(context.Background(), iwl.DeviceStableIDs(nil), runtime.GOMAXPROCS(0)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, err := iwl.NewWorld("bench-cold", nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := w.AttachKeyPool(pool); err != nil {
+			b.Fatal(err)
+		}
+		table, err := iwl.NewStudy(w).BuildTableParallel(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if diffs := table.Diff(iwl.PaperTable()); len(diffs) != 0 {
+			b.Fatalf("table diverged from paper: %v", diffs)
+		}
+		if mints := w.Registry.MintCount(); mints != 0 {
+			b.Fatalf("pooled cold start minted %d keys, want 0", mints)
+		}
+	}
+}
+
+// BenchmarkWorldSnapshot_Restore measures RestoreWorld over a fully
+// warmed default-world snapshot — the milliseconds a snapshot-restored
+// world costs in place of the seconds a cold build spends minting keys.
+func BenchmarkWorldSnapshot_Restore(b *testing.B) {
+	w, err := iwl.NewWorld("bench-snapshot", nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := iwl.NewStudy(w).BuildTable(); err != nil {
+		b.Fatal(err)
+	}
+	snap, err := w.Snapshot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(snap)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		restored, err := iwl.RestoreWorld(snap)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got := len(restored.Profiles()); got == 0 {
+			b.Fatal("restored world has no profiles")
+		}
+	}
+}
+
 // BenchmarkWarmFixtures_ParallelN measures pre-building every fixture on a
 // bounded pool from a cold world: keybox minting and app installs. (Device
 // RSA keys are minted later, at each device's first provisioning.)

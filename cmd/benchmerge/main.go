@@ -1,0 +1,78 @@
+// Command benchmerge merges benchmark JSON files ({"name": ns_per_op})
+// in argument order — later files win on duplicate keys — and prints the
+// result with the first file's key order preserved (new keys appended in
+// their own file order). `make bench-cold` uses it to fold the cold-start
+// numbers into BENCH_tableI.json without discarding the full-suite
+// entries.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchmerge base.json overlay.json... > merged.json")
+		os.Exit(2)
+	}
+	merged := make(map[string]json.Number)
+	var order []string
+	for _, path := range os.Args[1:] {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchmerge:", err)
+			os.Exit(1)
+		}
+		// Decode twice: once for values, once token-wise for key order.
+		var file map[string]json.Number
+		if err := json.Unmarshal(raw, &file); err != nil {
+			fmt.Fprintf(os.Stderr, "benchmerge: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		for _, key := range keyOrder(raw) {
+			if _, seen := merged[key]; !seen {
+				order = append(order, key)
+			}
+			merged[key] = file[key]
+		}
+	}
+	fmt.Println("{")
+	for i, key := range order {
+		comma := ","
+		if i == len(order)-1 {
+			comma = ""
+		}
+		fmt.Printf("  %q: %s%s\n", key, merged[key], comma)
+	}
+	fmt.Println("}")
+}
+
+// keyOrder streams the top-level object's keys in document order.
+func keyOrder(raw []byte) []string {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	var keys []string
+	depth := 0
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return keys
+		}
+		switch v := tok.(type) {
+		case json.Delim:
+			if v == '{' || v == '[' {
+				depth++
+			} else {
+				depth--
+			}
+		case string:
+			// At depth 1 every string in key position names a metric; values
+			// here are numbers, so any depth-1 string IS a key.
+			if depth == 1 {
+				keys = append(keys, v)
+			}
+		}
+	}
+}

@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	wideleakd [-addr host:port] [-workers n] [-queue n] [-cache n] [-drain-timeout d]
+//	wideleakd [-addr host:port] [-workers n] [-queue n] [-cache n]
+//	          [-prewarm n] [-prewarm-seed s] [-drain-timeout d]
 //
 // See internal/serve for the API surface and README.md for curl
 // examples.
@@ -42,12 +43,32 @@ func run(args []string, ready func(addr string)) error {
 	workers := fs.Int("workers", 0, "study worker pool size (0 = GOMAXPROCS)")
 	queue := fs.Int("queue", 16, "job queue capacity (a full queue sheds submissions with 429)")
 	cacheSize := fs.Int("cache", 64, "result cache capacity (content-addressed LRU)")
+	prewarm := fs.Int("prewarm", 0, "device RSA keys to pre-mint for the default seed at boot (-1 = all; 0 = none)")
+	prewarmSeed := fs.String("prewarm-seed", "default", "seed to prewarm (with -prewarm)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "max time to finish accepted jobs on shutdown")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	srv := serve.New(serve.Config{Workers: *workers, QueueSize: *queue, CacheSize: *cacheSize})
+	if *prewarm != 0 {
+		// Warm in the background so the listener is up immediately; the
+		// keypool serves pre-minted keys to any request that races it.
+		n := *prewarm
+		if n < 0 {
+			n = 0 // serve.Prewarm: <= 0 selects the full device set
+		}
+		go func() {
+			start := time.Now()
+			resident, err := srv.Prewarm(context.Background(), *prewarmSeed, n, 0)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "wideleakd: prewarm seed %q: %v\n", *prewarmSeed, err)
+				return
+			}
+			fmt.Printf("wideleakd: prewarmed %d device keys for seed %q in %s\n",
+				resident, *prewarmSeed, time.Since(start).Round(time.Millisecond))
+		}()
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cdm"
 	"repro/internal/wvcrypto"
@@ -38,6 +39,17 @@ type Registry struct {
 	deviceKeys map[string][16]byte
 	rsaKeys    map[string]*rsa.PrivateKey
 	minting    map[string]*rsaMint
+
+	// pool, when installed, is the registry's RSA mint path: keys come
+	// from per-device deterministic forks (position-independent, so they
+	// may be pre-minted in the background or restored from a snapshot)
+	// instead of the provisioning server's shared stream.
+	pool *KeyPool
+
+	// mints counts the 2048-bit key generations performed on this
+	// registry's behalf — the expensive cold-start work. Pool hits,
+	// installed snapshot keys and cached keys do not count.
+	mints atomic.Int64
 }
 
 // rsaMint is the in-flight singleflight guard for one device's RSA mint, so
@@ -56,6 +68,67 @@ func NewRegistry() *Registry {
 		rsaKeys:    make(map[string]*rsa.PrivateKey),
 		minting:    make(map[string]*rsaMint),
 	}
+}
+
+// UseKeyPool installs the registry's RSA mint pool: deviceRSA consults
+// it first, so pre-minted (or snapshot-restored) keys skip generation
+// entirely, and lazy mints draw from the pool's per-device deterministic
+// forks. Install before any provisioning traffic — switching mint
+// sources mid-world would change key material.
+func (r *Registry) UseKeyPool(pool *KeyPool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.pool = pool
+}
+
+// KeyPool returns the installed mint pool, nil when the registry mints
+// from caller-provided randomness (the legacy path).
+func (r *Registry) KeyPool() *KeyPool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.pool
+}
+
+// MintCount reports how many RSA key generations this registry caused.
+// Warm paths — pool hits, snapshot restores, repeat provisioning — leave
+// it unchanged; tests use it to pin "zero new keygen" invariants.
+func (r *Registry) MintCount() int64 { return r.mints.Load() }
+
+// InstallRSAKey seeds a provisioned identity directly (the snapshot
+// restore path), bypassing generation. The key is also fed to the mint
+// pool when one is installed, so every later lookup path agrees.
+func (r *Registry) InstallRSAKey(stableID string, key *rsa.PrivateKey) {
+	r.mu.Lock()
+	r.rsaKeys[stableID] = key
+	pool := r.pool
+	r.mu.Unlock()
+	if pool != nil {
+		pool.Install(stableID, key)
+	}
+}
+
+// ExportRSAKeys returns every provisioned identity as PKCS#1 DER — the
+// registry's expensive state, in the shape world snapshots persist.
+func (r *Registry) ExportRSAKeys() map[string][]byte {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string][]byte, len(r.rsaKeys))
+	for id, key := range r.rsaKeys {
+		out[id] = wvcrypto.MarshalRSAPrivateKey(key)
+	}
+	return out
+}
+
+// ExportDeviceKeys returns the registered keybox device keys (the
+// manufacturer feed), also persisted by world snapshots.
+func (r *Registry) ExportDeviceKeys() map[string][16]byte {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string][16]byte, len(r.deviceKeys))
+	for id, k := range r.deviceKeys {
+		out[id] = k
+	}
+	return out
 }
 
 // RegisterDevice records a device's keybox device key (the manufacturer →
@@ -91,12 +164,36 @@ func (r *Registry) RSAPublicKey(stableID string) (*rsa.PublicKey, bool) {
 // across key generation: each device gets its own singleflight guard, so
 // concurrent provisioning of different devices mints 2048-bit keys in
 // parallel.
+//
+// With a key pool installed, the pool is the mint path: a pre-minted or
+// snapshot-restored key is served with zero generation, and a lazy mint
+// draws from the pool's per-device fork — byte-identical either way.
+// Without a pool, generation reads from the caller's stream (the legacy
+// position-dependent path, kept for direct registry users).
 func (r *Registry) deviceRSA(stableID string, rand io.Reader) (*rsa.PrivateKey, error) {
 	r.mu.Lock()
 	if k, ok := r.rsaKeys[stableID]; ok {
 		r.mu.Unlock()
 		return k, nil
 	}
+	pool := r.pool
+	r.mu.Unlock()
+
+	if pool != nil {
+		key, mintedHere, err := pool.key(stableID)
+		if err != nil {
+			return nil, err
+		}
+		if mintedHere {
+			r.mints.Add(1)
+		}
+		r.mu.Lock()
+		r.rsaKeys[stableID] = key
+		r.mu.Unlock()
+		return key, nil
+	}
+
+	r.mu.Lock()
 	m, ok := r.minting[stableID]
 	if !ok {
 		m = &rsaMint{}
@@ -106,6 +203,7 @@ func (r *Registry) deviceRSA(stableID string, rand io.Reader) (*rsa.PrivateKey, 
 
 	m.once.Do(func() {
 		m.key, m.err = wvcrypto.GenerateRSAKey(rand)
+		r.mints.Add(1)
 		r.mu.Lock()
 		if m.err == nil {
 			r.rsaKeys[stableID] = m.key

@@ -5,11 +5,11 @@ import (
 	"sync"
 )
 
-// resultCache is the content-addressed result store: canonical request
-// key → fully encoded study result. Identical canonical requests are
-// served from here without re-running any device work. Bounded LRU: when
-// the cap is exceeded, the least recently served entry is dropped.
-type resultCache struct {
+// lruCache is a bounded string-keyed LRU — the shared mechanism behind
+// the server's cache tiers (encoded results, world snapshots, per-seed
+// key pools). When the cap is exceeded, the least recently used entry is
+// dropped.
+type lruCache struct {
 	mu      sync.Mutex
 	cap     int
 	entries map[string]*list.Element
@@ -18,20 +18,20 @@ type resultCache struct {
 
 type cacheEntry struct {
 	key string
-	res *studyResult
+	val any
 }
 
-func newResultCache(capacity int) *resultCache {
-	return &resultCache{
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{
 		cap:     capacity,
 		entries: make(map[string]*list.Element),
 		order:   list.New(),
 	}
 }
 
-// get returns the cached result for a key (nil on miss) and marks it
+// get returns the cached value for a key (nil on miss) and marks it
 // most recently used.
-func (c *resultCache) get(key string) *studyResult {
+func (c *lruCache) get(key string) any {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.entries[key]
@@ -39,21 +39,20 @@ func (c *resultCache) get(key string) *studyResult {
 		return nil
 	}
 	c.order.MoveToFront(el)
-	return el.Value.(*cacheEntry).res
+	return el.Value.(*cacheEntry).val
 }
 
-// put stores a result under its content address, evicting the least
-// recently used entry when over capacity. Storing an existing key
-// refreshes its recency (the bytes are identical by construction).
-func (c *resultCache) put(key string, res *studyResult) {
+// put stores a value, evicting the least recently used entry when over
+// capacity. Storing an existing key refreshes its value and recency.
+func (c *lruCache) put(key string, val any) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
 		c.order.MoveToFront(el)
-		el.Value.(*cacheEntry).res = res
+		el.Value.(*cacheEntry).val = val
 		return
 	}
-	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, val: val})
 	for c.order.Len() > c.cap {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
@@ -62,8 +61,65 @@ func (c *resultCache) put(key string, res *studyResult) {
 }
 
 // len reports the resident entry count.
-func (c *resultCache) len() int {
+func (c *lruCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len()
 }
+
+// getOrPut returns the value for key, storing (and returning) the one
+// minted by mk on a miss. mk runs under the cache lock — keep it cheap.
+func (c *lruCache) getOrPut(key string, mk func() any) any {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		return el.Value.(*cacheEntry).val
+	}
+	val := mk()
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, val: val})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+	return val
+}
+
+// resultCache is tier 1: canonical request key (wideleak.RunSpec.Key) →
+// fully encoded study result. Identical canonical requests are served
+// from here without re-running any device work.
+type resultCache struct{ lru *lruCache }
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{lru: newLRUCache(capacity)}
+}
+
+func (c *resultCache) get(key string) *studyResult {
+	res, _ := c.lru.get(key).(*studyResult)
+	return res
+}
+
+func (c *resultCache) put(key string, res *studyResult) { c.lru.put(key, res) }
+
+func (c *resultCache) len() int { return c.lru.len() }
+
+// worldCache is tier 2: world identity (wideleak.RunSpec.WorldKey —
+// seed + fault schedule) → serialized world snapshot. A request that
+// misses tier 1 but shares a warmed world (same seed and faults,
+// different probe subset or profile list) restores ~seconds of RSA
+// provisioning state in milliseconds instead of rebuilding it.
+type worldCache struct{ lru *lruCache }
+
+func newWorldCache(capacity int) *worldCache {
+	return &worldCache{lru: newLRUCache(capacity)}
+}
+
+func (c *worldCache) get(key string) []byte {
+	snap, _ := c.lru.get(key).([]byte)
+	return snap
+}
+
+func (c *worldCache) put(key string, snapshot []byte) { c.lru.put(key, snapshot) }
+
+func (c *worldCache) len() int { return c.lru.len() }

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/netsim"
+	"repro/internal/provision"
 	"repro/internal/wideleak"
 	"repro/internal/wideleak/probe"
 )
@@ -46,6 +47,10 @@ type Config struct {
 	QueueSize int
 	// CacheSize bounds the LRU result cache (default 64 entries).
 	CacheSize int
+	// WorldCacheSize bounds the tier-2 world-snapshot cache and the
+	// per-seed key-pool index (default 16 entries each). A snapshot is
+	// ~50 KB; a pool holds the seed's live RSA keys.
+	WorldCacheSize int
 }
 
 func (c Config) withDefaults() Config {
@@ -58,6 +63,9 @@ func (c Config) withDefaults() Config {
 	if c.CacheSize <= 0 {
 		c.CacheSize = 64
 	}
+	if c.WorldCacheSize <= 0 {
+		c.WorldCacheSize = 16
+	}
 	return c
 }
 
@@ -67,6 +75,14 @@ type Server struct {
 	cfg     Config
 	metrics *Metrics
 	cache   *resultCache
+
+	// worlds is tier 2 below the result cache: world identity (seed +
+	// fault schedule) → serialized snapshot of the warmed world's RSA
+	// provisioning state. pools indexes the per-seed Device RSA key
+	// pools shared by every job of a seed, so even a tier-2 miss on a
+	// known seed re-mints nothing.
+	worlds *worldCache
+	pools  *lruCache // seed → *provision.KeyPool
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
@@ -90,6 +106,8 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:    cfg,
 		cache:  newResultCache(cfg.CacheSize),
+		worlds: newWorldCache(cfg.WorldCacheSize),
+		pools:  newLRUCache(cfg.WorldCacheSize),
 		jobs:   make(map[string]*Job),
 		active: make(map[string]*Job),
 		queue:  make(chan *Job, cfg.QueueSize),
@@ -108,6 +126,54 @@ func New(cfg Config) *Server {
 // Metrics exposes the server's instrumentation (the /metrics handler
 // renders it; tests and embedders may too).
 func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Prewarm kills the cold start for a seed before the first request
+// arrives: it pre-mints up to n of the seed's device RSA keys into the
+// shared key pool (n <= 0 means all of them) on parallelism workers,
+// then banks a world snapshot so the first cold request restores
+// instead of building. Keys are byte-identical to lazily minted ones,
+// so prewarming is invisible to results. Returns the number of keys
+// resident for the seed.
+//
+// Prewarm is idempotent and safe to run concurrently with traffic; the
+// daemon calls it at boot (see wideleakd -prewarm) and logs the warm-up
+// duration.
+func (s *Server) Prewarm(ctx context.Context, seed string, n, parallelism int) (int, error) {
+	spec := wideleak.RunSpec{Seed: seed}
+	c, err := spec.Canonicalize()
+	if err != nil {
+		return 0, err
+	}
+	ids := wideleak.DeviceStableIDs(nil)
+	if n > 0 && n < len(ids) {
+		ids = ids[:n]
+	}
+	pool := s.keyPool(c.Seed)
+	if err := pool.Prewarm(ctx, ids, parallelism); err != nil {
+		return pool.Size(), err
+	}
+
+	// Bank the warmed (fault-free) world identity: a fresh world over
+	// the default profiles with the pool attached snapshots every
+	// pre-minted key without running any study.
+	worldKey, err := spec.WorldKey()
+	if err != nil {
+		return pool.Size(), err
+	}
+	world, err := wideleak.NewWorld(c.Seed, nil)
+	if err != nil {
+		return pool.Size(), err
+	}
+	if err := world.AttachKeyPool(pool); err != nil {
+		return pool.Size(), err
+	}
+	snap, err := world.Snapshot()
+	if err != nil {
+		return pool.Size(), err
+	}
+	s.worlds.put(worldKey, snap)
+	return pool.Size(), nil
+}
 
 // Shutdown drains the server: no further submissions are accepted (503),
 // every queued and in-flight job runs to completion, then the worker
@@ -180,12 +246,50 @@ func (s *Server) runJob(job *Job) {
 	}
 }
 
+// keyPool returns the shared Device RSA key pool for a seed, minting
+// the pool itself on first use. Every job (and boot prewarm) of one
+// seed shares one pool, so 2048-bit keys are generated at most once per
+// (seed, device) for the server's lifetime — modulo LRU eviction.
+func (s *Server) keyPool(seed string) *provision.KeyPool {
+	return s.pools.getOrPut(seed, func() any { return wideleak.NewKeyPool(seed) }).(*provision.KeyPool)
+}
+
+// buildStudy materializes a job's study through the warm tiers: a
+// tier-2 world-snapshot hit restores the warmed world in milliseconds;
+// a miss builds cold. Either way the seed's shared key pool is attached
+// before any provisioning traffic, so whatever keys the tiers did not
+// cover mint once per seed, not once per job.
+func (s *Server) buildStudy(job *Job) (*wideleak.Study, error) {
+	worldKey, err := job.Spec.WorldKey()
+	if err != nil {
+		return nil, err
+	}
+	var study *wideleak.Study
+	if snap := s.worlds.get(worldKey); snap != nil {
+		if study, err = job.Spec.BuildFromSnapshot(snap); err == nil {
+			s.metrics.addWorldHit()
+		} else {
+			study = nil // corrupt/mismatched snapshot: fall through to a cold build
+		}
+	}
+	if study == nil {
+		s.metrics.addWorldMiss()
+		if study, err = job.Spec.Build(); err != nil {
+			return nil, err
+		}
+	}
+	if err := study.World.AttachKeyPool(s.keyPool(job.Spec.Seed)); err != nil {
+		return nil, err
+	}
+	return study, nil
+}
+
 // execute runs the study described by the job's spec under the job's
 // context, wiring the probe event stream into the job log, SSE
 // subscribers and the metrics, and the network retry stream into the
 // per-host retry counters.
 func (s *Server) execute(ctx context.Context, job *Job) (*studyResult, error) {
-	study, err := job.Spec.Build()
+	study, err := s.buildStudy(job)
 	if err != nil {
 		return nil, err
 	}
@@ -223,6 +327,17 @@ func (s *Server) execute(ctx context.Context, job *Job) (*studyResult, error) {
 		return nil, fmt.Errorf("serve: encode events: %w", err)
 	}
 	res.eventCount = job.log.Len()
+
+	// Account the job's actual key generations, then bank the warmed
+	// world: the next job sharing this world identity restores it in
+	// milliseconds instead of re-provisioning. (Re-banking after a tier-2
+	// hit just refreshes recency — determinism makes the bytes agree.)
+	s.metrics.addRSAMinted(study.World.Registry.MintCount())
+	if worldKey, err := job.Spec.WorldKey(); err == nil {
+		if snap, err := study.World.Snapshot(); err == nil {
+			s.worlds.put(worldKey, snap)
+		}
+	}
 	return res, nil
 }
 

@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/ott"
+	"repro/internal/wideleak"
+)
+
+// counterValue scrapes one counter out of the Prometheus text rendering.
+func counterValue(t *testing.T, metrics, name string) string {
+	t.Helper()
+	for _, line := range strings.Split(metrics, "\n") {
+		if strings.HasPrefix(line, name+" ") {
+			return strings.TrimPrefix(line, name+" ")
+		}
+	}
+	t.Fatalf("counter %s not rendered", name)
+	return ""
+}
+
+// TestServer_WorldCacheTier pins the tier-2 contract: a request that
+// misses the result cache (different probe subset) but shares a warmed
+// world (same seed, same faults) restores the snapshot and provisions
+// ZERO new device keys.
+func TestServer_WorldCacheTier(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 1, QueueSize: 4})
+
+	// Cold run: all probes over one app. Builds the world, mints its keys,
+	// banks the snapshot.
+	full := wideleak.RunSpec{Seed: "world-tier", Profiles: []string{"Showtime"}}
+	sub := submit(t, ts, full, 202)
+	if st := waitTerminal(t, ts, sub.ID); st.State != JobDone {
+		t.Fatalf("cold job ended %s: %s", st.State, st.Error)
+	}
+	coldMints := srv.metrics.RSAMinted()
+	if coldMints == 0 {
+		t.Fatal("cold run minted no keys — tier-2 assertion would be vacuous")
+	}
+	m := metricsText(t, ts)
+	if got := counterValue(t, m, "wideleakd_world_cache_misses_total"); got != "1" {
+		t.Errorf("world cache misses = %s, want 1", got)
+	}
+	if got := counterValue(t, m, "wideleakd_world_cache_hits_total"); got != "0" {
+		t.Errorf("world cache hits = %s, want 0", got)
+	}
+
+	// Warm run: a probe subset — new result key, same world key. Must
+	// restore the snapshot and re-provision nothing.
+	subset := wideleak.RunSpec{Seed: "world-tier", Profiles: []string{"Showtime"}, Probes: []string{"q2"}}
+	sub2 := submit(t, ts, subset, 202)
+	if st := waitTerminal(t, ts, sub2.ID); st.State != JobDone {
+		t.Fatalf("warm job ended %s: %s", st.State, st.Error)
+	}
+	if got := srv.metrics.RSAMinted(); got != coldMints {
+		t.Errorf("warm run minted %d new keys, want 0", got-coldMints)
+	}
+	m = metricsText(t, ts)
+	if got := counterValue(t, m, "wideleakd_world_cache_hits_total"); got != "1" {
+		t.Errorf("world cache hits = %s, want 1", got)
+	}
+	if got := counterValue(t, m, "wideleakd_world_cache_misses_total"); got != "1" {
+		t.Errorf("world cache misses = %s, want 1 (unchanged)", got)
+	}
+}
+
+// TestServer_WorldCacheFaultIsolation: a faulted request must NOT reuse
+// the fault-free world entry (different world key), but repeats of the
+// same fault schedule share theirs.
+func TestServer_WorldCacheFaultIsolation(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 1, QueueSize: 4})
+
+	clean := smallSpec()
+	faulted := smallSpec()
+	faulted.Faults = &wideleak.RunFaults{Rate: 0.2}
+
+	if st := waitTerminal(t, ts, submit(t, ts, clean, 202).ID); st.State != JobDone {
+		t.Fatalf("clean job: %s", st.Error)
+	}
+	if st := waitTerminal(t, ts, submit(t, ts, faulted, 202).ID); st.State != JobDone {
+		t.Fatalf("faulted job: %s", st.Error)
+	}
+	m := metricsText(t, ts)
+	if got := counterValue(t, m, "wideleakd_world_cache_misses_total"); got != "2" {
+		t.Errorf("world cache misses = %s, want 2 (fault schedule is world identity)", got)
+	}
+	// The pool is per-seed, so the faulted run still found every key
+	// resident: only the first run's devices were minted.
+	faulted.Probes = []string{"q3"}
+	if st := waitTerminal(t, ts, submit(t, ts, faulted, 202).ID); st.State != JobDone {
+		t.Fatalf("faulted subset job: %s", st.Error)
+	}
+	m = metricsText(t, ts)
+	if got := counterValue(t, m, "wideleakd_world_cache_hits_total"); got != "1" {
+		t.Errorf("world cache hits = %s, want 1 (faulted world reused for its own schedule)", got)
+	}
+	_ = srv
+}
+
+// TestServer_Prewarm: boot-time warm-up mints the requested keys into
+// the per-seed pool and banks a world snapshot, so the FIRST request for
+// that seed is already a tier-2 hit with zero key generation.
+func TestServer_Prewarm(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 1, QueueSize: 4})
+
+	first := ott.Profiles()[0].Name
+	resident, err := srv.Prewarm(context.Background(), "prewarm-test", 3, 2)
+	if err != nil {
+		t.Fatalf("Prewarm: %v", err)
+	}
+	if resident != 3 {
+		t.Fatalf("Prewarm resident = %d, want 3", resident)
+	}
+
+	// The first three stable IDs are the first profile's devices, so a
+	// run over that profile needs no generation at all.
+	spec := wideleak.RunSpec{Seed: "prewarm-test", Profiles: []string{first}, Probes: []string{"q2"}}
+	if st := waitTerminal(t, ts, submit(t, ts, spec, 202).ID); st.State != JobDone {
+		t.Fatalf("prewarmed job: %s", st.Error)
+	}
+	if got := srv.metrics.RSAMinted(); got != 0 {
+		t.Errorf("prewarmed run minted %d keys, want 0", got)
+	}
+	m := metricsText(t, ts)
+	if got := counterValue(t, m, "wideleakd_world_cache_hits_total"); got != "1" {
+		t.Errorf("world cache hits = %s, want 1 (prewarm banked the snapshot)", got)
+	}
+	if got := counterValue(t, m, "wideleakd_rsa_keys_minted_total"); got != "0" {
+		t.Errorf("rsa minted counter = %s, want 0", got)
+	}
+
+	// Prewarm is idempotent.
+	if resident, err = srv.Prewarm(context.Background(), "prewarm-test", 3, 2); err != nil || resident != 3 {
+		t.Fatalf("second Prewarm = (%d, %v), want (3, nil)", resident, err)
+	}
+}

@@ -1,0 +1,139 @@
+package wideleak
+
+// World snapshots: serialize a built world's expensive state and restore
+// it in milliseconds.
+//
+// The only state worth persisting is what costs seconds to rebuild — the
+// provisioned 2048-bit Device RSA identities (plus the manufacturer
+// device-key feed that authorizes them). Everything else a world holds
+// (deployments, packaged media, keyboxes, installed apps) is re-derived
+// deterministically from the seed in milliseconds, and MUST be
+// re-derived: deployments hold live network handlers and apps hold live
+// session state that have no meaningful serialized form.
+//
+// Determinism contract: a restored world renders Table I byte-identical
+// to a freshly built one, sequential or parallel, faulted or not. That
+// holds because every piece of world material is a pure function of
+// (seed, stable label) — the snapshot merely pays the RSA generation
+// bill in advance.
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/ott"
+	"repro/internal/wvcrypto"
+)
+
+// snapshotVersion guards the wire format.
+const snapshotVersion = 1
+
+// worldSnapshot is the serialized form. Key material is raw bytes
+// (base64 in JSON): device keys from the keybox feed, RSA keys as
+// PKCS#1 DER.
+type worldSnapshot struct {
+	Version    int               `json:"version"`
+	Seed       string            `json:"seed"`
+	Profiles   []string          `json:"profiles"`
+	DeviceKeys map[string][]byte `json:"device_keys"`
+	RSAKeys    map[string][]byte `json:"rsa_keys"`
+}
+
+// Snapshot serializes the world's expensive state: every provisioned
+// Device RSA identity and registered device key, plus the seed and
+// profile set needed to rebuild the rest deterministically. Snapshot a
+// warmed world (after a table build) to capture all of its keys; a
+// partially warmed world yields a partial — still valid — snapshot whose
+// missing keys simply mint on demand after restore.
+func (w *World) Snapshot() ([]byte, error) {
+	snap := worldSnapshot{
+		Version:    snapshotVersion,
+		Seed:       w.seed,
+		Profiles:   make([]string, 0, len(w.profiles)),
+		DeviceKeys: make(map[string][]byte),
+		RSAKeys:    w.Registry.ExportRSAKeys(),
+	}
+	for _, p := range w.profiles {
+		snap.Profiles = append(snap.Profiles, p.Name)
+	}
+	for id, key := range w.Registry.ExportDeviceKeys() {
+		k := key
+		snap.DeviceKeys[id] = k[:]
+	}
+	// Pool-resident keys that no provisioning request has claimed yet are
+	// still paid-for state (a boot-time prewarm mints straight into the
+	// pool): persist them alongside the provisioned identities. The pool
+	// is seed-locked to this world, so every resident key is valid here.
+	if pool := w.Registry.KeyPool(); pool != nil {
+		for id, key := range pool.Export() {
+			if _, ok := snap.RSAKeys[id]; !ok {
+				snap.RSAKeys[id] = wvcrypto.MarshalRSAPrivateKey(key)
+			}
+		}
+	}
+	return json.Marshal(snap)
+}
+
+// RestoreWorld rebuilds a world from Snapshot output in milliseconds:
+// the cheap state (deployments, media, fixtures) is re-derived from the
+// seed exactly as NewWorld does, and the expensive state (RSA
+// identities) is installed from the snapshot so no key generation runs.
+// Profile names are resolved against the registered OTT profiles.
+func RestoreWorld(data []byte) (*World, error) {
+	return RestoreWorldProfiles(data, nil)
+}
+
+// RestoreWorldProfiles is RestoreWorld with a profile override: the
+// restored world studies the given profiles (nil = the snapshot's own
+// list) while still reusing every key the snapshot carries. Because all
+// world material is keyed by stable labels — never by profile-list
+// position — a snapshot taken over one profile set warms a world built
+// over any other; keys for devices outside the snapshot mint lazily.
+func RestoreWorldProfiles(data []byte, profiles []ott.Profile) (*World, error) {
+	var snap worldSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("wideleak: parse snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("wideleak: snapshot version %d (want %d)", snap.Version, snapshotVersion)
+	}
+	if profiles == nil {
+		for _, name := range snap.Profiles {
+			p, err := profileByName(name)
+			if err != nil {
+				return nil, err
+			}
+			profiles = append(profiles, p)
+		}
+	}
+	w, err := NewWorld(snap.Seed, profiles)
+	if err != nil {
+		return nil, err
+	}
+	for id, raw := range snap.DeviceKeys {
+		if len(raw) != 16 {
+			return nil, fmt.Errorf("wideleak: snapshot device key %q: %d bytes (want 16)", id, len(raw))
+		}
+		var k [16]byte
+		copy(k[:], raw)
+		w.Registry.RegisterDevice(id, k)
+	}
+	for id, der := range snap.RSAKeys {
+		key, err := wvcrypto.ParseRSAPrivateKey(der)
+		if err != nil {
+			return nil, fmt.Errorf("wideleak: snapshot rsa key %q: %w", id, err)
+		}
+		w.Registry.InstallRSAKey(id, key)
+	}
+	return w, nil
+}
+
+// profileByName resolves one registered OTT profile by exact name.
+func profileByName(name string) (ott.Profile, error) {
+	for _, p := range ott.Profiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return ott.Profile{}, fmt.Errorf("wideleak: snapshot profile %q is not registered", name)
+}

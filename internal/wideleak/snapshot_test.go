@@ -1,0 +1,231 @@
+package wideleak
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/ott"
+)
+
+// warmDefaultSnapshot builds the default world once, runs the full study
+// to provision every device, and returns the snapshot. Shared because
+// the warm-up is the expensive part.
+var warmSnapshot []byte
+
+func defaultSnapshot(t *testing.T) []byte {
+	t.Helper()
+	if warmSnapshot != nil {
+		return warmSnapshot
+	}
+	w, err := NewWorld("default", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewStudy(w).BuildTable(); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := w.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmSnapshot = snap
+	return snap
+}
+
+// The headline snapshot contract: a restored world renders Table I (text,
+// CSV, JSON) byte-identical to the pre-refactor goldens — sequential and
+// parallel — while performing ZERO key generations.
+func TestSnapshotRestore_GoldenTableI(t *testing.T) {
+	snap := defaultSnapshot(t)
+	for _, parallelism := range []int{1, 8} {
+		w, err := RestoreWorld(snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		table, err := NewStudy(w).BuildTableParallel(parallelism)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", parallelism, err)
+		}
+		text := table.Render() + "\n" + table.Summarize().Render()
+		if want := golden(t, "tableI_default.txt"); text != want {
+			t.Errorf("parallelism %d: restored world diverged from golden:\n%s", parallelism, text)
+		}
+		csvOut, err := table.MarshalCSV()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := golden(t, "tableI_default.csv"); string(csvOut) != want {
+			t.Errorf("parallelism %d: restored-world CSV diverged from golden", parallelism)
+		}
+		jsonOut, err := json.MarshalIndent(table, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := golden(t, "tableI_default.json"); string(jsonOut)+"\n" != want {
+			t.Errorf("parallelism %d: restored-world JSON diverged from golden", parallelism)
+		}
+		if mints := w.Registry.MintCount(); mints != 0 {
+			t.Errorf("parallelism %d: restored world minted %d keys, want 0", parallelism, mints)
+		}
+	}
+}
+
+// Satellite: WarmFixtures over a restored snapshot must provision every
+// device without a single new key generation, and the table built on top
+// still matches the golden.
+func TestSnapshotRestore_WarmFixturesZeroKeygen(t *testing.T) {
+	w, err := RestoreWorld(defaultSnapshot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WarmFixtures(context.Background(), 4); err != nil {
+		t.Fatal(err)
+	}
+	if mints := w.Registry.MintCount(); mints != 0 {
+		t.Fatalf("WarmFixtures on a restored world minted %d keys, want 0", mints)
+	}
+	table, err := NewStudy(w).BuildTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := table.Render() + "\n" + table.Summarize().Render()
+	if want := golden(t, "tableI_default.txt"); text != want {
+		t.Errorf("warmed restored world diverged from golden:\n%s", text)
+	}
+	if mints := w.Registry.MintCount(); mints != 0 {
+		t.Fatalf("table build after warm restore minted %d keys, want 0", mints)
+	}
+}
+
+// Under a transient fault plan the restored world must behave exactly
+// like a fresh one: same rendered table, zero keygen.
+func TestSnapshotRestore_UnderFaults(t *testing.T) {
+	spec := FaultSpec{Seed: "default", Default: TransientFaults(0.25)}
+
+	fresh, err := NewWorld("default", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh.InstallFaults(spec)
+	freshTable, err := NewStudy(fresh).BuildTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := RestoreWorld(defaultSnapshot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := restored.InstallFaults(spec)
+	restoredTable, err := NewStudy(restored).BuildTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := restoredTable.Render(), freshTable.Render(); got != want {
+		t.Errorf("restored faulted table diverged from fresh faulted build:\n--- fresh ---\n%s--- restored ---\n%s", want, got)
+	}
+	if plan.Stats().Total() == 0 {
+		t.Error("no faults injected — invariance check is vacuous")
+	}
+	if mints := restored.Registry.MintCount(); mints != 0 {
+		t.Errorf("restored faulted world minted %d keys, want 0", mints)
+	}
+}
+
+// A snapshot taken over the full profile set warms a world restricted to
+// a subset (keys are label-addressed, not position-addressed), and the
+// subset world still mints nothing.
+func TestSnapshotRestore_ProfileOverride(t *testing.T) {
+	subset := ott.Profiles()[:3]
+	w, err := RestoreWorldProfiles(defaultSnapshot(t), subset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(w.Profiles()); got != len(subset) {
+		t.Fatalf("restored world has %d profiles, want %d", got, len(subset))
+	}
+	if _, err := NewStudy(w).BuildTable(); err != nil {
+		t.Fatal(err)
+	}
+	if mints := w.Registry.MintCount(); mints != 0 {
+		t.Errorf("subset world minted %d keys, want 0", mints)
+	}
+}
+
+// A prewarmed-but-unplayed world must still snapshot its paid-for state:
+// keys resident only in the pool (no provisioning traffic yet) are
+// persisted and restored.
+func TestSnapshot_CarriesPoolResidentKeys(t *testing.T) {
+	w, err := NewWorld("pool-resident", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := w.DeviceStableIDs()[:2]
+	pool := w.Registry.KeyPool()
+	if pool == nil {
+		t.Fatal("world has no key pool")
+	}
+	if err := pool.Prewarm(context.Background(), ids, 0); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := w.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := RestoreWorld(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		if _, ok := restored.Registry.RSAPublicKey(id); !ok {
+			t.Errorf("pool-resident key %q did not survive the snapshot", id)
+		}
+	}
+	if mints := restored.Registry.MintCount(); mints != 0 {
+		t.Errorf("restore minted %d keys, want 0", mints)
+	}
+}
+
+// Restore must reject wire-format and content corruption rather than
+// build a world over bad key material.
+func TestRestoreWorld_Rejections(t *testing.T) {
+	if _, err := RestoreWorld([]byte("not json")); err == nil {
+		t.Error("want error for malformed snapshot")
+	}
+	if _, err := RestoreWorld([]byte(`{"version":99,"seed":"default"}`)); err == nil {
+		t.Error("want error for unknown snapshot version")
+	}
+	if _, err := RestoreWorld([]byte(`{"version":1,"seed":"x","profiles":["NoSuchApp"]}`)); err == nil {
+		t.Error("want error for unregistered profile name")
+	}
+	bad := `{"version":1,"seed":"x","profiles":[],"device_keys":{"PX-a":"AAA="},"rsa_keys":{}}`
+	if _, err := RestoreWorld([]byte(bad)); err == nil {
+		t.Error("want error for truncated device key")
+	}
+}
+
+// AttachKeyPool must refuse a pool minted over a different seed — the
+// fingerprint check is what makes sharing a pool across worlds safe.
+func TestAttachKeyPool_SeedMismatch(t *testing.T) {
+	w, err := NewWorld("seed-a", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AttachKeyPool(NewKeyPool("seed-b")); err == nil {
+		t.Error("want error attaching a pool with a foreign mint root")
+	}
+	if err := w.AttachKeyPool(NewKeyPool("seed-a")); err != nil {
+		t.Errorf("matching pool rejected: %v", err)
+	}
+}
+
+// BuildFromSnapshot rejects a snapshot whose seed differs from the spec.
+func TestBuildFromSnapshot_SeedMismatch(t *testing.T) {
+	spec := RunSpec{Seed: "other"}
+	if _, err := spec.BuildFromSnapshot(defaultSnapshot(t)); err == nil {
+		t.Error("want error building spec seed 'other' from a 'default' snapshot")
+	}
+}

@@ -117,10 +117,44 @@ func (r RunSpec) Key() (string, error) {
 	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
+// WorldKey returns the spec's world identity: a hex SHA-256 over only
+// the fields that shape the world's expensive state — the seed and the
+// fault schedule. Probes, profiles and concurrency are deliberately
+// excluded: every piece of world material is keyed by stable labels, so
+// two requests differing only in probe subset or profile list share one
+// warmed world. This is the cache key of the service layer's second
+// (fixture) tier, below the full RunSpec result tier.
+func (r RunSpec) WorldKey() (string, error) {
+	c, err := r.Canonicalize()
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "wideleak-world-v1\nseed=%s\n", c.Seed)
+	if c.Faults != nil {
+		fmt.Fprintf(h, "faults=%g:%s\n", c.Faults.Rate, c.Faults.Seed)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
 // Build materializes the spec: a fresh world for its seed and profile
 // set, faults installed when configured, and a study with the spec's
 // probe selection and concurrency.
 func (r RunSpec) Build() (*Study, error) {
+	return r.build(nil)
+}
+
+// BuildFromSnapshot materializes the spec over a restored world: the
+// snapshot's RSA identities are installed up front (zero key generation
+// for every device it covers) and the spec's own profile list, fault
+// schedule, probes and concurrency are applied on top. The snapshot must
+// carry the spec's seed — restoring mismatched key material would
+// silently change every device identity, so it is rejected instead.
+func (r RunSpec) BuildFromSnapshot(snapshot []byte) (*Study, error) {
+	return r.build(snapshot)
+}
+
+func (r RunSpec) build(snapshot []byte) (*Study, error) {
 	c, err := r.Canonicalize()
 	if err != nil {
 		return nil, err
@@ -134,8 +168,15 @@ func (r RunSpec) Build() (*Study, error) {
 			}
 		}
 	}
-	world, err := NewWorld(c.Seed, profiles)
-	if err != nil {
+	var world *World
+	if snapshot != nil {
+		if world, err = RestoreWorldProfiles(snapshot, profiles); err != nil {
+			return nil, err
+		}
+		if world.Seed() != c.Seed {
+			return nil, fmt.Errorf("wideleak: snapshot seed %q does not match request seed %q", world.Seed(), c.Seed)
+		}
+	} else if world, err = NewWorld(c.Seed, profiles); err != nil {
 		return nil, err
 	}
 	if c.Faults != nil {

@@ -156,3 +156,52 @@ func TestRunSpec_BuildMatchesManualStudy(t *testing.T) {
 		t.Errorf("spec-built table diverged:\n%s\nvs\n%s", gotBytes, wantBytes)
 	}
 }
+
+// TestRunSpec_WorldKey: the tier-2 cache key covers exactly the fields
+// that shape a world's expensive state. Probe subset, profile list and
+// concurrency must NOT change it (those requests share a warmed world);
+// seed and fault schedule must.
+func TestRunSpec_WorldKey(t *testing.T) {
+	worldKey := func(spec RunSpec) string {
+		t.Helper()
+		key, err := spec.WorldKey()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return key
+	}
+
+	base := worldKey(RunSpec{Seed: "default"})
+	same := []RunSpec{
+		{},
+		{Seed: "default", Probes: []string{"q2"}},
+		{Seed: "default", Profiles: []string{"Netflix", "HBO Max"}},
+		{Seed: "default", Concurrency: 7},
+		{Seed: "default", Faults: &RunFaults{Rate: 0}},
+	}
+	for i, spec := range same {
+		if got := worldKey(spec); got != base {
+			t.Errorf("spec %d: world key changed for a world-equivalent request", i)
+		}
+	}
+	if worldKey(RunSpec{Seed: "other"}) == base {
+		t.Error("seed change did not change the world key")
+	}
+	if worldKey(RunSpec{Seed: "default", Faults: &RunFaults{Rate: 0.25}}) == base {
+		t.Error("fault schedule did not change the world key")
+	}
+	if worldKey(RunSpec{Seed: "default", Faults: &RunFaults{Rate: 0.25}}) ==
+		worldKey(RunSpec{Seed: "default", Faults: &RunFaults{Rate: 0.25, Seed: "storm"}}) {
+		t.Error("fault seed did not change the world key")
+	}
+
+	// A world key is deliberately coarser than the result key: these two
+	// differ as runs but share a world.
+	a, b := RunSpec{Seed: "default", Probes: []string{"q1"}}, RunSpec{Seed: "default", Probes: []string{"q4"}}
+	if mustKey(t, a) == mustKey(t, b) {
+		t.Error("distinct probe subsets must have distinct result keys")
+	}
+	if worldKey(a) != worldKey(b) {
+		t.Error("distinct probe subsets must share one world key")
+	}
+}

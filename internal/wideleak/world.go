@@ -39,6 +39,7 @@ type World struct {
 	Registry *provision.Registry
 	Factory  *device.Factory
 
+	seed     string
 	root     *wvcrypto.DeterministicReader
 	clock    *netsim.VirtualClock
 	profiles []ott.Profile
@@ -86,12 +87,18 @@ func NewWorld(seed string, profiles []ott.Profile) (*World, error) {
 	w := &World{
 		Network:     netsim.NewNetwork(),
 		Registry:    provision.NewRegistry(),
+		seed:        seed,
 		root:        root,
 		clock:       netsim.NewVirtualClock(),
 		profiles:    profiles,
 		deployments: make(map[string]*ott.Deployment, len(profiles)),
 		fixtures:    make(map[string]*fixtureEntry, len(profiles)),
 	}
+	// Device RSA keys mint from per-device forks of the world's
+	// provisioning root — a pure function of (seed, stable ID), never of
+	// provisioning order — so they can be pre-minted by a shared pool or
+	// restored from a snapshot byte-identically.
+	w.Registry.UseKeyPool(provision.NewKeyPool(mintRoot(root)))
 	w.Factory = device.NewFactory(w.Registry, root.Fork("factory"))
 	for _, p := range profiles {
 		dep, err := ott.NewDeployment(p, []string{ContentID}, w.Registry, w.Network, root.Fork("deploy/"+p.Name))
@@ -105,6 +112,87 @@ func NewWorld(seed string, profiles []ott.Profile) (*World, error) {
 
 // Profiles returns the studied app profiles.
 func (w *World) Profiles() []ott.Profile { return w.profiles }
+
+// Seed returns the world's reproducibility seed.
+func (w *World) Seed() string { return w.seed }
+
+// mintRoot derives the world's RSA provisioning root from its rand root.
+// NewKeyPool must use the exact same chain: the label is part of the
+// determinism contract.
+func mintRoot(root *wvcrypto.DeterministicReader) *wvcrypto.DeterministicReader {
+	return root.Fork("provision/rsa")
+}
+
+// NewKeyPool builds a Device RSA key pool for a seed, minting keys
+// byte-identical to the ones any World with that seed mints on demand.
+// A daemon creates one pool per served seed, prewarms it in the
+// background, and attaches it to every world it builds for that seed —
+// the cold-start RSA phase then happens once per seed, not once per run.
+func NewKeyPool(seed string) *provision.KeyPool {
+	if seed == "" {
+		seed = "default"
+	}
+	return provision.NewKeyPool(mintRoot(wvcrypto.NewDeterministicReader("wideleak-world-" + seed)))
+}
+
+// AttachKeyPool replaces the world's private mint pool with a shared
+// one, so keys pre-minted elsewhere (a daemon's boot warm-up, an earlier
+// world of the same seed) are served without generation. The pool must
+// derive from this world's seed — attaching a mismatched pool would
+// silently change every device identity, so it is rejected instead.
+// Attach before any provisioning traffic.
+func (w *World) AttachKeyPool(pool *provision.KeyPool) error {
+	if got, want := pool.Fingerprint(), mintRoot(w.root).Fingerprint(); got != want {
+		return fmt.Errorf("wideleak: key pool seed mismatch (pool %s, world %s)", got, want)
+	}
+	w.Registry.UseKeyPool(pool)
+	return nil
+}
+
+// DeviceStableIDs returns the stable IDs (device serials) of every
+// device this world's fixtures will manufacture, in profile order —
+// the prewarm set for its seed's key pool.
+func (w *World) DeviceStableIDs() []string { return DeviceStableIDs(w.profiles) }
+
+// DeviceStableIDs enumerates the device serials the given profiles'
+// fixtures mint (nil = the paper's ten apps): the Pixel, modern L3 and
+// Nexus 5 units per app, in profile order — plus, for apps shipping an
+// embedded Widevine library, the embedded CDM identities their installs
+// register on the two L3-level devices. The list is what a key pool
+// prewarms — serials are a pure function of the profile names, so it
+// can be computed without building any world.
+func DeviceStableIDs(profiles []ott.Profile) []string {
+	if profiles == nil {
+		profiles = ott.Profiles()
+	}
+	out := make([]string, 0, 3*len(profiles))
+	for _, p := range profiles {
+		px, l3, n5 := deviceSerials(p.Name)
+		out = append(out, px, l3, n5)
+		if p.EmbeddedCDMOnL3 {
+			out = append(out, embeddedSerial(l3), embeddedSerial(n5))
+		}
+	}
+	return out
+}
+
+// embeddedSerial derives the stable ID of an app-embedded CDM's keybox
+// from its host device's serial, mirroring ott.Install exactly.
+func embeddedSerial(deviceSerial string) string {
+	serial := deviceSerial + "-emb"
+	if len(serial) > 32 {
+		serial = serial[:32]
+	}
+	return serial
+}
+
+// deviceSerials returns the three device serials one app's fixture
+// manufactures. Serials double as provisioning stable IDs, so fixture
+// building and key-pool prewarming must agree on them exactly.
+func deviceSerials(app string) (pixel, l3, nexus5 string) {
+	short := shortName(app)
+	return "PX-" + short, "L3-" + short, "N5-" + short
+}
 
 // Clock returns the world's virtual clock. Injected latency and retry
 // backoff are charged to it, so fault-laden studies complete in real
@@ -194,16 +282,16 @@ func (w *World) buildFixture(app string) (*AppFixture, error) {
 	rand := w.root.Fork("fixture/" + app)
 	factory := w.Factory.WithRand(rand)
 
-	short := shortName(app)
-	pixel, err := factory.MakePixel("PX-" + short)
+	pxSerial, l3Serial, n5Serial := deviceSerials(app)
+	pixel, err := factory.MakePixel(pxSerial)
 	if err != nil {
 		return nil, err
 	}
-	l3, err := factory.MakeL3Phone("L3-" + short)
+	l3, err := factory.MakeL3Phone(l3Serial)
 	if err != nil {
 		return nil, err
 	}
-	nexus5, err := factory.MakeNexus5("N5-" + short)
+	nexus5, err := factory.MakeNexus5(n5Serial)
 	if err != nil {
 		return nil, err
 	}

@@ -3,6 +3,7 @@ package wvcrypto
 import (
 	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
 	"io"
 	"sync"
 )
@@ -45,6 +46,20 @@ func (r *DeterministicReader) Fork(label string) *DeterministicReader {
 	child := &DeterministicReader{}
 	h.Sum(child.seed[:0])
 	return child
+}
+
+// Fingerprint returns a stable, non-reversible identity for the stream:
+// two readers with equal fingerprints produce identical bytes from their
+// respective origins (and identical forks for equal labels). Callers use
+// it to check that independently derived streams — e.g. a pre-minting
+// key pool and a world's registry — really share one seed, without ever
+// exposing the seed itself.
+func (r *DeterministicReader) Fingerprint() string {
+	h := sha256.New()
+	h.Write([]byte("wvcrypto-stream-id/"))
+	h.Write(r.seed[:])
+	sum := h.Sum(nil)
+	return hex.EncodeToString(sum[:16])
 }
 
 // Read fills p with the next bytes of the deterministic stream. It never

@@ -8,21 +8,92 @@ import (
 	"crypto/x509"
 	"fmt"
 	"io"
+	"math/big"
 )
 
 // RSABits is the modulus size of the Device RSA Key, matching the 2048-bit
 // key the paper reverse-engineered.
 const RSABits = 2048
 
+// rsaPublicExponent is F4, the exponent every Widevine device key uses.
+const rsaPublicExponent = 65537
+
 // GenerateRSAKey generates a Device RSA key pair from the given randomness
-// source. Callers inject a deterministic reader in tests to keep worlds
-// reproducible.
+// source, as a pure function of the bytes it reads.
+//
+// The standard library's rsa.GenerateKey is explicitly NOT that function:
+// with a non-default reader it routes candidate reads through
+// drbg.ReadWithReader, which prepends randutil.MaybeReadByte — a coin
+// flip that desynchronizes the stream on roughly half of all calls. The
+// keypool and world-snapshot tiers need a key minted at boot, restored
+// from a snapshot, or minted lazily to be byte-identical, so prime
+// generation here reads the stream directly (FIPS 186-5 style: draw a
+// candidate, pin the top two bits and the low bit, reject until prime).
+// big.Int.ProbablyPrime is deterministic for a given candidate, so the
+// whole key is determined by the reader's bytes.
 func GenerateRSAKey(rand io.Reader) (*rsa.PrivateKey, error) {
-	key, err := rsa.GenerateKey(rand, RSABits)
-	if err != nil {
-		return nil, fmt.Errorf("wvcrypto: generate rsa key: %w", err)
+	e := big.NewInt(rsaPublicExponent)
+	one := big.NewInt(1)
+	for {
+		p, err := randomPrime(rand, (RSABits+1)/2)
+		if err != nil {
+			return nil, fmt.Errorf("wvcrypto: generate rsa key: %w", err)
+		}
+		q, err := randomPrime(rand, RSABits/2)
+		if err != nil {
+			return nil, fmt.Errorf("wvcrypto: generate rsa key: %w", err)
+		}
+		if p.Cmp(q) == 0 {
+			continue
+		}
+		n := new(big.Int).Mul(p, q)
+		if n.BitLen() != RSABits {
+			continue
+		}
+		phi := new(big.Int).Mul(new(big.Int).Sub(p, one), new(big.Int).Sub(q, one))
+		d := new(big.Int).ModInverse(e, phi)
+		if d == nil {
+			// e divides p-1 or q-1; redraw.
+			continue
+		}
+		key := &rsa.PrivateKey{
+			PublicKey: rsa.PublicKey{N: n, E: rsaPublicExponent},
+			D:         d,
+			Primes:    []*big.Int{p, q},
+		}
+		key.Precompute()
+		return key, nil
 	}
-	return key, nil
+}
+
+// randomPrime draws candidates of exactly the given bit length from rand
+// until one is (probably) prime. The top two bits are set so the product
+// of two primes always reaches the full modulus size; the low bit makes
+// the candidate odd.
+func randomPrime(rand io.Reader, bits int) (*big.Int, error) {
+	b := make([]byte, (bits+7)/8)
+	for {
+		if _, err := io.ReadFull(rand, b); err != nil {
+			return nil, err
+		}
+		excess := len(b)*8 - bits
+		if excess != 0 {
+			b[0] >>= excess
+		}
+		// Set the top two bits so the product of two primes always
+		// reaches the full modulus size.
+		if excess < 7 {
+			b[0] |= 0b1100_0000 >> excess
+		} else {
+			b[0] |= 1
+			b[1] |= 0b1000_0000
+		}
+		b[len(b)-1] |= 1
+		p := new(big.Int).SetBytes(b)
+		if p.ProbablyPrime(20) {
+			return p, nil
+		}
+	}
 }
 
 // SignPSS signs the SHA-256 digest of msg with RSASSA-PSS, the signature

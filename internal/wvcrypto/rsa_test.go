@@ -98,6 +98,32 @@ func TestParseRSAPrivateKey_Garbage(t *testing.T) {
 	}
 }
 
+// GenerateRSAKey must be a pure function of the reader's bytes: equal
+// forks yield byte-identical keys, every time. The stdlib's GenerateKey
+// does NOT have this property (randutil.MaybeReadByte desynchronizes
+// injected readers on ~half of all calls), which is why wvcrypto owns
+// prime generation — this test is the regression guard for the keypool
+// and world-snapshot tiers, whose correctness rests on this invariant.
+func TestGenerateRSAKey_Deterministic(t *testing.T) {
+	const rounds = 4 // a coin-flip regression passes single runs ~50% of the time
+	want := MarshalRSAPrivateKey(sharedTestKey(t))
+	for i := 0; i < rounds; i++ {
+		key, err := GenerateRSAKey(NewDeterministicReader("wvcrypto-test-rsa"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(MarshalRSAPrivateKey(key), want) {
+			t.Fatalf("round %d: key differs from shared mint over an equal stream", i)
+		}
+	}
+	if err := sharedTestKey(t).Validate(); err != nil {
+		t.Fatalf("generated key fails validation: %v", err)
+	}
+	if got := sharedTestKey(t).N.BitLen(); got != RSABits {
+		t.Fatalf("modulus is %d bits, want %d", got, RSABits)
+	}
+}
+
 func TestDeterministicReader_Reproducible(t *testing.T) {
 	a := NewDeterministicReader("seed")
 	b := NewDeterministicReader("seed")

@@ -29,6 +29,7 @@ package wideleak
 import (
 	"repro/internal/netsim"
 	"repro/internal/ott"
+	"repro/internal/provision"
 	"repro/internal/wideleak"
 	"repro/internal/wideleak/probe"
 )
@@ -85,6 +86,10 @@ type (
 	FaultSpec = wideleak.FaultSpec
 	// FaultProfile is one host's (or the default) fault mix.
 	FaultProfile = netsim.FaultProfile
+
+	// KeyPool pre-mints deterministic Device RSA keys off the hot path;
+	// see NewKeyPool and World.AttachKeyPool.
+	KeyPool = provision.KeyPool
 
 	// RunSpec is the canonical description of one study run — the unit
 	// the wideleakd service queues, content-addresses and caches.
@@ -158,3 +163,26 @@ func ValidateProbes(ids []string) error { return wideleak.ValidateProbes(ids) }
 // rate of connection attempts; the stock retry policies mask it, so the
 // study's results are unchanged — only the virtual timeline stretches.
 func TransientFaults(rate float64) FaultProfile { return wideleak.TransientFaults(rate) }
+
+// RestoreWorld rebuilds a world from World.Snapshot output in
+// milliseconds: cheap state is re-derived from the seed and the expensive
+// Device RSA identities are installed from the snapshot, so the restored
+// world renders Table I byte-identical to a fresh build with zero key
+// generation.
+func RestoreWorld(data []byte) (*World, error) { return wideleak.RestoreWorld(data) }
+
+// RestoreWorldProfiles is RestoreWorld with a profile override (nil = the
+// snapshot's own profile list).
+func RestoreWorldProfiles(data []byte, profiles []Profile) (*World, error) {
+	return wideleak.RestoreWorldProfiles(data, profiles)
+}
+
+// NewKeyPool builds the deterministic Device RSA key pool for a world
+// seed ("" = "default"): keys pre-minted here are byte-identical to the
+// ones the seed's worlds would mint on demand.
+func NewKeyPool(seed string) *KeyPool { return wideleak.NewKeyPool(seed) }
+
+// DeviceStableIDs lists the stable device IDs the given profiles' worlds
+// provision (nil = the paper's ten apps) — the ID set to feed
+// KeyPool.Prewarm.
+func DeviceStableIDs(profiles []Profile) []string { return wideleak.DeviceStableIDs(profiles) }

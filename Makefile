@@ -5,15 +5,15 @@ GO ?= go
 # Per-target budget for the native fuzz pass wired into check.
 FUZZTIME ?= 5s
 
-.PHONY: all build vet lint test race bench bench-cold fuzz chaos check study impact report serve serve-smoke clean
+.PHONY: all build vet lint test race bench bench-cold bench-fleet fuzz chaos check study impact report serve serve-smoke fleet-smoke clean
 
 all: build vet test
 
 # check is the full verification gate: build, lint (gofmt + vet), plain
-# tests, the race detector, the daemon smoke test, a benchmark pass
-# recording BENCH_tableI.json, and a short native-fuzz pass over the
+# tests, the race detector, the daemon and fleet smoke tests, a benchmark
+# pass recording BENCH_tableI.json, and a short native-fuzz pass over the
 # attacker-facing parsers.
-check: build lint test race serve-smoke bench fuzz
+check: build lint test race serve-smoke fleet-smoke bench fuzz
 
 build:
 	$(GO) build ./...
@@ -85,6 +85,25 @@ serve:
 serve-smoke:
 	$(GO) test ./cmd/wideleakd -run '^TestServeSmoke$$' -count=1 -v
 
+# fleet-smoke boots a 3-replica in-process fleet behind the
+# consistent-hash router and drives the smoke mix through it for 2s:
+# nonzero completed throughput, zero non-shed errors.
+fleet-smoke:
+	$(GO) test ./cmd/wideleakload -run '^TestFleetSmoke$$' -count=1 -v
+
+# bench-fleet records the sharding payoff into BENCH_fleet.json: the warm
+# mix (working set larger than one replica's result cache, Zipf-skewed)
+# and the cold mix (everything computed) driven against a 1-replica and a
+# 3-replica fleet. On this 1-core box the 3-replica warm speedup is pure
+# cache partitioning, not parallelism.
+bench-fleet:
+	$(GO) run ./cmd/wideleakload -spawn 1 -mix warm -duration 10s -label Fleet1_Warm -out BENCH_fleet1_warm.json
+	$(GO) run ./cmd/wideleakload -spawn 3 -mix warm -duration 10s -label Fleet3_Warm -out BENCH_fleet3_warm.json
+	$(GO) run ./cmd/wideleakload -spawn 1 -mix cold -duration 10s -label Fleet1_Cold -out BENCH_fleet1_cold.json
+	$(GO) run ./cmd/wideleakload -spawn 3 -mix cold -duration 10s -label Fleet3_Cold -out BENCH_fleet3_cold.json
+	$(GO) run ./cmd/benchmerge BENCH_fleet1_warm.json BENCH_fleet3_warm.json BENCH_fleet1_cold.json BENCH_fleet3_cold.json > BENCH_fleet.json
+	rm -f BENCH_fleet1_warm.json BENCH_fleet3_warm.json BENCH_fleet1_cold.json BENCH_fleet3_cold.json
+
 # Reproduce Table I and check it against the paper.
 study:
 	$(GO) run ./cmd/wideleak
@@ -101,3 +120,4 @@ report:
 # baseline, regenerated (not discarded) by `make bench`.
 clean:
 	rm -f report.md test_output.txt bench_output.txt BENCH_tableI.txt BENCH_cold.txt BENCH_cold.json
+	rm -f BENCH_fleet1_warm.json BENCH_fleet3_warm.json BENCH_fleet1_cold.json BENCH_fleet3_cold.json

@@ -1,0 +1,170 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// fleetDaemon boots the real fleet daemon (router + spawned replicas)
+// on random ports and returns its base URL plus run's error channel.
+func fleetDaemon(t *testing.T, extraArgs ...string) (string, chan error) {
+	t.Helper()
+	args := append([]string{"-addr", "127.0.0.1:0", "-drain-timeout", "120s"}, extraArgs...)
+	addrCh := make(chan string, 1)
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- run(args, func(addr string) { addrCh <- addr })
+	}()
+	select {
+	case addr := <-addrCh:
+		return "http://" + addr, runErr
+	case err := <-runErr:
+		t.Fatalf("fleet daemon exited before listening: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("fleet daemon never became ready")
+	}
+	return "", nil
+}
+
+func sigterm(t *testing.T) {
+	t.Helper()
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func waitExit(t *testing.T, runErr chan error) {
+	t.Helper()
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("fleet daemon exited with error: %v", err)
+		}
+	case <-time.After(150 * time.Second):
+		t.Fatal("fleet daemon never exited after SIGTERM")
+	}
+}
+
+// TestFleetGolden is the e2e acceptance path: a router over three
+// spawned replicas serves the default study byte-identical to the golden
+// files in every format — the fleet must be invisible to correctness.
+func TestFleetGolden(t *testing.T) {
+	base, runErr := fleetDaemon(t, "-spawn", "3")
+
+	resp, err := http.Post(base+"/v1/studies", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub struct {
+		ID      string `json:"id"`
+		State   string `json:"state"`
+		Replica string `json:"replica"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || sub.ID == "" || sub.Replica == "" {
+		t.Fatalf("submit = %d %+v", resp.StatusCode, sub)
+	}
+
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("study never finished")
+		}
+		resp, err := http.Get(base + "/v1/studies/" + sub.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st struct {
+			State string `json:"state"`
+			Error string `json:"error"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if st.State == "done" {
+			break
+		}
+		if st.State == "failed" || st.State == "canceled" {
+			t.Fatalf("study %s: %s", st.State, st.Error)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	for format, golden := range map[string]string{
+		"txt":  "tableI_default.txt",
+		"csv":  "tableI_default.csv",
+		"json": "tableI_default.json",
+	} {
+		resp, err := http.Get(base + "/v1/studies/" + sub.ID + "/table?format=" + format)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got bytes.Buffer
+		got.ReadFrom(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("table fetch %s = %d", format, resp.StatusCode)
+		}
+		want, err := os.ReadFile(filepath.Join("..", "..", "internal", "wideleak", "testdata", golden))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Bytes(), want) {
+			t.Errorf("format %s through the fleet diverges from %s (%d bytes vs %d)", format, golden, got.Len(), len(want))
+		}
+	}
+
+	// Fleet metrics report the routed submission and healthy replicas.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics bytes.Buffer
+	metrics.ReadFrom(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"wideleakfleet_routed_total{replica=",
+		"wideleakfleet_replica_healthy{replica=\"r0\"} 1",
+		"wideleakfleet_replica_healthy{replica=\"r1\"} 1",
+		"wideleakfleet_replica_healthy{replica=\"r2\"} 1",
+		"wideleakfleet_ring_share{replica=",
+		"wideleakfleet_submit_seconds_count 1",
+	} {
+		if !strings.Contains(metrics.String(), want) {
+			t.Errorf("fleet metrics missing %q", want)
+		}
+	}
+
+	sigterm(t)
+	waitExit(t, runErr)
+}
+
+func TestRun_NeedsFleet(t *testing.T) {
+	if err := run([]string{"-addr", "127.0.0.1:0"}, nil); err == nil {
+		t.Fatal("run accepted a fleet with no replicas")
+	}
+}
+
+func TestRun_SpawnAndReplicasExclusive(t *testing.T) {
+	err := run([]string{"-spawn", "2", "-replicas", "http://127.0.0.1:1"}, nil)
+	if err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("err = %v, want mutually-exclusive error", err)
+	}
+}
+
+func TestRun_BadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}, nil); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

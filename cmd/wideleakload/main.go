@@ -1,0 +1,425 @@
+// Command wideleakload drives a wideleak fleet (or a single wideleakd)
+// with a synthetic study mix and reports the latency, shed and cache-hit
+// profile: Zipf-skewed key popularity over seeds × probe subsets, burst
+// arrivals, and mid-flight DELETE cancellations. Results land in a flat
+// {"name": number} JSON file that cmd/benchmerge folds into the bench
+// baselines.
+//
+// Usage:
+//
+//	wideleakload (-fleet url | -spawn n) [-mix smoke|warm|cold]
+//	             [-duration d] [-workers n] [-seeds n] [-subsets n]
+//	             [-zipf s] [-burst n] [-cancel-rate f] [-prime]
+//	             [-label name] [-out file]
+//	             [-replica-workers n] [-replica-queue n] [-replica-cache n]
+//
+// With -spawn n the harness boots an in-process fleet (n replicas behind
+// a router) and drives that; with -fleet it drives an external URL —
+// either a wideleakfleet router or a bare wideleakd, the API is the
+// same. Explicit flags override the chosen -mix preset.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "wideleakload:", err)
+		os.Exit(1)
+	}
+}
+
+// mixConfig is one load shape. The named presets model the fleet's three
+// interesting regimes; explicit flags override any field.
+type mixConfig struct {
+	seeds      int     // distinct world seeds in the key space
+	subsets    int     // probe subsets per seed (key space = seeds × subsets)
+	workers    int     // closed-loop client goroutines
+	zipf       float64 // Zipf skew s (>1); 0 = uniform key popularity
+	burst      int     // submissions issued back-to-back per worker iteration
+	cancelRate float64 // fraction of queued submissions canceled mid-flight
+	prime      bool    // run every key once before the timed window
+}
+
+var mixes = map[string]mixConfig{
+	// smoke: tiny warm mix for CI — everything should hit after priming.
+	"smoke": {seeds: 2, subsets: 2, workers: 4, zipf: 0, burst: 1, cancelRate: 0.05, prime: true},
+	// warm: the sharding payoff regime — a working set that overflows one
+	// replica's result cache but fits the fleet's aggregate.
+	"warm": {seeds: 12, subsets: 4, workers: 8, zipf: 1.2, burst: 2, cancelRate: 0.02, prime: true},
+	// cold: every key computed from scratch; measures raw study throughput
+	// and tier-2 reuse across probe subsets of one seed.
+	"cold": {seeds: 8, subsets: 4, workers: 6, zipf: 1.1, burst: 1, cancelRate: 0, prime: false},
+}
+
+// probeSubsets are the per-seed probe-set variants, ordered so subsets=n
+// takes a prefix. Distinct subsets of one seed share a WorldKey (and
+// therefore a replica and its tier-2 world snapshot) but have distinct
+// result-cache keys.
+var probeSubsets = [][]string{
+	{"q2"},
+	{"q3"},
+	{"q2", "q3"},
+	{"q4"},
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("wideleakload", flag.ContinueOnError)
+	fleetURL := fs.String("fleet", "", "base URL of a running fleet router or wideleakd")
+	spawn := fs.Int("spawn", 0, "boot an in-process fleet with this many replicas and drive it")
+	mix := fs.String("mix", "smoke", "load shape preset: smoke, warm or cold")
+	duration := fs.Duration("duration", 10*time.Second, "timed measurement window")
+	workers := fs.Int("workers", 0, "closed-loop client goroutines (overrides mix)")
+	seeds := fs.Int("seeds", 0, "distinct world seeds (overrides mix)")
+	subsets := fs.Int("subsets", 0, "probe subsets per seed, max 4 (overrides mix)")
+	zipf := fs.Float64("zipf", -1, "Zipf skew s, >1, or 0 for uniform (overrides mix)")
+	burst := fs.Int("burst", 0, "submissions per worker iteration (overrides mix)")
+	cancelRate := fs.Float64("cancel-rate", -1, "fraction of queued jobs canceled mid-flight (overrides mix)")
+	prime := fs.Bool("prime", false, "run every key once before measuring (overrides mix)")
+	label := fs.String("label", "Load", "metric name prefix in the output JSON")
+	out := fs.String("out", "", "write flat benchmark JSON here (benchmerge input)")
+	replicaWorkers := fs.Int("replica-workers", 1, "worker pool size per spawned replica")
+	replicaQueue := fs.Int("replica-queue", 16, "job queue capacity per spawned replica")
+	replicaCache := fs.Int("replica-cache", 32, "result cache capacity per spawned replica")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg, ok := mixes[*mix]
+	if !ok {
+		return fmt.Errorf("unknown -mix %q (want smoke, warm or cold)", *mix)
+	}
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if set["workers"] {
+		cfg.workers = *workers
+	}
+	if set["seeds"] {
+		cfg.seeds = *seeds
+	}
+	if set["subsets"] {
+		cfg.subsets = *subsets
+	}
+	if set["zipf"] {
+		cfg.zipf = *zipf
+	}
+	if set["burst"] {
+		cfg.burst = *burst
+	}
+	if set["cancel-rate"] {
+		cfg.cancelRate = *cancelRate
+	}
+	if set["prime"] {
+		cfg.prime = *prime
+	}
+	if cfg.subsets < 1 || cfg.subsets > len(probeSubsets) {
+		return fmt.Errorf("-subsets must be 1..%d, got %d", len(probeSubsets), cfg.subsets)
+	}
+	if cfg.seeds < 1 || cfg.workers < 1 || cfg.burst < 1 {
+		return fmt.Errorf("seeds, workers and burst must be positive")
+	}
+
+	if (*fleetURL == "") == (*spawn == 0) {
+		return fmt.Errorf("need a target: exactly one of -fleet or -spawn")
+	}
+	target := strings.TrimRight(*fleetURL, "/")
+	if *spawn > 0 {
+		local, err := fleet.StartLocal(*spawn, serve.Config{
+			Workers:   *replicaWorkers,
+			QueueSize: *replicaQueue,
+			CacheSize: *replicaCache,
+		}, fleet.Options{})
+		if err != nil {
+			return err
+		}
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			local.Shutdown(ctx)
+		}()
+		target = local.URL
+	}
+
+	h := newHarness(target, cfg)
+	if cfg.prime {
+		primeStart := time.Now()
+		if err := h.prime(); err != nil {
+			return fmt.Errorf("prime: %w", err)
+		}
+		fmt.Fprintf(stdout, "%s: primed %d keys in %.1fs\n", *label, len(h.keys), time.Since(primeStart).Seconds())
+	}
+
+	stats := h.drive(*duration)
+	report(stdout, *label, *duration, cfg, stats)
+	if *out != "" {
+		blob, err := json.MarshalIndent(stats.flat(*label, *duration), "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// loadKey is one point in the request key space: a seed plus a probe
+// subset. The spec body is precomputed once.
+type loadKey struct {
+	body string
+}
+
+// harness drives one target URL with one mix.
+type harness struct {
+	target string
+	cfg    mixConfig
+	keys   []loadKey
+	client *http.Client
+
+	mu   sync.Mutex
+	recs []reqResult
+}
+
+type reqResult struct {
+	latencyMs float64
+	tier1     bool // submit answered from the result cache
+	tier2     bool // computed, but from a cached world snapshot
+	shed      bool // 429
+	canceled  bool // we canceled it on purpose
+	err       bool
+}
+
+func newHarness(target string, cfg mixConfig) *harness {
+	h := &harness{
+		target: target,
+		cfg:    cfg,
+		client: &http.Client{Timeout: 5 * time.Minute},
+	}
+	for s := 0; s < cfg.seeds; s++ {
+		for v := 0; v < cfg.subsets; v++ {
+			probes, _ := json.Marshal(probeSubsets[v])
+			h.keys = append(h.keys, loadKey{
+				body: fmt.Sprintf(`{"seed":"load-%02d","profiles":["Showtime"],"probes":%s}`, s, probes),
+			})
+		}
+	}
+	return h
+}
+
+// prime runs every key once to completion so the timed window measures
+// steady-state cache behavior.
+func (h *harness) prime() error {
+	for _, k := range h.keys {
+		rec := h.request(k, false)
+		if rec.err {
+			return fmt.Errorf("prime request failed for %s", k.body)
+		}
+	}
+	return nil
+}
+
+// drive runs the closed-loop worker pool for the measurement window.
+func (h *harness) drive(window time.Duration) *loadStats {
+	deadline := time.Now().Add(window)
+	var wg sync.WaitGroup
+	for w := 0; w < h.cfg.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Deterministic per-worker source: reruns see the same key
+			// popularity and cancellation pattern.
+			rng := rand.New(rand.NewSource(int64(w)*7919 + 12345))
+			var zipfGen *rand.Zipf
+			if h.cfg.zipf > 1 && len(h.keys) > 1 {
+				zipfGen = rand.NewZipf(rng, h.cfg.zipf, 1, uint64(len(h.keys)-1))
+			}
+			for time.Now().Before(deadline) {
+				for b := 0; b < h.cfg.burst; b++ {
+					var idx int
+					if zipfGen != nil {
+						idx = int(zipfGen.Uint64())
+					} else {
+						idx = rng.Intn(len(h.keys))
+					}
+					cancel := h.cfg.cancelRate > 0 && rng.Float64() < h.cfg.cancelRate
+					rec := h.request(h.keys[idx], cancel)
+					h.mu.Lock()
+					h.recs = append(h.recs, rec)
+					h.mu.Unlock()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	stats := &loadStats{}
+	for _, rec := range h.recs {
+		stats.add(rec)
+	}
+	return stats
+}
+
+// request submits one key and follows it to a terminal state. cancel
+// asks for a mid-flight DELETE once the job is queued.
+func (h *harness) request(k loadKey, cancel bool) reqResult {
+	start := time.Now()
+	resp, err := h.client.Post(h.target+"/v1/studies", "application/json", strings.NewReader(k.body))
+	if err != nil {
+		return reqResult{err: true}
+	}
+	var sub struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	decodeErr := json.NewDecoder(resp.Body).Decode(&sub)
+	tier1 := resp.Header.Get(serve.HeaderCacheTier) == "hit"
+	tier2 := resp.Header.Get(serve.HeaderWorldCache) == "hit"
+	resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusTooManyRequests:
+		return reqResult{shed: true}
+	case resp.StatusCode == http.StatusOK:
+		// Result-cache hit: the submit roundtrip is the whole latency.
+		return reqResult{latencyMs: msSince(start), tier1: tier1, tier2: tier2}
+	case resp.StatusCode != http.StatusAccepted || decodeErr != nil || sub.ID == "":
+		return reqResult{err: true}
+	}
+
+	if cancel {
+		req, _ := http.NewRequest(http.MethodDelete, h.target+"/v1/studies/"+sub.ID, nil)
+		resp, err := h.client.Do(req)
+		if err != nil {
+			return reqResult{err: true}
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		// 409 means the job finished (or was coalesced onto a run someone
+		// else still needs) before the cancel landed — count it as done.
+		if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted {
+			return reqResult{canceled: true}
+		}
+		if resp.StatusCode != http.StatusConflict {
+			return reqResult{err: true}
+		}
+	}
+
+	for {
+		resp, err := h.client.Get(h.target + "/v1/studies/" + sub.ID)
+		if err != nil {
+			return reqResult{err: true}
+		}
+		var st struct {
+			State      string `json:"state"`
+			WorldCache string `json:"world_cache"`
+		}
+		decodeErr := json.NewDecoder(resp.Body).Decode(&st)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || decodeErr != nil {
+			return reqResult{err: true}
+		}
+		switch st.State {
+		case "done":
+			return reqResult{latencyMs: msSince(start), tier2: st.WorldCache == "hit"}
+		case "canceled":
+			// Either our own cancel raced ahead or a sibling canceled the
+			// coalesced run; not a target failure.
+			return reqResult{canceled: true}
+		case "failed":
+			return reqResult{err: true}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func msSince(t time.Time) float64 { return float64(time.Since(t).Nanoseconds()) / 1e6 }
+
+// loadStats aggregates one run.
+type loadStats struct {
+	attempts  int
+	done      int
+	tier1     int
+	tier2     int
+	sheds     int
+	canceled  int
+	errors    int
+	latencies []float64 // ms, completed requests only
+}
+
+func (s *loadStats) add(r reqResult) {
+	s.attempts++
+	switch {
+	case r.err:
+		s.errors++
+	case r.shed:
+		s.sheds++
+	case r.canceled:
+		s.canceled++
+	default:
+		s.done++
+		s.latencies = append(s.latencies, r.latencyMs)
+		if r.tier1 {
+			s.tier1++
+		}
+		if r.tier2 {
+			s.tier2++
+		}
+	}
+}
+
+// percentile returns the p-th percentile of the completed latencies.
+func (s *loadStats) percentile(p float64) float64 {
+	if len(s.latencies) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), s.latencies...)
+	sort.Float64s(sorted)
+	idx := int(p / 100 * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+func ratio(n, d int) float64 {
+	if d == 0 {
+		return 0
+	}
+	return float64(n) / float64(d)
+}
+
+// flat renders the run as benchmerge's flat {"name": number} shape.
+func (s *loadStats) flat(label string, window time.Duration) map[string]float64 {
+	return map[string]float64{
+		label + "_throughput_rps":  round3(float64(s.done) / window.Seconds()),
+		label + "_p50_ms":          round3(s.percentile(50)),
+		label + "_p99_ms":          round3(s.percentile(99)),
+		label + "_shed_rate":       round3(ratio(s.sheds, s.attempts)),
+		label + "_tier1_hit_ratio": round3(ratio(s.tier1, s.done)),
+		label + "_tier2_hit_ratio": round3(ratio(s.tier2, s.done)),
+		label + "_done":            float64(s.done),
+		label + "_canceled":        float64(s.canceled),
+		label + "_errors":          float64(s.errors),
+	}
+}
+
+func round3(f float64) float64 { return float64(int64(f*1000+0.5)) / 1000 }
+
+func report(w io.Writer, label string, window time.Duration, cfg mixConfig, s *loadStats) {
+	fmt.Fprintf(w, "%s: %d done / %d attempts in %s (%.1f rps), %d shed, %d canceled, %d errors\n",
+		label, s.done, s.attempts, window, float64(s.done)/window.Seconds(), s.sheds, s.canceled, s.errors)
+	fmt.Fprintf(w, "%s: latency p50 %.1fms p99 %.1fms; tier-1 hit %.0f%%, tier-2 hit %.0f%% (keys=%d workers=%d zipf=%.1f burst=%d)\n",
+		label, s.percentile(50), s.percentile(99),
+		100*ratio(s.tier1, s.done), 100*ratio(s.tier2, s.done),
+		cfg.seeds*cfg.subsets, cfg.workers, cfg.zipf, cfg.burst)
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestFleetSmoke is the `make fleet-smoke` target: boot a 3-replica
+// in-process fleet, drive the smoke mix through the router for 2s, and
+// require nonzero completed throughput with zero non-shed errors.
+func TestFleetSmoke(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "smoke.json")
+	var buf bytes.Buffer
+	err := run([]string{
+		"-spawn", "3", "-mix", "smoke", "-duration", "2s",
+		"-label", "Smoke", "-out", out,
+	}, &buf)
+	if err != nil {
+		t.Fatalf("wideleakload: %v\noutput:\n%s", err, buf.String())
+	}
+	t.Logf("harness output:\n%s", buf.String())
+
+	blob, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats map[string]float64
+	if err := json.Unmarshal(blob, &stats); err != nil {
+		t.Fatalf("output is not flat benchmark JSON: %v\n%s", err, blob)
+	}
+	for _, key := range []string{
+		"Smoke_throughput_rps", "Smoke_p50_ms", "Smoke_p99_ms",
+		"Smoke_shed_rate", "Smoke_tier1_hit_ratio", "Smoke_tier2_hit_ratio",
+		"Smoke_done", "Smoke_errors",
+	} {
+		if _, ok := stats[key]; !ok {
+			t.Errorf("output missing %s: %v", key, stats)
+		}
+	}
+	if stats["Smoke_done"] <= 0 {
+		t.Errorf("smoke mix completed no requests: %v", stats)
+	}
+	if stats["Smoke_errors"] != 0 {
+		t.Errorf("smoke mix saw %v errors, want 0: %v", stats["Smoke_errors"], stats)
+	}
+	// The smoke mix primes its 4 keys first, so the timed window should be
+	// overwhelmingly cache hits.
+	if stats["Smoke_tier1_hit_ratio"] < 0.5 {
+		t.Errorf("primed smoke mix tier-1 hit ratio %v, want >= 0.5", stats["Smoke_tier1_hit_ratio"])
+	}
+}
+
+func TestRun_TargetRequired(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-mix", "smoke"}, &buf); err == nil || !strings.Contains(err.Error(), "exactly one") {
+		t.Fatalf("err = %v, want target-required error", err)
+	}
+	if err := run([]string{"-spawn", "2", "-fleet", "http://x"}, &buf); err == nil || !strings.Contains(err.Error(), "exactly one") {
+		t.Fatalf("err = %v, want mutually-exclusive error", err)
+	}
+}
+
+func TestRun_UnknownMix(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-spawn", "1", "-mix", "hurricane"}, &buf); err == nil || !strings.Contains(err.Error(), "unknown -mix") {
+		t.Fatalf("err = %v, want unknown-mix error", err)
+	}
+}

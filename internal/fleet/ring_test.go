@@ -1,0 +1,86 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestRing_DeterministicOwner(t *testing.T) {
+	a := newRing([]string{"r0", "r1", "r2"}, 128)
+	b := newRing([]string{"r0", "r1", "r2"}, 128)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if a.owner(key) != b.owner(key) {
+			t.Fatalf("ring ownership is not deterministic for %q: %s vs %s", key, a.owner(key), b.owner(key))
+		}
+	}
+}
+
+func TestRing_SequenceCoversAllOnce(t *testing.T) {
+	r := newRing([]string{"r0", "r1", "r2", "r3"}, 64)
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("seq-%d", i)
+		seq := r.sequence(key)
+		if len(seq) != 4 {
+			t.Fatalf("sequence(%q) = %v, want all 4 replicas", key, seq)
+		}
+		seen := map[string]bool{}
+		for _, id := range seq {
+			if seen[id] {
+				t.Fatalf("sequence(%q) repeats %s: %v", key, id, seq)
+			}
+			seen[id] = true
+		}
+		if seq[0] != r.owner(key) {
+			t.Fatalf("sequence(%q)[0] = %s, owner = %s", key, seq[0], r.owner(key))
+		}
+	}
+}
+
+// TestRing_Balance: with 128 vnodes, no replica of three owns less than
+// 15% of 3000 uniformly named keys — gross imbalance would concentrate
+// the fleet's cache and defeat the sharding.
+func TestRing_Balance(t *testing.T) {
+	r := newRing([]string{"r0", "r1", "r2"}, 128)
+	counts := map[string]int{}
+	const n = 3000
+	for i := 0; i < n; i++ {
+		counts[r.owner(fmt.Sprintf("balance-key-%d", i))]++
+	}
+	for id, c := range counts {
+		if frac := float64(c) / n; frac < 0.15 {
+			t.Errorf("replica %s owns only %.1f%% of keys: %v", id, frac*100, counts)
+		}
+	}
+}
+
+func TestRing_SharesSumToOne(t *testing.T) {
+	r := newRing([]string{"r0", "r1", "r2"}, 128)
+	sum := 0.0
+	for _, share := range r.shares() {
+		if share <= 0 {
+			t.Errorf("non-positive ring share: %v", r.shares())
+		}
+		sum += share
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("ring shares sum to %v, want 1", sum)
+	}
+}
+
+func TestRing_DisjointFromKeyDistribution(t *testing.T) {
+	// The arc-mass gauge should roughly agree with empirical ownership.
+	r := newRing([]string{"r0", "r1"}, 128)
+	counts := map[string]int{}
+	const n = 4000
+	for i := 0; i < n; i++ {
+		counts[r.owner(fmt.Sprintf("dist-%d", i))]++
+	}
+	for id, share := range r.shares() {
+		empirical := float64(counts[id]) / n
+		if math.Abs(share-empirical) > 0.1 {
+			t.Errorf("replica %s: arc share %.3f vs empirical %.3f", id, share, empirical)
+		}
+	}
+}

@@ -1,0 +1,361 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/wideleak"
+)
+
+// startFleet boots a self-contained local fleet with a fast health loop
+// and tears it down with the test.
+func startFleet(t *testing.T, n int, cfg serve.Config) *Local {
+	t.Helper()
+	f, err := StartLocal(n, cfg, Options{HealthInterval: 100 * time.Millisecond, HealthTimeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+		defer cancel()
+		if err := f.Shutdown(ctx); err != nil {
+			t.Logf("fleet shutdown: %v", err)
+		}
+	})
+	return f
+}
+
+// fleetSubmit POSTs a spec body to the fleet and decodes the response.
+func fleetSubmit(t *testing.T, base, body string, wantStatus int) (fleetSubmitResponse, http.Header) {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/studies", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("submit = %d, want %d (body: %s)", resp.StatusCode, wantStatus, buf.String())
+	}
+	var sub fleetSubmitResponse
+	if wantStatus < 400 {
+		if err := json.Unmarshal(buf.Bytes(), &sub); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sub, resp.Header
+}
+
+// fleetStatus is the slice of a job-status document the tests read.
+type fleetStatus struct {
+	State        string `json:"state"`
+	Error        string `json:"error"`
+	Observations int    `json:"observations"`
+	WorldCache   string `json:"world_cache"`
+}
+
+func getFleetStatus(t *testing.T, base, id string) (fleetStatus, http.Header) {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/studies/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		t.Fatalf("status %s = %d (body: %s)", id, resp.StatusCode, buf.String())
+	}
+	var st fleetStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st, resp.Header
+}
+
+// waitFleetDone polls a fleet job until done, tolerating the transient
+// states a failover introduces.
+func waitFleetDone(t *testing.T, base, id string, deadline time.Duration) (fleetStatus, http.Header) {
+	t.Helper()
+	limit := time.Now().Add(deadline)
+	for time.Now().Before(limit) {
+		st, hdr := getFleetStatus(t, base, id)
+		switch st.State {
+		case "done":
+			return st, hdr
+		case "failed":
+			t.Fatalf("job %s failed: %s", id, st.Error)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", id)
+	return fleetStatus{}, nil
+}
+
+func fetchFleetTable(t *testing.T, base, id, format string) []byte {
+	t.Helper()
+	url := base + "/v1/studies/" + id + "/table"
+	if format != "" {
+		url += "?format=" + format
+	}
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("table %s = %d (body: %s)", id, resp.StatusCode, buf.String())
+	}
+	return buf.Bytes()
+}
+
+// scrape fetches a Prometheus text page and returns one metric's value
+// ("" when the line is absent).
+func scrape(t *testing.T, url, metric string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(line, metric+" ") {
+			return strings.TrimPrefix(line, metric+" ")
+		}
+	}
+	return ""
+}
+
+func worldKeyOf(t *testing.T, spec wideleak.RunSpec) string {
+	t.Helper()
+	wk, err := spec.WorldKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wk
+}
+
+// TestRouter_SpillOn429: when the ring owner's queue is full and it
+// sheds with 429, the submission spills to the ring successor instead of
+// failing, and the fleet metrics attribute both sides.
+func TestRouter_SpillOn429(t *testing.T) {
+	f := startFleet(t, 2, serve.Config{Workers: 1, QueueSize: 1})
+	base := f.URL
+
+	seed := "spill-seed"
+	wk := worldKeyOf(t, wideleak.RunSpec{Seed: seed})
+	seq := f.Router.Sequence(wk)
+	owner, successor := seq[0], seq[1]
+
+	// Fill the owner: one running study (all probes — slow enough to hold
+	// the worker) plus one queued subset. Distinct probe sets keep the
+	// canonical keys distinct, so nothing coalesces.
+	running, hdr := fleetSubmit(t, base,
+		fmt.Sprintf(`{"seed": %q, "profiles": ["Showtime"]}`, seed), http.StatusAccepted)
+	if got := hdr.Get(HeaderReplica); got != owner {
+		t.Fatalf("first submit landed on %s, ring owner is %s", got, owner)
+	}
+	if got := hdr.Get(HeaderRoute); got != "owner" {
+		t.Fatalf("first submit route = %q, want owner", got)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		st, _ := getFleetStatus(t, base, running.ID)
+		if st.State == "running" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("first study never started running")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	fleetSubmit(t, base,
+		fmt.Sprintf(`{"seed": %q, "profiles": ["Showtime"], "probes": ["q2"]}`, seed), http.StatusAccepted)
+
+	// The owner's queue is now full: the next distinct submission sheds
+	// there and must spill to the successor.
+	_, hdr = fleetSubmit(t, base,
+		fmt.Sprintf(`{"seed": %q, "profiles": ["Showtime"], "probes": ["q3"]}`, seed), http.StatusAccepted)
+	if got := hdr.Get(HeaderReplica); got != successor {
+		t.Errorf("shed submission landed on %s, want ring successor %s", got, successor)
+	}
+	if got := hdr.Get(HeaderRoute); got != "spill" {
+		t.Errorf("shed submission route = %q, want spill", got)
+	}
+	if got := f.Router.Metrics().Spilled()[successor]; got != 1 {
+		t.Errorf("spilled_total{%s} = %d, want 1", successor, got)
+	}
+	if got := scrape(t, base+"/metrics", fmt.Sprintf("wideleakfleet_replica_shed_total{replica=%q}", owner)); got != "1" {
+		t.Errorf("replica_shed_total{%s} = %q, want 1", owner, got)
+	}
+}
+
+// TestRouter_CacheAffinity pins the fleet's reason to exist: identical
+// requests land on the same replica and hit its tier-1 result cache, and
+// a probe-subset variant of the same seed lands there too and hits its
+// tier-2 world cache — attributed through the provenance headers and the
+// replica's own /metrics.
+func TestRouter_CacheAffinity(t *testing.T) {
+	f := startFleet(t, 3, serve.Config{})
+	base := f.URL
+
+	spec := `{"seed": "affinity", "profiles": ["Showtime"], "probes": ["q2"]}`
+	wk := worldKeyOf(t, wideleak.RunSpec{Seed: "affinity"})
+	owner := f.Router.OwnerOf(wk)
+	ownerRep := f.Replica(owner)
+	if ownerRep == nil {
+		t.Fatalf("owner %s is not a spawned replica", owner)
+	}
+
+	// Cold run: a tier-1 and tier-2 miss on the owner.
+	first, hdr := fleetSubmit(t, base, spec, http.StatusAccepted)
+	if got := hdr.Get(HeaderReplica); got != owner {
+		t.Fatalf("cold submit landed on %s, ring owner is %s", got, owner)
+	}
+	if got := hdr.Get(serve.HeaderCacheTier); got != "miss" {
+		t.Errorf("cold submit %s = %q, want miss", serve.HeaderCacheTier, got)
+	}
+	st, hdr := waitFleetDone(t, base, first.ID, 120*time.Second)
+	if st.WorldCache != "miss" {
+		t.Errorf("cold run world_cache = %q, want miss", st.WorldCache)
+	}
+	if got := hdr.Get(serve.HeaderWorldCache); got != "miss" {
+		t.Errorf("cold run %s = %q, want miss", serve.HeaderWorldCache, got)
+	}
+	if got := scrape(t, ownerRep.URL+"/metrics", "wideleakd_world_cache_misses_total"); got != "1" {
+		t.Errorf("owner world_cache_misses = %q, want 1", got)
+	}
+
+	// Identical request: tier-1 hit on the same replica, zero new work.
+	second, hdr := fleetSubmit(t, base, spec, http.StatusOK)
+	if !second.Cached {
+		t.Error("identical submit was not served from cache")
+	}
+	if got := hdr.Get(HeaderReplica); got != owner {
+		t.Errorf("identical submit landed on %s, want %s (affinity broken)", got, owner)
+	}
+	if got := hdr.Get(serve.HeaderCacheTier); got != "hit" {
+		t.Errorf("identical submit %s = %q, want hit", serve.HeaderCacheTier, got)
+	}
+	if st, _ := getFleetStatus(t, base, second.ID); st.Observations != 0 {
+		t.Errorf("cached job reports %d observations, want 0", st.Observations)
+	}
+
+	// Probe-subset variant: same world key, new result key → same
+	// replica, tier-1 miss, tier-2 world-cache hit.
+	variant := `{"seed": "affinity", "profiles": ["Showtime"], "probes": ["q3"]}`
+	third, hdr := fleetSubmit(t, base, variant, http.StatusAccepted)
+	if got := hdr.Get(HeaderReplica); got != owner {
+		t.Errorf("variant landed on %s, want %s (tier-2 affinity broken)", got, owner)
+	}
+	if got := hdr.Get(serve.HeaderCacheTier); got != "miss" {
+		t.Errorf("variant submit %s = %q, want miss", serve.HeaderCacheTier, got)
+	}
+	st, hdr = waitFleetDone(t, base, third.ID, 120*time.Second)
+	if st.WorldCache != "hit" {
+		t.Errorf("variant world_cache = %q, want hit", st.WorldCache)
+	}
+	if got := hdr.Get(serve.HeaderWorldCache); got != "hit" {
+		t.Errorf("variant %s = %q, want hit", serve.HeaderWorldCache, got)
+	}
+	if got := scrape(t, ownerRep.URL+"/metrics", "wideleakd_world_cache_hits_total"); got != "1" {
+		t.Errorf("owner world_cache_hits = %q, want 1", got)
+	}
+
+	// The other replicas saw none of it.
+	for _, rep := range f.Replicas {
+		if rep.ID == owner {
+			continue
+		}
+		if got := scrape(t, rep.URL+"/metrics", "wideleakd_jobs_submitted_total"); got != "0" {
+			t.Errorf("replica %s ran %s jobs for another replica's world", rep.ID, got)
+		}
+	}
+}
+
+// TestRouter_FailoverMidRun is the chaos acceptance test: the default
+// study is submitted through the router, its owner replica is killed
+// mid-run, and the request must spill to the ring successor and still
+// return a byte-identical Table I. The dead replica flips unhealthy and
+// receives no further traffic.
+func TestRouter_FailoverMidRun(t *testing.T) {
+	f := startFleet(t, 3, serve.Config{Workers: 1})
+	base := f.URL
+
+	wk := worldKeyOf(t, wideleak.RunSpec{})
+	seq := f.Router.Sequence(wk)
+	owner, successor := seq[0], seq[1]
+
+	sub, hdr := fleetSubmit(t, base, `{}`, http.StatusAccepted)
+	if got := hdr.Get(HeaderReplica); got != owner {
+		t.Fatalf("default study landed on %s, ring owner is %s", got, owner)
+	}
+
+	// Wait for the study to actually start, then crash its replica.
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		st, _ := getFleetStatus(t, base, sub.ID)
+		if st.State == "running" {
+			break
+		}
+		if st.State == "done" {
+			t.Fatal("study finished before the kill — cannot exercise mid-run failover")
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("study never started running")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	f.Replica(owner).Kill()
+
+	st, hdr := waitFleetDone(t, base, sub.ID, 300*time.Second)
+	if got := hdr.Get(HeaderReplica); got != successor {
+		t.Errorf("failed-over study served by %s, want ring successor %s", got, successor)
+	}
+	_ = st
+
+	got := fetchFleetTable(t, base, sub.ID, "txt")
+	want, err := os.ReadFile(filepath.Join("..", "wideleak", "testdata", "tableI_default.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("failed-over table diverges from golden (%d bytes vs %d)", len(got), len(want))
+	}
+	if n := f.Router.Metrics().Failovers(); n < 1 {
+		t.Errorf("failovers_total = %d, want >= 1", n)
+	}
+
+	// The dead replica is unhealthy and stops receiving traffic.
+	for _, id := range f.Router.HealthyIDs() {
+		if id == owner {
+			t.Fatalf("killed replica %s still marked healthy", owner)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		_, hdr := fleetSubmit(t, base,
+			fmt.Sprintf(`{"seed": "failover-traffic-%d", "profiles": ["Showtime"], "probes": ["q2"]}`, i),
+			http.StatusAccepted)
+		if got := hdr.Get(HeaderReplica); got == owner {
+			t.Errorf("dead replica %s still receiving traffic", owner)
+		}
+	}
+	routed := f.Router.Metrics().Routed()
+	if routed[owner] != 1 {
+		t.Errorf("routed_total{%s} = %d, want 1 (only the pre-kill submit)", owner, routed[owner])
+	}
+}

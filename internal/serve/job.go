@@ -40,6 +40,11 @@ type studyResult struct {
 	legacyPlaybacks int
 	wall            time.Duration
 	virtual         time.Duration
+
+	// worldHit records whether the run restored a tier-2 world snapshot
+	// (true) or built its world cold (false) — the provenance the fleet
+	// load harness reads back through headers and job status.
+	worldHit bool
 }
 
 // Job is one study submission: the canonical request, its lifecycle
@@ -204,6 +209,11 @@ type jobStatus struct {
 	WallMS          int64 `json:"wall_ms,omitempty"`
 	VirtualMS       int64 `json:"virtual_ms,omitempty"`
 
+	// WorldCache reports the done run's tier-2 provenance: "hit" when it
+	// restored a warmed world snapshot, "miss" when it built cold. Empty
+	// until the job is done.
+	WorldCache string `json:"world_cache,omitempty"`
+
 	TableURL  string `json:"table_url,omitempty"`
 	EventsURL string `json:"events_url,omitempty"`
 }
@@ -226,6 +236,7 @@ func (j *Job) status() jobStatus {
 		st.Events = j.result.eventCount
 		st.WallMS = j.result.wall.Milliseconds()
 		st.VirtualMS = j.result.virtual.Milliseconds()
+		st.WorldCache = worldCacheLabel(j.result.worldHit)
 		if !j.cached {
 			st.Observations = j.result.observations
 			st.LegacyPlaybacks = j.result.legacyPlaybacks
@@ -246,4 +257,26 @@ func (j *Job) snapshotResult() *studyResult {
 		return nil
 	}
 	return j.result
+}
+
+// provenance reports the done job's cache attribution — whether the job
+// itself was served from the tier-1 result cache, and whether the run
+// that produced its bytes restored a tier-2 world snapshot. ok is false
+// until the job is done.
+func (j *Job) provenance() (cached, worldHit, ok bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != JobDone || j.result == nil {
+		return false, false, false
+	}
+	return j.cached, j.result.worldHit, true
+}
+
+// worldCacheLabel renders tier-2 provenance the way headers and job
+// status spell it.
+func worldCacheLabel(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
 }

@@ -38,6 +38,21 @@ import (
 	"repro/internal/wideleak/probe"
 )
 
+// Cache-provenance headers. The daemon stamps them so a fleet router or
+// load harness can attribute every response to the tier that produced
+// it without scraping /metrics:
+//
+//   - HeaderCacheTier on POST /v1/studies: "hit" (tier-1 result cache,
+//     job born done), "coalesced" (attached to an identical live job),
+//     or "miss" (a fresh run was queued).
+//   - HeaderWorldCache on done-job responses (submit hits, status,
+//     table): "hit" when the run that produced the bytes restored a
+//     tier-2 world snapshot, "miss" when it built its world cold.
+const (
+	HeaderCacheTier  = "X-Wideleak-Cache"
+	HeaderWorldCache = "X-Wideleak-World-Cache"
+)
+
 // Config sizes the server. Zero values select the defaults.
 type Config struct {
 	// Workers is the study worker pool size (default GOMAXPROCS).
@@ -259,15 +274,17 @@ func (s *Server) keyPool(seed string) *provision.KeyPool {
 // a miss builds cold. Either way the seed's shared key pool is attached
 // before any provisioning traffic, so whatever keys the tiers did not
 // cover mint once per seed, not once per job.
-func (s *Server) buildStudy(job *Job) (*wideleak.Study, error) {
+func (s *Server) buildStudy(job *Job) (*wideleak.Study, bool, error) {
 	worldKey, err := job.Spec.WorldKey()
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	var study *wideleak.Study
+	worldHit := false
 	if snap := s.worlds.get(worldKey); snap != nil {
 		if study, err = job.Spec.BuildFromSnapshot(snap); err == nil {
 			s.metrics.addWorldHit()
+			worldHit = true
 		} else {
 			study = nil // corrupt/mismatched snapshot: fall through to a cold build
 		}
@@ -275,13 +292,13 @@ func (s *Server) buildStudy(job *Job) (*wideleak.Study, error) {
 	if study == nil {
 		s.metrics.addWorldMiss()
 		if study, err = job.Spec.Build(); err != nil {
-			return nil, err
+			return nil, false, err
 		}
 	}
 	if err := study.World.AttachKeyPool(s.keyPool(job.Spec.Seed)); err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	return study, nil
+	return study, worldHit, nil
 }
 
 // execute runs the study described by the job's spec under the job's
@@ -289,7 +306,7 @@ func (s *Server) buildStudy(job *Job) (*wideleak.Study, error) {
 // subscribers and the metrics, and the network retry stream into the
 // per-host retry counters.
 func (s *Server) execute(ctx context.Context, job *Job) (*studyResult, error) {
-	study, err := s.buildStudy(job)
+	study, worldHit, err := s.buildStudy(job)
 	if err != nil {
 		return nil, err
 	}
@@ -315,6 +332,7 @@ func (s *Server) execute(ctx context.Context, job *Job) (*studyResult, error) {
 		legacyPlaybacks: study.LegacyPlaybacks(),
 		wall:            time.Since(wallStart),
 		virtual:         study.World.Clock().Now() - virtualStart,
+		worldHit:        worldHit,
 	}
 	for _, format := range wideleak.TableFormats() {
 		out, err := table.Encode(format)
@@ -417,7 +435,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Content-addressed cache: an identical canonical request is served
-	// without any device work — the job is born done.
+	// without any device work — the job is born done. The provenance
+	// headers let a fleet harness attribute the hit to its cache tier.
 	if res := s.cache.get(key); res != nil {
 		job := s.newJobLocked(canonical, key)
 		job.cached = true
@@ -426,6 +445,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		close(job.done)
 		s.metrics.addCacheHit()
 		s.mu.Unlock()
+		w.Header().Set(HeaderCacheTier, "hit")
+		w.Header().Set(HeaderWorldCache, worldCacheLabel(res.worldHit))
 		writeJSON(w, http.StatusOK, submitResponse{
 			ID: job.ID, State: JobDone, Cached: true,
 			StatusURL: "/v1/studies/" + job.ID,
@@ -439,6 +460,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		state := live.State()
 		s.metrics.addCoalesced()
 		s.mu.Unlock()
+		w.Header().Set(HeaderCacheTier, "coalesced")
 		writeJSON(w, http.StatusAccepted, submitResponse{
 			ID: live.ID, State: state, Coalesced: true,
 			StatusURL: "/v1/studies/" + live.ID,
@@ -453,6 +475,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.metrics.addSubmitted()
 		s.metrics.addCacheMiss()
 		s.mu.Unlock()
+		w.Header().Set(HeaderCacheTier, "miss")
 		w.Header().Set("Location", "/v1/studies/"+job.ID)
 		writeJSON(w, http.StatusAccepted, submitResponse{
 			ID: job.ID, State: JobQueued,
@@ -486,6 +509,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no such study")
 		return
 	}
+	setProvenanceHeaders(w, job)
 	writeJSON(w, http.StatusOK, job.status())
 }
 
@@ -518,6 +542,7 @@ func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, fmt.Sprintf("study is %s, not done", job.State()))
 		return
 	}
+	setProvenanceHeaders(w, job)
 	out, ok := res.tables[format]
 	if !ok {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown format %q (supported: txt, csv, json)", format))
@@ -628,6 +653,21 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// setProvenanceHeaders stamps a done job's cache attribution onto the
+// response; live jobs get no provenance (it is unknown until they run).
+func setProvenanceHeaders(w http.ResponseWriter, job *Job) {
+	cached, worldHit, ok := job.provenance()
+	if !ok {
+		return
+	}
+	if cached {
+		w.Header().Set(HeaderCacheTier, "hit")
+	} else {
+		w.Header().Set(HeaderCacheTier, "miss")
+	}
+	w.Header().Set(HeaderWorldCache, worldCacheLabel(worldHit))
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

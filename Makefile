@@ -5,15 +5,17 @@ GO ?= go
 # Per-target budget for the native fuzz pass wired into check.
 FUZZTIME ?= 5s
 
-.PHONY: all build vet lint test race bench bench-cold bench-fleet fuzz chaos check study impact report serve serve-smoke fleet-smoke clean
+.PHONY: all build vet lint test race bench bench-guard bench-matrix bench-cold bench-fleet fuzz chaos check study impact report serve serve-smoke fleet-smoke clean
 
 all: build vet test
 
 # check is the full verification gate: build, lint (gofmt + vet), plain
-# tests, the race detector, the daemon and fleet smoke tests, a benchmark
-# pass recording BENCH_tableI.json, and a short native-fuzz pass over the
+# tests, the race detector, the daemon and fleet smoke tests, the bench
+# guard (current numbers vs the committed baseline — BEFORE bench, which
+# would overwrite that baseline), a benchmark pass recording
+# BENCH_tableI.json, and a short native-fuzz pass over the
 # attacker-facing parsers.
-check: build lint test race serve-smoke fleet-smoke bench fuzz
+check: build lint test race serve-smoke fleet-smoke bench-guard bench fuzz
 
 build:
 	$(GO) build ./...
@@ -38,23 +40,39 @@ race:
 	# hammer tests exercise singleflight mints under contention.
 	$(GO) test -race -count=1 -run 'TestKeyPool' ./internal/provision
 
-# bench runs every root-package benchmark, tees the raw output, and distills
-# it into BENCH_tableI.json ({"name": ns_per_op, ...}) for tooling that
-# tracks the Table I numbers across commits.
+# bench runs every root-package benchmark (except the matrix suite, which
+# has its own baseline file), tees the raw output, and distills it into
+# BENCH_tableI.json ({"name": {"ns_per_op": N, "allocs_per_op": M}}) for
+# tooling that tracks the Table I numbers across commits.
 bench:
-	$(GO) test -bench . -benchmem -run '^$$' . | tee BENCH_tableI.txt
-	awk 'BEGIN { print "{"; n = 0 } \
-	     /^Benchmark/ { if (n++) printf ",\n"; printf "  \"%s\": %s", $$1, $$3 } \
-	     END { print "\n}" }' BENCH_tableI.txt > BENCH_tableI.json
+	$(GO) test -bench '^Benchmark[^M]' -benchmem -run '^$$' . | tee BENCH_tableI.txt
+	$(GO) run ./cmd/benchmerge -parse BENCH_tableI.txt > BENCH_tableI.json
+
+# bench-guard reruns the benchmark suite and fails when any benchmark's
+# ns/op regressed more than 25% against the committed BENCH_tableI.json
+# baseline. New benchmarks (absent from the baseline) are skipped, so the
+# guard never blocks adding coverage — only slowing existing paths.
+bench-guard:
+	$(GO) test -bench '^Benchmark[^M]' -benchmem -run '^$$' . | tee BENCH_guard.txt
+	$(GO) run ./cmd/benchmerge -parse BENCH_guard.txt > BENCH_guard.json
+	$(GO) run ./cmd/benchmerge -guard -tolerance 25 BENCH_tableI.json BENCH_guard.json
+	rm -f BENCH_guard.txt BENCH_guard.json
+
+# bench-matrix records the shared-work scheduler's payoff into
+# BENCH_matrix.json: an overlapping 8-seed x 4-probe-subset mix served as
+# one batch vs the same specs as sequential requests (cell dedup must win
+# >=3x), plus a non-overlapping control mix where there is nothing to
+# share. One iteration each — these are end-to-end served studies.
+bench-matrix:
+	$(GO) test -bench '^BenchmarkMatrix' -benchtime=1x -benchmem -run '^$$' . | tee BENCH_matrix.txt
+	$(GO) run ./cmd/benchmerge -parse BENCH_matrix.txt > BENCH_matrix.json
 
 # bench-cold runs only the cold-start benchmarks (one iteration each —
 # they are end-to-end studies, not microbenchmarks) and merges their
 # numbers into BENCH_tableI.json alongside the full-suite entries.
 bench-cold:
 	$(GO) test -bench 'ColdStart_Pooled|WorldSnapshot_Restore|Server_ColdWithWorldCache|TableI_Full_Parallel1' -benchtime=1x -benchmem -run '^$$' . | tee BENCH_cold.txt
-	awk 'BEGIN { print "{"; n = 0 } \
-	     /^Benchmark/ { if (n++) printf ",\n"; printf "  \"%s\": %s", $$1, $$3 } \
-	     END { print "\n}" }' BENCH_cold.txt > BENCH_cold.json
+	$(GO) run ./cmd/benchmerge -parse BENCH_cold.txt > BENCH_cold.json
 	@if [ -f BENCH_tableI.json ]; then \
 		$(GO) run ./cmd/benchmerge BENCH_tableI.json BENCH_cold.json > BENCH_tableI.json.tmp && \
 		mv BENCH_tableI.json.tmp BENCH_tableI.json && rm BENCH_cold.json; \
@@ -116,8 +134,10 @@ impact:
 report:
 	$(GO) run ./cmd/wideleak -report report.md
 
-# clean leaves BENCH_tableI.json in place: it is the committed benchmark
-# baseline, regenerated (not discarded) by `make bench`.
+# clean leaves BENCH_tableI.json and BENCH_matrix.json in place: they are
+# the committed benchmark baselines, regenerated (not discarded) by
+# `make bench` / `make bench-matrix`.
 clean:
 	rm -f report.md test_output.txt bench_output.txt BENCH_tableI.txt BENCH_cold.txt BENCH_cold.json
+	rm -f BENCH_guard.txt BENCH_guard.json BENCH_matrix.txt
 	rm -f BENCH_fleet1_warm.json BENCH_fleet3_warm.json BENCH_fleet1_cold.json BENCH_fleet3_cold.json

@@ -102,6 +102,7 @@ func BenchmarkServer_Throughput(b *testing.B) {
 	b.Run("Cold", func(b *testing.B) {
 		ts := newServer(b)
 		var n atomic.Int64
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			benchServeRoundTrip(b, ts, spec(fmt.Sprintf("bench-cold-%d", n.Add(1))))
@@ -111,6 +112,7 @@ func BenchmarkServer_Throughput(b *testing.B) {
 	b.Run("Warm", func(b *testing.B) {
 		ts := newServer(b)
 		benchServeRoundTrip(b, ts, spec("bench-warm")) // populate the cache
+		b.ReportAllocs()
 		b.ResetTimer()
 		b.RunParallel(func(pb *testing.PB) {
 			for pb.Next() {

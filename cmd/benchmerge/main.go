@@ -1,42 +1,102 @@
-// Command benchmerge merges benchmark JSON files ({"name": ns_per_op})
-// in argument order — later files win on duplicate keys — and prints the
-// result with the first file's key order preserved (new keys appended in
-// their own file order). `make bench-cold` uses it to fold the cold-start
-// numbers into BENCH_tableI.json without discarding the full-suite
-// entries.
+// Command benchmerge maintains the repo's benchmark JSON baselines.
+// Three modes:
+//
+//	benchmerge base.json overlay.json...          merge (later files win)
+//	benchmerge -parse bench.txt...                go-bench text → JSON
+//	benchmerge -guard [-tolerance 25] base cur    fail on ns/op regression
+//
+// Merge preserves the first file's key order (new keys appended in their
+// own file order) and passes values through verbatim, so flat-number
+// entries (the load-harness format) and object entries coexist.
+//
+// Parse distills `go test -bench -benchmem` output into
+// {"name": {"ns_per_op": N, "allocs_per_op": M}}, reading the named
+// files (or stdin when none). The GOMAXPROCS "-N" suffix is stripped so
+// baselines compare across core counts.
+//
+// Guard compares every benchmark present in BOTH files and exits 1 when
+// any current ns/op exceeds baseline × (1 + tolerance/100). Benchmarks
+// missing from either side are skipped (new benchmarks don't fail the
+// gate; removed ones don't block). Baselines in the legacy flat form
+// ({"name": ns_per_op}) are accepted.
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
+	"regexp"
+	"sort"
+	"strconv"
 )
 
+// entry is one benchmark's parsed numbers.
+type entry struct {
+	NsPerOp     float64
+	AllocsPerOp *float64
+}
+
 func main() {
-	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchmerge base.json overlay.json... > merged.json")
+	fs := flag.NewFlagSet("benchmerge", flag.ExitOnError)
+	parse := fs.Bool("parse", false, "parse go-bench text (files or stdin) into baseline JSON")
+	guard := fs.Bool("guard", false, "compare baseline.json current.json and fail on regression")
+	tolerance := fs.Float64("tolerance", 25, "allowed ns/op regression percentage for -guard")
+	fs.Parse(os.Args[1:])
+	args := fs.Args()
+
+	switch {
+	case *parse && *guard:
+		fmt.Fprintln(os.Stderr, "benchmerge: -parse and -guard are mutually exclusive")
 		os.Exit(2)
+	case *parse:
+		runParse(args)
+	case *guard:
+		if len(args) != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchmerge -guard [-tolerance pct] baseline.json current.json")
+			os.Exit(2)
+		}
+		runGuard(args[0], args[1], *tolerance)
+	default:
+		if len(args) < 1 {
+			fmt.Fprintln(os.Stderr, "usage: benchmerge base.json overlay.json... > merged.json")
+			os.Exit(2)
+		}
+		runMerge(args)
 	}
-	merged := make(map[string]json.Number)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchmerge:", err)
+	os.Exit(1)
+}
+
+// --- merge -----------------------------------------------------------
+
+func runMerge(paths []string) {
+	merged := make(map[string]json.RawMessage)
 	var order []string
-	for _, path := range os.Args[1:] {
+	for _, path := range paths {
 		raw, err := os.ReadFile(path)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "benchmerge:", err)
-			os.Exit(1)
+			fatal(err)
 		}
-		// Decode twice: once for values, once token-wise for key order.
-		var file map[string]json.Number
+		var file map[string]json.RawMessage
 		if err := json.Unmarshal(raw, &file); err != nil {
-			fmt.Fprintf(os.Stderr, "benchmerge: %s: %v\n", path, err)
-			os.Exit(1)
+			fatal(fmt.Errorf("%s: %v", path, err))
 		}
 		for _, key := range keyOrder(raw) {
 			if _, seen := merged[key]; !seen {
 				order = append(order, key)
 			}
-			merged[key] = file[key]
+			var compact bytes.Buffer
+			if err := json.Compact(&compact, file[key]); err != nil {
+				fatal(fmt.Errorf("%s: key %q: %v", path, key, err))
+			}
+			merged[key] = append(json.RawMessage(nil), compact.Bytes()...)
 		}
 	}
 	fmt.Println("{")
@@ -50,11 +110,15 @@ func main() {
 	fmt.Println("}")
 }
 
-// keyOrder streams the top-level object's keys in document order.
+// keyOrder streams the top-level object's keys in document order. Only
+// depth-1 strings in key position are keys: baseline values are numbers
+// or flat objects of numbers, whose own keys sit at depth 2 (and those
+// inner keys are skipped by the depth check, never string values).
 func keyOrder(raw []byte) []string {
 	dec := json.NewDecoder(bytes.NewReader(raw))
 	var keys []string
 	depth := 0
+	expectKey := false
 	for {
 		tok, err := dec.Token()
 		if err != nil {
@@ -67,12 +131,170 @@ func keyOrder(raw []byte) []string {
 			} else {
 				depth--
 			}
+			expectKey = v == '{'
 		case string:
-			// At depth 1 every string in key position names a metric; values
-			// here are numbers, so any depth-1 string IS a key.
-			if depth == 1 {
+			if depth == 1 && expectKey {
 				keys = append(keys, v)
 			}
+			expectKey = !expectKey
+		default:
+			expectKey = true
 		}
+	}
+}
+
+// --- parse -----------------------------------------------------------
+
+// gomaxprocsSuffix is the "-N" testing appends to benchmark names when
+// GOMAXPROCS != 1.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+func runParse(paths []string) {
+	var readers []io.Reader
+	if len(paths) == 0 {
+		readers = append(readers, os.Stdin)
+	}
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		readers = append(readers, f)
+	}
+
+	entries := make(map[string]entry)
+	var order []string
+	for _, r := range readers {
+		scanner := bufio.NewScanner(r)
+		for scanner.Scan() {
+			name, e, ok := parseBenchLine(scanner.Text())
+			if !ok {
+				continue
+			}
+			if _, seen := entries[name]; !seen {
+				order = append(order, name)
+			}
+			entries[name] = e
+		}
+		if err := scanner.Err(); err != nil {
+			fatal(err)
+		}
+	}
+
+	fmt.Println("{")
+	for i, name := range order {
+		e := entries[name]
+		comma := ","
+		if i == len(order)-1 {
+			comma = ""
+		}
+		if e.AllocsPerOp != nil {
+			fmt.Printf("  %q: {\"ns_per_op\": %s, \"allocs_per_op\": %s}%s\n",
+				name, formatNum(e.NsPerOp), formatNum(*e.AllocsPerOp), comma)
+		} else {
+			fmt.Printf("  %q: {\"ns_per_op\": %s}%s\n", name, formatNum(e.NsPerOp), comma)
+		}
+	}
+	fmt.Println("}")
+}
+
+// parseBenchLine extracts one benchmark result from a go-bench output
+// line: `BenchmarkX[-N] <iters> <ns> ns/op [<B> B/op <allocs> allocs/op]`.
+func parseBenchLine(line string) (string, entry, bool) {
+	fields := bytes.Fields([]byte(line))
+	if len(fields) < 4 || !bytes.HasPrefix(fields[0], []byte("Benchmark")) {
+		return "", entry{}, false
+	}
+	name := gomaxprocsSuffix.ReplaceAllString(string(fields[0]), "")
+	var e entry
+	found := false
+	for i := 2; i < len(fields); i++ {
+		v, err := strconv.ParseFloat(string(fields[i-1]), 64)
+		if err != nil {
+			continue
+		}
+		switch string(fields[i]) {
+		case "ns/op":
+			e.NsPerOp = v
+			found = true
+		case "allocs/op":
+			allocs := v
+			e.AllocsPerOp = &allocs
+		}
+	}
+	return name, e, found
+}
+
+// formatNum renders a benchmark number the shortest way that stays
+// integral for integral values (ns/op and allocs/op normally are).
+func formatNum(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// --- guard -----------------------------------------------------------
+
+// loadNs reads a baseline file into name → ns/op, accepting both the
+// object form ({"ns_per_op": ...}) and the legacy flat-number form.
+func loadNs(path string) map[string]float64 {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	var file map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &file); err != nil {
+		fatal(fmt.Errorf("%s: %v", path, err))
+	}
+	out := make(map[string]float64, len(file))
+	for name, val := range file {
+		var flat float64
+		if json.Unmarshal(val, &flat) == nil {
+			out[name] = flat
+			continue
+		}
+		var obj struct {
+			NsPerOp *float64 `json:"ns_per_op"`
+		}
+		if json.Unmarshal(val, &obj) == nil && obj.NsPerOp != nil {
+			out[name] = *obj.NsPerOp
+		}
+	}
+	return out
+}
+
+func runGuard(basePath, curPath string, tolerance float64) {
+	base := loadNs(basePath)
+	cur := loadNs(curPath)
+	limit := 1 + tolerance/100
+	compared, regressed, skipped := 0, 0, 0
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		baseNs, ok := base[name]
+		if !ok || baseNs <= 0 {
+			skipped++
+			continue
+		}
+		compared++
+		ratio := cur[name] / baseNs
+		if ratio > limit {
+			regressed++
+			fmt.Fprintf(os.Stderr, "benchmerge: REGRESSION %s: %.0f ns/op vs baseline %.0f (+%.1f%% > %.0f%% tolerance)\n",
+				name, cur[name], baseNs, (ratio-1)*100, tolerance)
+		}
+	}
+	fmt.Printf("benchmerge: guard compared %d benchmarks against %s (%d new/unknown skipped): %d regressed\n",
+		compared, basePath, skipped, regressed)
+	if compared == 0 {
+		fatal(fmt.Errorf("guard compared zero benchmarks — name mismatch between %s and %s?", basePath, curPath))
+	}
+	if regressed > 0 {
+		os.Exit(1)
 	}
 }

@@ -7,6 +7,7 @@
 //
 //	wideleakd [-addr host:port] [-workers n] [-queue n] [-cache n]
 //	          [-prewarm n] [-prewarm-seed s] [-drain-timeout d]
+//	          [-pprof host:port]
 //
 // See internal/serve for the API surface and README.md for curl
 // examples.
@@ -18,6 +19,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux (side listener only)
 	"os"
 	"os/signal"
 	"syscall"
@@ -46,8 +48,21 @@ func run(args []string, ready func(addr string)) error {
 	prewarm := fs.Int("prewarm", 0, "device RSA keys to pre-mint for the default seed at boot (-1 = all; 0 = none)")
 	prewarmSeed := fs.String("prewarm-seed", "default", "seed to prewarm (with -prewarm)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "max time to finish accepted jobs on shutdown")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this side address (empty = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// The profiler gets its own listener so the API mux stays closed: the
+	// job surface never exposes /debug/pprof, and the side port can stay
+	// firewalled while the API is reachable.
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		go http.Serve(pln, nil) // DefaultServeMux carries the pprof handlers
+		fmt.Printf("wideleakd: pprof on http://%s/debug/pprof/\n", pln.Addr())
 	}
 
 	srv := serve.New(serve.Config{Workers: *workers, QueueSize: *queue, CacheSize: *cacheSize})

@@ -10,7 +10,7 @@
 //	wideleakfleet [-addr host:port] (-spawn n | -replicas url1,url2,...)
 //	              [-replica-workers n] [-replica-queue n] [-replica-cache n]
 //	              [-vnodes n] [-load-factor f] [-health-interval d]
-//	              [-drain-timeout d]
+//	              [-drain-timeout d] [-pprof host:port]
 //
 // With -spawn n the daemon boots n in-process wideleakd children on
 // random ports — a self-contained fleet in one command. With -replicas
@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux (side listener only)
 	"os"
 	"os/signal"
 	"strings"
@@ -55,8 +56,18 @@ func run(args []string, ready func(addr string)) error {
 	loadFactor := fs.Float64("load-factor", 1.25, "bounded-load factor (submissions skip an owner above factor x fleet average)")
 	healthInterval := fs.Duration("health-interval", 500*time.Millisecond, "active /healthz probe period")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "max time to drain the router and spawned replicas on shutdown")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this side address (empty = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	// Side listener: the routed API never exposes /debug/pprof.
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		go http.Serve(pln, nil) // DefaultServeMux carries the pprof handlers
+		fmt.Printf("wideleakfleet: pprof on http://%s/debug/pprof/\n", pln.Addr())
 	}
 	if *spawn > 0 && *replicaURLs != "" {
 		return fmt.Errorf("-spawn and -replicas are mutually exclusive")

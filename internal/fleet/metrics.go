@@ -18,9 +18,11 @@ type Metrics struct {
 	spilled     map[string]int64 // replica → submits that spilled onto it (≠ ring owner)
 	replicaShed map[string]int64 // replica → 429s it answered
 	proxyErrors map[string]int64 // replica → transport failures talking to it
+	batchParts  map[string]int64 // replica → batch partitions landed there
 	shed        int64            // submits the fleet rejected: every candidate shed
 	unroutable  int64            // requests with no healthy replica to try
 	failovers   int64            // jobs resubmitted after their replica was lost
+	batches     int64            // batch submissions fanned out across the ring
 
 	requestSeconds *histogram // every proxied request, router-observed wall time
 	submitSeconds  *histogram // POST /v1/studies only
@@ -37,6 +39,7 @@ func newFleetMetrics(healthy func() map[string]bool, inflight func() map[string]
 		spilled:     make(map[string]int64),
 		replicaShed: make(map[string]int64),
 		proxyErrors: make(map[string]int64),
+		batchParts:  make(map[string]int64),
 		// Warm fleet hits are sub-millisecond; a failover rerun of a cold
 		// ten-app study reaches tens of seconds.
 		requestSeconds:  newHistogram(.0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10, 30),
@@ -58,6 +61,13 @@ func (m *Metrics) addRouted(replica string, spill bool) {
 
 func (m *Metrics) addReplicaShed(replica string) { m.inc(m.replicaShed, replica) }
 func (m *Metrics) addProxyError(replica string)  { m.inc(m.proxyErrors, replica) }
+func (m *Metrics) addBatchPart(replica string)   { m.inc(m.batchParts, replica) }
+
+func (m *Metrics) addBatch() {
+	m.mu.Lock()
+	m.batches++
+	m.mu.Unlock()
+}
 
 func (m *Metrics) inc(field map[string]int64, replica string) {
 	m.mu.Lock()
@@ -145,6 +155,7 @@ func (m *Metrics) Render() string {
 	labeled("wideleakfleet_spilled_total", "Submissions that spilled onto this replica instead of the ring owner.", m.spilled)
 	labeled("wideleakfleet_replica_shed_total", "429 responses observed from each replica.", m.replicaShed)
 	labeled("wideleakfleet_proxy_errors_total", "Transport failures talking to each replica.", m.proxyErrors)
+	labeled("wideleakfleet_batch_parts_total", "Batch partitions (one per distinct world owner) landed on each replica.", m.batchParts)
 
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
@@ -152,6 +163,7 @@ func (m *Metrics) Render() string {
 	counter("wideleakfleet_shed_total", "Submissions the fleet rejected because every candidate replica shed.", m.shed)
 	counter("wideleakfleet_unroutable_total", "Requests with no healthy replica to route to.", m.unroutable)
 	counter("wideleakfleet_failovers_total", "Jobs resubmitted to a ring successor after their replica was lost.", m.failovers)
+	counter("wideleakfleet_batches_total", "Batch submissions fanned out across the ring by world key.", m.batches)
 
 	fmt.Fprintf(&b, "# HELP wideleakfleet_replica_healthy Replica health as seen by the router (1 healthy, 0 not).\n# TYPE wideleakfleet_replica_healthy gauge\n")
 	for _, replica := range sortedBoolKeys(healthy) {

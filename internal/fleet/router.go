@@ -115,6 +115,7 @@ type Router struct {
 	mu       sync.Mutex
 	replicas map[string]*replica
 	jobs     map[string]*fleetJob
+	batches  map[string]*fleetBatch
 	seq      int64
 
 	closed chan struct{}
@@ -147,6 +148,7 @@ func NewRouter(members []Member, opts Options) (*Router, error) {
 		ring:     newRing(ids, opts.VNodes),
 		replicas: replicas,
 		jobs:     make(map[string]*fleetJob),
+		batches:  make(map[string]*fleetBatch),
 		client: &http.Client{Transport: &http.Transport{
 			DialContext:           (&net.Dialer{Timeout: 2 * time.Second}).DialContext,
 			MaxIdleConnsPerHost:   64,
@@ -283,6 +285,11 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/studies/{id}", rt.handleJob(""))
 	mux.HandleFunc("GET /v1/studies/{id}/table", rt.handleJob("/table"))
 	mux.HandleFunc("GET /v1/studies/{id}/events", rt.handleJob("/events"))
+	mux.HandleFunc("POST /v1/batches", rt.handleBatchSubmit)
+	mux.HandleFunc("GET /v1/batches/{id}", rt.handleBatchStatus)
+	mux.HandleFunc("DELETE /v1/batches/{id}", rt.handleBatchCancel)
+	mux.HandleFunc("GET /v1/batches/{id}/rows", rt.handleBatchRows)
+	mux.HandleFunc("GET /v1/batches/{id}/tables/{spec}", rt.handleBatchTable)
 	mux.HandleFunc("GET /metrics", rt.handleMetrics)
 	mux.HandleFunc("GET /healthz", rt.handleHealth)
 	return rt.timed(mux)

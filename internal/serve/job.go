@@ -45,6 +45,11 @@ type studyResult struct {
 	// (true) or built its world cold (false) — the provenance the fleet
 	// load harness reads back through headers and job status.
 	worldHit bool
+
+	// cellsRecombined records that the run was assembled purely from
+	// memoized probe cells: no world was built or restored and no probe
+	// executed — the cell-aware result tier's zero-work path.
+	cellsRecombined bool
 }
 
 // Job is one study submission: the canonical request, its lifecycle
@@ -214,6 +219,10 @@ type jobStatus struct {
 	// until the job is done.
 	WorldCache string `json:"world_cache,omitempty"`
 
+	// CellCache is "hit" when the run was reassembled purely from
+	// memoized probe cells (zero device work without a tier-1 hit).
+	CellCache string `json:"cell_cache,omitempty"`
+
 	TableURL  string `json:"table_url,omitempty"`
 	EventsURL string `json:"events_url,omitempty"`
 }
@@ -237,6 +246,9 @@ func (j *Job) status() jobStatus {
 		st.WallMS = j.result.wall.Milliseconds()
 		st.VirtualMS = j.result.virtual.Milliseconds()
 		st.WorldCache = worldCacheLabel(j.result.worldHit)
+		if j.result.cellsRecombined {
+			st.CellCache = "hit"
+		}
 		if !j.cached {
 			st.Observations = j.result.observations
 			st.LegacyPlaybacks = j.result.legacyPlaybacks

@@ -66,6 +66,15 @@ type Config struct {
 	// per-seed key-pool index (default 16 entries each). A snapshot is
 	// ~50 KB; a pool holds the seed's live RSA keys.
 	WorldCacheSize int
+	// CellCacheSize bounds the probe-cell LRU (default 4096 outcomes)
+	// that makes the result tier cell-aware: a request whose cells are
+	// all resident is reassembled with zero device work even when its
+	// exact RunSpec was never served before.
+	CellCacheSize int
+	// BatchWorkers bounds how many batches run concurrently (default
+	// Workers). Each batch drives its own chain pool, so this is a slot
+	// count, not a thread count.
+	BatchWorkers int
 }
 
 func (c Config) withDefaults() Config {
@@ -80,6 +89,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.WorldCacheSize <= 0 {
 		c.WorldCacheSize = 16
+	}
+	if c.CellCacheSize <= 0 {
+		c.CellCacheSize = 4096
+	}
+	if c.BatchWorkers <= 0 {
+		c.BatchWorkers = c.Workers
 	}
 	return c
 }
@@ -99,13 +114,24 @@ type Server struct {
 	worlds *worldCache
 	pools  *lruCache // seed → *provision.KeyPool
 
+	// cells is the sub-result memoization tier between the result cache
+	// and the world cache: completed (world, profile, probe) outcomes by
+	// CellKey. It makes the result tier cell-aware — a probe-subset
+	// request recombines resident cells instead of re-running — and it is
+	// what lets a batch share work across overlapping specs.
+	cells *wideleak.CellCache
+
 	mu       sync.Mutex
 	jobs     map[string]*Job
 	ids      []string        // submission order (for listing)
 	active   map[string]*Job // canonical key → live job (coalescing)
 	queue    chan *Job
+	batches  map[string]*batchJob
+	batchIDs []string
+	batchSem chan struct{} // bounds concurrently running batches
 	draining bool
 	seq      int64
+	batchSeq int64
 
 	inFlight atomic.Int64
 	wg       sync.WaitGroup
@@ -119,13 +145,16 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:    cfg,
-		cache:  newResultCache(cfg.CacheSize),
-		worlds: newWorldCache(cfg.WorldCacheSize),
-		pools:  newLRUCache(cfg.WorldCacheSize),
-		jobs:   make(map[string]*Job),
-		active: make(map[string]*Job),
-		queue:  make(chan *Job, cfg.QueueSize),
+		cfg:      cfg,
+		cache:    newResultCache(cfg.CacheSize),
+		worlds:   newWorldCache(cfg.WorldCacheSize),
+		pools:    newLRUCache(cfg.WorldCacheSize),
+		cells:    wideleak.NewCellCache(cfg.CellCacheSize),
+		jobs:     make(map[string]*Job),
+		active:   make(map[string]*Job),
+		queue:    make(chan *Job, cfg.QueueSize),
+		batches:  make(map[string]*batchJob),
+		batchSem: make(chan struct{}, cfg.BatchWorkers),
 	}
 	s.metrics = newMetrics(
 		func() int { return len(s.queue) },
@@ -215,6 +244,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		for _, j := range s.jobs {
 			j.requestCancel()
 		}
+		for _, b := range s.batches {
+			b.requestCancel()
+		}
 		s.mu.Unlock()
 		<-done
 		return ctx.Err()
@@ -269,20 +301,20 @@ func (s *Server) keyPool(seed string) *provision.KeyPool {
 	return s.pools.getOrPut(seed, func() any { return wideleak.NewKeyPool(seed) }).(*provision.KeyPool)
 }
 
-// buildStudy materializes a job's study through the warm tiers: a
+// buildStudy materializes a spec's study through the warm tiers: a
 // tier-2 world-snapshot hit restores the warmed world in milliseconds;
 // a miss builds cold. Either way the seed's shared key pool is attached
 // before any provisioning traffic, so whatever keys the tiers did not
 // cover mint once per seed, not once per job.
-func (s *Server) buildStudy(job *Job) (*wideleak.Study, bool, error) {
-	worldKey, err := job.Spec.WorldKey()
+func (s *Server) buildStudy(spec wideleak.RunSpec) (*wideleak.Study, bool, error) {
+	worldKey, err := spec.WorldKey()
 	if err != nil {
 		return nil, false, err
 	}
 	var study *wideleak.Study
 	worldHit := false
 	if snap := s.worlds.get(worldKey); snap != nil {
-		if study, err = job.Spec.BuildFromSnapshot(snap); err == nil {
+		if study, err = spec.BuildFromSnapshot(snap); err == nil {
 			s.metrics.addWorldHit()
 			worldHit = true
 		} else {
@@ -291,48 +323,100 @@ func (s *Server) buildStudy(job *Job) (*wideleak.Study, bool, error) {
 	}
 	if study == nil {
 		s.metrics.addWorldMiss()
-		if study, err = job.Spec.Build(); err != nil {
+		if study, err = spec.Build(); err != nil {
 			return nil, false, err
 		}
 	}
-	if err := study.World.AttachKeyPool(s.keyPool(job.Spec.Seed)); err != nil {
+	if err := study.World.AttachKeyPool(s.keyPool(spec.Seed)); err != nil {
 		return nil, false, err
 	}
 	return study, worldHit, nil
+}
+
+// builtWorld remembers one study a batch materialized, so the server
+// can account its key mints and bank its snapshot after the run.
+type builtWorld struct {
+	spec     wideleak.RunSpec // seed + faults + union profiles
+	study    *wideleak.Study
+	worldHit bool
+}
+
+// bankWorlds accounts each built study's key generations and banks its
+// warmed snapshot: the next run sharing that world identity restores in
+// milliseconds instead of re-provisioning. (Re-banking after a tier-2
+// hit just refreshes recency — determinism makes the bytes agree.)
+func (s *Server) bankWorlds(built []builtWorld) {
+	for _, bw := range built {
+		s.metrics.addRSAMinted(bw.study.World.Registry.MintCount())
+		if worldKey, err := bw.spec.WorldKey(); err == nil {
+			if snap, err := bw.study.World.Snapshot(); err == nil {
+				s.worlds.put(worldKey, snap)
+			}
+		}
+	}
 }
 
 // execute runs the study described by the job's spec under the job's
 // context, wiring the probe event stream into the job log, SSE
 // subscribers and the metrics, and the network retry stream into the
 // per-host retry counters.
+//
+// The run goes through the matrix scheduler with the server's cell
+// cache, which makes the result tier cell-aware: when every cell the
+// spec needs is already memoized (a probe subset of an earlier run),
+// the table is reassembled with zero device work — no world built, no
+// observation executed.
 func (s *Server) execute(ctx context.Context, job *Job) (*studyResult, error) {
-	study, worldHit, err := s.buildStudy(job)
-	if err != nil {
-		return nil, err
-	}
-	study.SetEventSink(func(ev probe.Event) {
-		s.metrics.ObserveEvent(job.record(ev))
-	})
-	// SetEventSink installed the sink's own retry forwarder on the
-	// network; compose the per-host metrics adapter alongside it.
-	network := study.World.Network
-	network.SetRetryObserver(netsim.CombineRetryObservers(network.RetryObserver(), s.metrics.RetryObserver()))
-
+	var (
+		builtMu sync.Mutex
+		built   []builtWorld
+	)
 	wallStart := time.Now()
-	virtualStart := study.World.Clock().Now()
-	table, err := study.BuildTableCtx(ctx)
+	batch, err := wideleak.ExecuteBatch(ctx, []wideleak.RunSpec{job.Spec}, wideleak.BatchOptions{
+		Concurrency: job.Spec.Concurrency,
+		Cache:       s.cells,
+		BuildStudy: func(spec wideleak.RunSpec) (*wideleak.Study, error) {
+			study, worldHit, err := s.buildStudy(spec)
+			if err != nil {
+				return nil, err
+			}
+			study.SetEventSink(func(ev probe.Event) {
+				s.metrics.ObserveEvent(job.record(ev))
+			})
+			// SetEventSink installed the sink's own retry forwarder on the
+			// network; compose the per-host metrics adapter alongside it.
+			network := study.World.Network
+			network.SetRetryObserver(netsim.CombineRetryObservers(network.RetryObserver(), s.metrics.RetryObserver()))
+			builtMu.Lock()
+			built = append(built, builtWorld{spec: spec, study: study, worldHit: worldHit})
+			builtMu.Unlock()
+			return study, nil
+		},
+	})
 	if err != nil {
 		return nil, err
 	}
+	table := batch.Tables[0]
 
+	var virtual time.Duration
+	worldHit := false
+	for _, bw := range built {
+		virtual += bw.study.World.Clock().Now()
+		worldHit = worldHit || bw.worldHit
+	}
 	res := &studyResult{
 		tables:          make(map[string][]byte, len(wideleak.TableFormats())),
 		rows:            len(table.Rows),
-		observations:    study.Observations(),
-		legacyPlaybacks: study.LegacyPlaybacks(),
+		observations:    batch.Stats.Observations,
+		legacyPlaybacks: batch.Stats.LegacyPlaybacks,
 		wall:            time.Since(wallStart),
-		virtual:         study.World.Clock().Now() - virtualStart,
+		virtual:         virtual,
 		worldHit:        worldHit,
+		cellsRecombined: batch.Stats.CellsExecuted == 0 && batch.Stats.WorldsBuilt == 0,
+	}
+	s.metrics.addCellStats(batch.Stats)
+	if res.cellsRecombined {
+		s.metrics.addCellRecombined()
 	}
 	for _, format := range wideleak.TableFormats() {
 		out, err := table.Encode(format)
@@ -345,17 +429,7 @@ func (s *Server) execute(ctx context.Context, job *Job) (*studyResult, error) {
 		return nil, fmt.Errorf("serve: encode events: %w", err)
 	}
 	res.eventCount = job.log.Len()
-
-	// Account the job's actual key generations, then bank the warmed
-	// world: the next job sharing this world identity restores it in
-	// milliseconds instead of re-provisioning. (Re-banking after a tier-2
-	// hit just refreshes recency — determinism makes the bytes agree.)
-	s.metrics.addRSAMinted(study.World.Registry.MintCount())
-	if worldKey, err := job.Spec.WorldKey(); err == nil {
-		if snap, err := study.World.Snapshot(); err == nil {
-			s.worlds.put(worldKey, snap)
-		}
-	}
+	s.bankWorlds(built)
 	return res, nil
 }
 
@@ -394,6 +468,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/studies/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/studies/{id}/table", s.handleTable)
 	mux.HandleFunc("GET /v1/studies/{id}/events", s.handleEvents)
+	mux.HandleFunc("POST /v1/batches", s.handleBatchSubmit)
+	mux.HandleFunc("GET /v1/batches", s.handleBatchList)
+	mux.HandleFunc("GET /v1/batches/{id}", s.handleBatchStatus)
+	mux.HandleFunc("DELETE /v1/batches/{id}", s.handleBatchCancel)
+	mux.HandleFunc("GET /v1/batches/{id}/rows", s.handleBatchRows)
+	mux.HandleFunc("GET /v1/batches/{id}/tables/{spec}", s.handleBatchTable)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	return mux

@@ -47,9 +47,11 @@ func TestServer_WorldCacheTier(t *testing.T) {
 		t.Errorf("world cache hits = %s, want 0", got)
 	}
 
-	// Warm run: a probe subset — new result key, same world key. Must
-	// restore the snapshot and re-provision nothing.
-	subset := wideleak.RunSpec{Seed: "world-tier", Profiles: []string{"Showtime"}, Probes: []string{"q2"}}
+	// Warm run: a new probe — new result key, same world key. q5 is
+	// opt-in, so the cold run never primed its cells and the job cannot
+	// recombine above tier 2: it must restore the snapshot and
+	// re-provision nothing.
+	subset := wideleak.RunSpec{Seed: "world-tier", Profiles: []string{"Showtime"}, Probes: []string{"q5"}}
 	sub2 := submit(t, ts, subset, 202)
 	if st := waitTerminal(t, ts, sub2.ID); st.State != JobDone {
 		t.Fatalf("warm job ended %s: %s", st.State, st.Error)
@@ -87,8 +89,9 @@ func TestServer_WorldCacheFaultIsolation(t *testing.T) {
 		t.Errorf("world cache misses = %s, want 2 (fault schedule is world identity)", got)
 	}
 	// The pool is per-seed, so the faulted run still found every key
-	// resident: only the first run's devices were minted.
-	faulted.Probes = []string{"q3"}
+	// resident: only the first run's devices were minted. q5 keeps the
+	// request below the cell tier (opt-in, so never primed above).
+	faulted.Probes = []string{"q5"}
 	if st := waitTerminal(t, ts, submit(t, ts, faulted, 202).ID); st.State != JobDone {
 		t.Fatalf("faulted subset job: %s", st.Error)
 	}

@@ -3,6 +3,7 @@ package wideleak
 import (
 	"encoding/csv"
 	"encoding/json"
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -74,5 +75,28 @@ func TestTableExportFailedRow(t *testing.T) {
 	}
 	if got := records[1][8]; got != "netsim: retries exhausted: 5 attempts" {
 		t.Errorf("csv error field = %q", got)
+	}
+}
+
+// TestTableEncode_UnknownFormat: the shared encoder must reject an
+// unsupported format with an error naming both the offender and the
+// supported set — it is the single validation point behind the CLI's
+// -format flag and the daemon's ?format= parameter.
+func TestTableEncode_UnknownFormat(t *testing.T) {
+	table := &Table{Rows: []Row{paperRow("Netflix", false,
+		ProtectionEncrypted, ProtectionClear, ProtectionClear, KeyUsageMinimum, LegacyPlays)}}
+	for _, format := range []string{"xml", "", "TXT", "csv "} {
+		out, err := table.Encode(format)
+		if err == nil {
+			t.Errorf("Encode(%q) accepted an unknown format", format)
+			continue
+		}
+		if out != nil {
+			t.Errorf("Encode(%q) returned bytes alongside the error", format)
+		}
+		want := fmt.Sprintf("wideleak: unknown format %q (supported: txt, csv, json)", format)
+		if err.Error() != want {
+			t.Errorf("Encode(%q) error = %q, want %q", format, err, want)
+		}
 	}
 }

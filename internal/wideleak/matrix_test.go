@@ -1,0 +1,332 @@
+package wideleak
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/ott"
+)
+
+// matrixProfiles is the small app set most matrix tests run over — two
+// apps keep cold-world keygen cheap while still exercising multi-row
+// reassembly.
+var matrixProfiles = []string{"Netflix", "Disney+"}
+
+// freshTable runs one spec the pre-matrix way: its own world, its own
+// study, the plain table builder.
+func freshTable(t *testing.T, spec RunSpec) *Table {
+	t.Helper()
+	study, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := study.BuildTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return table
+}
+
+// encodeAll renders a table in every supported format, concatenated —
+// the strictest byte-identity probe the exporters offer.
+func encodeAll(t *testing.T, table *Table) string {
+	t.Helper()
+	var b strings.Builder
+	for _, format := range TableFormats() {
+		raw, err := table.Encode(format)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Write(raw)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestCellKey pins the address's discrimination: every component that
+// can change a cell's bytes must change the key, and canonical
+// defaults must collapse onto it.
+func TestCellKey(t *testing.T) {
+	base := CellKey("default", nil, "Netflix", "q1")
+	if got := CellKey("", nil, "Netflix", "q1"); got != base {
+		t.Errorf("empty seed did not canonicalize to default: %s != %s", got, base)
+	}
+	if got := CellKey("default", &RunFaults{Rate: 0}, "Netflix", "q1"); got != base {
+		t.Errorf("zero-rate faults changed the key")
+	}
+	if got := CellKey("default", &RunFaults{Rate: 0.25}, "Netflix", "q1"); got == base {
+		t.Errorf("fault schedule not part of the key")
+	}
+	if CellKey("default", &RunFaults{Rate: 0.25}, "Netflix", "q1") !=
+		CellKey("default", &RunFaults{Rate: 0.25, Seed: "chaos"}, "Netflix", "q1") {
+		t.Errorf("default fault seed did not canonicalize to chaos")
+	}
+	distinct := map[string]string{
+		"seed":    CellKey("other", nil, "Netflix", "q1"),
+		"profile": CellKey("default", nil, "Hulu", "q1"),
+		"probe":   CellKey("default", nil, "Netflix", "q2"),
+	}
+	for dim, key := range distinct {
+		if key == base {
+			t.Errorf("changing %s did not change the cell key", dim)
+		}
+	}
+	if base != CellKey("default", nil, "Netflix", "q1") {
+		t.Errorf("cell key not stable across calls")
+	}
+}
+
+// TestBatch_ByteIdenticalToFresh is the tentpole property: every table
+// a batch reassembles from deduplicated, memoized cells must be
+// byte-identical — in every output format — to the table a fresh
+// per-spec world-and-study run produces, sequentially and in parallel,
+// with and without a fault schedule.
+func TestBatch_ByteIdenticalToFresh(t *testing.T) {
+	specs := []RunSpec{
+		{Seed: "matrix-a", Profiles: matrixProfiles},
+		{Seed: "matrix-a", Profiles: matrixProfiles, Probes: []string{"q2", "q3"}},
+		{Seed: "matrix-a", Profiles: matrixProfiles, Probes: []string{"q5"}},
+		{Seed: "matrix-a", Profiles: matrixProfiles, Faults: &RunFaults{Rate: 0.25}},
+		{Seed: "matrix-b", Profiles: matrixProfiles[:1], Probes: []string{"q1"}},
+	}
+	want := make([]string, len(specs))
+	for i, spec := range specs {
+		want[i] = encodeAll(t, freshTable(t, spec))
+	}
+
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			res, err := ExecuteBatch(context.Background(), specs, BatchOptions{
+				Concurrency: workers,
+				Cache:       NewCellCache(256),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, table := range res.Tables {
+				if got := encodeAll(t, table); got != want[i] {
+					t.Errorf("spec %d: batch table diverged from fresh run:\n--- batch ---\n%s--- fresh ---\n%s", i, got, want[i])
+				}
+			}
+			// The batch must actually have shared work: specs 0-2 share one
+			// world and the q2/q3/q5 cells overlap spec 0's execution set.
+			st := res.Stats
+			if st.CellsPlanned >= st.CellsNeeded {
+				t.Errorf("no dedup: planned %d cells for %d demands", st.CellsPlanned, st.CellsNeeded)
+			}
+			if st.WorldsBuilt != 3 {
+				t.Errorf("WorldsBuilt = %d, want 3 (matrix-a, matrix-a+faults, matrix-b)", st.WorldsBuilt)
+			}
+			// Specs 0-2 share one observation per app; a fresh run of the
+			// three would have paid three per app.
+			if st.Observations >= 3*len(matrixProfiles) {
+				t.Errorf("Observations = %d — observation sharing did not happen", st.Observations)
+			}
+		})
+	}
+}
+
+// TestBatch_DefaultSpecMatchesGolden pins the batch path straight to the
+// committed golden files: the default spec reassembled from cells must
+// reproduce testdata/tableI_default.* byte for byte.
+func TestBatch_DefaultSpecMatchesGolden(t *testing.T) {
+	res, err := ExecuteBatch(context.Background(), []RunSpec{{}}, BatchOptions{Cache: NewCellCache(64)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, format := range TableFormats() {
+		golden, err := os.ReadFile(filepath.Join("testdata", "tableI_default."+format))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := res.Tables[0].Encode(format)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(golden) {
+			t.Errorf("%s: batch-built default table diverged from golden", format)
+		}
+	}
+}
+
+// TestBatch_SubsetRecombinesFromCells: once a full run has populated the
+// cell cache, a probe-subset spec must be served purely by recombination
+// — no world built, no probe executed, no observation run.
+func TestBatch_SubsetRecombinesFromCells(t *testing.T) {
+	cache := NewCellCache(256)
+	full := RunSpec{Seed: "matrix-c", Profiles: matrixProfiles}
+	first, err := ExecuteBatch(context.Background(), []RunSpec{full}, BatchOptions{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Stats.WorldsBuilt != 1 || first.Stats.CellsExecuted == 0 {
+		t.Fatalf("priming run did no work: %+v", first.Stats)
+	}
+
+	subset := RunSpec{Seed: "matrix-c", Profiles: matrixProfiles, Probes: []string{"q2", "q3"}}
+	res, err := ExecuteBatch(context.Background(), []RunSpec{subset}, BatchOptions{
+		Cache: cache,
+		BuildStudy: func(spec RunSpec) (*Study, error) {
+			t.Errorf("recombination built a world for %+v", spec)
+			return spec.Build()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if st.CellsExecuted != 0 || st.WorldsBuilt != 0 || st.Observations != 0 || st.LegacyPlaybacks != 0 {
+		t.Errorf("recombination did device work: %+v", st)
+	}
+	if st.CellsCached != 2*len(matrixProfiles) {
+		t.Errorf("CellsCached = %d, want %d", st.CellsCached, 2*len(matrixProfiles))
+	}
+	if got, want := encodeAll(t, res.Tables[0]), encodeAll(t, freshTable(t, subset)); got != want {
+		t.Errorf("recombined table diverged from fresh run:\n--- recombined ---\n%s--- fresh ---\n%s", got, want)
+	}
+}
+
+// TestBatch_PermanentFaultByteIdentical exercises the annotated-row
+// reassembly: with one app's license backend dead through every retry,
+// each spec's row must carry exactly the annotation its own fresh run
+// would — including the device name, which depends on which probe in
+// the spec's own execution order hits the dead host first (Pixel for an
+// observation-led spec, Nexus 5 for a bare q4 spec).
+func TestBatch_PermanentFaultByteIdentical(t *testing.T) {
+	const seed = "matrix-perm"
+	var victim ott.Profile
+	for _, p := range ott.Profiles() {
+		if p.Name == "Showtime" {
+			victim = p
+		}
+	}
+	profiles := []string{"Netflix", victim.Name}
+	kill := func(study *Study) *Study {
+		study.World.InstallFaults(FaultSpec{
+			Seed:    "permanent",
+			Default: TransientFaults(0.2),
+			PerHost: map[string]netsim.FaultProfile{
+				victim.LicenseHost(): {Permanent: true},
+			},
+		})
+		return study
+	}
+
+	specs := []RunSpec{
+		{Seed: seed, Profiles: profiles},
+		{Seed: seed, Profiles: profiles, Probes: []string{"q4"}},
+		{Seed: seed, Profiles: profiles, Probes: []string{"q2"}},
+	}
+	want := make([]string, len(specs))
+	for i, spec := range specs {
+		study, err := spec.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		table, err := kill(study).BuildTable()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = encodeAll(t, table)
+	}
+
+	res, err := ExecuteBatch(context.Background(), specs, BatchOptions{
+		Cache: NewCellCache(64),
+		BuildStudy: func(spec RunSpec) (*Study, error) {
+			study, err := spec.Build()
+			if err != nil {
+				return nil, err
+			}
+			return kill(study), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawNexus, sawPixel := false, false
+	for i, table := range res.Tables {
+		if got := encodeAll(t, table); got != want[i] {
+			t.Errorf("spec %d: faulted batch table diverged:\n--- batch ---\n%s--- fresh ---\n%s", i, got, want[i])
+		}
+		for _, row := range table.Rows {
+			if row.App != victim.Name {
+				if row.Failed() {
+					t.Errorf("spec %d: healthy row %s annotated: %s", i, row.App, row.Err)
+				}
+				continue
+			}
+			if !row.Failed() || !strings.Contains(row.Err, "retries exhausted") {
+				t.Errorf("spec %d: victim row not annotated: %+v", i, row)
+			}
+			if strings.Contains(row.Err, "Nexus 5") {
+				sawNexus = true
+			} else {
+				sawPixel = true
+			}
+		}
+	}
+	if !sawNexus || !sawPixel {
+		t.Errorf("annotations did not cover both failure devices (nexus=%v pixel=%v) — the per-spec execution-order walk is untested", sawNexus, sawPixel)
+	}
+}
+
+// TestBatch_RowStreaming: OnRow must deliver every (spec, app) row
+// exactly once, serially, carrying the same row the final table does.
+func TestBatch_RowStreaming(t *testing.T) {
+	specs := []RunSpec{
+		{Seed: "matrix-d", Profiles: matrixProfiles},
+		{Seed: "matrix-d", Profiles: matrixProfiles, Probes: []string{"q1"}},
+	}
+	var mu sync.Mutex
+	seen := make(map[string]Row)
+	res, err := ExecuteBatch(context.Background(), specs, BatchOptions{
+		Concurrency: 4,
+		Cache:       NewCellCache(64),
+		OnRow: func(u RowUpdate) {
+			mu.Lock()
+			defer mu.Unlock()
+			key := fmt.Sprintf("%d/%s", u.Spec, u.Row.App)
+			if _, dup := seen[key]; dup {
+				t.Errorf("row %s delivered twice", key)
+			}
+			seen[key] = u.Row
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, table := range res.Tables {
+		for _, row := range table.Rows {
+			got, ok := seen[fmt.Sprintf("%d/%s", i, row.App)]
+			if !ok {
+				t.Errorf("row %d/%s never streamed", i, row.App)
+				continue
+			}
+			a := &Table{Probes: table.Probes, Rows: []Row{got}}
+			b := &Table{Probes: table.Probes, Rows: []Row{row}}
+			if ga, gb := encodeAll(t, a), encodeAll(t, b); ga != gb {
+				t.Errorf("streamed row %d/%s diverged from table row", i, row.App)
+			}
+		}
+	}
+	if len(seen) != 2*len(matrixProfiles) {
+		t.Errorf("streamed %d rows, want %d", len(seen), 2*len(matrixProfiles))
+	}
+}
+
+// TestBatch_EmptyAndInvalid: planning errors surface before any work.
+func TestBatch_EmptyAndInvalid(t *testing.T) {
+	if _, err := ExecuteBatch(context.Background(), nil, BatchOptions{}); err == nil {
+		t.Error("empty batch did not error")
+	}
+	_, err := ExecuteBatch(context.Background(), []RunSpec{{Probes: []string{"nope"}}}, BatchOptions{})
+	if err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Errorf("invalid probe error = %v", err)
+	}
+}

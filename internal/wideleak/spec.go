@@ -137,6 +137,34 @@ func (r RunSpec) WorldKey() (string, error) {
 	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
+// CellKey returns the content address of one probe cell — the
+// (world, profile, probe) unit the matrix scheduler deduplicates,
+// executes and memoizes. The address covers exactly what determines the
+// cell's bytes: the world seed, the fault schedule (a permanent-host
+// schedule changes which cells degrade to transport annotations), the
+// app profile and the probe ID. Concurrency is excluded for the same
+// reason it is excluded from RunSpec.Key: scheduling never changes the
+// produced bytes. Request ordering is also excluded deliberately — the
+// chaos suite's invariant (transient faults are always masked by the
+// retry budget, permanent hosts consume no fault-stream draws) makes a
+// cell's outcome independent of which other probes ran before it.
+func CellKey(seed string, faults *RunFaults, profile, probeID string) string {
+	if seed == "" {
+		seed = "default"
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "wideleak-cell-v1\nseed=%s\n", seed)
+	if faults != nil && faults.Rate != 0 {
+		fseed := faults.Seed
+		if fseed == "" {
+			fseed = "chaos"
+		}
+		fmt.Fprintf(h, "faults=%g:%s\n", faults.Rate, fseed)
+	}
+	fmt.Fprintf(h, "profile=%s\nprobe=%s\n", profile, probeID)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
 // Build materializes the spec: a fresh world for its seed and profile
 // set, faults installed when configured, and a study with the spec's
 // probe selection and concurrency.

@@ -288,22 +288,10 @@ func (s *Study) buildRow(ctx context.Context, app string) (*Row, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		spec := probeSpec(id)
-		s.emit(probe.Event{Kind: probe.EventProbeStarted, Probe: id, App: app})
-		wallStart := time.Now()
-		virtStart := s.World.Clock().Now()
-		res, err := spec.Run(ctx, s, app, results)
-		wall := time.Since(wallStart)
-		virtual := s.World.Clock().Now() - virtStart
+		res, err := s.runProbe(ctx, id, app, results)
 		if err != nil {
-			if errors.Is(err, netsim.ErrRetriesExhausted) {
-				s.emit(probe.Event{Kind: probe.EventProbeDegraded, Probe: id, App: app,
-					Err: err.Error(), Wall: wall, Virtual: virtual})
-			}
 			return nil, err
 		}
-		s.emit(probe.Event{Kind: probe.EventProbeFinished, Probe: id, App: app,
-			Wall: wall, Virtual: virtual})
 		results[id] = res
 	}
 	row := &Row{App: app, Probes: selected, Results: make(map[string]probe.Result, len(selected))}
@@ -311,6 +299,33 @@ func (s *Study) buildRow(ctx context.Context, app string) (*Row, error) {
 		row.Results[id] = results[id]
 	}
 	return row, nil
+}
+
+// runProbe executes one probe for one app, emitting the
+// started/finished/degraded events with wall and virtual timing. deps
+// carries the results of the probe's execution-order predecessors (the
+// registry hands the probe only what it declared via Requires). Both the
+// sequential row builder and the matrix scheduler run cells through this
+// single body, so a memoized cell is produced by exactly the code a
+// fresh run would have executed.
+func (s *Study) runProbe(ctx context.Context, id, app string, deps probe.Results) (probe.Result, error) {
+	spec := probeSpec(id)
+	s.emit(probe.Event{Kind: probe.EventProbeStarted, Probe: id, App: app})
+	wallStart := time.Now()
+	virtStart := s.World.Clock().Now()
+	res, err := spec.Run(ctx, s, app, deps)
+	wall := time.Since(wallStart)
+	virtual := s.World.Clock().Now() - virtStart
+	if err != nil {
+		if errors.Is(err, netsim.ErrRetriesExhausted) {
+			s.emit(probe.Event{Kind: probe.EventProbeDegraded, Probe: id, App: app,
+				Err: err.Error(), Wall: wall, Virtual: virtual})
+		}
+		return nil, err
+	}
+	s.emit(probe.Event{Kind: probe.EventProbeFinished, Probe: id, App: app,
+		Wall: wall, Virtual: virtual})
+	return res, nil
 }
 
 // Render prints the table in the paper's layout, deriving columns and

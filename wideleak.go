@@ -27,6 +27,8 @@
 package wideleak
 
 import (
+	"context"
+
 	"repro/internal/netsim"
 	"repro/internal/ott"
 	"repro/internal/provision"
@@ -96,6 +98,20 @@ type (
 	RunSpec = wideleak.RunSpec
 	// RunFaults is a RunSpec's optional fault-injection layer.
 	RunFaults = wideleak.RunFaults
+
+	// CellOutcome is one memoized probe-cell result — the unit the
+	// batch scheduler dedups, caches and reassembles tables from.
+	CellOutcome = wideleak.CellOutcome
+	// CellCache is the LRU memo of completed probe cells.
+	CellCache = wideleak.CellCache
+	// BatchOptions configures ExecuteBatch.
+	BatchOptions = wideleak.BatchOptions
+	// BatchStats reports a batch's planning and execution counters.
+	BatchStats = wideleak.BatchStats
+	// BatchResult carries a batch's per-spec tables and stats.
+	BatchResult = wideleak.BatchResult
+	// RowUpdate is one completed (spec, app) row streamed by a batch.
+	RowUpdate = wideleak.RowUpdate
 )
 
 // Classification values.
@@ -186,3 +202,23 @@ func NewKeyPool(seed string) *KeyPool { return wideleak.NewKeyPool(seed) }
 // provision (nil = the paper's ten apps) — the ID set to feed
 // KeyPool.Prewarm.
 func DeviceStableIDs(profiles []Profile) []string { return wideleak.DeviceStableIDs(profiles) }
+
+// CellKey is the content address of one probe cell: seed + canonical
+// fault schedule + profile + probe. Everything that can change a cell's
+// outcome is in the key; scheduling details (Concurrency, request
+// ordering) deliberately are not — see DESIGN.md §cell addressing.
+func CellKey(seed string, faults *RunFaults, profile, probeID string) string {
+	return wideleak.CellKey(seed, faults, profile, probeID)
+}
+
+// NewCellCache builds an LRU memo for capacity completed probe cells
+// (<= 0 disables storing, so lookups always miss).
+func NewCellCache(capacity int) *CellCache { return wideleak.NewCellCache(capacity) }
+
+// ExecuteBatch plans a slice of RunSpecs as a dedup'd DAG of probe
+// cells over shared worlds, executes the distinct cells on a bounded
+// pool, and reassembles each spec's Table byte-identical to a fresh
+// per-spec run.
+func ExecuteBatch(ctx context.Context, specs []RunSpec, opts BatchOptions) (*BatchResult, error) {
+	return wideleak.ExecuteBatch(ctx, specs, opts)
+}

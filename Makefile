@@ -5,7 +5,7 @@ GO ?= go
 # Per-target budget for the native fuzz pass wired into check.
 FUZZTIME ?= 5s
 
-.PHONY: all build vet lint test race bench bench-guard bench-matrix bench-cold bench-fleet fuzz chaos check study impact report serve serve-smoke fleet-smoke clean
+.PHONY: all build vet lint test race bench bench-guard bench-matrix bench-devices bench-cold bench-fleet fuzz chaos check study impact report serve serve-smoke fleet-smoke clean
 
 all: build vet test
 
@@ -48,15 +48,20 @@ bench:
 	$(GO) test -bench '^Benchmark[^M]' -benchmem -run '^$$' . | tee BENCH_tableI.txt
 	$(GO) run ./cmd/benchmerge -parse BENCH_tableI.txt > BENCH_tableI.json
 
-# bench-guard reruns the benchmark suite and fails when any benchmark's
-# ns/op regressed more than 25% against the committed BENCH_tableI.json
-# baseline. New benchmarks (absent from the baseline) are skipped, so the
-# guard never blocks adding coverage — only slowing existing paths.
+# bench-guard reruns the benchmark suites and fails when any benchmark's
+# ns/op regressed against its committed baseline: the root suite vs
+# BENCH_tableI.json at 25%, the device-matrix suite vs BENCH_devices.json
+# at 50% (its entries are single-iteration end-to-end served studies, so
+# they are noisier). New benchmarks (absent from a baseline) are skipped,
+# so the guard never blocks adding coverage — only slowing existing paths.
 bench-guard:
 	$(GO) test -bench '^Benchmark[^M]' -benchmem -run '^$$' . | tee BENCH_guard.txt
 	$(GO) run ./cmd/benchmerge -parse BENCH_guard.txt > BENCH_guard.json
 	$(GO) run ./cmd/benchmerge -guard -tolerance 25 BENCH_tableI.json BENCH_guard.json
-	rm -f BENCH_guard.txt BENCH_guard.json
+	$(GO) test -bench '^BenchmarkMatrixDevices$$' -benchtime=1x -benchmem -run '^$$' . | tee BENCH_guard_devices.txt
+	$(GO) run ./cmd/benchmerge -parse BENCH_guard_devices.txt > BENCH_guard_devices.json
+	$(GO) run ./cmd/benchmerge -guard -tolerance 50 BENCH_devices.json BENCH_guard_devices.json
+	rm -f BENCH_guard.txt BENCH_guard.json BENCH_guard_devices.txt BENCH_guard_devices.json
 
 # bench-matrix records the shared-work scheduler's payoff into
 # BENCH_matrix.json: an overlapping 8-seed x 4-probe-subset mix served as
@@ -64,8 +69,17 @@ bench-guard:
 # >=3x), plus a non-overlapping control mix where there is nothing to
 # share. One iteration each — these are end-to-end served studies.
 bench-matrix:
-	$(GO) test -bench '^BenchmarkMatrix' -benchtime=1x -benchmem -run '^$$' . | tee BENCH_matrix.txt
+	$(GO) test -bench '^BenchmarkMatrix$$' -benchtime=1x -benchmem -run '^$$' . | tee BENCH_matrix.txt
 	$(GO) run ./cmd/benchmerge -parse BENCH_matrix.txt > BENCH_matrix.json
+
+# bench-devices records the device axis's batch payoff into
+# BENCH_devices.json: 4 seeds x 4 probe subsets over an 8-profile device
+# matrix and 4 apps served as one dedup'd batch vs the same specs as
+# sequential requests (shared worlds and cell dedup must win >=2x). One
+# iteration each — these are end-to-end served studies.
+bench-devices:
+	$(GO) test -bench '^BenchmarkMatrixDevices$$' -benchtime=1x -benchmem -run '^$$' . | tee BENCH_devices.txt
+	$(GO) run ./cmd/benchmerge -parse BENCH_devices.txt > BENCH_devices.json
 
 # bench-cold runs only the cold-start benchmarks (one iteration each —
 # they are end-to-end studies, not microbenchmarks) and merges their
@@ -134,10 +148,12 @@ impact:
 report:
 	$(GO) run ./cmd/wideleak -report report.md
 
-# clean leaves BENCH_tableI.json and BENCH_matrix.json in place: they are
-# the committed benchmark baselines, regenerated (not discarded) by
-# `make bench` / `make bench-matrix`.
+# clean leaves BENCH_tableI.json, BENCH_matrix.json and
+# BENCH_devices.json in place: they are the committed benchmark
+# baselines, regenerated (not discarded) by `make bench` /
+# `make bench-matrix` / `make bench-devices`.
 clean:
 	rm -f report.md test_output.txt bench_output.txt BENCH_tableI.txt BENCH_cold.txt BENCH_cold.json
-	rm -f BENCH_guard.txt BENCH_guard.json BENCH_matrix.txt
+	rm -f BENCH_guard.txt BENCH_guard.json BENCH_matrix.txt BENCH_devices.txt
+	rm -f BENCH_guard_devices.txt BENCH_guard_devices.json
 	rm -f BENCH_fleet1_warm.json BENCH_fleet3_warm.json BENCH_fleet1_cold.json BENCH_fleet3_cold.json

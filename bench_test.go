@@ -358,7 +358,7 @@ func BenchmarkFigure1_PlaybackFlow(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if r := f.PixelApp.Play(iwl.ContentID); !r.Played() {
+		if r := f.App("pixel").Play(iwl.ContentID); !r.Played() {
 			b.Fatalf("playback failed: %+v", r)
 		}
 	}
@@ -372,11 +372,11 @@ func BenchmarkE5_KeyboxRecovery(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	if r := f.Nexus5App.Play(iwl.ContentID); !r.Played() {
+	if r := f.App("nexus5").Play(iwl.ContentID); !r.Played() {
 		b.Fatalf("playback failed: %+v", r)
 	}
 	mon := monitor.New()
-	handle, err := mon.AttachProcess(f.Nexus5Device.DRMProcess)
+	handle, err := mon.AttachProcess(f.Device("nexus5").DRMProcess)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -398,13 +398,13 @@ func BenchmarkE5_KeyLadder(b *testing.B) {
 		b.Fatal(err)
 	}
 	mon := monitor.New()
-	mon.AttachCDM(f.Nexus5Device.Engine)
+	mon.AttachCDM(f.Device("nexus5").Engine)
 	defer mon.Detach()
-	if r := f.Nexus5App.Play(iwl.ContentID); !r.Played() {
+	if r := f.App("nexus5").Play(iwl.ContentID); !r.Played() {
 		b.Fatalf("playback failed: %+v", r)
 	}
 	events := mon.Events()
-	handle, err := mon.AttachProcess(f.Nexus5Device.DRMProcess)
+	handle, err := mon.AttachProcess(f.Device("nexus5").DRMProcess)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -412,7 +412,7 @@ func BenchmarkE5_KeyLadder(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	rsaKey, err := attack.RecoverDeviceRSAKey(kb, f.Nexus5Device.Storage)
+	rsaKey, err := attack.RecoverDeviceRSAKey(kb, f.Device("nexus5").Storage)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -45,21 +45,26 @@ func run(args []string) error {
 		return err
 	}
 
+	legacy := fixture.Legacy()
+	if legacy == nil {
+		return fmt.Errorf("world has no discontinued device cell")
+	}
+
 	fmt.Printf("Target: %s on %s (Android %s, CDM %s, %s)\n",
-		name, fixture.Nexus5Device.Model, fixture.Nexus5Device.AndroidVersion,
-		fixture.Nexus5Device.CDMVersion, fixture.Nexus5Device.Level)
+		name, legacy.Device.Model, legacy.Device.AndroidVersion,
+		legacy.Device.CDMVersion, legacy.Device.Level)
 
 	fmt.Println("\n[1/5] Monitored playback (hooking _oecc, MITM + SSL re-pinning)...")
 	mon := monitor.New()
-	mon.AttachCDM(fixture.Nexus5Device.Engine)
+	mon.AttachCDM(legacy.Device.Engine)
 	defer mon.Detach()
-	_ = mon.InterceptNetwork(fixture.Nexus5App.NetworkClient())
-	report := fixture.Nexus5App.Play(wideleak.ContentID)
+	_ = mon.InterceptNetwork(legacy.App.NetworkClient())
+	report := legacy.App.Play(wideleak.ContentID)
 	fmt.Printf("      playback: played=%v embeddedCDM=%v provisionDenied=%v (%d CDM calls traced)\n",
 		report.Played(), report.UsedEmbeddedCDM, report.ProvisionDenied, len(mon.Events()))
 
 	fmt.Println("\n[2/5] Scanning mediadrmserver memory for the keybox magic...")
-	handle, err := mon.AttachProcess(fixture.Nexus5Device.DRMProcess)
+	handle, err := mon.AttachProcess(legacy.Device.DRMProcess)
 	if err != nil {
 		return err
 	}
@@ -71,7 +76,7 @@ func run(args []string) error {
 		kb.StableIDString(), kb.SystemID(), kb.DeviceKey[:4])
 
 	fmt.Println("\n[3/5] Unwrapping the provisioned Device RSA key from flash...")
-	rsaKey, err := attack.RecoverDeviceRSAKey(kb, fixture.Nexus5Device.Storage)
+	rsaKey, err := attack.RecoverDeviceRSAKey(kb, legacy.Device.Storage)
 	if err != nil {
 		return fmt.Errorf("rsa key recovery failed: %w", err)
 	}

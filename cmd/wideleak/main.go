@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	wideleak [-seed s] [-impact] [-diff] [-app name] [-probes q1,q4] [-list-probes] [-format txt|csv|json] [-o file] [-parallel n] [-faults rate] [-fault-seed s]
+//	wideleak [-seed s] [-impact] [-diff] [-app name] [-probes q1,q4] [-list-probes] [-devices pixel,l3] [-list-devices] [-format txt|csv|json] [-o file] [-parallel n] [-faults rate] [-fault-seed s]
 package main
 
 import (
@@ -32,6 +32,8 @@ func run(args []string) error {
 	app := fs.String("app", "", "restrict to one app (default: all ten)")
 	probes := fs.String("probes", "", "comma-separated probe IDs to run (default: the paper's Q1-Q4; see -list-probes)")
 	listProbes := fs.Bool("list-probes", false, "list the registered probes and exit")
+	devices := fs.String("devices", "", "comma-separated device profiles for each app's fixture (default: the paper's pixel,l3,nexus5 trio; see -list-devices)")
+	listDevices := fs.Bool("list-devices", false, "list the registered device profiles and exit")
 	format := fs.String("format", "txt", "output format: txt (alias text), csv, json")
 	outPath := fs.String("o", "", "write the table to this file instead of stdout")
 	reportPath := fs.String("report", "", "write a full markdown report (table + impact + forgery) to this file")
@@ -68,6 +70,40 @@ func run(args []string) error {
 		return nil
 	}
 
+	if *listDevices {
+		defaults := make(map[string]bool)
+		for _, name := range wideleak.DefaultDeviceNames() {
+			defaults[name] = true
+		}
+		fmt.Println("Registered device profiles:")
+		for _, p := range wideleak.DeviceProfiles() {
+			tags := ""
+			if defaults[p.Name] {
+				tags = " [default]"
+			}
+			if p.Legacy {
+				tags += " (discontinued)"
+			}
+			fmt.Printf("  %-11s %s%s\n", p.Name, p.Model, tags)
+			fmt.Printf("       %s, Android %s (patch %s), CDM %s, keybox %s\n",
+				p.Level, p.AndroidVersion, p.PatchLevel, p.CDMVersion, p.Keybox)
+		}
+		return nil
+	}
+
+	var deviceNames []string
+	if *devices != "" {
+		for _, name := range strings.Split(*devices, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				deviceNames = append(deviceNames, name)
+			}
+		}
+		var err error
+		if deviceNames, err = wideleak.ValidateDevices(deviceNames); err != nil {
+			return err
+		}
+	}
+
 	var probeIDs []string
 	if *probes != "" {
 		for _, id := range strings.Split(*probes, ",") {
@@ -94,7 +130,7 @@ func run(args []string) error {
 		profiles = selected
 	}
 
-	world, err := wideleak.NewWorld(*seed, profiles)
+	world, err := wideleak.NewWorldDevices(*seed, profiles, deviceNames)
 	if err != nil {
 		return err
 	}
@@ -139,7 +175,7 @@ func run(args []string) error {
 		fmt.Print(string(out))
 	}
 
-	if *diff && *app == "" && *probes == "" {
+	if *diff && *app == "" && *probes == "" && *devices == "" {
 		diffs := table.Diff(wideleak.PaperTable())
 		if len(diffs) == 0 {
 			fmt.Println("\nReproduction check: table matches the paper's Table I cell for cell.")

@@ -199,3 +199,58 @@ func TestRun_Report(t *testing.T) {
 		t.Errorf("report does not confirm reproduction:\n%.400s", data)
 	}
 }
+
+func TestRun_ListDevices(t *testing.T) {
+	out := captureStdout(t, func() error { return run([]string{"-list-devices"}) })
+	if !strings.Contains(out, "Registered device profiles:") {
+		t.Errorf("missing listing header:\n%s", out)
+	}
+	for _, name := range []string{"pixel", "l3", "nexus5", "galaxy-s7", "l3-revoked"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("listing missing device profile %s:\n%s", name, out)
+		}
+	}
+	if !strings.Contains(out, "[default]") {
+		t.Errorf("listing does not mark the default trio:\n%s", out)
+	}
+	if !strings.Contains(out, "(discontinued)") {
+		t.Errorf("listing does not mark discontinued handsets:\n%s", out)
+	}
+	if !strings.Contains(out, "keybox revoked") {
+		t.Errorf("listing does not show keybox states:\n%s", out)
+	}
+}
+
+func TestRun_UnknownDevice(t *testing.T) {
+	err := run([]string{"-app", "Showtime", "-devices", "pixel,warpphone"})
+	if err == nil {
+		t.Fatal("unknown device accepted")
+	}
+	if !strings.Contains(err.Error(), `"warpphone"`) || !strings.Contains(err.Error(), "pixel") ||
+		!strings.Contains(err.Error(), "nexus5") {
+		t.Errorf("error does not name the bad profile and list the registry: %v", err)
+	}
+}
+
+// TestRun_DeviceSubsetOutput: a device set without the discontinued
+// phone still renders (Q4 shows the no-legacy marker), and explicit
+// selection of the default trio prints the same bytes as no flag.
+func TestRun_DeviceSubsetOutput(t *testing.T) {
+	args := []string{"-app", "Showtime", "-format", "csv", "-diff=false"}
+	plain := captureStdout(t, func() error { return run(args) })
+	trio := captureStdout(t, func() error {
+		return run(append(args, "-devices", "nexus5, l3 ,pixel")) // scrambled + spaced
+	})
+	if plain != trio {
+		t.Errorf("explicit default trio diverged from default:\n--- default ---\n%s--- trio ---\n%s", plain, trio)
+	}
+	pair := captureStdout(t, func() error {
+		return run(append(args, "-devices", "pixel,l3"))
+	})
+	if pair == plain {
+		t.Error("dropping the discontinued device did not change the table")
+	}
+	if !strings.Contains(pair, "Showtime") {
+		t.Errorf("device-subset output unexpected:\n%s", pair)
+	}
+}

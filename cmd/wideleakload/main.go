@@ -7,9 +7,9 @@
 //
 // Usage:
 //
-//	wideleakload (-fleet url | -spawn n) [-mix smoke|warm|cold]
+//	wideleakload (-fleet url | -spawn n) [-mix smoke|warm|cold|devices]
 //	             [-duration d] [-workers n] [-seeds n] [-subsets n]
-//	             [-zipf s] [-burst n] [-cancel-rate f] [-prime]
+//	             [-device-sets n] [-zipf s] [-burst n] [-cancel-rate f] [-prime]
 //	             [-label name] [-out file]
 //	             [-replica-workers n] [-replica-queue n] [-replica-cache n]
 //
@@ -48,7 +48,8 @@ func main() {
 // interesting regimes; explicit flags override any field.
 type mixConfig struct {
 	seeds      int     // distinct world seeds in the key space
-	subsets    int     // probe subsets per seed (key space = seeds × subsets)
+	subsets    int     // probe subsets per seed (key space = seeds × subsets × deviceSets)
+	deviceSets int     // device-set variants per (seed, subset)
 	workers    int     // closed-loop client goroutines
 	zipf       float64 // Zipf skew s (>1); 0 = uniform key popularity
 	burst      int     // submissions issued back-to-back per worker iteration
@@ -58,13 +59,17 @@ type mixConfig struct {
 
 var mixes = map[string]mixConfig{
 	// smoke: tiny warm mix for CI — everything should hit after priming.
-	"smoke": {seeds: 2, subsets: 2, workers: 4, zipf: 0, burst: 1, cancelRate: 0.05, prime: true},
+	"smoke": {seeds: 2, subsets: 2, deviceSets: 1, workers: 4, zipf: 0, burst: 1, cancelRate: 0.05, prime: true},
 	// warm: the sharding payoff regime — a working set that overflows one
 	// replica's result cache but fits the fleet's aggregate.
-	"warm": {seeds: 12, subsets: 4, workers: 8, zipf: 1.2, burst: 2, cancelRate: 0.02, prime: true},
+	"warm": {seeds: 12, subsets: 4, deviceSets: 1, workers: 8, zipf: 1.2, burst: 2, cancelRate: 0.02, prime: true},
 	// cold: every key computed from scratch; measures raw study throughput
 	// and tier-2 reuse across probe subsets of one seed.
-	"cold": {seeds: 8, subsets: 4, workers: 6, zipf: 1.1, burst: 1, cancelRate: 0, prime: false},
+	"cold": {seeds: 8, subsets: 4, deviceSets: 1, workers: 6, zipf: 1.1, burst: 1, cancelRate: 0, prime: false},
+	// devices: the device axis as a routing dimension — distinct device
+	// sets of one seed are distinct worlds (distinct WorldKeys), so the
+	// ring spreads them while probe subsets within a set still share.
+	"devices": {seeds: 4, subsets: 2, deviceSets: 4, workers: 6, zipf: 1.1, burst: 1, cancelRate: 0, prime: true},
 }
 
 // probeSubsets are the per-seed probe-set variants, ordered so subsets=n
@@ -78,15 +83,27 @@ var probeSubsets = [][]string{
 	{"q4"},
 }
 
+// deviceSetVariants are the per-key device-set variants, ordered so
+// -device-sets n takes a prefix. nil is the default trio (the field is
+// omitted from the body); each non-nil set canonicalizes to a distinct
+// WorldKey, giving the router a second sharding dimension.
+var deviceSetVariants = [][]string{
+	nil,
+	{"pixel", "l3"},
+	{"pixel", "l3", "nexus5", "galaxy-s7", "moto-g5"},
+	{"pixel", "l3-revoked", "oneplus-5", "shield-tv"},
+}
+
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("wideleakload", flag.ContinueOnError)
 	fleetURL := fs.String("fleet", "", "base URL of a running fleet router or wideleakd")
 	spawn := fs.Int("spawn", 0, "boot an in-process fleet with this many replicas and drive it")
-	mix := fs.String("mix", "smoke", "load shape preset: smoke, warm or cold")
+	mix := fs.String("mix", "smoke", "load shape preset: smoke, warm, cold or devices")
 	duration := fs.Duration("duration", 10*time.Second, "timed measurement window")
 	workers := fs.Int("workers", 0, "closed-loop client goroutines (overrides mix)")
 	seeds := fs.Int("seeds", 0, "distinct world seeds (overrides mix)")
 	subsets := fs.Int("subsets", 0, "probe subsets per seed, max 4 (overrides mix)")
+	devSets := fs.Int("device-sets", 0, "device-set variants per (seed, subset), max 4 (overrides mix)")
 	zipf := fs.Float64("zipf", -1, "Zipf skew s, >1, or 0 for uniform (overrides mix)")
 	burst := fs.Int("burst", 0, "submissions per worker iteration (overrides mix)")
 	cancelRate := fs.Float64("cancel-rate", -1, "fraction of queued jobs canceled mid-flight (overrides mix)")
@@ -101,7 +118,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 	cfg, ok := mixes[*mix]
 	if !ok {
-		return fmt.Errorf("unknown -mix %q (want smoke, warm or cold)", *mix)
+		return fmt.Errorf("unknown -mix %q (want smoke, warm, cold or devices)", *mix)
 	}
 	set := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
@@ -113,6 +130,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if set["subsets"] {
 		cfg.subsets = *subsets
+	}
+	if set["device-sets"] {
+		cfg.deviceSets = *devSets
 	}
 	if set["zipf"] {
 		cfg.zipf = *zipf
@@ -128,6 +148,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if cfg.subsets < 1 || cfg.subsets > len(probeSubsets) {
 		return fmt.Errorf("-subsets must be 1..%d, got %d", len(probeSubsets), cfg.subsets)
+	}
+	if cfg.deviceSets < 1 || cfg.deviceSets > len(deviceSetVariants) {
+		return fmt.Errorf("-device-sets must be 1..%d, got %d", len(deviceSetVariants), cfg.deviceSets)
 	}
 	if cfg.seeds < 1 || cfg.workers < 1 || cfg.burst < 1 {
 		return fmt.Errorf("seeds, workers and burst must be positive")
@@ -212,9 +235,14 @@ func newHarness(target string, cfg mixConfig) *harness {
 	for s := 0; s < cfg.seeds; s++ {
 		for v := 0; v < cfg.subsets; v++ {
 			probes, _ := json.Marshal(probeSubsets[v])
-			h.keys = append(h.keys, loadKey{
-				body: fmt.Sprintf(`{"seed":"load-%02d","profiles":["Showtime"],"probes":%s}`, s, probes),
-			})
+			for d := 0; d < cfg.deviceSets; d++ {
+				body := fmt.Sprintf(`{"seed":"load-%02d","profiles":["Showtime"],"probes":%s`, s, probes)
+				if deviceSetVariants[d] != nil {
+					devices, _ := json.Marshal(deviceSetVariants[d])
+					body += fmt.Sprintf(`,"devices":%s`, devices)
+				}
+				h.keys = append(h.keys, loadKey{body: body + "}"})
+			}
 		}
 	}
 	return h
@@ -421,5 +449,5 @@ func report(w io.Writer, label string, window time.Duration, cfg mixConfig, s *l
 	fmt.Fprintf(w, "%s: latency p50 %.1fms p99 %.1fms; tier-1 hit %.0f%%, tier-2 hit %.0f%% (keys=%d workers=%d zipf=%.1f burst=%d)\n",
 		label, s.percentile(50), s.percentile(99),
 		100*ratio(s.tier1, s.done), 100*ratio(s.tier2, s.done),
-		cfg.seeds*cfg.subsets, cfg.workers, cfg.zipf, cfg.burst)
+		cfg.seeds*cfg.subsets*cfg.deviceSets, cfg.workers, cfg.zipf, cfg.burst)
 }

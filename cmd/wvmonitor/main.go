@@ -17,8 +17,6 @@ import (
 	"repro"
 	"repro/internal/android"
 	"repro/internal/monitor"
-	"repro/internal/oemcrypto"
-	"repro/internal/ott"
 )
 
 func main() {
@@ -48,18 +46,11 @@ func run(args []string) error {
 		return err
 	}
 
-	var app *ott.App
-	var engine oemcrypto.Engine
-	switch *devKind {
-	case "pixel":
-		app, engine = fixture.PixelApp, fixture.PixelDevice.Engine
-	case "l3":
-		app, engine = fixture.L3App, fixture.L3Device.Engine
-	case "nexus5":
-		app, engine = fixture.Nexus5App, fixture.Nexus5Device.Engine
-	default:
-		return fmt.Errorf("unknown device %q", *devKind)
+	cell := fixture.Cell(*devKind)
+	if cell == nil {
+		return fmt.Errorf("unknown device %q (fixture has: %s)", *devKind, strings.Join(world.DeviceNames(), ", "))
 	}
+	app, engine := cell.App, cell.Device.Engine
 
 	mon := monitor.New()
 	mon.AttachCDM(engine)

@@ -63,12 +63,13 @@ func run() error {
 		return nil
 	}
 
-	fmt.Printf("== %s (TEE-backed L1, CDM %s) ==\n", fixture.PixelDevice.Model, fixture.PixelDevice.CDMVersion)
-	if err := play(fixture.PixelDevice); err != nil {
+	pixel, nexus5 := fixture.Device("pixel"), fixture.Device("nexus5")
+	fmt.Printf("== %s (TEE-backed L1, CDM %s) ==\n", pixel.Model, pixel.CDMVersion)
+	if err := play(pixel); err != nil {
 		return err
 	}
-	fmt.Printf("== %s (software L3, CDM %s) ==\n", fixture.Nexus5Device.Model, fixture.Nexus5Device.CDMVersion)
-	if err := play(fixture.Nexus5Device); err != nil {
+	fmt.Printf("== %s (software L3, CDM %s) ==\n", nexus5.Model, nexus5.CDMVersion)
+	if err := play(nexus5); err != nil {
 		return err
 	}
 	fmt.Println("Same manifest, same code: the license grant alone decides the quality ceiling.")

@@ -30,18 +30,21 @@ func run() error {
 		return err
 	}
 
+	nexus5 := fixture.Cell("nexus5")
+	pixel := fixture.Cell("pixel")
+
 	// --- The discontinued L3 phone ---
 	fmt.Println("=== Nexus 5 (Android 6.0.1, Widevine L3, CDM 3.1.0) ===")
 	mon := monitor.New()
-	mon.AttachCDM(fixture.Nexus5Device.Engine)
+	mon.AttachCDM(nexus5.Device.Engine)
 	defer mon.Detach()
-	if r := fixture.Nexus5App.Play(wideleak.ContentID); !r.Played() {
+	if r := nexus5.App.Play(wideleak.ContentID); !r.Played() {
 		return fmt.Errorf("playback failed: %+v", r)
 	}
 
 	// §IV-D: "By dynamically monitoring memory regions ... we searched for
 	// specific keybox structure (e.g., magic number)."
-	handle, err := mon.AttachProcess(fixture.Nexus5Device.DRMProcess)
+	handle, err := mon.AttachProcess(nexus5.Device.DRMProcess)
 	if err != nil {
 		return err
 	}
@@ -55,7 +58,7 @@ func run() error {
 
 	// §IV-D: "Once we recovered the keybox, we were able to obtain the
 	// provisioned Device RSA Key."
-	rsaKey, err := attack.RecoverDeviceRSAKey(kb, fixture.Nexus5Device.Storage)
+	rsaKey, err := attack.RecoverDeviceRSAKey(kb, nexus5.Device.Storage)
 	if err != nil {
 		return err
 	}
@@ -74,10 +77,10 @@ func run() error {
 
 	// --- The same attack against a TEE-backed L1 phone ---
 	fmt.Println("\n=== Pixel (TEE-backed Widevine L1, CDM 15.0) ===")
-	if r := fixture.PixelApp.Play(wideleak.ContentID); !r.Played() {
+	if r := pixel.App.Play(wideleak.ContentID); !r.Played() {
 		return fmt.Errorf("pixel playback failed: %+v", r)
 	}
-	l1Handle, err := mon.AttachProcess(fixture.PixelDevice.DRMProcess)
+	l1Handle, err := mon.AttachProcess(pixel.Device.DRMProcess)
 	if err != nil {
 		return err
 	}
@@ -89,7 +92,7 @@ func run() error {
 	}
 
 	// Monitors also cannot reach into the app's own process.
-	if _, err := mon.AttachProcess(fixture.Nexus5App.Device().DRMProcess); err != nil {
+	if _, err := mon.AttachProcess(nexus5.App.Device().DRMProcess); err != nil {
 		return err
 	}
 	fmt.Println("\nConclusion: discontinued L3 phones are the ecosystem's weakest link (§IV-D).")

@@ -37,11 +37,12 @@ func run() error {
 
 	// Step 1: hook the CDM and play. The app fetches its manifest over the
 	// secure channel, so the network tap alone sees only sealed blobs.
+	l3 := fixture.Cell("l3")
 	mon := monitor.New()
-	mon.AttachCDM(fixture.L3Device.Engine)
+	mon.AttachCDM(l3.Device.Engine)
 	defer mon.Detach()
-	tap := mon.InterceptNetwork(fixture.L3App.NetworkClient())
-	report := fixture.L3App.Play(wideleak.ContentID)
+	tap := mon.InterceptNetwork(l3.App.NetworkClient())
+	report := l3.App.Play(wideleak.ContentID)
 	if !report.Played() {
 		return fmt.Errorf("playback failed: %+v", report)
 	}

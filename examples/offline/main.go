@@ -33,11 +33,11 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	dev := fixture.PixelDevice
+	dev := fixture.Device("pixel")
 	profile := fixture.Profile
 
 	// Warm up: the device provisions through a normal playback.
-	if r := fixture.PixelApp.Play(wideleak.ContentID); !r.Played() {
+	if r := fixture.App("pixel").Play(wideleak.ContentID); !r.Played() {
 		return fmt.Errorf("online playback failed: %+v", r)
 	}
 

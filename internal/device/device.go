@@ -66,8 +66,16 @@ type Device struct {
 	Model          string
 	Serial         string
 	AndroidVersion string
+	PatchLevel     string
 	CDMVersion     string
 	Level          oemcrypto.SecurityLevel
+	// ProfileName is the registry name of the profile this device was
+	// manufactured from ("" when built through a legacy constructor path
+	// that predates profiles — in practice always set).
+	ProfileName string
+	// KeyboxRevoked records that the factory withheld the device key
+	// from the provisioning registry.
+	KeyboxRevoked bool
 
 	// DRMProcess is the mediadrmserver process memory — the space a
 	// monitor attaches to.
@@ -105,17 +113,39 @@ func (f *Factory) WithRand(rand io.Reader) *Factory {
 // experiment: Android 6.0.1, Widevine L3, CDM 3.1.0, keybox in flash and
 // (once the CDM loads) in process memory.
 func (f *Factory) MakeNexus5(serial string) (*Device, error) {
-	return f.makeL3("Nexus 5", serial, "6.0.1", LegacyCDMVersion, systemIDLegacy)
+	return f.Make(MustProfile("nexus5"), serial)
 }
 
 // MakeL3Phone manufactures a current-generation phone that still lacks a
 // TEE Widevine (the L3 half of the Q1 experiments).
 func (f *Factory) MakeL3Phone(serial string) (*Device, error) {
-	return f.makeL3("Generic L3 Phone", serial, "12", CurrentCDMVersion, systemIDLegacy)
+	return f.Make(MustProfile("l3"), serial)
 }
 
-func (f *Factory) makeL3(model, serial, android, cdmVersion string, systemID uint32) (*Device, error) {
-	kb, err := keybox.New(serial, systemID, f.rand)
+// MakePixel manufactures a current TEE-backed L1 phone: the keybox is
+// seeded directly into TEE secure storage and never exists in normal-world
+// memory.
+func (f *Factory) MakePixel(serial string) (*Device, error) {
+	return f.Make(MustProfile("pixel"), serial)
+}
+
+// Make manufactures a device from a declarative profile: one constructor
+// for the whole device axis. The randomness draw order per security
+// level is frozen (keybox, then engine/trustlet material), so a profile
+// build is byte-identical to the bespoke constructor it replaced.
+func (f *Factory) Make(p Profile, serial string) (*Device, error) {
+	switch p.Level {
+	case oemcrypto.L3:
+		return f.makeL3(p, serial)
+	case oemcrypto.L1:
+		return f.makeL1(p, serial)
+	default:
+		return nil, fmt.Errorf("device: profile %s: unsupported security level %v", p.Name, p.Level)
+	}
+}
+
+func (f *Factory) makeL3(p Profile, serial string) (*Device, error) {
+	kb, err := keybox.New(serial, p.SystemID, f.rand)
 	if err != nil {
 		return nil, fmt.Errorf("device: mint keybox: %w", err)
 	}
@@ -124,50 +154,63 @@ func (f *Factory) makeL3(model, serial, android, cdmVersion string, systemID uin
 		return nil, fmt.Errorf("device: install keybox: %w", err)
 	}
 	space := procmem.NewSpace("mediadrmserver")
-	engine, err := oemcrypto.NewSoftEngine(cdmVersion, space, storage, f.rand)
+	engine, err := oemcrypto.NewSoftEngine(p.CDMVersion, space, storage, f.rand)
 	if err != nil {
 		return nil, fmt.Errorf("device: boot L3 engine: %w", err)
 	}
-	f.registry.RegisterDevice(kb.StableIDString(), kb.DeviceKey)
+	f.feedRegistry(p, kb)
 	return &Device{
-		Model:          model,
+		Model:          p.Model,
 		Serial:         serial,
-		AndroidVersion: android,
-		CDMVersion:     cdmVersion,
+		AndroidVersion: p.AndroidVersion,
+		PatchLevel:     p.PatchLevel,
+		CDMVersion:     p.CDMVersion,
 		Level:          oemcrypto.L3,
+		ProfileName:    p.Name,
+		KeyboxRevoked:  p.Revoked(),
 		DRMProcess:     space,
 		Storage:        storage,
 		Engine:         engine,
 	}, nil
 }
 
-// MakePixel manufactures a current TEE-backed L1 phone: the keybox is
-// seeded directly into TEE secure storage and never exists in normal-world
-// memory.
-func (f *Factory) MakePixel(serial string) (*Device, error) {
-	kb, err := keybox.New(serial, systemIDModern, f.rand)
+func (f *Factory) makeL1(p Profile, serial string) (*Device, error) {
+	kb, err := keybox.New(serial, p.SystemID, f.rand)
 	if err != nil {
 		return nil, fmt.Errorf("device: mint keybox: %w", err)
 	}
 	world := tee.NewWorld(serial)
 	world.ProvisionStorage(oemcrypto.TrustletName, "keybox", kb.Marshal())
-	if err := world.Load(oemcrypto.NewTrustlet(CurrentCDMVersion, f.rand)); err != nil {
+	if err := world.Load(oemcrypto.NewTrustlet(p.CDMVersion, f.rand)); err != nil {
 		return nil, fmt.Errorf("device: load trustlet: %w", err)
 	}
-	engine, err := oemcrypto.NewTEEEngine(CurrentCDMVersion, world)
+	engine, err := oemcrypto.NewTEEEngine(p.CDMVersion, world)
 	if err != nil {
 		return nil, fmt.Errorf("device: boot L1 engine: %w", err)
 	}
-	f.registry.RegisterDevice(kb.StableIDString(), kb.DeviceKey)
+	f.feedRegistry(p, kb)
 	return &Device{
-		Model:          "Pixel",
+		Model:          p.Model,
 		Serial:         serial,
-		AndroidVersion: "12",
-		CDMVersion:     CurrentCDMVersion,
+		AndroidVersion: p.AndroidVersion,
+		PatchLevel:     p.PatchLevel,
+		CDMVersion:     p.CDMVersion,
 		Level:          oemcrypto.L1,
+		ProfileName:    p.Name,
+		KeyboxRevoked:  p.Revoked(),
 		DRMProcess:     procmem.NewSpace("mediadrmserver"),
 		Storage:        NewStorage(),
 		World:          world,
 		Engine:         engine,
 	}, nil
+}
+
+// feedRegistry completes the manufacturer → Widevine provisioning
+// channel. A revoked profile mints and installs its keybox normally but
+// the feed never happens, so provisioning later refuses the device.
+func (f *Factory) feedRegistry(p Profile, kb *keybox.Keybox) {
+	if p.Revoked() {
+		return
+	}
+	f.registry.RegisterDevice(kb.StableIDString(), kb.DeviceKey)
 }

@@ -1,0 +1,200 @@
+package device_test
+
+import (
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/keybox"
+	"repro/internal/oemcrypto"
+	"repro/internal/provision"
+	"repro/internal/wvcrypto"
+)
+
+// TestRegistryDefaults pins the default trio and the canonical axis
+// order: the paper's three phones, registered first, in fixture order.
+func TestRegistryDefaults(t *testing.T) {
+	want := []string{"pixel", "l3", "nexus5"}
+	got := device.DefaultProfileNames()
+	if len(got) != len(want) {
+		t.Fatalf("default profiles = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("default profiles = %v, want %v", got, want)
+		}
+	}
+	names := device.ProfileNames()
+	if len(names) < 8 {
+		t.Errorf("registered profiles = %d, want the extended matrix (>= 8)", len(names))
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("axis order starts %v, want the trio first", names[:3])
+		}
+	}
+}
+
+// TestRegisterValidation covers the registry's rejection paths and the
+// L1 keybox normalization.
+func TestRegisterValidation(t *testing.T) {
+	bad := []device.Profile{
+		{Name: "", CDMVersion: "15.0", SerialPrefix: "ZZ", Level: oemcrypto.L3},
+		{Name: "no-prefix", CDMVersion: "15.0", Level: oemcrypto.L3},
+		{Name: "no-cdm", SerialPrefix: "ZZ", Level: oemcrypto.L3},
+		{Name: "pixel", CDMVersion: "15.0", SerialPrefix: "ZZ", Level: oemcrypto.L3}, // dup name
+		{Name: "fresh", CDMVersion: "15.0", SerialPrefix: "PX", Level: oemcrypto.L3}, // dup prefix
+	}
+	for _, p := range bad {
+		if err := device.Register(p); err == nil {
+			t.Errorf("Register(%+v) accepted, want error", p)
+		}
+	}
+	// Case-insensitive resolution.
+	if _, ok := device.ByName("PIXEL"); !ok {
+		t.Error("ByName is case-sensitive")
+	}
+	// An L1 profile never keeps a normal-world keybox state.
+	if p := device.MustProfile("pixel"); p.Keybox != device.KeyboxAbsentTEE {
+		t.Errorf("pixel keybox state = %v, want TEE-sealed", p.Keybox)
+	}
+}
+
+// TestSortByRegistry: canonical ordering is registration order, not
+// input or lexicographic order.
+func TestSortByRegistry(t *testing.T) {
+	names := []string{"nexus5", "pixel", "galaxy-s7", "l3"}
+	device.SortByRegistry(names)
+	want := []string{"pixel", "l3", "nexus5", "galaxy-s7"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("sorted = %v, want %v", names, want)
+		}
+	}
+}
+
+// TestMakeL1VersusL3 pins what distinguishes the two manufacturing
+// channels: an L1 profile boots a TEE world with the trustlet loaded and
+// leaves nothing in the normal world, an L3 profile has no TEE and its
+// keybox sits in flash and (once the CDM loads) process memory.
+func TestMakeL1VersusL3(t *testing.T) {
+	f, _ := newFactory()
+	l1, err := f.Make(device.MustProfile("shield-tv"), "SH-001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l1.World == nil || !l1.World.Loaded(oemcrypto.TrustletName) {
+		t.Error("L1 profile: trustlet not loaded")
+	}
+	if _, ok := l1.Storage.Get("keybox"); ok {
+		t.Error("L1 profile: keybox in normal-world flash")
+	}
+	if l1.ProfileName != "shield-tv" || l1.PatchLevel != "2021-06" {
+		t.Errorf("L1 provenance = %s/%s", l1.ProfileName, l1.PatchLevel)
+	}
+
+	l3, err := f.Make(device.MustProfile("galaxy-s7"), "GX-001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l3.World != nil {
+		t.Error("L3 profile has a TEE")
+	}
+	if _, ok := l3.Storage.Get("keybox"); !ok {
+		t.Error("L3 profile: keybox missing from flash")
+	}
+	if hits := l3.DRMProcess.Scan(keybox.Magic[:]); len(hits) == 0 {
+		t.Error("L3 profile: keybox not in process memory")
+	}
+	if l3.CDMVersion != "11.0" {
+		t.Errorf("L3 CDM = %s, want the profile's 11.0", l3.CDMVersion)
+	}
+}
+
+// TestMakeRevoked: a revoked profile manufactures normally — keybox
+// minted, installed, scannable — but the manufacturer → Widevine feed is
+// withheld, so the provisioning registry never learns the device key.
+func TestMakeRevoked(t *testing.T) {
+	f, registry := newFactory()
+	dev, err := f.Make(device.MustProfile("l3-revoked"), "RV-001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dev.KeyboxRevoked {
+		t.Error("device does not record revocation")
+	}
+	if _, ok := dev.Storage.Get("keybox"); !ok {
+		t.Error("revoked device: keybox missing from flash (revocation is a feed property, not a hardware one)")
+	}
+	if _, ok := registry.DeviceKey("RV-001"); ok {
+		t.Error("revoked device key reached the provisioning registry")
+	}
+}
+
+// TestProfileBuildMatchesBespoke is the refactor's determinism anchor:
+// manufacturing the paper's trio through Make(Profile) draws the same
+// random material, in the same order, as the original bespoke
+// constructors — same device keys in the registry, same stable IDs,
+// same marshaled keybox bytes in flash.
+func TestProfileBuildMatchesBespoke(t *testing.T) {
+	mk := func(build func(f *device.Factory) []*device.Device) ([]*device.Device, map[string][16]byte) {
+		registry := provision.NewRegistry()
+		f := device.NewFactory(registry, wvcrypto.NewDeterministicReader("bespoke-vs-profile"))
+		devs := build(f)
+		return devs, registry.ExportDeviceKeys()
+	}
+	viaProfile, profKeys := mk(func(f *device.Factory) []*device.Device {
+		var out []*device.Device
+		for _, name := range []string{"pixel", "l3", "nexus5"} {
+			p := device.MustProfile(name)
+			dev, err := f.Make(p, p.SerialPrefix+"-X")
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, dev)
+		}
+		return out
+	})
+	viaBespoke, bespKeys := mk(func(f *device.Factory) []*device.Device {
+		px, err := f.MakePixel("PX-X")
+		if err != nil {
+			t.Fatal(err)
+		}
+		l3, err := f.MakeL3Phone("L3-X")
+		if err != nil {
+			t.Fatal(err)
+		}
+		n5, err := f.MakeNexus5("N5-X")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return []*device.Device{px, l3, n5}
+	})
+
+	for i := range viaProfile {
+		p, b := viaProfile[i], viaBespoke[i]
+		pid, psys, err := p.Engine.KeyboxInfo()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bid, bsys, err := b.Engine.KeyboxInfo()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pid != bid || psys != bsys {
+			t.Errorf("device %d: keybox identity (%s, %d) != bespoke (%s, %d)", i, pid, psys, bid, bsys)
+		}
+		pkb, pok := p.Storage.Get("keybox")
+		bkb, bok := b.Storage.Get("keybox")
+		if pok != bok || string(pkb) != string(bkb) {
+			t.Errorf("device %d: flash keybox bytes diverge from bespoke build", i)
+		}
+	}
+	for id, key := range bespKeys {
+		if profKeys[id] != key {
+			t.Errorf("device key %s diverges between profile and bespoke builds", id)
+		}
+	}
+	if len(profKeys) != len(bespKeys) {
+		t.Errorf("registry fed %d keys via profiles, %d via bespoke", len(profKeys), len(bespKeys))
+	}
+}

@@ -324,6 +324,12 @@ func (rt *Router) handleBatchStatus(w http.ResponseWriter, r *http.Request) {
 			out.Stats.WorldsBuilt += st.Stats.WorldsBuilt
 			out.Stats.Observations += st.Stats.Observations
 			out.Stats.LegacyPlaybacks += st.Stats.LegacyPlaybacks
+			for profile, n := range st.Stats.DeviceCells {
+				if out.Stats.DeviceCells == nil {
+					out.Stats.DeviceCells = make(map[string]int)
+				}
+				out.Stats.DeviceCells[profile] += n
+			}
 		}
 		states = append(states, doc.State)
 		out.Parts = append(out.Parts, doc)

@@ -377,3 +377,69 @@ func TestServer_BatchValidation(t *testing.T) {
 		t.Errorf("unknown format = %d, want 400", resp.StatusCode)
 	}
 }
+
+// TestServer_BatchDeviceAxis pins the device axis through the service
+// layer: specs carrying a device set execute over exactly those cells,
+// the status document reports the per-profile cell counts, the metrics
+// endpoint exposes them as wideleakd_device_cells_total, device-set
+// order never splits the cache, and unknown profiles are rejected up
+// front.
+func TestServer_BatchDeviceAxis(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueSize: 4})
+
+	// Unknown device profiles fail validation at submit time.
+	submitBatch(t, ts, []wideleak.RunSpec{
+		{Seed: "device-axis", Profiles: []string{"Showtime"}, Devices: []string{"warpphone"}},
+	}, 400)
+
+	// Two specs over the same non-default device pair, submitted in
+	// different orders: canonicalization must collapse them onto one
+	// world, and a third over the default trio builds its own.
+	specs := []wideleak.RunSpec{
+		{Seed: "device-axis", Profiles: []string{"Showtime"}, Probes: []string{"q2"}, Devices: []string{"l3", "pixel"}},
+		{Seed: "device-axis", Profiles: []string{"Showtime"}, Probes: []string{"q2"}, Devices: []string{"pixel", "l3"}},
+		{Seed: "device-axis", Profiles: []string{"Showtime"}, Probes: []string{"q2"}},
+	}
+	sub := submitBatch(t, ts, specs, 202)
+	st := waitBatchTerminal(t, ts, sub.ID)
+	if st.State != JobDone {
+		t.Fatalf("batch ended %s: %s", st.State, st.Error)
+	}
+	if st.Stats.WorldsBuilt != 2 {
+		t.Errorf("worlds built = %d, want 2 (device pair + default trio)", st.Stats.WorldsBuilt)
+	}
+
+	// The status document carries the device-cell dimension: each built
+	// world manufactured one cell per (device, app).
+	want := map[string]int{"pixel": 2, "l3": 2, "nexus5": 1}
+	for profile, n := range want {
+		if got := st.Stats.DeviceCells[profile]; got != n {
+			t.Errorf("device cells[%s] = %d, want %d", profile, got, n)
+		}
+	}
+	if len(st.Stats.DeviceCells) != len(want) {
+		t.Errorf("device cells = %v, want exactly %v", st.Stats.DeviceCells, want)
+	}
+
+	// The same counts reach /metrics, labeled per profile.
+	m := metricsText(t, ts)
+	for profile, n := range want {
+		line := fmt.Sprintf("wideleakd_device_cells_total{profile=%q} %d", profile, n)
+		if !strings.Contains(m, line) {
+			t.Errorf("metrics missing %q", line)
+		}
+	}
+
+	// Device-set provenance: the canonical specs echo registry order.
+	for i := 0; i < 2; i++ {
+		if got := fmt.Sprint(st.Specs[i].Devices); got != "[pixel l3]" {
+			t.Errorf("spec %d canonical devices = %s, want [pixel l3]", i, got)
+		}
+	}
+
+	// Byte identity against a fresh standalone run of the device spec.
+	got := fetchBatchTable(t, ts, sub.ID, 0, "txt")
+	if !bytes.Equal(got, freshEncoded(t, specs[0], "txt")) {
+		t.Errorf("device-axis batch table differs from fresh run:\n%s", got)
+	}
+}

@@ -175,19 +175,19 @@ func TestMovieStealerBaselineFails(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r := f.Nexus5App.Play(ContentID); !r.Played() {
+	if r := f.App("nexus5").Play(ContentID); !r.Played() {
 		t.Fatalf("playback failed: %+v", r)
 	}
 	mon := monitor.New()
 
 	// Prong 1: the app process refuses attachment.
-	res, err := attack.MovieStealer(mon, f.Nexus5App.ProcessSpace(), media.PlayabilityMagic())
+	res, err := attack.MovieStealer(mon, f.App("nexus5").ProcessSpace(), media.PlayabilityMagic())
 	if !errors.Is(err, attack.ErrNoDecryptedBuffers) || !res.AppAttachBlocked {
 		t.Errorf("MovieStealer vs app = %+v, %v; want anti-debug block", res, err)
 	}
 
 	// Prong 2: even the attachable DRM server holds no decrypted frames.
-	res2, err := attack.MovieStealer(mon, f.Nexus5Device.DRMProcess, media.PlayabilityMagic())
+	res2, err := attack.MovieStealer(mon, f.Device("nexus5").DRMProcess, media.PlayabilityMagic())
 	if !errors.Is(err, attack.ErrNoDecryptedBuffers) || res2.BuffersFound != 0 {
 		t.Errorf("MovieStealer vs drm server = %+v, %v; want nothing found", res2, err)
 	}
@@ -209,8 +209,8 @@ func TestNetflixURILeak_IndependentOfSecurityLevel(t *testing.T) {
 		engine oemcrypto.Engine
 		app    *ott.App
 	}{
-		{"L1-pixel", f.PixelDevice.Engine, f.PixelApp},
-		{"L3-phone", f.L3Device.Engine, f.L3App},
+		{"L1-pixel", f.Device("pixel").Engine, f.App("pixel")},
+		{"L3-phone", f.Device("l3").Engine, f.App("l3")},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			mon := monitor.New()

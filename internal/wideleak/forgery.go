@@ -40,13 +40,18 @@ func (s *Study) RunHDForgery(app string) (*ForgeryResult, error) {
 		return nil, err
 	}
 	res := &ForgeryResult{App: app}
+	cell := f.Legacy()
+	if cell == nil {
+		res.FailureReason = "device set has no discontinued device"
+		return res, nil
+	}
 
 	// Prerequisites: the §IV-D recovery on the discontinued device.
 	mon := monitor.New()
-	mon.AttachCDM(f.Nexus5Device.Engine)
+	mon.AttachCDM(cell.Device.Engine)
 	defer mon.Detach()
-	tap := mon.InterceptNetwork(f.Nexus5App.NetworkClient())
-	report := f.Nexus5App.Play(ContentID)
+	tap := mon.InterceptNetwork(cell.App.NetworkClient())
+	report := cell.App.Play(ContentID)
 	if report.ProvisionDenied {
 		res.FailureReason = "device revoked; no RSA key was ever provisioned"
 		return res, nil
@@ -55,7 +60,7 @@ func (s *Study) RunHDForgery(app string) (*ForgeryResult, error) {
 		res.FailureReason = "embedded CDM out of reach"
 		return res, nil
 	}
-	handle, err := mon.AttachProcess(f.Nexus5Device.DRMProcess)
+	handle, err := mon.AttachProcess(cell.Device.DRMProcess)
 	if err != nil {
 		return nil, err
 	}
@@ -64,7 +69,7 @@ func (s *Study) RunHDForgery(app string) (*ForgeryResult, error) {
 		res.FailureReason = err.Error()
 		return res, nil
 	}
-	rsaKey, err := attack.RecoverDeviceRSAKey(kb, f.Nexus5Device.Storage)
+	rsaKey, err := attack.RecoverDeviceRSAKey(kb, cell.Device.Storage)
 	if err != nil {
 		res.FailureReason = err.Error()
 		return res, nil

@@ -43,16 +43,21 @@ func (s *Study) RunPracticalImpact(app string) (*ImpactResult, error) {
 		return nil, err
 	}
 	res := &ImpactResult{App: app}
+	cell := f.Legacy()
+	if cell == nil {
+		res.FailureReason = "device set has no discontinued device"
+		return res, nil
+	}
 
 	mon := monitor.New()
-	mon.AttachCDM(f.Nexus5Device.Engine)
+	mon.AttachCDM(cell.Device.Engine)
 	defer mon.Detach()
-	tap := mon.InterceptNetwork(f.Nexus5App.NetworkClient())
-	report := f.Nexus5App.Play(ContentID)
+	tap := mon.InterceptNetwork(cell.App.NetworkClient())
+	report := cell.App.Play(ContentID)
 
 	// Step 1: keybox recovery from the Widevine process (works whenever an
 	// L3 CDM initialized in it, regardless of the app's behaviour).
-	handle, err := mon.AttachProcess(f.Nexus5Device.DRMProcess)
+	handle, err := mon.AttachProcess(cell.Device.DRMProcess)
 	if err != nil {
 		return nil, err
 	}
@@ -75,7 +80,7 @@ func (s *Study) RunPracticalImpact(app string) (*ImpactResult, error) {
 	}
 
 	// Step 2: Device RSA key from flash, unwrapped with the keybox.
-	rsaKey, err := attack.RecoverDeviceRSAKey(kb, f.Nexus5Device.Storage)
+	rsaKey, err := attack.RecoverDeviceRSAKey(kb, cell.Device.Storage)
 	if err != nil {
 		res.FailureReason = err.Error()
 		return res, nil
@@ -163,10 +168,14 @@ func (s *Study) RunL1Resistance(app string) (keyboxFound bool, err error) {
 	if err != nil {
 		return false, err
 	}
+	cell := f.ObservationL1()
+	if cell == nil {
+		return false, fmt.Errorf("wideleak: %s: device set has no L1 device", app)
+	}
 	// Ensure the CDM is warm: play once.
-	_ = f.PixelApp.Play(ContentID)
+	_ = cell.App.Play(ContentID)
 	mon := monitor.New()
-	handle, err := mon.AttachProcess(f.PixelDevice.DRMProcess)
+	handle, err := mon.AttachProcess(cell.Device.DRMProcess)
 	if err != nil {
 		return false, err
 	}

@@ -166,6 +166,11 @@ type BatchStats struct {
 	WorldsBuilt     int `json:"worlds_built"`
 	Observations    int `json:"observations"`
 	LegacyPlaybacks int `json:"legacy_playbacks"`
+	// DeviceCells counts fixture cells actually manufactured by the
+	// batch's built worlds, per device profile — the device-axis
+	// dimension of the work the scheduler could not share. Empty when the
+	// batch reassembled everything from memoized cells.
+	DeviceCells map[string]int `json:"device_cells,omitempty"`
 }
 
 // BatchResult carries the per-spec tables (index-aligned with Specs)
@@ -253,7 +258,7 @@ func planBatch(specs []RunSpec) (*batchPlan, error) {
 		}
 		w, ok := plan.worlds[wk]
 		if !ok {
-			w = &plannedWorld{key: wk, spec: RunSpec{Seed: c.Seed, Faults: c.Faults, Concurrency: 1}}
+			w = &plannedWorld{key: wk, spec: RunSpec{Seed: c.Seed, Devices: c.Devices, Faults: c.Faults, Concurrency: 1}}
 			plan.worlds[wk] = w
 		}
 		for _, profile := range c.Profiles {
@@ -278,7 +283,7 @@ func planBatch(specs []RunSpec) (*batchPlan, error) {
 			for _, id := range execution {
 				cell, ok := ch.probeSet[id]
 				if !ok {
-					cell = &plannedCell{key: CellKey(c.Seed, c.Faults, profile, id), probe: id}
+					cell = &plannedCell{key: CellKey(c.Seed, c.Faults, c.Devices, profile, id), probe: id}
 					ch.probeSet[id] = cell
 				}
 				row.cells = append(row.cells, cell)
@@ -571,6 +576,12 @@ func ExecuteBatch(ctx context.Context, specs []RunSpec, opts BatchOptions) (*Bat
 			res.Stats.WorldsBuilt++
 			res.Stats.Observations += w.study.Observations()
 			res.Stats.LegacyPlaybacks += w.study.LegacyPlaybacks()
+			for name, n := range w.study.World.DeviceCellCounts() {
+				if res.Stats.DeviceCells == nil {
+					res.Stats.DeviceCells = make(map[string]int)
+				}
+				res.Stats.DeviceCells[name] += n
+			}
 		}
 	}
 	return res, nil

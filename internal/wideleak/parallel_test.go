@@ -117,11 +117,11 @@ func TestFixture_OrderIndependent(t *testing.T) {
 	for _, p := range apps {
 		ff, _ := forward.Fixture(p.Name)
 		rf, _ := reverse.Fixture(p.Name)
-		fid, _, err := ff.PixelDevice.Engine.KeyboxInfo()
+		fid, _, err := ff.Device("pixel").Engine.KeyboxInfo()
 		if err != nil {
 			t.Fatal(err)
 		}
-		rid, _, err := rf.PixelDevice.Engine.KeyboxInfo()
+		rid, _, err := rf.Device("pixel").Engine.KeyboxInfo()
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -2,6 +2,7 @@ package wideleak
 
 import (
 	"context"
+	"strings"
 
 	"repro/internal/monitor"
 	"repro/internal/oemcrypto"
@@ -221,17 +222,36 @@ func (q *Q3Result) Values() []any { return []any{q.Usage} }
 func (q *Q4Result) ProbeID() string { return "q4" }
 
 // Cells renders the Q4 column with the paper's symbols: a filled circle
-// for playback, a half circle for provisioning failure.
+// for playback, a half circle for provisioning failure. A single-cell
+// matrix (the default trio's Nexus 5, or the paper's hand-built rows)
+// renders the bare outcome; a wider matrix renders one device=outcome
+// pair per discontinued profile, in canonical device order; a device
+// set with no discontinued profile renders the paper's "-".
 func (q *Q4Result) Cells() []string {
-	switch q.Outcome {
+	if len(q.Devices) == 0 && q.Outcome == 0 {
+		return []string{"-"}
+	}
+	if len(q.Devices) <= 1 {
+		return []string{legacyCell(q.Outcome)}
+	}
+	parts := make([]string, len(q.Devices))
+	for i, d := range q.Devices {
+		parts[i] = d.Device + "=" + legacyCell(d.Outcome)
+	}
+	return []string{strings.Join(parts, ", ")}
+}
+
+// legacyCell renders one revocation-matrix outcome.
+func legacyCell(o LegacyOutcome) string {
+	switch o {
 	case LegacyPlays:
-		return []string{"plays"}
+		return "plays"
 	case LegacyPlaysCustomDRM:
-		return []string{"plays †"}
+		return "plays †"
 	case LegacyProvisioningFails:
-		return []string{"provisioning fails"}
+		return "provisioning fails"
 	default:
-		return []string{"fails"}
+		return "fails"
 	}
 }
 
@@ -298,10 +318,15 @@ func (s *Study) RunQ5(app string) (*Q5Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	cell := f.ObservationL1()
+	if cell == nil {
+		// No L1 device in the set: no retained session to replay against.
+		return &Q5Result{App: app}, nil
+	}
 	mon := monitor.New()
-	mon.AttachCDM(f.PixelDevice.Engine)
+	mon.AttachCDM(cell.Device.Engine)
 	defer mon.Detach()
-	report := f.PixelApp.Play(ContentID)
+	report := cell.App.Play(ContentID)
 	if err := report.TransportErr(); err != nil {
 		return nil, err
 	}

@@ -35,6 +35,7 @@ type worldSnapshot struct {
 	Version    int               `json:"version"`
 	Seed       string            `json:"seed"`
 	Profiles   []string          `json:"profiles"`
+	Devices    []string          `json:"devices,omitempty"`
 	DeviceKeys map[string][]byte `json:"device_keys"`
 	RSAKeys    map[string][]byte `json:"rsa_keys"`
 }
@@ -50,6 +51,7 @@ func (w *World) Snapshot() ([]byte, error) {
 		Version:    snapshotVersion,
 		Seed:       w.seed,
 		Profiles:   make([]string, 0, len(w.profiles)),
+		Devices:    w.DeviceNames(),
 		DeviceKeys: make(map[string][]byte),
 		RSAKeys:    w.Registry.ExportRSAKeys(),
 	}
@@ -90,6 +92,18 @@ func RestoreWorld(data []byte) (*World, error) {
 // position — a snapshot taken over one profile set warms a world built
 // over any other; keys for devices outside the snapshot mint lazily.
 func RestoreWorldProfiles(data []byte, profiles []ott.Profile) (*World, error) {
+	return restoreWorld(data, profiles, nil)
+}
+
+// restoreWorld rebuilds a world from a snapshot with optional profile
+// and device-set overrides (nil = the snapshot's own lists; snapshots
+// predating the device axis restore the default trio). The same
+// stable-label argument that makes profile overrides safe covers the
+// device axis: RSA identities are keyed by device serial, so a snapshot
+// taken over one device set warms any other — keys for devices outside
+// the snapshot mint lazily, and a revoked profile's device never had a
+// registered key to leak in.
+func restoreWorld(data []byte, profiles []ott.Profile, devices []string) (*World, error) {
 	var snap worldSnapshot
 	if err := json.Unmarshal(data, &snap); err != nil {
 		return nil, fmt.Errorf("wideleak: parse snapshot: %w", err)
@@ -106,7 +120,10 @@ func RestoreWorldProfiles(data []byte, profiles []ott.Profile) (*World, error) {
 			profiles = append(profiles, p)
 		}
 	}
-	w, err := NewWorld(snap.Seed, profiles)
+	if devices == nil {
+		devices = snap.Devices
+	}
+	w, err := NewWorldDevices(snap.Seed, profiles, devices)
 	if err != nil {
 		return nil, err
 	}

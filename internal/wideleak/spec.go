@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/device"
 	"repro/internal/ott"
 )
 
@@ -24,6 +25,11 @@ type RunSpec struct {
 	// Profiles restricts the studied apps by exact name (empty = all).
 	// Order is significant — it is the table's row order.
 	Profiles []string `json:"profiles,omitempty"`
+	// Devices selects the device set each app's fixture manufactures, by
+	// registered profile name (empty = the default pixel,l3,nexus5 trio).
+	// Order is NOT significant: canonicalization sorts the set into
+	// registry order, so every permutation shares one cache key.
+	Devices []string `json:"devices,omitempty"`
 	// Faults optionally installs deterministic fault injection.
 	Faults *RunFaults `json:"faults,omitempty"`
 	// Concurrency caps the row workers. It does not contribute to the
@@ -85,6 +91,10 @@ func (r RunSpec) Canonicalize() (RunSpec, error) {
 		}
 	}
 
+	if c.Devices, err = CanonicalDeviceNames(r.Devices); err != nil {
+		return RunSpec{}, err
+	}
+
 	if r.Faults != nil && r.Faults.Rate != 0 {
 		if r.Faults.Rate < 0 || r.Faults.Rate >= 1 {
 			return RunSpec{}, fmt.Errorf("wideleak: fault rate must be in [0,1), got %g", r.Faults.Rate)
@@ -109,8 +119,8 @@ func (r RunSpec) Key() (string, error) {
 		return "", err
 	}
 	h := sha256.New()
-	fmt.Fprintf(h, "wideleak-run-v1\nseed=%s\nprobes=%s\nprofiles=%s\n",
-		c.Seed, strings.Join(c.Probes, ","), strings.Join(c.Profiles, ","))
+	fmt.Fprintf(h, "wideleak-run-v1\nseed=%s\nprobes=%s\nprofiles=%s\ndevices=%s\n",
+		c.Seed, strings.Join(c.Probes, ","), strings.Join(c.Profiles, ","), strings.Join(c.Devices, ","))
 	if c.Faults != nil {
 		fmt.Fprintf(h, "faults=%g:%s\n", c.Faults.Rate, c.Faults.Seed)
 	}
@@ -118,19 +128,23 @@ func (r RunSpec) Key() (string, error) {
 }
 
 // WorldKey returns the spec's world identity: a hex SHA-256 over only
-// the fields that shape the world's expensive state — the seed and the
-// fault schedule. Probes, profiles and concurrency are deliberately
-// excluded: every piece of world material is keyed by stable labels, so
-// two requests differing only in probe subset or profile list share one
-// warmed world. This is the cache key of the service layer's second
-// (fixture) tier, below the full RunSpec result tier.
+// the fields that shape the world's expensive state — the seed, the
+// device set each fixture manufactures, and the fault schedule. Probes,
+// profiles and concurrency are deliberately excluded: every piece of
+// world material is keyed by stable labels, so two requests differing
+// only in probe subset or profile list share one warmed world. The
+// device set IS included — it decides which cells a fixture builds and
+// which observation cells the study plays on, so worlds with different
+// device sets are different worlds. This is the cache key of the
+// service layer's second (fixture) tier, below the full RunSpec result
+// tier.
 func (r RunSpec) WorldKey() (string, error) {
 	c, err := r.Canonicalize()
 	if err != nil {
 		return "", err
 	}
 	h := sha256.New()
-	fmt.Fprintf(h, "wideleak-world-v1\nseed=%s\n", c.Seed)
+	fmt.Fprintf(h, "wideleak-world-v1\nseed=%s\ndevices=%s\n", c.Seed, strings.Join(c.Devices, ","))
 	if c.Faults != nil {
 		fmt.Fprintf(h, "faults=%g:%s\n", c.Faults.Rate, c.Faults.Seed)
 	}
@@ -138,22 +152,30 @@ func (r RunSpec) WorldKey() (string, error) {
 }
 
 // CellKey returns the content address of one probe cell — the
-// (world, profile, probe) unit the matrix scheduler deduplicates,
-// executes and memoizes. The address covers exactly what determines the
-// cell's bytes: the world seed, the fault schedule (a permanent-host
-// schedule changes which cells degrade to transport annotations), the
-// app profile and the probe ID. Concurrency is excluded for the same
-// reason it is excluded from RunSpec.Key: scheduling never changes the
-// produced bytes. Request ordering is also excluded deliberately — the
-// chaos suite's invariant (transient faults are always masked by the
-// retry budget, permanent hosts consume no fault-stream draws) makes a
-// cell's outcome independent of which other probes ran before it.
-func CellKey(seed string, faults *RunFaults, profile, probeID string) string {
+// (world, device set, profile, probe) unit the matrix scheduler
+// deduplicates, executes and memoizes. The address covers exactly what
+// determines the cell's bytes: the world seed, the canonical device set
+// (a Q4 cell's revocation matrix — and every observation cell's device
+// selection — depends on which devices the fixture manufactures), the
+// fault schedule (a permanent-host schedule changes which cells degrade
+// to transport annotations), the app profile and the probe ID.
+// Concurrency is excluded for the same reason it is excluded from
+// RunSpec.Key: scheduling never changes the produced bytes. Request
+// ordering is also excluded deliberately — the chaos suite's invariant
+// (transient faults are always masked by the retry budget, permanent
+// hosts consume no fault-stream draws) makes a cell's outcome
+// independent of which other probes ran before it. The devices slice
+// must already be canonical (CanonicalDeviceNames); nil selects the
+// default trio.
+func CellKey(seed string, faults *RunFaults, devices []string, profile, probeID string) string {
 	if seed == "" {
 		seed = "default"
 	}
+	if len(devices) == 0 {
+		devices = defaultDeviceNamesCached
+	}
 	h := sha256.New()
-	fmt.Fprintf(h, "wideleak-cell-v1\nseed=%s\n", seed)
+	fmt.Fprintf(h, "wideleak-cell-v1\nseed=%s\ndevices=%s\n", seed, strings.Join(devices, ","))
 	if faults != nil && faults.Rate != 0 {
 		fseed := faults.Seed
 		if fseed == "" {
@@ -164,6 +186,10 @@ func CellKey(seed string, faults *RunFaults, profile, probeID string) string {
 	fmt.Fprintf(h, "profile=%s\nprobe=%s\n", profile, probeID)
 	return hex.EncodeToString(h.Sum(nil))
 }
+
+// defaultDeviceNamesCached avoids re-allocating the default set on every
+// CellKey call (the hot path of batch planning).
+var defaultDeviceNamesCached = device.DefaultProfileNames()
 
 // Build materializes the spec: a fresh world for its seed and profile
 // set, faults installed when configured, and a study with the spec's
@@ -198,13 +224,13 @@ func (r RunSpec) build(snapshot []byte) (*Study, error) {
 	}
 	var world *World
 	if snapshot != nil {
-		if world, err = RestoreWorldProfiles(snapshot, profiles); err != nil {
+		if world, err = restoreWorld(snapshot, profiles, c.Devices); err != nil {
 			return nil, err
 		}
 		if world.Seed() != c.Seed {
 			return nil, fmt.Errorf("wideleak: snapshot seed %q does not match request seed %q", world.Seed(), c.Seed)
 		}
-	} else if world, err = NewWorld(c.Seed, profiles); err != nil {
+	} else if world, err = NewWorldDevices(c.Seed, profiles, c.Devices); err != nil {
 		return nil, err
 	}
 	if c.Faults != nil {

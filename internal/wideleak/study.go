@@ -135,11 +135,23 @@ type Q3Result struct {
 	PerResolutionKeys bool
 }
 
+// Q4DeviceOutcome is one cell of Q4's revocation matrix: the playback
+// outcome of one discontinued device profile.
+type Q4DeviceOutcome struct {
+	Device  string
+	Outcome LegacyOutcome
+	Detail  string
+}
+
 // Q4Result answers "does the app still serve discontinued devices?".
+// With the default device trio the matrix has one cell (the Nexus 5)
+// and Outcome/Detail mirror it; wider device sets fill Devices with one
+// outcome per discontinued profile, in canonical device order.
 type Q4Result struct {
 	App     string
 	Outcome LegacyOutcome
 	Detail  string
+	Devices []Q4DeviceOutcome
 }
 
 // Study runs the registered research questions over a World.
@@ -229,8 +241,8 @@ func (s *Study) LegacyPlaybacks() int { return int(s.legacyPlays.Load()) }
 
 // observation caches one app's monitored playbacks (shared across Q1-Q3).
 type observation struct {
-	pixelReport *ott.PlaybackReport
-	pixelEvents []oemcrypto.CallEvent
+	l1Report *ott.PlaybackReport
+	l1Events []oemcrypto.CallEvent
 
 	l3Report    *ott.PlaybackReport
 	l3Events    []oemcrypto.CallEvent
@@ -240,10 +252,10 @@ type observation struct {
 	cdnHost string
 }
 
-// observe plays the title on the app's Pixel (L1) and modern L3 devices
-// under full instrumentation, then recovers the manifest from the captured
-// traffic or, failing that, from dumped CDM generic-decrypt outputs — the
-// Netflix path.
+// observe plays the title on the app's L1 and modern L3 observation
+// cells under full instrumentation, then recovers the manifest from the
+// captured traffic or, failing that, from dumped CDM generic-decrypt
+// outputs — the Netflix path.
 func (s *Study) observe(app string) (*observation, error) {
 	s.mu.Lock()
 	e, ok := s.obs[app]
@@ -256,7 +268,11 @@ func (s *Study) observe(app string) (*observation, error) {
 	return e.o, e.err
 }
 
-// runObservation performs the actual instrumented playbacks for one app.
+// runObservation performs the actual instrumented playbacks for one app,
+// on the fixture's observation cells. A device set without an L1 (or
+// modern L3) cell simply skips that run: the dependent classifications
+// degrade to their unknown values, exactly like the paper's unobtainable
+// cells.
 func (s *Study) runObservation(app string) (*observation, error) {
 	s.obsRuns.Add(1)
 	f, err := s.World.Fixture(app)
@@ -266,25 +282,29 @@ func (s *Study) runObservation(app string) (*observation, error) {
 	o := &observation{}
 
 	// L1 run: CDM hooks on the TEE-backed system engine.
-	monL1 := monitor.New()
-	monL1.AttachCDM(f.PixelDevice.Engine)
-	o.pixelReport = f.PixelApp.Play(ContentID)
-	o.pixelEvents = monL1.Events()
-	monL1.Detach()
-	if err := o.pixelReport.TransportErr(); err != nil {
-		return nil, err
+	if cell := f.ObservationL1(); cell != nil {
+		monL1 := monitor.New()
+		monL1.AttachCDM(cell.Device.Engine)
+		o.l1Report = cell.App.Play(ContentID)
+		o.l1Events = monL1.Events()
+		monL1.Detach()
+		if err := o.l1Report.TransportErr(); err != nil {
+			return nil, err
+		}
 	}
 
 	// L3 run: CDM hooks + network MITM with SSL re-pinning.
-	monL3 := monitor.New()
-	monL3.AttachCDM(f.L3Device.Engine)
-	tap := monL3.InterceptNetwork(f.L3App.NetworkClient())
-	o.l3Report = f.L3App.Play(ContentID)
-	o.l3Events = monL3.Events()
-	o.l3Exchanges = tap.Exchanges()
-	monL3.Detach()
-	if err := o.l3Report.TransportErr(); err != nil {
-		return nil, err
+	if cell := f.ObservationL3(); cell != nil {
+		monL3 := monitor.New()
+		monL3.AttachCDM(cell.Device.Engine)
+		tap := monL3.InterceptNetwork(cell.App.NetworkClient())
+		o.l3Report = cell.App.Play(ContentID)
+		o.l3Events = monL3.Events()
+		o.l3Exchanges = tap.Exchanges()
+		monL3.Detach()
+		if err := o.l3Report.TransportErr(); err != nil {
+			return nil, err
+		}
 	}
 
 	o.mpd, o.cdnHost = recoverManifest(o.l3Exchanges, monL3Dumps(o.l3Events))
@@ -347,18 +367,23 @@ func (s *Study) RunQ1(app string) (*Q1Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	findings := staticscan.Scan(f.PixelApp.DecompiledReferences())
+	if len(f.Cells) == 0 {
+		return nil, fmt.Errorf("wideleak: %s: fixture has no device cells", app)
+	}
+	// The decompiled surface is a property of the APK, not the handset:
+	// any cell's install serves.
+	findings := staticscan.Scan(f.Cells[0].App.DecompiledReferences())
 	res.StaticSuggestsWidevine = findings.SuggestsWidevine()
 	res.UsesExoPlayerDRM = findings.UsesExoPlayerDRM
 
-	res.UsesWidevine = len(o.pixelEvents) > 0 || len(o.l3Events) > 0
-	for _, ev := range o.pixelEvents {
+	res.UsesWidevine = len(o.l1Events) > 0 || len(o.l3Events) > 0
+	for _, ev := range o.l1Events {
 		if ev.Library == oemcrypto.LibOEMCrypto {
 			res.L1Supported = true
 			break
 		}
 	}
-	res.CustomDRMOnL3 = o.l3Report.Played() && len(o.l3Events) == 0
+	res.CustomDRMOnL3 = o.l3Report != nil && o.l3Report.Played() && len(o.l3Events) == 0
 	return res, nil
 }
 
@@ -572,36 +597,57 @@ func (s *Study) classifyQ3(app string, q2 *Q2Result) (*Q3Result, error) {
 	return res, nil
 }
 
-// RunQ4 plays on the discontinued Nexus 5 and classifies the outcome.
+// RunQ4 plays on every discontinued device cell and classifies each
+// outcome — the revocation matrix. The default trio has exactly one
+// legacy cell (the Nexus 5), reproducing the paper's single column;
+// wider device sets yield one matrix cell per discontinued profile.
 func (s *Study) RunQ4(app string) (*Q4Result, error) {
-	s.legacyPlays.Add(1)
 	f, err := s.World.Fixture(app)
 	if err != nil {
 		return nil, err
 	}
+	res := &Q4Result{App: app}
+	for _, cell := range f.LegacyCells() {
+		s.legacyPlays.Add(1)
+		out, err := s.playLegacyCell(cell)
+		if err != nil {
+			return nil, err
+		}
+		res.Devices = append(res.Devices, *out)
+	}
+	if len(res.Devices) > 0 {
+		res.Outcome = res.Devices[0].Outcome
+		res.Detail = res.Devices[0].Detail
+	}
+	return res, nil
+}
+
+// playLegacyCell plays one discontinued device cell under CDM hooks and
+// classifies the outcome.
+func (s *Study) playLegacyCell(cell *DeviceCell) (*Q4DeviceOutcome, error) {
 	mon := monitor.New()
-	mon.AttachCDM(f.Nexus5Device.Engine)
+	mon.AttachCDM(cell.Device.Engine)
 	defer mon.Detach()
-	report := f.Nexus5App.Play(ContentID)
+	report := cell.App.Play(ContentID)
 	if err := report.TransportErr(); err != nil {
 		return nil, err
 	}
 
-	res := &Q4Result{App: app}
+	out := &Q4DeviceOutcome{Device: cell.Profile.Name}
 	switch {
 	case report.ProvisionDenied:
-		res.Outcome = LegacyProvisioningFails
-		res.Detail = report.ProvisionErr
+		out.Outcome = LegacyProvisioningFails
+		out.Detail = report.ProvisionErr
 	case report.Played() && report.UsedEmbeddedCDM:
-		res.Outcome = LegacyPlaysCustomDRM
+		out.Outcome = LegacyPlaysCustomDRM
 	case report.Played():
-		res.Outcome = LegacyPlays
-		res.Detail = fmt.Sprintf("quality %dp (L3 cap)", report.PlayedHeight)
+		out.Outcome = LegacyPlays
+		out.Detail = fmt.Sprintf("quality %dp (L3 cap)", report.PlayedHeight)
 	default:
-		res.Outcome = LegacyOtherFailure
-		res.Detail = firstNonEmpty(report.LicenseErr, report.Err)
+		out.Outcome = LegacyOtherFailure
+		out.Detail = firstNonEmpty(report.LicenseErr, report.Err)
 	}
-	return res, nil
+	return out, nil
 }
 
 // fetchObject downloads one CDN object through the attacker's client.

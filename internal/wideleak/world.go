@@ -15,11 +15,13 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/device"
 	"repro/internal/netsim"
+	"repro/internal/oemcrypto"
 	"repro/internal/ott"
 	"repro/internal/provision"
 	"repro/internal/wvcrypto"
@@ -43,14 +45,16 @@ type World struct {
 	root     *wvcrypto.DeterministicReader
 	clock    *netsim.VirtualClock
 	profiles []ott.Profile
+	devices  []device.Profile
 
 	deployments map[string]*ott.Deployment
 
-	// mu guards only the fixtures map; fixture construction itself runs
-	// under a per-app once-guard so concurrent callers building different
-	// apps never serialize.
-	mu       sync.Mutex
-	fixtures map[string]*fixtureEntry
+	// mu guards the fixtures map and cellCounts; fixture construction
+	// itself runs under a per-app once-guard so concurrent callers
+	// building different apps never serialize.
+	mu         sync.Mutex
+	fixtures   map[string]*fixtureEntry
+	cellCounts map[string]int // device profile name → fixture cells built
 }
 
 // fixtureEntry is the per-app build guard: concurrent Fixture calls for the
@@ -61,27 +65,164 @@ type fixtureEntry struct {
 	err  error
 }
 
-// AppFixture is one app's device set: the modern L1 phone, a modern
-// L3-only phone, and the discontinued Nexus 5, each with the app installed.
+// DeviceCell is one (device, installed app) unit of an app's fixture —
+// the device axis' atom. Cells are ordered by the world's canonical
+// device list and each one draws from its own rand fork, so a cell's
+// material is a pure function of (seed, app, device profile).
+type DeviceCell struct {
+	Profile device.Profile
+	Device  *device.Device
+	App     *ott.App
+}
+
+// AppFixture is one app's device matrix: the app installed on every
+// device the world manufactures, one cell per device profile, in
+// canonical device order (the default set is the paper's trio — L1
+// Pixel, modern L3 phone, discontinued Nexus 5).
 type AppFixture struct {
 	Profile ott.Profile
+	Cells   []DeviceCell
+}
 
-	PixelDevice  *device.Device
-	L3Device     *device.Device
-	Nexus5Device *device.Device
+// Cell returns the cell for a device profile name, nil when the world
+// doesn't manufacture it.
+func (f *AppFixture) Cell(name string) *DeviceCell {
+	for i := range f.Cells {
+		if f.Cells[i].Profile.Name == name {
+			return &f.Cells[i]
+		}
+	}
+	return nil
+}
 
-	PixelApp  *ott.App
-	L3App     *ott.App
-	Nexus5App *ott.App
+// Device returns the named profile's device, nil when absent.
+func (f *AppFixture) Device(name string) *device.Device {
+	if c := f.Cell(name); c != nil {
+		return c.Device
+	}
+	return nil
+}
+
+// App returns the app install on the named profile's device, nil when
+// absent.
+func (f *AppFixture) App(name string) *ott.App {
+	if c := f.Cell(name); c != nil {
+		return c.App
+	}
+	return nil
+}
+
+// ObservationL1 returns the cell the study observes L1 behaviour on:
+// the first current (non-legacy) L1 device with a trusted identity.
+// Nil when the device set has no such device.
+func (f *AppFixture) ObservationL1() *DeviceCell {
+	for i := range f.Cells {
+		p := f.Cells[i].Profile
+		if p.Level == oemcrypto.L1 && !p.Legacy && !p.Revoked() {
+			return &f.Cells[i]
+		}
+	}
+	return nil
+}
+
+// ObservationL3 returns the cell the study observes L3 behaviour on:
+// the first current (non-legacy) L3 device with a trusted identity.
+// Nil when the device set has no such device.
+func (f *AppFixture) ObservationL3() *DeviceCell {
+	for i := range f.Cells {
+		p := f.Cells[i].Profile
+		if p.Level == oemcrypto.L3 && !p.Legacy && !p.Revoked() {
+			return &f.Cells[i]
+		}
+	}
+	return nil
+}
+
+// LegacyCells returns every discontinued-device cell in canonical
+// order — the population Q4's revocation matrix plays on.
+func (f *AppFixture) LegacyCells() []*DeviceCell {
+	var out []*DeviceCell
+	for i := range f.Cells {
+		if f.Cells[i].Profile.Legacy {
+			out = append(out, &f.Cells[i])
+		}
+	}
+	return out
+}
+
+// Legacy returns the first discontinued-device cell (the Nexus 5 in the
+// default set), nil when the device set has none.
+func (f *AppFixture) Legacy() *DeviceCell {
+	for i := range f.Cells {
+		if f.Cells[i].Profile.Legacy {
+			return &f.Cells[i]
+		}
+	}
+	return nil
+}
+
+// CanonicalDeviceNames resolves a requested device set against the
+// profile registry: names are matched case-insensitively, duplicates
+// rejected, and the result ordered canonically (registry registration
+// order), so any permutation of the same set yields one canonical list.
+// nil or empty selects the default trio. The unknown-name error lists
+// every registered profile.
+func CanonicalDeviceNames(names []string) ([]string, error) {
+	if len(names) == 0 {
+		return device.DefaultProfileNames(), nil
+	}
+	out := make([]string, 0, len(names))
+	seen := make(map[string]bool, len(names))
+	for _, name := range names {
+		p, ok := device.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("wideleak: unknown device profile %q (registered: %s)",
+				name, strings.Join(device.ProfileNames(), ", "))
+		}
+		if seen[p.Name] {
+			return nil, fmt.Errorf("wideleak: duplicate device profile %q", p.Name)
+		}
+		seen[p.Name] = true
+		out = append(out, p.Name)
+	}
+	device.SortByRegistry(out)
+	return out, nil
+}
+
+// ResolveDeviceProfiles canonicalizes a device set (see
+// CanonicalDeviceNames) and resolves it to profiles.
+func ResolveDeviceProfiles(names []string) ([]device.Profile, error) {
+	canonical, err := CanonicalDeviceNames(names)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]device.Profile, len(canonical))
+	for i, name := range canonical {
+		out[i] = device.MustProfile(name)
+	}
+	return out, nil
 }
 
 // NewWorld builds the deployments for the given profiles (defaulting to the
-// paper's ten apps when profiles is nil). The seed makes the whole world
-// reproducible: every deployment and fixture draws from a stream forked
-// from the seed by stable label, never from a shared cursor.
+// paper's ten apps when profiles is nil) over the default device trio. The
+// seed makes the whole world reproducible: every deployment and fixture
+// draws from a stream forked from the seed by stable label, never from a
+// shared cursor.
 func NewWorld(seed string, profiles []ott.Profile) (*World, error) {
+	return NewWorldDevices(seed, profiles, nil)
+}
+
+// NewWorldDevices is NewWorld with an explicit device set: each app's
+// fixture manufactures one cell per named device profile. nil devices
+// selects the default trio; the set is canonicalized (order-insensitive,
+// registry-validated) before the world is built.
+func NewWorldDevices(seed string, profiles []ott.Profile, devices []string) (*World, error) {
 	if profiles == nil {
 		profiles = ott.Profiles()
+	}
+	deviceProfiles, err := ResolveDeviceProfiles(devices)
+	if err != nil {
+		return nil, err
 	}
 	root := wvcrypto.NewDeterministicReader("wideleak-world-" + seed)
 	w := &World{
@@ -91,8 +232,10 @@ func NewWorld(seed string, profiles []ott.Profile) (*World, error) {
 		root:        root,
 		clock:       netsim.NewVirtualClock(),
 		profiles:    profiles,
+		devices:     deviceProfiles,
 		deployments: make(map[string]*ott.Deployment, len(profiles)),
 		fixtures:    make(map[string]*fixtureEntry, len(profiles)),
+		cellCounts:  make(map[string]int, len(deviceProfiles)),
 	}
 	// Device RSA keys mint from per-device forks of the world's
 	// provisioning root — a pure function of (seed, stable ID), never of
@@ -112,6 +255,34 @@ func NewWorld(seed string, profiles []ott.Profile) (*World, error) {
 
 // Profiles returns the studied app profiles.
 func (w *World) Profiles() []ott.Profile { return w.profiles }
+
+// DeviceProfiles returns the world's device set in canonical order.
+func (w *World) DeviceProfiles() []device.Profile {
+	return append([]device.Profile(nil), w.devices...)
+}
+
+// DeviceNames returns the world's device profile names in canonical
+// order.
+func (w *World) DeviceNames() []string {
+	names := make([]string, len(w.devices))
+	for i, p := range w.devices {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// DeviceCellCounts reports how many fixture cells the world has built
+// per device profile — the device-cell dimension batch stats and the
+// daemon's wideleakd_device_cells_total counter surface.
+func (w *World) DeviceCellCounts() map[string]int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make(map[string]int, len(w.cellCounts))
+	for k, v := range w.cellCounts {
+		out[k] = v
+	}
+	return out
+}
 
 // Seed returns the world's reproducibility seed.
 func (w *World) Seed() string { return w.seed }
@@ -152,25 +323,52 @@ func (w *World) AttachKeyPool(pool *provision.KeyPool) error {
 // DeviceStableIDs returns the stable IDs (device serials) of every
 // device this world's fixtures will manufacture, in profile order —
 // the prewarm set for its seed's key pool.
-func (w *World) DeviceStableIDs() []string { return DeviceStableIDs(w.profiles) }
+func (w *World) DeviceStableIDs() []string {
+	return stableIDs(w.profiles, w.devices)
+}
 
 // DeviceStableIDs enumerates the device serials the given profiles'
-// fixtures mint (nil = the paper's ten apps): the Pixel, modern L3 and
-// Nexus 5 units per app, in profile order — plus, for apps shipping an
-// embedded Widevine library, the embedded CDM identities their installs
-// register on the two L3-level devices. The list is what a key pool
-// prewarms — serials are a pure function of the profile names, so it
-// can be computed without building any world.
+// fixtures mint over the default device trio (nil = the paper's ten
+// apps). See DeviceStableIDsFor.
 func DeviceStableIDs(profiles []ott.Profile) []string {
+	ids, _ := DeviceStableIDsFor(profiles, nil)
+	return ids
+}
+
+// DeviceStableIDsFor enumerates the device serials the given app
+// profiles' fixtures mint over a device set (nil devices = default
+// trio): per app, one serial per device cell in canonical device order,
+// plus — for apps shipping an embedded Widevine library — the embedded
+// CDM identities their installs register on each L3-level device. The
+// list is what a key pool prewarms; it is derived from the device
+// registry, not enumerated, so serials stay a pure function of (app
+// profile names, device set) and can be computed without building any
+// world.
+func DeviceStableIDsFor(profiles []ott.Profile, devices []string) ([]string, error) {
+	deviceProfiles, err := ResolveDeviceProfiles(devices)
+	if err != nil {
+		return nil, err
+	}
+	return stableIDs(profiles, deviceProfiles), nil
+}
+
+func stableIDs(profiles []ott.Profile, devices []device.Profile) []string {
 	if profiles == nil {
 		profiles = ott.Profiles()
 	}
-	out := make([]string, 0, 3*len(profiles))
+	out := make([]string, 0, len(devices)*len(profiles))
 	for _, p := range profiles {
-		px, l3, n5 := deviceSerials(p.Name)
-		out = append(out, px, l3, n5)
+		// Device serials first, then embedded CDM identities, matching the
+		// historical prewarm order for the default trio.
+		for _, dp := range devices {
+			out = append(out, deviceSerial(dp, p.Name))
+		}
 		if p.EmbeddedCDMOnL3 {
-			out = append(out, embeddedSerial(l3), embeddedSerial(n5))
+			for _, dp := range devices {
+				if dp.Level == oemcrypto.L3 {
+					out = append(out, embeddedSerial(deviceSerial(dp, p.Name)))
+				}
+			}
 		}
 	}
 	return out
@@ -186,12 +384,11 @@ func embeddedSerial(deviceSerial string) string {
 	return serial
 }
 
-// deviceSerials returns the three device serials one app's fixture
-// manufactures. Serials double as provisioning stable IDs, so fixture
-// building and key-pool prewarming must agree on them exactly.
-func deviceSerials(app string) (pixel, l3, nexus5 string) {
-	short := shortName(app)
-	return "PX-" + short, "L3-" + short, "N5-" + short
+// deviceSerial returns the serial one app's fixture cell manufactures
+// for a device profile. Serials double as provisioning stable IDs, so
+// fixture building and key-pool prewarming must agree on them exactly.
+func deviceSerial(dp device.Profile, app string) string {
+	return dp.SerialPrefix + "-" + shortName(app)
 }
 
 // Clock returns the world's virtual clock. Injected latency and retry
@@ -265,8 +462,11 @@ func (w *World) Fixture(app string) (*AppFixture, error) {
 	return e.f, e.err
 }
 
-// buildFixture manufactures one app's three devices and installs the app on
-// each, drawing every byte of randomness from the app's own forked stream.
+// buildFixture manufactures one app's device matrix: one cell per device
+// profile in the world's canonical device order. Each cell draws every
+// byte of randomness (keybox, engine material, install, retry jitter)
+// from its own fork of the app's stream, so a cell's material is
+// invariant under changes to the rest of the device set.
 func (w *World) buildFixture(app string) (*AppFixture, error) {
 	var profile *ott.Profile
 	for i := range w.profiles {
@@ -280,39 +480,29 @@ func (w *World) buildFixture(app string) (*AppFixture, error) {
 	}
 
 	rand := w.root.Fork("fixture/" + app)
-	factory := w.Factory.WithRand(rand)
-
-	pxSerial, l3Serial, n5Serial := deviceSerials(app)
-	pixel, err := factory.MakePixel(pxSerial)
-	if err != nil {
-		return nil, err
+	f := &AppFixture{Profile: *profile, Cells: make([]DeviceCell, 0, len(w.devices))}
+	for _, dp := range w.devices {
+		cellRand := rand.Fork("device/" + dp.Name)
+		dev, err := w.Factory.WithRand(cellRand).Make(dp, deviceSerial(dp, app))
+		if err != nil {
+			return nil, fmt.Errorf("wideleak: manufacture %s for %s: %w", dp.Name, app, err)
+		}
+		a, err := ott.Install(*profile, dev, w.Network, w.Registry, cellRand)
+		if err != nil {
+			return nil, fmt.Errorf("wideleak: install %s on %s: %w", app, dp.Name, err)
+		}
+		// Every installed app retries transient transport faults, with
+		// jitter from the cell's own forked stream and backoff on the
+		// world's virtual clock, so fault-laden runs stay reproducible and
+		// cost no wall time.
+		a.NetworkClient().SetRetryPolicy(netsim.DefaultRetryPolicy(cellRand.Fork("retry"), w.clock))
+		f.Cells = append(f.Cells, DeviceCell{Profile: dp, Device: dev, App: a})
 	}
-	l3, err := factory.MakeL3Phone(l3Serial)
-	if err != nil {
-		return nil, err
+	w.mu.Lock()
+	for _, c := range f.Cells {
+		w.cellCounts[c.Profile.Name]++
 	}
-	nexus5, err := factory.MakeNexus5(n5Serial)
-	if err != nil {
-		return nil, err
-	}
-	f := &AppFixture{Profile: *profile, PixelDevice: pixel, L3Device: l3, Nexus5Device: nexus5}
-
-	if f.PixelApp, err = ott.Install(*profile, pixel, w.Network, w.Registry, rand); err != nil {
-		return nil, err
-	}
-	if f.L3App, err = ott.Install(*profile, l3, w.Network, w.Registry, rand); err != nil {
-		return nil, err
-	}
-	if f.Nexus5App, err = ott.Install(*profile, nexus5, w.Network, w.Registry, rand); err != nil {
-		return nil, err
-	}
-
-	// Every installed app retries transient transport faults, with jitter
-	// from its own forked stream and backoff on the world's virtual clock,
-	// so fault-laden runs stay reproducible and cost no wall time.
-	f.PixelApp.NetworkClient().SetRetryPolicy(netsim.DefaultRetryPolicy(rand.Fork("retry/pixel"), w.clock))
-	f.L3App.NetworkClient().SetRetryPolicy(netsim.DefaultRetryPolicy(rand.Fork("retry/l3"), w.clock))
-	f.Nexus5App.NetworkClient().SetRetryPolicy(netsim.DefaultRetryPolicy(rand.Fork("retry/nexus5"), w.clock))
+	w.mu.Unlock()
 	return f, nil
 }
 

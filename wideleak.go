@@ -29,6 +29,7 @@ package wideleak
 import (
 	"context"
 
+	"repro/internal/device"
 	"repro/internal/netsim"
 	"repro/internal/ott"
 	"repro/internal/provision"
@@ -47,16 +48,25 @@ type (
 	Table = wideleak.Table
 	// Row is one app's line of Table I.
 	Row = wideleak.Row
-	// AppFixture is one app's device set (L1 Pixel, modern L3 phone,
-	// discontinued Nexus 5).
+	// AppFixture is one app's device matrix: one cell per device profile
+	// in the world's device set (the default is the paper's trio — L1
+	// Pixel, modern L3 phone, discontinued Nexus 5).
 	AppFixture = wideleak.AppFixture
+	// DeviceCell is one (device, installed app) unit of an AppFixture.
+	DeviceCell = wideleak.DeviceCell
+	// DeviceProfile declares one handset model of the device axis.
+	DeviceProfile = device.Profile
+	// KeyboxState is a device profile's factory keybox trust state.
+	KeyboxState = device.KeyboxState
 
 	// Q1Result through Q5Result answer the research questions.
 	Q1Result = wideleak.Q1Result
 	Q2Result = wideleak.Q2Result
 	Q3Result = wideleak.Q3Result
 	Q4Result = wideleak.Q4Result
-	Q5Result = wideleak.Q5Result
+	// Q4DeviceOutcome is one cell of Q4's revocation matrix.
+	Q4DeviceOutcome = wideleak.Q4DeviceOutcome
+	Q5Result        = wideleak.Q5Result
 	// ImpactResult reports one app's §IV-D attack-chain outcome.
 	ImpactResult = wideleak.ImpactResult
 
@@ -134,6 +144,13 @@ const (
 	LicenseCached      = wideleak.LicenseCached
 )
 
+// Keybox trust states of the device axis.
+const (
+	KeyboxValid     = device.KeyboxValid
+	KeyboxRevoked   = device.KeyboxRevoked
+	KeyboxAbsentTEE = device.KeyboxAbsentTEE
+)
+
 // Pipeline event kinds.
 const (
 	EventProbeStarted  = probe.EventProbeStarted
@@ -146,9 +163,36 @@ const (
 const ContentID = wideleak.ContentID
 
 // NewWorld builds a reproducible experimental world for the given profiles
-// (nil selects the paper's ten apps).
+// (nil selects the paper's ten apps) over the default device trio.
 func NewWorld(seed string, profiles []Profile) (*World, error) {
 	return wideleak.NewWorld(seed, profiles)
+}
+
+// NewWorldDevices is NewWorld with an explicit device set: each app's
+// fixture manufactures one cell per named device profile (nil = the
+// default pixel,l3,nexus5 trio). The set is canonicalized — order-
+// insensitive, validated against the device registry — before building.
+func NewWorldDevices(seed string, profiles []Profile, devices []string) (*World, error) {
+	return wideleak.NewWorldDevices(seed, profiles, devices)
+}
+
+// DeviceProfiles returns every registered device profile in canonical
+// (registration) order — the full device axis.
+func DeviceProfiles() []DeviceProfile { return device.Profiles() }
+
+// DeviceProfileNames returns the registered device profile names in
+// canonical order.
+func DeviceProfileNames() []string { return device.ProfileNames() }
+
+// DefaultDeviceNames returns the default device set (the paper's
+// pixel/l3/nexus5 trio), in canonical order.
+func DefaultDeviceNames() []string { return device.DefaultProfileNames() }
+
+// ValidateDevices checks a device selection without building anything;
+// the error for an unknown name lists the registered profiles, and the
+// canonical (deduplicated, registry-ordered) form is returned.
+func ValidateDevices(names []string) ([]string, error) {
+	return wideleak.CanonicalDeviceNames(names)
 }
 
 // NewStudy wraps a world in a study runner.
@@ -198,17 +242,26 @@ func RestoreWorldProfiles(data []byte, profiles []Profile) (*World, error) {
 // ones the seed's worlds would mint on demand.
 func NewKeyPool(seed string) *KeyPool { return wideleak.NewKeyPool(seed) }
 
-// DeviceStableIDs lists the stable device IDs the given profiles' worlds
-// provision (nil = the paper's ten apps) — the ID set to feed
-// KeyPool.Prewarm.
+// DeviceStableIDs lists the stable device IDs the given profiles'
+// worlds provision over the default device trio (nil = the paper's ten
+// apps) — the ID set to feed KeyPool.Prewarm.
 func DeviceStableIDs(profiles []Profile) []string { return wideleak.DeviceStableIDs(profiles) }
 
+// DeviceStableIDsFor is DeviceStableIDs over an explicit device set
+// (nil = the default trio): the prewarm ID list for worlds built with
+// NewWorldDevices or a RunSpec carrying Devices.
+func DeviceStableIDsFor(profiles []Profile, devices []string) ([]string, error) {
+	return wideleak.DeviceStableIDsFor(profiles, devices)
+}
+
 // CellKey is the content address of one probe cell: seed + canonical
-// fault schedule + profile + probe. Everything that can change a cell's
-// outcome is in the key; scheduling details (Concurrency, request
-// ordering) deliberately are not — see DESIGN.md §cell addressing.
-func CellKey(seed string, faults *RunFaults, profile, probeID string) string {
-	return wideleak.CellKey(seed, faults, profile, probeID)
+// fault schedule + canonical device set + profile + probe. Everything
+// that can change a cell's outcome is in the key; scheduling details
+// (Concurrency, request ordering) deliberately are not — see DESIGN.md
+// §cell addressing. devices must be canonical (ValidateDevices); nil
+// selects the default trio.
+func CellKey(seed string, faults *RunFaults, devices []string, profile, probeID string) string {
+	return wideleak.CellKey(seed, faults, devices, profile, probeID)
 }
 
 // NewCellCache builds an LRU memo for capacity completed probe cells

@@ -5,7 +5,7 @@ GO ?= go
 # Per-target budget for the native fuzz pass wired into check.
 FUZZTIME ?= 5s
 
-.PHONY: all build vet lint test race bench bench-guard bench-matrix bench-devices bench-cold bench-fleet fuzz chaos check study impact report serve serve-smoke fleet-smoke clean
+.PHONY: all build vet lint test race bench bench-guard bench-matrix bench-devices bench-protocols bench-cold bench-fleet fuzz chaos check study impact report serve serve-smoke fleet-smoke clean
 
 all: build vet test
 
@@ -52,8 +52,11 @@ bench:
 # ns/op regressed against its committed baseline: the root suite vs
 # BENCH_tableI.json at 25%, the device-matrix suite vs BENCH_devices.json
 # at 50% (its entries are single-iteration end-to-end served studies, so
-# they are noisier). New benchmarks (absent from a baseline) are skipped,
-# so the guard never blocks adding coverage — only slowing existing paths.
+# they are noisier), and the manifest-dialect suite vs
+# BENCH_protocols.json at 100% (single-iteration ms-scale batches — the
+# guard still catches order-of-magnitude repack regressions). New
+# benchmarks (absent from a baseline) are skipped, so the guard never
+# blocks adding coverage — only slowing existing paths.
 bench-guard:
 	$(GO) test -bench '^Benchmark[^M]' -benchmem -run '^$$' . | tee BENCH_guard.txt
 	$(GO) run ./cmd/benchmerge -parse BENCH_guard.txt > BENCH_guard.json
@@ -61,7 +64,11 @@ bench-guard:
 	$(GO) test -bench '^BenchmarkMatrixDevices$$' -benchtime=1x -benchmem -run '^$$' . | tee BENCH_guard_devices.txt
 	$(GO) run ./cmd/benchmerge -parse BENCH_guard_devices.txt > BENCH_guard_devices.json
 	$(GO) run ./cmd/benchmerge -guard -tolerance 50 BENCH_devices.json BENCH_guard_devices.json
+	$(GO) test -bench '^BenchmarkManifestProtocols$$' -benchtime=1x -benchmem -run '^$$' . | tee BENCH_guard_protocols.txt
+	$(GO) run ./cmd/benchmerge -parse BENCH_guard_protocols.txt > BENCH_guard_protocols.json
+	$(GO) run ./cmd/benchmerge -guard -tolerance 100 BENCH_protocols.json BENCH_guard_protocols.json
 	rm -f BENCH_guard.txt BENCH_guard.json BENCH_guard_devices.txt BENCH_guard_devices.json
+	rm -f BENCH_guard_protocols.txt BENCH_guard_protocols.json
 
 # bench-matrix records the shared-work scheduler's payoff into
 # BENCH_matrix.json: an overlapping 8-seed x 4-probe-subset mix served as
@@ -81,6 +88,14 @@ bench-devices:
 	$(GO) test -bench '^BenchmarkMatrixDevices$$' -benchtime=1x -benchmem -run '^$$' . | tee BENCH_devices.txt
 	$(GO) run ./cmd/benchmerge -parse BENCH_devices.txt > BENCH_devices.json
 
+# bench-protocols records the manifest-dialect repackaging costs into
+# BENCH_protocols.json: per dialect, the cold repack (canonical DASH
+# parsed and re-serialized on first request) vs the memoized serve
+# (every later request — a map lookup for all three dialects).
+bench-protocols:
+	$(GO) test -bench '^BenchmarkManifestProtocols$$' -benchtime=1x -benchmem -run '^$$' . | tee BENCH_protocols.txt
+	$(GO) run ./cmd/benchmerge -parse BENCH_protocols.txt > BENCH_protocols.json
+
 # bench-cold runs only the cold-start benchmarks (one iteration each —
 # they are end-to-end studies, not microbenchmarks) and merges their
 # numbers into BENCH_tableI.json alongside the full-suite entries.
@@ -97,6 +112,8 @@ bench-cold:
 # pattern per invocation, hence the three runs).
 fuzz:
 	$(GO) test ./internal/dash -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/hls -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/sstr -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/mp4 -run '^$$' -fuzz '^FuzzParseInitSegment$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/mp4 -run '^$$' -fuzz '^FuzzParseMediaSegment$$' -fuzztime $(FUZZTIME)
 
@@ -148,12 +165,13 @@ impact:
 report:
 	$(GO) run ./cmd/wideleak -report report.md
 
-# clean leaves BENCH_tableI.json, BENCH_matrix.json and
-# BENCH_devices.json in place: they are the committed benchmark
+# clean leaves BENCH_tableI.json, BENCH_matrix.json, BENCH_devices.json
+# and BENCH_protocols.json in place: they are the committed benchmark
 # baselines, regenerated (not discarded) by `make bench` /
-# `make bench-matrix` / `make bench-devices`.
+# `make bench-matrix` / `make bench-devices` / `make bench-protocols`.
 clean:
 	rm -f report.md test_output.txt bench_output.txt BENCH_tableI.txt BENCH_cold.txt BENCH_cold.json
-	rm -f BENCH_guard.txt BENCH_guard.json BENCH_matrix.txt BENCH_devices.txt
+	rm -f BENCH_guard.txt BENCH_guard.json BENCH_matrix.txt BENCH_devices.txt BENCH_protocols.txt
 	rm -f BENCH_guard_devices.txt BENCH_guard_devices.json
+	rm -f BENCH_guard_protocols.txt BENCH_guard_protocols.json
 	rm -f BENCH_fleet1_warm.json BENCH_fleet3_warm.json BENCH_fleet1_cold.json BENCH_fleet3_cold.json

@@ -1,0 +1,82 @@
+package wideleak
+
+// Manifest-dialect benchmarks: what the CDN's on-the-fly repackaging
+// costs, recorded in BENCH_protocols.json by `make bench-protocols`.
+//
+// Three shapes per dialect tell the whole story. "cold" is the first
+// request for a dialect form: the canonical DASH manifest is parsed and
+// re-serialized into the wire format (for DASH itself this is a map
+// lookup — the stored form IS the wire form, so it doubles as the
+// floor). "memoized" is every later request: the repack cache turns all
+// three dialects into the same map lookup, which is why a study run
+// through HLS or Smooth Streaming pays the conversion once per title,
+// not once per playback.
+//
+// The name deliberately starts "BenchmarkM" so the root `make bench`
+// suite (regex '^Benchmark[^M]') skips it, like the matrix benchmarks:
+// it gets its own baseline file and bench-guard entry instead.
+
+import (
+	"testing"
+
+	"repro/internal/cdn"
+	"repro/internal/media"
+	"repro/internal/wvcrypto"
+)
+
+func BenchmarkManifestProtocols(b *testing.B) {
+	rand := wvcrypto.NewDeterministicReader("bench-protocols")
+	tracks := media.GenerateTitle("movie-1", media.DefaultGenerateOptions())
+	packaged, err := media.Package("movie-1", tracks,
+		media.KeyPolicy{EncryptAudio: true, DistinctAudioKey: true}, rand)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	// The suite runs at -benchtime=1x (like the matrix benchmarks), so
+	// each op amortizes over an inner batch — otherwise a single ~1µs
+	// memoized serve would be pure timer noise against the guard's
+	// tolerance. ns_per_op is therefore per coldBatch repacks (cold) or
+	// per warmBatch lookups (memoized), consistent across runs.
+	const (
+		coldBatch = 16
+		warmBatch = 4096
+	)
+	for _, dialect := range []string{"dash", "hls", "sstr"} {
+		b.Run(dialect+"_cold", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				servers := make([]*cdn.Server, coldBatch)
+				for j := range servers {
+					servers[j] = cdn.NewServer("cdn.bench")
+					if err := servers[j].AddPackaged(packaged); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StartTimer()
+				for _, srv := range servers {
+					if _, err := srv.ManifestDialect("movie-1", dialect); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+		b.Run(dialect+"_memoized", func(b *testing.B) {
+			srv := cdn.NewServer("cdn.bench")
+			if err := srv.AddPackaged(packaged); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := srv.ManifestDialect("movie-1", dialect); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < warmBatch; j++ {
+					if _, err := srv.ManifestDialect("movie-1", dialect); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	wideleak [-seed s] [-impact] [-diff] [-app name] [-probes q1,q4] [-list-probes] [-devices pixel,l3] [-list-devices] [-format txt|csv|json] [-o file] [-parallel n] [-faults rate] [-fault-seed s]
+//	wideleak [-seed s] [-impact] [-diff] [-app name] [-probes q1,q4] [-list-probes] [-devices pixel,l3] [-list-devices] [-dialect dash|hls|sstr] [-list-dialects] [-format txt|csv|json] [-o file] [-parallel n] [-faults rate] [-fault-seed s]
 package main
 
 import (
@@ -34,6 +34,8 @@ func run(args []string) error {
 	listProbes := fs.Bool("list-probes", false, "list the registered probes and exit")
 	devices := fs.String("devices", "", "comma-separated device profiles for each app's fixture (default: the paper's pixel,l3,nexus5 trio; see -list-devices)")
 	listDevices := fs.Bool("list-devices", false, "list the registered device profiles and exit")
+	dialect := fs.String("dialect", "", "manifest dialect every app fetches and plays through (default: dash; see -list-dialects)")
+	listDialects := fs.Bool("list-dialects", false, "list the registered manifest dialects and exit")
 	format := fs.String("format", "txt", "output format: txt (alias text), csv, json")
 	outPath := fs.String("o", "", "write the table to this file instead of stdout")
 	reportPath := fs.String("report", "", "write a full markdown report (table + impact + forgery) to this file")
@@ -91,6 +93,23 @@ func run(args []string) error {
 		return nil
 	}
 
+	if *listDialects {
+		fmt.Println("Registered manifest dialects:")
+		for _, name := range wideleak.ManifestDialects() {
+			tags := ""
+			if name == wideleak.DefaultManifestDialect {
+				tags = " [default]"
+			}
+			fmt.Printf("  %s%s\n", name, tags)
+		}
+		return nil
+	}
+
+	canonicalDialect, err := wideleak.ValidateDialect(*dialect)
+	if err != nil {
+		return err
+	}
+
 	var deviceNames []string
 	if *devices != "" {
 		for _, name := range strings.Split(*devices, ",") {
@@ -128,6 +147,11 @@ func run(args []string) error {
 			return fmt.Errorf("unknown app %q", *app)
 		}
 		profiles = selected
+	}
+	if canonicalDialect != "" {
+		for i := range profiles {
+			profiles[i].ManifestDialect = canonicalDialect
+		}
 	}
 
 	world, err := wideleak.NewWorldDevices(*seed, profiles, deviceNames)
@@ -175,7 +199,7 @@ func run(args []string) error {
 		fmt.Print(string(out))
 	}
 
-	if *diff && *app == "" && *probes == "" && *devices == "" {
+	if *diff && *app == "" && *probes == "" && *devices == "" && canonicalDialect == "" {
 		diffs := table.Diff(wideleak.PaperTable())
 		if len(diffs) == 0 {
 			fmt.Println("\nReproduction check: table matches the paper's Table I cell for cell.")

@@ -7,9 +7,9 @@
 //
 // Usage:
 //
-//	wideleakload (-fleet url | -spawn n) [-mix smoke|warm|cold|devices]
+//	wideleakload (-fleet url | -spawn n) [-mix smoke|warm|cold|devices|protocols]
 //	             [-duration d] [-workers n] [-seeds n] [-subsets n]
-//	             [-device-sets n] [-zipf s] [-burst n] [-cancel-rate f] [-prime]
+//	             [-device-sets n] [-dialects n] [-zipf s] [-burst n] [-cancel-rate f] [-prime]
 //	             [-label name] [-out file]
 //	             [-replica-workers n] [-replica-queue n] [-replica-cache n]
 //
@@ -50,6 +50,7 @@ type mixConfig struct {
 	seeds      int     // distinct world seeds in the key space
 	subsets    int     // probe subsets per seed (key space = seeds × subsets × deviceSets)
 	deviceSets int     // device-set variants per (seed, subset)
+	dialects   int     // manifest-dialect variants per (seed, subset, device set)
 	workers    int     // closed-loop client goroutines
 	zipf       float64 // Zipf skew s (>1); 0 = uniform key popularity
 	burst      int     // submissions issued back-to-back per worker iteration
@@ -70,6 +71,11 @@ var mixes = map[string]mixConfig{
 	// sets of one seed are distinct worlds (distinct WorldKeys), so the
 	// ring spreads them while probe subsets within a set still share.
 	"devices": {seeds: 4, subsets: 2, deviceSets: 4, workers: 6, zipf: 1.1, burst: 1, cancelRate: 0, prime: true},
+	// protocols: the manifest-dialect axis as a routing dimension — the
+	// same seed requested as dash, hls and sstr canonicalizes to three
+	// WorldKeys, so the ring spreads the protocol variants while probe
+	// subsets within one dialect still share worlds.
+	"protocols": {seeds: 3, subsets: 2, deviceSets: 1, dialects: 3, workers: 6, zipf: 1.1, burst: 1, cancelRate: 0, prime: true},
 }
 
 // probeSubsets are the per-seed probe-set variants, ordered so subsets=n
@@ -94,16 +100,23 @@ var deviceSetVariants = [][]string{
 	{"pixel", "l3-revoked", "oneplus-5", "shield-tv"},
 }
 
+// dialectVariants are the per-key manifest-dialect variants, ordered so
+// -dialects n takes a prefix. "" is the default canonical DASH (the field
+// is omitted from the body); each non-default dialect canonicalizes to a
+// distinct WorldKey.
+var dialectVariants = []string{"", "hls", "sstr"}
+
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("wideleakload", flag.ContinueOnError)
 	fleetURL := fs.String("fleet", "", "base URL of a running fleet router or wideleakd")
 	spawn := fs.Int("spawn", 0, "boot an in-process fleet with this many replicas and drive it")
-	mix := fs.String("mix", "smoke", "load shape preset: smoke, warm, cold or devices")
+	mix := fs.String("mix", "smoke", "load shape preset: smoke, warm, cold, devices or protocols")
 	duration := fs.Duration("duration", 10*time.Second, "timed measurement window")
 	workers := fs.Int("workers", 0, "closed-loop client goroutines (overrides mix)")
 	seeds := fs.Int("seeds", 0, "distinct world seeds (overrides mix)")
 	subsets := fs.Int("subsets", 0, "probe subsets per seed, max 4 (overrides mix)")
 	devSets := fs.Int("device-sets", 0, "device-set variants per (seed, subset), max 4 (overrides mix)")
+	dialects := fs.Int("dialects", 0, "manifest-dialect variants per key, max 3 (overrides mix)")
 	zipf := fs.Float64("zipf", -1, "Zipf skew s, >1, or 0 for uniform (overrides mix)")
 	burst := fs.Int("burst", 0, "submissions per worker iteration (overrides mix)")
 	cancelRate := fs.Float64("cancel-rate", -1, "fraction of queued jobs canceled mid-flight (overrides mix)")
@@ -118,7 +131,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 	cfg, ok := mixes[*mix]
 	if !ok {
-		return fmt.Errorf("unknown -mix %q (want smoke, warm, cold or devices)", *mix)
+		return fmt.Errorf("unknown -mix %q (want smoke, warm, cold, devices or protocols)", *mix)
 	}
 	set := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
@@ -133,6 +146,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if set["device-sets"] {
 		cfg.deviceSets = *devSets
+	}
+	if set["dialects"] {
+		cfg.dialects = *dialects
 	}
 	if set["zipf"] {
 		cfg.zipf = *zipf
@@ -151,6 +167,12 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if cfg.deviceSets < 1 || cfg.deviceSets > len(deviceSetVariants) {
 		return fmt.Errorf("-device-sets must be 1..%d, got %d", len(deviceSetVariants), cfg.deviceSets)
+	}
+	if cfg.dialects == 0 {
+		cfg.dialects = 1 // pre-dialect presets and zero-value configs mean "dash only"
+	}
+	if cfg.dialects < 1 || cfg.dialects > len(dialectVariants) {
+		return fmt.Errorf("-dialects must be 1..%d, got %d", len(dialectVariants), cfg.dialects)
 	}
 	if cfg.seeds < 1 || cfg.workers < 1 || cfg.burst < 1 {
 		return fmt.Errorf("seeds, workers and burst must be positive")
@@ -236,12 +258,17 @@ func newHarness(target string, cfg mixConfig) *harness {
 		for v := 0; v < cfg.subsets; v++ {
 			probes, _ := json.Marshal(probeSubsets[v])
 			for d := 0; d < cfg.deviceSets; d++ {
-				body := fmt.Sprintf(`{"seed":"load-%02d","profiles":["Showtime"],"probes":%s`, s, probes)
-				if deviceSetVariants[d] != nil {
-					devices, _ := json.Marshal(deviceSetVariants[d])
-					body += fmt.Sprintf(`,"devices":%s`, devices)
+				for x := 0; x < cfg.dialects; x++ {
+					body := fmt.Sprintf(`{"seed":"load-%02d","profiles":["Showtime"],"probes":%s`, s, probes)
+					if deviceSetVariants[d] != nil {
+						devices, _ := json.Marshal(deviceSetVariants[d])
+						body += fmt.Sprintf(`,"devices":%s`, devices)
+					}
+					if dialectVariants[x] != "" {
+						body += fmt.Sprintf(`,"dialect":%q`, dialectVariants[x])
+					}
+					h.keys = append(h.keys, loadKey{body: body + "}"})
 				}
-				h.keys = append(h.keys, loadKey{body: body + "}"})
 			}
 		}
 	}

@@ -1,9 +1,13 @@
 // Package cdn implements the Content Delivery Network of the DRM
 // architecture: it stores packaged assets (init/media segments, subtitle
 // files) and manifests, and serves them over the simulated network. The
-// CDN is intentionally dumb — it delivers whatever bytes the packager
-// produced; all protection decisions were made upstream, which is exactly
-// why downloading its URLs suffices for the paper's Q2 probe.
+// CDN is intentionally dumb about protection — it delivers whatever bytes
+// the packager produced; all protection decisions were made upstream,
+// which is exactly why downloading its URLs suffices for the paper's Q2
+// probe. The one smart thing it does is speak manifest dialects: the
+// canonical DASH manifest is stored once, and HLS / Smooth Streaming forms
+// are repackaged on the fly (and memoized) when a client asks by
+// extension — the manifesto translator shape.
 package cdn
 
 import (
@@ -12,6 +16,8 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/dash"
+	"repro/internal/manifest"
 	"repro/internal/media"
 	"repro/internal/netsim"
 )
@@ -32,6 +38,13 @@ type Server struct {
 	mu        sync.RWMutex
 	objects   map[string][]byte
 	manifests map[string][]byte
+	// repacked memoizes on-the-fly dialect conversions, keyed
+	// "<contentID>.<ext>" — the canonical form never changes after
+	// ingest, so a conversion is computed at most once.
+	repacked map[string][]byte
+	// served counts manifest serves per dialect name (the
+	// wideleakd_manifests_served_total metric source).
+	served map[string]int64
 }
 
 // NewServer builds an empty CDN for the given hostname.
@@ -40,13 +53,16 @@ func NewServer(host string) *Server {
 		host:      host,
 		objects:   make(map[string][]byte),
 		manifests: make(map[string][]byte),
+		repacked:  make(map[string][]byte),
+		served:    make(map[string]int64),
 	}
 }
 
 // Host returns the CDN's hostname.
 func (s *Server) Host() string { return s.host }
 
-// AddPackaged ingests one packaged title: all files plus its manifest.
+// AddPackaged ingests one packaged title: all files plus its manifest in
+// canonical (DASH) form. Dialect forms are derived lazily on first request.
 func (s *Server) AddPackaged(p *media.Packaged) error {
 	mpd, err := p.MPD.Marshal()
 	if err != nil {
@@ -61,12 +77,73 @@ func (s *Server) AddPackaged(p *media.Packaged) error {
 	return nil
 }
 
-// Manifest returns a content's MPD bytes.
+// Manifest returns a content's canonical MPD bytes. It does not count as a
+// dialect serve — backends use it for internal processing (sealing,
+// regional rewrites); the counting entry point is ManifestDialect.
 func (s *Server) Manifest(contentID string) ([]byte, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	m, ok := s.manifests[contentID]
 	return m, ok
+}
+
+// ManifestDialect returns a content's manifest in the named dialect
+// ("" = canonical DASH), repackaging from the stored canonical form on
+// first request and memoizing the result. Every successful call counts
+// toward the per-dialect serve totals.
+func (s *Server) ManifestDialect(contentID, dialectName string) ([]byte, error) {
+	d, err := manifest.ByName(dialectName)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	stored, ok := s.manifests[contentID]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: manifest %s", ErrNotFound, contentID)
+	}
+	if d.Name() == manifest.DefaultName {
+		s.count(d.Name())
+		return stored, nil
+	}
+	memoKey := contentID + "." + d.Extension()
+	s.mu.RLock()
+	repacked, hit := s.repacked[memoKey]
+	s.mu.RUnlock()
+	if hit {
+		s.count(d.Name())
+		return repacked, nil
+	}
+	mpd, err := dash.Parse(stored)
+	if err != nil {
+		return nil, fmt.Errorf("cdn: repack %s: %w", contentID, err)
+	}
+	repacked, err = d.Serialize(mpd)
+	if err != nil {
+		return nil, fmt.Errorf("cdn: repack %s as %s: %w", contentID, d.Name(), err)
+	}
+	s.mu.Lock()
+	s.repacked[memoKey] = repacked
+	s.mu.Unlock()
+	s.count(d.Name())
+	return repacked, nil
+}
+
+func (s *Server) count(dialectName string) {
+	s.mu.Lock()
+	s.served[dialectName]++
+	s.mu.Unlock()
+}
+
+// ServeCounts snapshots the per-dialect manifest serve totals.
+func (s *Server) ServeCounts() map[string]int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string]int64, len(s.served))
+	for k, v := range s.served {
+		out[k] = v
+	}
+	return out
 }
 
 // Object returns one stored asset.
@@ -79,14 +156,16 @@ func (s *Server) Object(path string) ([]byte, bool) {
 
 // Handler serves the CDN over netsim:
 //
-//	GET /manifest/<contentID> → MPD XML
-//	GET /object/<path>        → asset bytes
+//	GET /manifest/<contentID>        → canonical MPD XML
+//	GET /manifest/<contentID>.m3u8   → HLS repackaging
+//	GET /manifest/<contentID>.ism    → Smooth Streaming repackaging
+//	GET /object/<path>               → asset bytes
 func (s *Server) Handler() netsim.Handler {
 	return func(req netsim.Request) (netsim.Response, error) {
 		switch {
 		case strings.HasPrefix(req.Path, ManifestPrefix):
-			id := strings.TrimPrefix(req.Path, ManifestPrefix)
-			if m, ok := s.Manifest(id); ok {
+			id, dialectName := manifest.SplitExtension(strings.TrimPrefix(req.Path, ManifestPrefix))
+			if m, err := s.ManifestDialect(id, dialectName); err == nil {
 				return netsim.Response{Status: 200, Body: m}, nil
 			}
 		case strings.HasPrefix(req.Path, ObjectPrefix):

@@ -330,6 +330,12 @@ func (rt *Router) handleBatchStatus(w http.ResponseWriter, r *http.Request) {
 				}
 				out.Stats.DeviceCells[profile] += n
 			}
+			for dialect, n := range st.Stats.ManifestsServed {
+				if out.Stats.ManifestsServed == nil {
+					out.Stats.ManifestsServed = make(map[string]int)
+				}
+				out.Stats.ManifestsServed[dialect] += n
+			}
 		}
 		states = append(states, doc.State)
 		out.Parts = append(out.Parts, doc)

@@ -1,0 +1,85 @@
+package hls
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// The playlist parser consumes intercepted network bytes and CDM dumps —
+// attacker-adjacent input that must never panic.
+func TestParse_NeverPanics(t *testing.T) {
+	prop := func(data []byte) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("Parse panicked on %q: %v", data, r)
+				ok = false
+			}
+		}()
+		_, _ = Parse(data)
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// FuzzParse is the native fuzz target over the same attack surface: run
+// via `make fuzz` (short budget) or `go test -fuzz FuzzParse ./internal/hls`.
+func FuzzParse(f *testing.F) {
+	valid, err := samplePlaylist().Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("#EXTM3U\n"))
+	f.Add([]byte("#EXTM3U\n#EXT-X-KEY:METHOD=SAMPLE-AES,URI=\"data:text/plain;base64,\n"))
+	f.Add(valid[:len(valid)/2])
+	f.Add(append(append([]byte(nil), valid...), "#EXT-X-ENDLIST\nstray.m4s\n"...))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Parse(data)
+		if err != nil {
+			return
+		}
+		// Whatever parsed must re-marshal, and the re-marshalled form must
+		// parse again (marshal output is always well-formed).
+		raw, err := p.Marshal()
+		if err != nil {
+			t.Errorf("parsed playlist does not re-marshal: %v", err)
+			return
+		}
+		if _, err := Parse(raw); err != nil {
+			t.Errorf("re-marshalled playlist does not re-parse: %v", err)
+		}
+	})
+}
+
+// Mutations of a valid playlist exercise deeper tag-decoder paths.
+func TestParse_MutatedPlaylistNeverPanics(t *testing.T) {
+	valid, err := samplePlaylist().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(edits []uint16) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("mutated playlist panicked: %v", r)
+				ok = false
+			}
+		}()
+		doc := append([]byte(nil), valid...)
+		for _, e := range edits {
+			if len(doc) == 0 {
+				break
+			}
+			doc[int(e)%len(doc)] ^= byte(e >> 8)
+		}
+		if p, err := Parse(doc); err == nil {
+			_, _ = p.Marshal()
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

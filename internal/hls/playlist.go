@@ -1,0 +1,535 @@
+// Package hls models HTTP Live Streaming (m3u8) playlists — the manifest
+// dialect Apple-ecosystem OTT apps speak. The model covers what the study
+// needs: a master section (variant streams via #EXT-X-STREAM-INF, audio and
+// subtitle renditions via #EXT-X-MEDIA, Widevine session keys via
+// #EXT-X-SESSION-KEY) plus one media playlist per rendition (#EXT-X-KEY
+// protection descriptors, #EXT-X-MAP init segments, #EXTINF segment lists).
+//
+// Simplification vs. the full spec (documented in DESIGN.md §5h): a title
+// travels as ONE document — the master playlist followed by its media
+// playlists inlined behind #EXT-X-WIDELEAK-PLAYLIST delimiter tags, joined
+// to their master entries by URI. Structural state the canonical DASH model
+// carries but vanilla m3u8 does not (periods, adaptation-set grouping,
+// template addressing) rides in X-WIDELEAK custom tags, keeping the
+// translation to and from internal/dash lossless. The package is a pure
+// wire format: it never imports internal/dash — internal/manifest owns the
+// conversion.
+package hls
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Rendition group types on the wire (the #EXT-X-MEDIA TYPE enumeration).
+const (
+	TypeVideo     = "VIDEO"
+	TypeAudio     = "AUDIO"
+	TypeSubtitles = "SUBTITLES"
+)
+
+// header is the mandatory first tag of every m3u8 document.
+const header = "#EXTM3U"
+
+// dataURIPrefix carries protection init data (PSSH) inside key URIs, the
+// way real HLS delivers Widevine payloads.
+const dataURIPrefix = "data:text/plain;base64,"
+
+// ErrNotHLS is returned when the input does not start with #EXTM3U.
+var ErrNotHLS = errors.New("hls: not an m3u8 playlist")
+
+// Playlist is one title's complete manifest: master entries plus inlined
+// media playlists. The MPD* fields carry the canonical manifest attributes
+// through the #EXT-X-WIDELEAK-MPD tag.
+type Playlist struct {
+	Version     int
+	MPDProfiles string
+	MPDType     string
+	MPDDuration string
+	Periods     []Period
+}
+
+// Period mirrors one canonical presentation period.
+type Period struct {
+	ID     string
+	Groups []Group
+}
+
+// Group is one adaptation set: a rendition group sharing content type,
+// MIME type, language and session-level protection.
+type Group struct {
+	Type        string // TypeVideo, TypeAudio, TypeSubtitles, or verbatim
+	MimeType    string
+	Language    string
+	SessionKeys []Key // set-level protection (#EXT-X-SESSION-KEY)
+	Renditions  []Rendition
+}
+
+// Rendition is one representation: the master-section attributes
+// (#EXT-X-STREAM-INF or #EXT-X-MEDIA) merged with its inlined media
+// playlist. URI joins the two sections.
+type Rendition struct {
+	URI       string
+	ID        string
+	Bandwidth uint32
+	Width     uint16
+	Height    uint16
+	Codecs    string
+
+	Keys     Keys   // rendition-level protection (#EXT-X-KEY)
+	BaseURI  string // #EXT-X-WIDELEAK-BASE
+	InitURI  string // #EXT-X-MAP
+	Segments []string
+	// HasSegments distinguishes an explicit (possibly init-only) segment
+	// list from template-only addressing: list-form playlists always end
+	// with #EXT-X-ENDLIST.
+	HasSegments bool
+	Template    *Template // #EXT-X-WIDELEAK-TEMPLATE
+}
+
+// Keys is a rendition's ordered protection descriptor list.
+type Keys []Key
+
+// Key is one protection descriptor. KeyFormat carries the DRM scheme URI,
+// KeyID the CENC default key ID (lowercase hex, no 0x), URI the base64
+// init data as a data: URI.
+type Key struct {
+	Method    string
+	KeyFormat string
+	KeyID     string
+	Value     string // scheme value ("cenc"), via the X-VALUE extension
+	URI       string
+}
+
+// PSSH returns the key's base64 init data, stripped of the data: URI
+// wrapper ("" when the key carries none).
+func (k *Key) PSSH() string {
+	return strings.TrimPrefix(k.URI, dataURIPrefix)
+}
+
+// SetPSSH wraps base64 init data into the key's URI ("" clears it).
+func (k *Key) SetPSSH(b64 string) {
+	if b64 == "" {
+		k.URI = ""
+		return
+	}
+	k.URI = dataURIPrefix + b64
+}
+
+// Sniff reports whether the bytes look like an m3u8 playlist.
+func Sniff(b []byte) bool {
+	return bytes.HasPrefix(bytes.TrimLeft(b, " \t\r\n\uFEFF"), []byte(header))
+}
+
+// Marshal renders the playlist as one m3u8 document.
+func (p *Playlist) Marshal() ([]byte, error) {
+	var b strings.Builder
+	b.WriteString(header + "\n")
+	version := p.Version
+	if version == 0 {
+		version = 7
+	}
+	fmt.Fprintf(&b, "#EXT-X-VERSION:%d\n", version)
+	b.WriteString("#EXT-X-INDEPENDENT-SEGMENTS\n")
+	writeAttrTag(&b, "#EXT-X-WIDELEAK-MPD", attrs{
+		{"PROFILES", quoted(p.MPDProfiles)},
+		{"TYPE", quoted(p.MPDType)},
+		{"DURATION", quoted(p.MPDDuration)},
+	})
+	for pi := range p.Periods {
+		period := &p.Periods[pi]
+		writeAttrTag(&b, "#EXT-X-WIDELEAK-PERIOD", attrs{{"ID", quoted(period.ID)}})
+		for gi := range period.Groups {
+			g := &period.Groups[gi]
+			writeAttrTag(&b, "#EXT-X-WIDELEAK-GROUP", attrs{
+				{"TYPE", enum(g.Type)},
+				{"MIME-TYPE", quoted(g.MimeType)},
+				{"LANGUAGE", quoted(g.Language)},
+			})
+			for ki := range g.SessionKeys {
+				writeKeyTag(&b, "#EXT-X-SESSION-KEY", &g.SessionKeys[ki])
+			}
+			for ri := range g.Renditions {
+				r := &g.Renditions[ri]
+				if g.Type == TypeVideo {
+					writeAttrTag(&b, "#EXT-X-STREAM-INF", attrs{
+						{"BANDWIDTH", decimal(uint64(r.Bandwidth))},
+						{"RESOLUTION", resolution(r.Width, r.Height)},
+						{"CODECS", quoted(r.Codecs)},
+						{"X-ID", quoted(r.ID)},
+					})
+					b.WriteString(sanitizeLine(r.URI) + "\n")
+				} else {
+					writeAttrTag(&b, "#EXT-X-MEDIA", attrs{
+						{"TYPE", enum(g.Type)},
+						{"NAME", quoted(r.ID)},
+						{"X-BANDWIDTH", decimal(uint64(r.Bandwidth))},
+						{"X-CODECS", quoted(r.Codecs)},
+						{"URI", quoted(r.URI)},
+					})
+				}
+			}
+		}
+	}
+	for pi := range p.Periods {
+		for gi := range p.Periods[pi].Groups {
+			g := &p.Periods[pi].Groups[gi]
+			for ri := range g.Renditions {
+				writeMediaPlaylist(&b, &g.Renditions[ri])
+			}
+		}
+	}
+	return []byte(b.String()), nil
+}
+
+// writeMediaPlaylist renders one rendition's inlined media playlist.
+func writeMediaPlaylist(b *strings.Builder, r *Rendition) {
+	writeAttrTag(b, "#EXT-X-WIDELEAK-PLAYLIST", attrs{{"URI", quoted(r.URI)}})
+	for ki := range r.Keys {
+		writeKeyTag(b, "#EXT-X-KEY", &r.Keys[ki])
+	}
+	if r.BaseURI != "" {
+		writeAttrTag(b, "#EXT-X-WIDELEAK-BASE", attrs{{"URI", quoted(r.BaseURI)}})
+	}
+	if r.InitURI != "" {
+		writeAttrTag(b, "#EXT-X-MAP", attrs{{"URI", quoted(r.InitURI)}})
+	}
+	if t := r.Template; t != nil {
+		writeAttrTag(b, "#EXT-X-WIDELEAK-TEMPLATE", attrs{
+			{"INIT", quoted(t.Init)},
+			{"MEDIA", quoted(t.Media)},
+			{"START", decimal(uint64(t.Start))},
+			{"COUNT", decimal(uint64(t.Count))},
+		})
+	}
+	if r.HasSegments {
+		for _, seg := range r.Segments {
+			b.WriteString("#EXTINF:4.0,\n")
+			b.WriteString(sanitizeLine(seg) + "\n")
+		}
+		b.WriteString("#EXT-X-ENDLIST\n")
+	}
+}
+
+// Template is the template-addressing carrier (the canonical model's
+// SegmentTemplate), since vanilla m3u8 has no equivalent.
+type Template struct {
+	Init  string
+	Media string
+	Start uint32
+	Count uint32
+}
+
+// writeKeyTag renders one protection descriptor.
+func writeKeyTag(b *strings.Builder, tag string, k *Key) {
+	method := k.Method
+	if method == "" {
+		method = "SAMPLE-AES-CTR"
+	}
+	kid := ""
+	if k.KeyID != "" {
+		kid = "0x" + sanitizeEnum(k.KeyID)
+	}
+	writeAttrTag(b, tag, attrs{
+		{"METHOD", enum(method)},
+		{"KEYFORMAT", quoted(k.KeyFormat)},
+		{"KEYID", kid},
+		{"X-VALUE", quoted(k.Value)},
+		{"URI", quoted(k.URI)},
+	})
+}
+
+// attrs is an ordered attribute list; empty values are omitted.
+type attrs []struct{ name, value string }
+
+func writeAttrTag(b *strings.Builder, tag string, list attrs) {
+	b.WriteString(tag)
+	sep := ":"
+	for _, a := range list {
+		if a.value == "" {
+			continue
+		}
+		b.WriteString(sep + a.name + "=" + a.value)
+		sep = ","
+	}
+	b.WriteString("\n")
+}
+
+// quoted renders a quoted-string attribute value; empty stays empty so the
+// attribute is omitted. Quotes and line breaks cannot survive the attribute
+// syntax and are dropped (no canonical field uses them); commas are fine —
+// the parser splits quote-aware.
+func quoted(v string) string {
+	if v == "" {
+		return ""
+	}
+	return `"` + sanitizeAttr(v) + `"`
+}
+
+func enum(v string) string { return sanitizeEnum(v) }
+
+func decimal(v uint64) string {
+	if v == 0 {
+		return ""
+	}
+	return strconv.FormatUint(v, 10)
+}
+
+func resolution(w, h uint16) string {
+	if w == 0 && h == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%dx%d", w, h)
+}
+
+func sanitizeAttr(v string) string {
+	return strings.Map(func(r rune) rune {
+		switch r {
+		case '"', '\r', '\n':
+			return -1
+		}
+		return r
+	}, v)
+}
+
+func sanitizeEnum(v string) string {
+	return strings.Map(func(r rune) rune {
+		switch r {
+		case '"', ',', '=', ':', '\r', '\n', ' ':
+			return -1
+		}
+		return r
+	}, v)
+}
+
+func sanitizeLine(v string) string {
+	return strings.Map(func(r rune) rune {
+		if r == '\r' || r == '\n' {
+			return -1
+		}
+		return r
+	}, v)
+}
+
+// Parse decodes one m3u8 document. The parser is tolerant by design — it
+// consumes attacker-controlled bytes (intercepted traffic, fuzz input), so
+// unknown tags are skipped and malformed attribute lists degrade to empty
+// values; only a missing #EXTM3U header is fatal.
+func Parse(b []byte) (*Playlist, error) {
+	lines := splitLines(b)
+	if len(lines) == 0 || lines[0] != header {
+		return nil, ErrNotHLS
+	}
+	p := &Playlist{}
+	var (
+		group      *Group
+		rendition  *Rendition // media-playlist section target
+		pendingInf *Rendition // master-section STREAM-INF awaiting its URI line
+		inMedia    bool
+	)
+	currentPeriod := func() *Period {
+		if len(p.Periods) == 0 {
+			p.Periods = append(p.Periods, Period{})
+		}
+		return &p.Periods[len(p.Periods)-1]
+	}
+	currentGroup := func() *Group {
+		if group == nil {
+			per := currentPeriod()
+			per.Groups = append(per.Groups, Group{})
+			group = &per.Groups[len(per.Groups)-1]
+		}
+		return group
+	}
+	// findRendition joins a media-playlist section to its master entry,
+	// creating an orphan rendition in an implicit group when the master
+	// never declared the URI (malformed input must still parse).
+	findRendition := func(uri string) *Rendition {
+		for pi := range p.Periods {
+			for gi := range p.Periods[pi].Groups {
+				g := &p.Periods[pi].Groups[gi]
+				for ri := range g.Renditions {
+					if g.Renditions[ri].URI == uri {
+						group = g
+						return &g.Renditions[ri]
+					}
+				}
+			}
+		}
+		g := currentGroup()
+		g.Renditions = append(g.Renditions, Rendition{URI: uri, ID: strings.TrimSuffix(uri, ".m3u8")})
+		return &g.Renditions[len(g.Renditions)-1]
+	}
+
+	for _, line := range lines[1:] {
+		switch {
+		case line == "":
+			continue
+		case strings.HasPrefix(line, "#EXT-X-VERSION:"):
+			if v, err := strconv.Atoi(strings.TrimPrefix(line, "#EXT-X-VERSION:")); err == nil {
+				p.Version = v
+			}
+		case strings.HasPrefix(line, "#EXT-X-WIDELEAK-MPD:"):
+			a := parseAttrs(strings.TrimPrefix(line, "#EXT-X-WIDELEAK-MPD:"))
+			p.MPDProfiles, p.MPDType, p.MPDDuration = a["PROFILES"], a["TYPE"], a["DURATION"]
+		case strings.HasPrefix(line, "#EXT-X-WIDELEAK-PERIOD"):
+			a := parseAttrs(strings.TrimPrefix(line, "#EXT-X-WIDELEAK-PERIOD:"))
+			p.Periods = append(p.Periods, Period{ID: a["ID"]})
+			group, pendingInf = nil, nil
+		case strings.HasPrefix(line, "#EXT-X-WIDELEAK-GROUP:"):
+			a := parseAttrs(strings.TrimPrefix(line, "#EXT-X-WIDELEAK-GROUP:"))
+			per := currentPeriod()
+			per.Groups = append(per.Groups, Group{Type: a["TYPE"], MimeType: a["MIME-TYPE"], Language: a["LANGUAGE"]})
+			group, pendingInf = &per.Groups[len(per.Groups)-1], nil
+		case strings.HasPrefix(line, "#EXT-X-SESSION-KEY:"):
+			g := currentGroup()
+			g.SessionKeys = append(g.SessionKeys, parseKey(strings.TrimPrefix(line, "#EXT-X-SESSION-KEY:")))
+		case strings.HasPrefix(line, "#EXT-X-STREAM-INF:"):
+			a := parseAttrs(strings.TrimPrefix(line, "#EXT-X-STREAM-INF:"))
+			g := currentGroup()
+			r := Rendition{ID: a["X-ID"], Codecs: a["CODECS"], Bandwidth: parseUint32(a["BANDWIDTH"])}
+			r.Width, r.Height = parseResolution(a["RESOLUTION"])
+			g.Renditions = append(g.Renditions, r)
+			pendingInf = &g.Renditions[len(g.Renditions)-1]
+		case strings.HasPrefix(line, "#EXT-X-MEDIA:"):
+			a := parseAttrs(strings.TrimPrefix(line, "#EXT-X-MEDIA:"))
+			g := currentGroup()
+			g.Renditions = append(g.Renditions, Rendition{
+				URI:       a["URI"],
+				ID:        a["NAME"],
+				Bandwidth: parseUint32(a["X-BANDWIDTH"]),
+				Codecs:    a["X-CODECS"],
+			})
+		case strings.HasPrefix(line, "#EXT-X-WIDELEAK-PLAYLIST:"):
+			a := parseAttrs(strings.TrimPrefix(line, "#EXT-X-WIDELEAK-PLAYLIST:"))
+			rendition, inMedia, pendingInf = findRendition(a["URI"]), true, nil
+		case strings.HasPrefix(line, "#EXT-X-KEY:"):
+			if rendition != nil {
+				rendition.Keys = append(rendition.Keys, parseKey(strings.TrimPrefix(line, "#EXT-X-KEY:")))
+			}
+		case strings.HasPrefix(line, "#EXT-X-WIDELEAK-BASE:"):
+			if rendition != nil {
+				rendition.BaseURI = parseAttrs(strings.TrimPrefix(line, "#EXT-X-WIDELEAK-BASE:"))["URI"]
+			}
+		case strings.HasPrefix(line, "#EXT-X-MAP:"):
+			if rendition != nil {
+				rendition.InitURI = parseAttrs(strings.TrimPrefix(line, "#EXT-X-MAP:"))["URI"]
+			}
+		case strings.HasPrefix(line, "#EXT-X-WIDELEAK-TEMPLATE:"):
+			if rendition != nil {
+				a := parseAttrs(strings.TrimPrefix(line, "#EXT-X-WIDELEAK-TEMPLATE:"))
+				rendition.Template = &Template{
+					Init:  a["INIT"],
+					Media: a["MEDIA"],
+					Start: parseUint32(a["START"]),
+					Count: parseUint32(a["COUNT"]),
+				}
+			}
+		case line == "#EXT-X-ENDLIST":
+			if rendition != nil {
+				rendition.HasSegments = true
+			}
+		case strings.HasPrefix(line, "#"):
+			// Unknown or irrelevant tag (#EXTINF durations, comments).
+		case inMedia:
+			if rendition != nil {
+				rendition.Segments = append(rendition.Segments, line)
+				rendition.HasSegments = true
+			}
+		case pendingInf != nil:
+			pendingInf.URI = line
+			pendingInf = nil
+		}
+	}
+	return p, nil
+}
+
+// parseKey decodes one #EXT-X-KEY / #EXT-X-SESSION-KEY attribute list.
+func parseKey(s string) Key {
+	a := parseAttrs(s)
+	return Key{
+		Method:    a["METHOD"],
+		KeyFormat: a["KEYFORMAT"],
+		KeyID:     strings.ToLower(strings.TrimPrefix(a["KEYID"], "0x")),
+		Value:     a["X-VALUE"],
+		URI:       a["URI"],
+	}
+}
+
+// parseAttrs decodes an m3u8 attribute list (NAME=value pairs separated by
+// commas, values optionally quoted). Malformed input yields whatever pairs
+// decode cleanly.
+func parseAttrs(s string) map[string]string {
+	out := make(map[string]string)
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			break
+		}
+		name := strings.TrimSpace(s[:eq])
+		s = s[eq+1:]
+		var value string
+		if strings.HasPrefix(s, `"`) {
+			end := strings.IndexByte(s[1:], '"')
+			if end < 0 {
+				value, s = s[1:], ""
+			} else {
+				value, s = s[1:1+end], s[end+2:]
+			}
+			s = strings.TrimPrefix(s, ",")
+		} else {
+			comma := strings.IndexByte(s, ',')
+			if comma < 0 {
+				value, s = s, ""
+			} else {
+				value, s = s[:comma], s[comma+1:]
+			}
+		}
+		if name != "" {
+			out[name] = value
+		}
+	}
+	return out
+}
+
+func parseUint32(s string) uint32 {
+	v, err := strconv.ParseUint(s, 10, 32)
+	if err != nil {
+		return 0
+	}
+	return uint32(v)
+}
+
+func parseResolution(s string) (w, h uint16) {
+	x := strings.IndexByte(s, 'x')
+	if x < 0 {
+		return 0, 0
+	}
+	wv, err1 := strconv.ParseUint(s[:x], 10, 16)
+	hv, err2 := strconv.ParseUint(s[x+1:], 10, 16)
+	if err1 != nil || err2 != nil {
+		return 0, 0
+	}
+	return uint16(wv), uint16(hv)
+}
+
+// splitLines splits on LF, trimming CR and surrounding whitespace; a UTF-8
+// BOM on the first line is dropped.
+func splitLines(b []byte) []string {
+	raw := strings.Split(string(b), "\n")
+	out := make([]string, 0, len(raw))
+	for i, line := range raw {
+		if i == 0 {
+			line = strings.TrimPrefix(line, "\uFEFF")
+		}
+		line = strings.TrimSpace(line)
+		if i == len(raw)-1 && line == "" {
+			continue
+		}
+		out = append(out, line)
+	}
+	return out
+}

@@ -1,0 +1,232 @@
+package hls
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// samplePlaylist builds a playlist shaped like what the manifest dialect
+// produces for a packaged title: protected video ladder, two audio
+// languages, one subtitle rendition with a bare segment list.
+func samplePlaylist() *Playlist {
+	return &Playlist{
+		MPDProfiles: "urn:mpeg:dash:profile:isoff-on-demand:2011",
+		MPDType:     "static",
+		MPDDuration: "PT2M",
+		Periods: []Period{{
+			ID: "p0",
+			Groups: []Group{
+				{
+					Type:     TypeVideo,
+					MimeType: "video/mp4",
+					SessionKeys: []Key{{
+						Method:    "SAMPLE-AES-CTR",
+						KeyFormat: "urn:uuid:edef8ba9-79d6-4ace-a3c8-27dcd51d21ed",
+						URI:       dataURIPrefix + "cHNzaC1kYXRh",
+					}},
+					Renditions: []Rendition{
+						{
+							URI:       "v-540p.m3u8",
+							ID:        "v-540p",
+							Bandwidth: 2_000_000,
+							Width:     960,
+							Height:    540,
+							Codecs:    "avc1.640028",
+							Keys: Keys{{
+								Method:    "SAMPLE-AES-CTR",
+								KeyFormat: "urn:mpeg:dash:mp4protection:2011",
+								KeyID:     "00112233445566778899aabbccddeeff",
+								Value:     "cenc",
+							}},
+							BaseURI:     "movie-1/video/540p/",
+							InitURI:     "init.mp4",
+							Segments:    []string{"seg1.m4s", "seg2.m4s"},
+							HasSegments: true,
+						},
+						{
+							URI:       "v-1080p.m3u8",
+							ID:        "v-1080p",
+							Bandwidth: 6_000_000,
+							Width:     1920,
+							Height:    1080,
+							Codecs:    "avc1.640028",
+							BaseURI:   "movie-1/video/1080p/",
+							InitURI:   "init.mp4",
+							Template:  &Template{Init: "init.mp4", Media: "seg$Number$.m4s", Start: 1, Count: 2},
+						},
+					},
+				},
+				{
+					Type:     TypeAudio,
+					MimeType: "audio/mp4",
+					Language: "en",
+					Renditions: []Rendition{{
+						URI:         "a-en.m3u8",
+						ID:          "a-en",
+						Bandwidth:   128_000,
+						BaseURI:     "movie-1/audio/en/",
+						InitURI:     "init.mp4",
+						Segments:    []string{"seg1.m4s"},
+						HasSegments: true,
+					}},
+				},
+				{
+					Type:     TypeSubtitles,
+					MimeType: "text/vtt",
+					Language: "fr",
+					Renditions: []Rendition{{
+						URI:         "s-fr.m3u8",
+						ID:          "s-fr",
+						Bandwidth:   1000,
+						Segments:    []string{"movie-1/subs/fr.vtt"},
+						HasSegments: true,
+					}},
+				},
+			},
+		}},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	want := samplePlaylist()
+	raw, err := want.Marshal()
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	got, err := Parse(raw)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	want.Version = 7 // Marshal defaults an unset version
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v\nwire:\n%s", got, want, raw)
+	}
+}
+
+func TestMarshalDeterministic(t *testing.T) {
+	p := samplePlaylist()
+	a, _ := p.Marshal()
+	b, _ := p.Marshal()
+	if string(a) != string(b) {
+		t.Error("Marshal not deterministic")
+	}
+}
+
+func TestSniff(t *testing.T) {
+	raw, _ := samplePlaylist().Marshal()
+	if !Sniff(raw) {
+		t.Error("Sniff rejected a marshalled playlist")
+	}
+	if !Sniff([]byte("\n  #EXTM3U\n")) {
+		t.Error("Sniff must tolerate leading whitespace")
+	}
+	for _, bad := range []string{"", "<MPD/>", "EXTM3U", "#EXT-X-VERSION:7"} {
+		if Sniff([]byte(bad)) {
+			t.Errorf("Sniff accepted %q", bad)
+		}
+	}
+}
+
+func TestParseRejectsNonHLS(t *testing.T) {
+	if _, err := Parse([]byte("<MPD></MPD>")); err != ErrNotHLS {
+		t.Errorf("Parse(non-hls) err = %v, want ErrNotHLS", err)
+	}
+	if _, err := Parse(nil); err != ErrNotHLS {
+		t.Errorf("Parse(nil) err = %v, want ErrNotHLS", err)
+	}
+}
+
+func TestKeyPSSH(t *testing.T) {
+	var k Key
+	k.SetPSSH("aGVsbG8=")
+	if k.URI != dataURIPrefix+"aGVsbG8=" {
+		t.Errorf("SetPSSH URI = %q", k.URI)
+	}
+	if got := k.PSSH(); got != "aGVsbG8=" {
+		t.Errorf("PSSH = %q", got)
+	}
+	k.SetPSSH("")
+	if k.URI != "" || k.PSSH() != "" {
+		t.Errorf("cleared key still carries %q", k.URI)
+	}
+}
+
+func TestParseEmptySegmentList(t *testing.T) {
+	// An ENDLIST with no EXTINF lines is an explicit empty list, distinct
+	// from a template-only playlist.
+	doc := header + "\n" +
+		"#EXT-X-WIDELEAK-GROUP:TYPE=VIDEO\n" +
+		"#EXT-X-STREAM-INF:BANDWIDTH=100,X-ID=\"v\"\n" +
+		"v.m3u8\n" +
+		"#EXT-X-WIDELEAK-PLAYLIST:URI=\"v.m3u8\"\n" +
+		"#EXT-X-ENDLIST\n"
+	p, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	r := &p.Periods[0].Groups[0].Renditions[0]
+	if !r.HasSegments || len(r.Segments) != 0 {
+		t.Errorf("want explicit empty segment list, got HasSegments=%v segments=%v", r.HasSegments, r.Segments)
+	}
+}
+
+func TestParseOrphanMediaPlaylist(t *testing.T) {
+	// A media playlist whose URI never appeared in the master section must
+	// still land somewhere instead of being dropped or panicking.
+	doc := header + "\n" +
+		"#EXT-X-WIDELEAK-PLAYLIST:URI=\"ghost.m3u8\"\n" +
+		"#EXTINF:4.0,\nseg1.m4s\n#EXT-X-ENDLIST\n"
+	p, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(p.Periods) != 1 || len(p.Periods[0].Groups) != 1 {
+		t.Fatalf("orphan playlist not attached: %+v", p)
+	}
+	r := &p.Periods[0].Groups[0].Renditions[0]
+	if r.URI != "ghost.m3u8" || len(r.Segments) != 1 {
+		t.Errorf("orphan rendition = %+v", r)
+	}
+}
+
+func TestParseAttrs(t *testing.T) {
+	got := parseAttrs(`METHOD=SAMPLE-AES-CTR,URI="data:text/plain;base64,a,b=",KEYID=0xAB`)
+	want := map[string]string{
+		"METHOD": "SAMPLE-AES-CTR",
+		"URI":    "data:text/plain;base64,a,b=",
+		"KEYID":  "0xAB",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("parseAttrs = %v, want %v", got, want)
+	}
+	// Malformed lists degrade instead of erroring.
+	for _, s := range []string{"", "=", "NOVALUE", `A="unterminated`, ",,,"} {
+		_ = parseAttrs(s) // must not panic
+	}
+}
+
+func TestMarshalSanitizesHostileValues(t *testing.T) {
+	p := &Playlist{Periods: []Period{{
+		ID: "p\n0\"evil",
+		Groups: []Group{{
+			Type: "VI DEO,X",
+			Renditions: []Rendition{{
+				URI:         "v.m3u8\n#EXT-X-ENDLIST",
+				ID:          `v"1`,
+				Segments:    []string{"seg\n1.m4s"},
+				HasSegments: true,
+			}},
+		}},
+	}}}
+	raw, err := p.Marshal()
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	if strings.Contains(string(raw), "evil\n") {
+		t.Error("newline survived into an attribute value")
+	}
+	if _, err := Parse(raw); err != nil {
+		t.Errorf("sanitized output failed to re-parse: %v", err)
+	}
+}

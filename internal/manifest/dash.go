@@ -1,0 +1,41 @@
+package manifest
+
+import (
+	"bytes"
+
+	"repro/internal/dash"
+)
+
+func init() { Register(dashDialect{}) }
+
+// dashDialect is the identity dialect: the wire format IS the canonical
+// model.
+type dashDialect struct{}
+
+func (dashDialect) Name() string      { return "dash" }
+func (dashDialect) Extension() string { return "mpd" }
+
+func (dashDialect) Sniff(b []byte) bool {
+	trimmed := bytes.TrimLeft(b, " \t\r\n")
+	return bytes.HasPrefix(trimmed, []byte("<")) && bytes.Contains(b, []byte("<MPD"))
+}
+
+func (dashDialect) Parse(b []byte) (*dash.MPD, error) { return dash.Parse(b) }
+
+func (dashDialect) Serialize(m *dash.MPD) ([]byte, error) { return m.Marshal() }
+
+func (d dashDialect) Protections(b []byte) ([]dash.ContentProtection, error) {
+	m, err := d.Parse(b)
+	if err != nil {
+		return nil, err
+	}
+	return mpdProtections(m), nil
+}
+
+func (d dashDialect) SegmentURLs(b []byte) ([]string, error) {
+	m, err := d.Parse(b)
+	if err != nil {
+		return nil, err
+	}
+	return m.AllURLs(), nil
+}

@@ -1,0 +1,198 @@
+package manifest
+
+import (
+	"repro/internal/dash"
+	"repro/internal/hls"
+)
+
+func init() { Register(hlsDialect{}) }
+
+// hlsDialect converts between the canonical model and m3u8 playlists. The
+// mapping is lossless for everything the packager emits: adaptation sets
+// become rendition groups, set-level protection becomes session keys,
+// representation protection becomes #EXT-X-KEY descriptors, and template
+// addressing rides the X-WIDELEAK-TEMPLATE carrier.
+type hlsDialect struct{}
+
+func (hlsDialect) Name() string        { return "hls" }
+func (hlsDialect) Extension() string   { return "m3u8" }
+func (hlsDialect) Sniff(b []byte) bool { return hls.Sniff(b) }
+
+// groupType maps canonical content types onto the #EXT-X-MEDIA TYPE
+// enumeration; unknown types pass through verbatim so they survive a
+// round trip.
+func groupType(contentType string) string {
+	switch contentType {
+	case dash.ContentVideo:
+		return hls.TypeVideo
+	case dash.ContentAudio:
+		return hls.TypeAudio
+	case dash.ContentSubtitle:
+		return hls.TypeSubtitles
+	}
+	return contentType
+}
+
+func contentTypeOf(groupType string) string {
+	switch groupType {
+	case hls.TypeVideo:
+		return dash.ContentVideo
+	case hls.TypeAudio:
+		return dash.ContentAudio
+	case hls.TypeSubtitles:
+		return dash.ContentSubtitle
+	}
+	return groupType
+}
+
+func keyFromProtection(cp dash.ContentProtection) hls.Key {
+	k := hls.Key{
+		Method:    "SAMPLE-AES-CTR",
+		KeyFormat: cp.SchemeIDURI,
+		KeyID:     cp.DefaultKID,
+		Value:     cp.Value,
+	}
+	k.SetPSSH(cp.PSSH)
+	return k
+}
+
+func protectionFromKey(k hls.Key) dash.ContentProtection {
+	return dash.ContentProtection{
+		SchemeIDURI: k.KeyFormat,
+		Value:       k.Value,
+		DefaultKID:  k.KeyID,
+		PSSH:        k.PSSH(),
+	}
+}
+
+func (hlsDialect) Serialize(m *dash.MPD) ([]byte, error) {
+	p := &hls.Playlist{
+		MPDProfiles: m.Profiles,
+		MPDType:     m.Type,
+		MPDDuration: m.Duration,
+	}
+	for _, period := range m.Periods {
+		hp := hls.Period{ID: period.ID}
+		for _, set := range period.AdaptationSets {
+			g := hls.Group{
+				Type:     groupType(set.ContentType),
+				MimeType: set.MimeType,
+				Language: set.Lang,
+			}
+			for _, cp := range set.ContentProtections {
+				g.SessionKeys = append(g.SessionKeys, keyFromProtection(cp))
+			}
+			for _, rep := range set.Representations {
+				r := hls.Rendition{
+					URI:       rep.ID + ".m3u8",
+					ID:        rep.ID,
+					Bandwidth: rep.Bandwidth,
+					Width:     rep.Width,
+					Height:    rep.Height,
+					Codecs:    rep.Codecs,
+					BaseURI:   rep.BaseURL,
+				}
+				for _, cp := range rep.ContentProtections {
+					r.Keys = append(r.Keys, keyFromProtection(cp))
+				}
+				if list := rep.SegmentList; list != nil {
+					r.HasSegments = true
+					if list.Initialization != nil {
+						r.InitURI = list.Initialization.SourceURL
+					}
+					for _, s := range list.SegmentURLs {
+						r.Segments = append(r.Segments, s.SourceURL)
+					}
+				}
+				if t := rep.SegmentTemplate; t != nil {
+					r.Template = &hls.Template{
+						Init:  t.Initialization,
+						Media: t.Media,
+						Start: t.StartNumber,
+						Count: t.SegmentCount,
+					}
+				}
+				g.Renditions = append(g.Renditions, r)
+			}
+			hp.Groups = append(hp.Groups, g)
+		}
+		p.Periods = append(p.Periods, hp)
+	}
+	return p.Marshal()
+}
+
+func (hlsDialect) Parse(b []byte) (*dash.MPD, error) {
+	p, err := hls.Parse(b)
+	if err != nil {
+		return nil, err
+	}
+	m := &dash.MPD{
+		Profiles: p.MPDProfiles,
+		Type:     p.MPDType,
+		Duration: p.MPDDuration,
+	}
+	for _, hp := range p.Periods {
+		period := dash.Period{ID: hp.ID}
+		for _, g := range hp.Groups {
+			set := dash.AdaptationSet{
+				ContentType: contentTypeOf(g.Type),
+				MimeType:    g.MimeType,
+				Lang:        g.Language,
+			}
+			for _, k := range g.SessionKeys {
+				set.ContentProtections = append(set.ContentProtections, protectionFromKey(k))
+			}
+			for _, r := range g.Renditions {
+				rep := dash.Representation{
+					ID:        r.ID,
+					Bandwidth: r.Bandwidth,
+					Width:     r.Width,
+					Height:    r.Height,
+					Codecs:    r.Codecs,
+					BaseURL:   r.BaseURI,
+				}
+				for _, k := range r.Keys {
+					rep.ContentProtections = append(rep.ContentProtections, protectionFromKey(k))
+				}
+				if r.HasSegments {
+					list := &dash.SegmentList{}
+					if r.InitURI != "" {
+						list.Initialization = &dash.SegmentURL{SourceURL: r.InitURI}
+					}
+					for _, s := range r.Segments {
+						list.SegmentURLs = append(list.SegmentURLs, dash.SegmentURL{SourceURL: s})
+					}
+					rep.SegmentList = list
+				}
+				if t := r.Template; t != nil {
+					rep.SegmentTemplate = &dash.SegmentTemplate{
+						Initialization: t.Init,
+						Media:          t.Media,
+						StartNumber:    t.Start,
+						SegmentCount:   t.Count,
+					}
+				}
+				set.Representations = append(set.Representations, rep)
+			}
+			period.AdaptationSets = append(period.AdaptationSets, set)
+		}
+		m.Periods = append(m.Periods, period)
+	}
+	return m, nil
+}
+
+func (d hlsDialect) Protections(b []byte) ([]dash.ContentProtection, error) {
+	m, err := d.Parse(b)
+	if err != nil {
+		return nil, err
+	}
+	return mpdProtections(m), nil
+}
+
+func (d hlsDialect) SegmentURLs(b []byte) ([]string, error) {
+	m, err := d.Parse(b)
+	if err != nil {
+		return nil, err
+	}
+	return m.AllURLs(), nil
+}

@@ -1,0 +1,187 @@
+package manifest
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dash"
+	"repro/internal/sstr"
+)
+
+func init() { Register(sstrDialect{}) }
+
+// sstrDialect converts between the canonical model and SmoothStreamingMedia
+// documents. Smooth Streaming has no period concept, so the dialect is
+// single-period only: Serialize refuses multi-period manifests (the
+// packager never emits them) and Parse yields one period whose ID rides the
+// PeriodID attribute.
+type sstrDialect struct{}
+
+func (sstrDialect) Name() string        { return "sstr" }
+func (sstrDialect) Extension() string   { return "ism" }
+func (sstrDialect) Sniff(b []byte) bool { return sstr.Sniff(b) }
+
+func protectionHeader(cp dash.ContentProtection) sstr.ProtectionHeader {
+	return sstr.ProtectionHeader{
+		SystemID: cp.SchemeIDURI,
+		Value:    cp.Value,
+		KeyID:    cp.DefaultKID,
+		Data:     cp.PSSH,
+	}
+}
+
+func protectionFromHeader(h sstr.ProtectionHeader) dash.ContentProtection {
+	return dash.ContentProtection{
+		SchemeIDURI: h.SystemID,
+		Value:       h.Value,
+		DefaultKID:  h.KeyID,
+		PSSH:        strings.TrimSpace(h.Data),
+	}
+}
+
+func wrapProtection(cps []dash.ContentProtection) *sstr.Protection {
+	if len(cps) == 0 {
+		return nil
+	}
+	p := &sstr.Protection{}
+	for _, cp := range cps {
+		p.Headers = append(p.Headers, protectionHeader(cp))
+	}
+	return p
+}
+
+func unwrapProtection(p *sstr.Protection) []dash.ContentProtection {
+	if p == nil {
+		return nil
+	}
+	var out []dash.ContentProtection
+	for _, h := range p.Headers {
+		out = append(out, protectionFromHeader(h))
+	}
+	return out
+}
+
+func (sstrDialect) Serialize(m *dash.MPD) ([]byte, error) {
+	if len(m.Periods) != 1 {
+		return nil, fmt.Errorf("sstr: dialect requires exactly one period, manifest has %d", len(m.Periods))
+	}
+	period := m.Periods[0]
+	doc := &sstr.Manifest{
+		MajorVersion:     2,
+		MinorVersion:     1,
+		Duration:         m.Duration,
+		Profiles:         m.Profiles,
+		PresentationType: m.Type,
+		PeriodID:         period.ID,
+	}
+	for _, set := range period.AdaptationSets {
+		si := sstr.StreamIndex{
+			Type:       set.ContentType,
+			MimeType:   set.MimeType,
+			Language:   set.Lang,
+			Protection: wrapProtection(set.ContentProtections),
+		}
+		for _, rep := range set.Representations {
+			ql := sstr.QualityLevel{
+				Index:      rep.ID,
+				Bitrate:    rep.Bandwidth,
+				MaxWidth:   rep.Width,
+				MaxHeight:  rep.Height,
+				FourCC:     rep.Codecs,
+				Url:        rep.BaseURL,
+				Protection: wrapProtection(rep.ContentProtections),
+			}
+			if list := rep.SegmentList; list != nil {
+				cl := &sstr.ChunkList{}
+				if list.Initialization != nil {
+					cl.Init = list.Initialization.SourceURL
+				}
+				for _, s := range list.SegmentURLs {
+					cl.Chunks = append(cl.Chunks, sstr.Chunk{Src: s.SourceURL})
+				}
+				ql.Chunks = cl
+			}
+			if t := rep.SegmentTemplate; t != nil {
+				ql.Template = &sstr.FragmentTemplate{
+					Initialization: t.Initialization,
+					Media:          t.Media,
+					StartNumber:    t.StartNumber,
+					Count:          t.SegmentCount,
+				}
+			}
+			si.QualityLevels = append(si.QualityLevels, ql)
+		}
+		doc.StreamIndexes = append(doc.StreamIndexes, si)
+	}
+	return doc.Marshal()
+}
+
+func (sstrDialect) Parse(b []byte) (*dash.MPD, error) {
+	doc, err := sstr.Parse(b)
+	if err != nil {
+		return nil, err
+	}
+	m := &dash.MPD{
+		Profiles: doc.Profiles,
+		Type:     doc.PresentationType,
+		Duration: doc.Duration,
+	}
+	period := dash.Period{ID: doc.PeriodID}
+	for _, si := range doc.StreamIndexes {
+		set := dash.AdaptationSet{
+			ContentType:        si.Type,
+			MimeType:           si.MimeType,
+			Lang:               si.Language,
+			ContentProtections: unwrapProtection(si.Protection),
+		}
+		for _, ql := range si.QualityLevels {
+			rep := dash.Representation{
+				ID:                 ql.Index,
+				Bandwidth:          ql.Bitrate,
+				Width:              ql.MaxWidth,
+				Height:             ql.MaxHeight,
+				Codecs:             ql.FourCC,
+				BaseURL:            ql.Url,
+				ContentProtections: unwrapProtection(ql.Protection),
+			}
+			if cl := ql.Chunks; cl != nil {
+				list := &dash.SegmentList{}
+				if cl.Init != "" {
+					list.Initialization = &dash.SegmentURL{SourceURL: cl.Init}
+				}
+				for _, c := range cl.Chunks {
+					list.SegmentURLs = append(list.SegmentURLs, dash.SegmentURL{SourceURL: c.Src})
+				}
+				rep.SegmentList = list
+			}
+			if t := ql.Template; t != nil {
+				rep.SegmentTemplate = &dash.SegmentTemplate{
+					Initialization: t.Initialization,
+					Media:          t.Media,
+					StartNumber:    t.StartNumber,
+					SegmentCount:   t.Count,
+				}
+			}
+			set.Representations = append(set.Representations, rep)
+		}
+		period.AdaptationSets = append(period.AdaptationSets, set)
+	}
+	m.Periods = []dash.Period{period}
+	return m, nil
+}
+
+func (d sstrDialect) Protections(b []byte) ([]dash.ContentProtection, error) {
+	m, err := d.Parse(b)
+	if err != nil {
+		return nil, err
+	}
+	return mpdProtections(m), nil
+}
+
+func (d sstrDialect) SegmentURLs(b []byte) ([]string, error) {
+	m, err := d.Parse(b)
+	if err != nil {
+		return nil, err
+	}
+	return m.AllURLs(), nil
+}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/dash"
 	"repro/internal/device"
 	"repro/internal/keybox"
+	"repro/internal/manifest"
 	"repro/internal/media"
 	"repro/internal/mp4"
 	"repro/internal/netsim"
@@ -264,12 +265,12 @@ func (a *App) PlayCtx(ctx context.Context, contentID string) *PlaybackReport {
 		}
 	}
 
-	manifest, err := a.fetchManifest(ctx, drm, contentID)
+	raw, err := a.fetchManifest(ctx, drm, contentID)
 	if err != nil {
 		report.setErr(fmt.Errorf("fetch manifest: %w", err))
 		return report
 	}
-	mpd, err := dash.Parse(manifest)
+	mpd, err := a.parseManifest(raw)
 	if err != nil {
 		report.setErr(fmt.Errorf("parse manifest: %w", err))
 		return report
@@ -330,12 +331,12 @@ func (a *App) PlayCtx(ctx context.Context, contentID string) *PlaybackReport {
 // session's loaded keys decrypt everything — the license server is never
 // contacted again.
 func (a *App) replayFromCache(ctx context.Context, contentID string, drm *android.MediaDrm, session oemcrypto.SessionID, granted map[[16]byte]bool, report *PlaybackReport) {
-	manifest, err := a.fetchManifest(ctx, drm, contentID)
+	raw, err := a.fetchManifest(ctx, drm, contentID)
 	if err != nil {
 		report.setErr(fmt.Errorf("fetch manifest: %w", err))
 		return
 	}
-	mpd, err := dash.Parse(manifest)
+	mpd, err := a.parseManifest(raw)
 	if err != nil {
 		report.setErr(fmt.Errorf("parse manifest: %w", err))
 		return
@@ -384,11 +385,24 @@ func (a *App) provision(ctx context.Context, drm *android.MediaDrm) (denied bool
 	return false, nil
 }
 
-// fetchManifest retrieves the MPD, over the CDM secure channel when the app
-// protects its URI links (Netflix).
+// parseManifest decodes fetched manifest bytes through the profile's
+// dialect into the canonical model every downstream playback step runs on.
+func (a *App) parseManifest(raw []byte) (*dash.MPD, error) {
+	d, err := manifest.ByName(a.profile.ManifestDialect)
+	if err != nil {
+		return nil, err
+	}
+	return d.Parse(raw)
+}
+
+// fetchManifest retrieves the manifest in the profile's dialect (the
+// dialect extension rides the URL path; the bare path is canonical DASH),
+// over the CDM secure channel when the app protects its URI links
+// (Netflix).
 func (a *App) fetchManifest(ctx context.Context, drm *android.MediaDrm, contentID string) ([]byte, error) {
+	fetchID := manifest.PathFor(contentID, a.profile.ManifestDialect)
 	if !a.profile.SecureManifestURIs {
-		resp, err := a.net.DoCtx(ctx, netsim.Request{Host: a.profile.APIHost(), Path: PathManifest + contentID})
+		resp, err := a.net.DoCtx(ctx, netsim.Request{Host: a.profile.APIHost(), Path: PathManifest + fetchID})
 		if err != nil {
 			return nil, err
 		}
@@ -425,7 +439,7 @@ func (a *App) fetchManifest(ctx context.Context, drm *android.MediaDrm, contentI
 	if err != nil {
 		return nil, err
 	}
-	resp, err := a.net.DoCtx(ctx, netsim.Request{Host: a.profile.APIHost(), Path: PathSecureManifest + contentID, Body: body})
+	resp, err := a.net.DoCtx(ctx, netsim.Request{Host: a.profile.APIHost(), Path: PathSecureManifest + fetchID, Body: body})
 	if err != nil {
 		return nil, err
 	}

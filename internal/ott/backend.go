@@ -10,6 +10,7 @@ import (
 	"repro/internal/cdn"
 	"repro/internal/dash"
 	"repro/internal/license"
+	"repro/internal/manifest"
 	"repro/internal/media"
 	"repro/internal/netsim"
 	"repro/internal/provision"
@@ -171,8 +172,8 @@ func (d *Deployment) apiHandler() netsim.Handler {
 				// Netflix-style: the plain manifest endpoint does not exist.
 				return jsonError(404, "manifest requires secure channel")
 			}
-			id := strings.TrimPrefix(req.Path, PathManifest)
-			if m, ok := d.cdnSrv.Manifest(id); ok {
+			id, dialectName := manifest.SplitExtension(strings.TrimPrefix(req.Path, PathManifest))
+			if m, err := d.cdnSrv.ManifestDialect(id, dialectName); err == nil {
 				return netsim.Response{Status: 200, Body: m}, nil
 			}
 			return jsonError(404, "unknown content")
@@ -208,9 +209,9 @@ func (d *Deployment) handleSecureManifest(req netsim.Request) (netsim.Response, 
 	if !d.Profile.SecureManifestURIs {
 		return jsonError(404, "no such endpoint")
 	}
-	id := strings.TrimPrefix(req.Path, PathSecureManifest)
-	manifest, ok := d.cdnSrv.Manifest(id)
-	if !ok {
+	id, dialectName := manifest.SplitExtension(strings.TrimPrefix(req.Path, PathSecureManifest))
+	raw, err := d.cdnSrv.ManifestDialect(id, dialectName)
+	if err != nil {
 		return jsonError(404, "unknown content")
 	}
 	var smr SecureManifestRequest
@@ -229,7 +230,7 @@ func (d *Deployment) handleSecureManifest(req netsim.Request) (netsim.Response, 
 	if _, err := io.ReadFull(d.rand, iv); err != nil {
 		return jsonError(500, "channel iv")
 	}
-	sealed, err := wvcrypto.EncryptCBC(keys.Enc, iv, manifest)
+	sealed, err := wvcrypto.EncryptCBC(keys.Enc, iv, raw)
 	if err != nil {
 		return jsonError(500, "seal manifest")
 	}

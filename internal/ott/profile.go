@@ -57,6 +57,12 @@ type Profile struct {
 	// usage analysis: the served MPD omits default_KID metadata (Hulu,
 	// HBO Max).
 	HideKeyIDs bool
+
+	// ManifestDialect is the manifest wire format the app fetches and
+	// plays through: "" (canonical DASH, the default), "hls", or "sstr".
+	// The CDN repackages from canonical DASH on the fly, so the dialect
+	// changes the bytes on the wire but never the study outcome.
+	ManifestDialect string
 }
 
 // minimumPolicy is the prevalent weak key policy: audio encrypted but

@@ -1,0 +1,79 @@
+package sstr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// The manifest parser consumes intercepted network bytes and CDM dumps —
+// attacker-adjacent input that must never panic.
+func TestParse_NeverPanics(t *testing.T) {
+	prop := func(data []byte) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("Parse panicked on %q: %v", data, r)
+				ok = false
+			}
+		}()
+		_, _ = Parse(data)
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// FuzzParse is the native fuzz target over the same attack surface: run
+// via `make fuzz` (short budget) or `go test -fuzz FuzzParse ./internal/sstr`.
+func FuzzParse(f *testing.F) {
+	valid, err := sampleManifest().Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte(rootMarker + ">"))
+	f.Add([]byte(rootMarker + ` MajorVersion="2"><StreamIndex Type="video"/></SmoothStreamingMedia>`))
+	f.Add(valid[:len(valid)/2])
+	f.Add(append(append([]byte(nil), valid...), "<extra></extra>"...))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Parse(data)
+		if err != nil {
+			return
+		}
+		// Whatever parsed must re-marshal.
+		if _, err := m.Marshal(); err != nil {
+			t.Errorf("parsed manifest does not re-marshal: %v", err)
+		}
+	})
+}
+
+// Mutations of a valid manifest exercise deeper decoder paths.
+func TestParse_MutatedManifestNeverPanics(t *testing.T) {
+	valid, err := sampleManifest().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(edits []uint16) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("mutated manifest panicked: %v", r)
+				ok = false
+			}
+		}()
+		doc := append([]byte(nil), valid...)
+		for _, e := range edits {
+			if len(doc) == 0 {
+				break
+			}
+			doc[int(e)%len(doc)] ^= byte(e >> 8)
+		}
+		if m, err := Parse(doc); err == nil {
+			_, _ = m.Marshal()
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

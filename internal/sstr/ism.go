@@ -1,0 +1,125 @@
+// Package sstr models Microsoft Smooth Streaming `.ism` manifests — the
+// XML manifest dialect legacy OTT stacks (and manifesto-style translators)
+// speak. A SmoothStreamingMedia document carries StreamIndex elements (one
+// per adaptation set) with QualityLevel children (one per representation)
+// and ProtectionHeader boxes for DRM descriptors.
+//
+// Simplification vs. the full spec (documented in DESIGN.md §5h): Smooth
+// Streaming has no period concept, so the dialect is single-period only —
+// Marshal refuses multi-period manifests, and segment addressing uses the
+// canonical URL/template carriers (Chunks / FragmentTemplate elements)
+// rather than timestamp-based fragment requests. The package is a pure
+// wire format: it never imports internal/dash — internal/manifest owns the
+// conversion.
+package sstr
+
+import (
+	"bytes"
+	"encoding/xml"
+	"errors"
+)
+
+// ErrNotSSTR is returned when the input is not a SmoothStreamingMedia
+// document.
+var ErrNotSSTR = errors.New("sstr: not a Smooth Streaming manifest")
+
+// rootMarker identifies the document type before full decoding.
+const rootMarker = "<SmoothStreamingMedia"
+
+// Manifest is one title's SmoothStreamingMedia document.
+type Manifest struct {
+	XMLName          xml.Name      `xml:"SmoothStreamingMedia"`
+	MajorVersion     int           `xml:"MajorVersion,attr"`
+	MinorVersion     int           `xml:"MinorVersion,attr"`
+	Duration         string        `xml:"Duration,attr,omitempty"`
+	Profiles         string        `xml:"Profiles,attr,omitempty"`
+	PresentationType string        `xml:"PresentationType,attr,omitempty"`
+	PeriodID         string        `xml:"PeriodID,attr,omitempty"`
+	StreamIndexes    []StreamIndex `xml:"StreamIndex"`
+}
+
+// StreamIndex is one adaptation set: a typed group of quality levels.
+type StreamIndex struct {
+	Type          string         `xml:"Type,attr"`
+	MimeType      string         `xml:"MimeType,attr,omitempty"`
+	Language      string         `xml:"Language,attr,omitempty"`
+	Protection    *Protection    `xml:"Protection,omitempty"`
+	QualityLevels []QualityLevel `xml:"QualityLevel"`
+}
+
+// Protection wraps the DRM descriptor list.
+type Protection struct {
+	Headers []ProtectionHeader `xml:"ProtectionHeader"`
+}
+
+// ProtectionHeader is one DRM descriptor box: SystemID carries the scheme
+// URI verbatim, Data the base64 init payload (PSSH) as element text.
+type ProtectionHeader struct {
+	SystemID string `xml:"SystemID,attr"`
+	Value    string `xml:"Value,attr,omitempty"`
+	KeyID    string `xml:"KeyID,attr,omitempty"`
+	Data     string `xml:",chardata"`
+}
+
+// QualityLevel is one representation.
+type QualityLevel struct {
+	Index      string            `xml:"Index,attr"`
+	Bitrate    uint32            `xml:"Bitrate,attr,omitempty"`
+	MaxWidth   uint16            `xml:"MaxWidth,attr,omitempty"`
+	MaxHeight  uint16            `xml:"MaxHeight,attr,omitempty"`
+	FourCC     string            `xml:"FourCC,attr,omitempty"`
+	Url        string            `xml:"Url,attr,omitempty"`
+	Protection *Protection       `xml:"Protection,omitempty"`
+	Chunks     *ChunkList        `xml:"ChunkList,omitempty"`
+	Template   *FragmentTemplate `xml:"FragmentTemplate,omitempty"`
+}
+
+// ChunkList carries explicit segment addressing (the canonical model's
+// SegmentList).
+type ChunkList struct {
+	Init   string  `xml:"Init,attr,omitempty"`
+	Chunks []Chunk `xml:"Chunk"`
+}
+
+// Chunk is one media segment reference.
+type Chunk struct {
+	Src string `xml:"src,attr"`
+}
+
+// FragmentTemplate carries template segment addressing (the canonical
+// model's SegmentTemplate).
+type FragmentTemplate struct {
+	Initialization string `xml:"Initialization,attr,omitempty"`
+	Media          string `xml:"Media,attr,omitempty"`
+	StartNumber    uint32 `xml:"StartNumber,attr,omitempty"`
+	Count          uint32 `xml:"Count,attr,omitempty"`
+}
+
+// Sniff reports whether the bytes look like a Smooth Streaming manifest.
+func Sniff(b []byte) bool {
+	return bytes.Contains(b, []byte(rootMarker))
+}
+
+// Parse decodes one SmoothStreamingMedia document.
+func Parse(b []byte) (*Manifest, error) {
+	if !Sniff(b) {
+		return nil, ErrNotSSTR
+	}
+	var m Manifest
+	if err := xml.Unmarshal(b, &m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// Marshal renders the manifest as an indented XML document.
+func (m *Manifest) Marshal() ([]byte, error) {
+	if m.MajorVersion == 0 {
+		m.MajorVersion = 2
+	}
+	body, err := xml.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(xml.Header), body...), nil
+}

@@ -1,0 +1,159 @@
+package sstr
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// sampleManifest builds a manifest shaped like what the manifest dialect
+// produces for a packaged title: protected video ladder, one audio
+// language, one subtitle track.
+func sampleManifest() *Manifest {
+	return &Manifest{
+		MajorVersion:     2,
+		MinorVersion:     1,
+		Duration:         "PT2M",
+		Profiles:         "urn:mpeg:dash:profile:isoff-on-demand:2011",
+		PresentationType: "static",
+		PeriodID:         "p0",
+		StreamIndexes: []StreamIndex{
+			{
+				Type:     "video",
+				MimeType: "video/mp4",
+				Protection: &Protection{Headers: []ProtectionHeader{{
+					SystemID: "urn:uuid:edef8ba9-79d6-4ace-a3c8-27dcd51d21ed",
+					Data:     "cHNzaC1kYXRh",
+				}}},
+				QualityLevels: []QualityLevel{
+					{
+						Index:     "v-540p",
+						Bitrate:   2_000_000,
+						MaxWidth:  960,
+						MaxHeight: 540,
+						FourCC:    "avc1.640028",
+						Url:       "movie-1/video/540p/",
+						Protection: &Protection{Headers: []ProtectionHeader{{
+							SystemID: "urn:mpeg:dash:mp4protection:2011",
+							Value:    "cenc",
+							KeyID:    "00112233445566778899aabbccddeeff",
+						}}},
+						Chunks: &ChunkList{
+							Init:   "init.mp4",
+							Chunks: []Chunk{{Src: "seg1.m4s"}, {Src: "seg2.m4s"}},
+						},
+					},
+					{
+						Index:     "v-1080p",
+						Bitrate:   6_000_000,
+						MaxWidth:  1920,
+						MaxHeight: 1080,
+						FourCC:    "avc1.640028",
+						Url:       "movie-1/video/1080p/",
+						Template: &FragmentTemplate{
+							Initialization: "init.mp4",
+							Media:          "seg$Number$.m4s",
+							StartNumber:    1,
+							Count:          2,
+						},
+					},
+				},
+			},
+			{
+				Type:     "audio",
+				MimeType: "audio/mp4",
+				Language: "en",
+				QualityLevels: []QualityLevel{{
+					Index:   "a-en",
+					Bitrate: 128_000,
+					Url:     "movie-1/audio/en/",
+					Chunks:  &ChunkList{Init: "init.mp4", Chunks: []Chunk{{Src: "seg1.m4s"}}},
+				}},
+			},
+			{
+				Type:     "text",
+				MimeType: "text/vtt",
+				Language: "fr",
+				QualityLevels: []QualityLevel{{
+					Index:   "s-fr",
+					Bitrate: 1000,
+					Chunks:  &ChunkList{Chunks: []Chunk{{Src: "movie-1/subs/fr.vtt"}}},
+				}},
+			},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	want := sampleManifest()
+	raw, err := want.Marshal()
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	got, err := Parse(raw)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	got.XMLName.Local = "" // ignore the decoder's name echo
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v\nwire:\n%s", got, want, raw)
+	}
+}
+
+func TestMarshalDeterministic(t *testing.T) {
+	m := sampleManifest()
+	a, _ := m.Marshal()
+	b, _ := m.Marshal()
+	if string(a) != string(b) {
+		t.Error("Marshal not deterministic")
+	}
+}
+
+func TestSniff(t *testing.T) {
+	raw, _ := sampleManifest().Marshal()
+	if !Sniff(raw) {
+		t.Error("Sniff rejected a marshalled manifest")
+	}
+	for _, bad := range []string{"", "#EXTM3U", "<MPD></MPD>", "SmoothStreamingMedia"} {
+		if Sniff([]byte(bad)) {
+			t.Errorf("Sniff accepted %q", bad)
+		}
+	}
+}
+
+func TestParseRejectsNonSSTR(t *testing.T) {
+	if _, err := Parse([]byte("<MPD></MPD>")); err != ErrNotSSTR {
+		t.Errorf("Parse(non-sstr) err = %v, want ErrNotSSTR", err)
+	}
+	if _, err := Parse(nil); err != ErrNotSSTR {
+		t.Errorf("Parse(nil) err = %v, want ErrNotSSTR", err)
+	}
+	if _, err := Parse([]byte(rootMarker + " <unclosed")); err == nil {
+		t.Error("Parse(truncated xml) must error")
+	}
+}
+
+func TestMarshalDefaultsVersion(t *testing.T) {
+	m := &Manifest{}
+	raw, err := m.Marshal()
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	if !strings.Contains(string(raw), `MajorVersion="2"`) {
+		t.Errorf("unversioned manifest did not default MajorVersion=2:\n%s", raw)
+	}
+}
+
+func TestProtectionHeaderDataSurvivesIndent(t *testing.T) {
+	// The base64 payload is element chardata; MarshalIndent must not
+	// corrupt it.
+	raw, _ := sampleManifest().Marshal()
+	m, err := Parse(raw)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	got := strings.TrimSpace(m.StreamIndexes[0].Protection.Headers[0].Data)
+	if got != "cHNzaC1kYXRh" {
+		t.Errorf("ProtectionHeader data = %q, want cHNzaC1kYXRh", got)
+	}
+}

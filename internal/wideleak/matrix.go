@@ -171,6 +171,11 @@ type BatchStats struct {
 	// dimension of the work the scheduler could not share. Empty when the
 	// batch reassembled everything from memoized cells.
 	DeviceCells map[string]int `json:"device_cells,omitempty"`
+	// ManifestsServed counts CDN manifest serves by the batch's built
+	// worlds, per dialect — the protocol-axis dimension of the work the
+	// scheduler could not share. Empty when the batch reassembled
+	// everything from memoized cells.
+	ManifestsServed map[string]int `json:"manifests_served,omitempty"`
 }
 
 // BatchResult carries the per-spec tables (index-aligned with Specs)
@@ -258,7 +263,7 @@ func planBatch(specs []RunSpec) (*batchPlan, error) {
 		}
 		w, ok := plan.worlds[wk]
 		if !ok {
-			w = &plannedWorld{key: wk, spec: RunSpec{Seed: c.Seed, Devices: c.Devices, Faults: c.Faults, Concurrency: 1}}
+			w = &plannedWorld{key: wk, spec: RunSpec{Seed: c.Seed, Devices: c.Devices, Dialect: c.Dialect, Faults: c.Faults, Concurrency: 1}}
 			plan.worlds[wk] = w
 		}
 		for _, profile := range c.Profiles {
@@ -283,7 +288,7 @@ func planBatch(specs []RunSpec) (*batchPlan, error) {
 			for _, id := range execution {
 				cell, ok := ch.probeSet[id]
 				if !ok {
-					cell = &plannedCell{key: CellKey(c.Seed, c.Faults, c.Devices, profile, id), probe: id}
+					cell = &plannedCell{key: CellKey(c.Seed, c.Faults, c.Devices, c.Dialect, profile, id), probe: id}
 					ch.probeSet[id] = cell
 				}
 				row.cells = append(row.cells, cell)
@@ -581,6 +586,12 @@ func ExecuteBatch(ctx context.Context, specs []RunSpec, opts BatchOptions) (*Bat
 					res.Stats.DeviceCells = make(map[string]int)
 				}
 				res.Stats.DeviceCells[name] += n
+			}
+			for dialect, n := range w.study.World.ManifestServeCounts() {
+				if res.Stats.ManifestsServed == nil {
+					res.Stats.ManifestsServed = make(map[string]int)
+				}
+				res.Stats.ManifestsServed[dialect] += n
 			}
 		}
 	}

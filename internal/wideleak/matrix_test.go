@@ -53,18 +53,18 @@ func encodeAll(t *testing.T, table *Table) string {
 // can change a cell's bytes must change the key, and canonical
 // defaults must collapse onto it.
 func TestCellKey(t *testing.T) {
-	base := CellKey("default", nil, nil, "Netflix", "q1")
-	if got := CellKey("", nil, nil, "Netflix", "q1"); got != base {
+	base := CellKey("default", nil, nil, "", "Netflix", "q1")
+	if got := CellKey("", nil, nil, "", "Netflix", "q1"); got != base {
 		t.Errorf("empty seed did not canonicalize to default: %s != %s", got, base)
 	}
-	if got := CellKey("default", &RunFaults{Rate: 0}, nil, "Netflix", "q1"); got != base {
+	if got := CellKey("default", &RunFaults{Rate: 0}, nil, "", "Netflix", "q1"); got != base {
 		t.Errorf("zero-rate faults changed the key")
 	}
-	if got := CellKey("default", &RunFaults{Rate: 0.25}, nil, "Netflix", "q1"); got == base {
+	if got := CellKey("default", &RunFaults{Rate: 0.25}, nil, "", "Netflix", "q1"); got == base {
 		t.Errorf("fault schedule not part of the key")
 	}
-	if CellKey("default", &RunFaults{Rate: 0.25}, nil, "Netflix", "q1") !=
-		CellKey("default", &RunFaults{Rate: 0.25, Seed: "chaos"}, nil, "Netflix", "q1") {
+	if CellKey("default", &RunFaults{Rate: 0.25}, nil, "", "Netflix", "q1") !=
+		CellKey("default", &RunFaults{Rate: 0.25, Seed: "chaos"}, nil, "", "Netflix", "q1") {
 		t.Errorf("default fault seed did not canonicalize to chaos")
 	}
 	// Nil devices and the explicit canonical default trio are the same cell.
@@ -72,21 +72,22 @@ func TestCellKey(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := CellKey("default", nil, trio, "Netflix", "q1"); got != base {
+	if got := CellKey("default", nil, trio, "", "Netflix", "q1"); got != base {
 		t.Errorf("explicit default device trio did not collapse onto nil: %s != %s", got, base)
 	}
 	distinct := map[string]string{
-		"seed":    CellKey("other", nil, nil, "Netflix", "q1"),
-		"profile": CellKey("default", nil, nil, "Hulu", "q1"),
-		"probe":   CellKey("default", nil, nil, "Netflix", "q2"),
-		"devices": CellKey("default", nil, []string{"pixel", "l3"}, "Netflix", "q1"),
+		"seed":    CellKey("other", nil, nil, "", "Netflix", "q1"),
+		"profile": CellKey("default", nil, nil, "", "Hulu", "q1"),
+		"probe":   CellKey("default", nil, nil, "", "Netflix", "q2"),
+		"devices": CellKey("default", nil, []string{"pixel", "l3"}, "", "Netflix", "q1"),
+		"dialect": CellKey("default", nil, nil, "hls", "Netflix", "q1"),
 	}
 	for dim, key := range distinct {
 		if key == base {
 			t.Errorf("changing %s did not change the cell key", dim)
 		}
 	}
-	if base != CellKey("default", nil, nil, "Netflix", "q1") {
+	if base != CellKey("default", nil, nil, "", "Netflix", "q1") {
 		t.Errorf("cell key not stable across calls")
 	}
 }

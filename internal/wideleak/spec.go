@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"repro/internal/device"
+	"repro/internal/manifest"
 	"repro/internal/ott"
 )
 
@@ -30,6 +31,11 @@ type RunSpec struct {
 	// Order is NOT significant: canonicalization sorts the set into
 	// registry order, so every permutation shares one cache key.
 	Devices []string `json:"devices,omitempty"`
+	// Dialect selects the manifest wire format every studied app fetches
+	// and plays through: "" or "dash" (canonical, the default), "hls", or
+	// "sstr". Canonicalization folds the default spelling to "" so default
+	// cache keys and goldens are byte-identical to pre-dialect specs.
+	Dialect string `json:"dialect,omitempty"`
 	// Faults optionally installs deterministic fault injection.
 	Faults *RunFaults `json:"faults,omitempty"`
 	// Concurrency caps the row workers. It does not contribute to the
@@ -95,6 +101,10 @@ func (r RunSpec) Canonicalize() (RunSpec, error) {
 		return RunSpec{}, err
 	}
 
+	if c.Dialect, err = manifest.CanonicalName(r.Dialect); err != nil {
+		return RunSpec{}, err
+	}
+
 	if r.Faults != nil && r.Faults.Rate != 0 {
 		if r.Faults.Rate < 0 || r.Faults.Rate >= 1 {
 			return RunSpec{}, fmt.Errorf("wideleak: fault rate must be in [0,1), got %g", r.Faults.Rate)
@@ -121,6 +131,11 @@ func (r RunSpec) Key() (string, error) {
 	h := sha256.New()
 	fmt.Fprintf(h, "wideleak-run-v1\nseed=%s\nprobes=%s\nprofiles=%s\ndevices=%s\n",
 		c.Seed, strings.Join(c.Probes, ","), strings.Join(c.Profiles, ","), strings.Join(c.Devices, ","))
+	// The dialect line appears only for non-default dialects, so every
+	// pre-dialect key is unchanged.
+	if c.Dialect != "" {
+		fmt.Fprintf(h, "dialect=%s\n", c.Dialect)
+	}
 	if c.Faults != nil {
 		fmt.Fprintf(h, "faults=%g:%s\n", c.Faults.Rate, c.Faults.Seed)
 	}
@@ -137,7 +152,9 @@ func (r RunSpec) Key() (string, error) {
 // which observation cells the study plays on, so worlds with different
 // device sets are different worlds. This is the cache key of the
 // service layer's second (fixture) tier, below the full RunSpec result
-// tier.
+// tier. The dialect IS included: fixtures bake profiles (and with them the
+// dialect each installed app speaks) into the world at build time, so
+// worlds cannot be shared across dialects.
 func (r RunSpec) WorldKey() (string, error) {
 	c, err := r.Canonicalize()
 	if err != nil {
@@ -145,6 +162,9 @@ func (r RunSpec) WorldKey() (string, error) {
 	}
 	h := sha256.New()
 	fmt.Fprintf(h, "wideleak-world-v1\nseed=%s\ndevices=%s\n", c.Seed, strings.Join(c.Devices, ","))
+	if c.Dialect != "" {
+		fmt.Fprintf(h, "dialect=%s\n", c.Dialect)
+	}
 	if c.Faults != nil {
 		fmt.Fprintf(h, "faults=%g:%s\n", c.Faults.Rate, c.Faults.Seed)
 	}
@@ -166,8 +186,10 @@ func (r RunSpec) WorldKey() (string, error) {
 // hosts consume no fault-stream draws) makes a cell's outcome
 // independent of which other probes ran before it. The devices slice
 // must already be canonical (CanonicalDeviceNames); nil selects the
-// default trio.
-func CellKey(seed string, faults *RunFaults, devices []string, profile, probeID string) string {
+// default trio. The dialect must already be canonical
+// (manifest.CanonicalName); "" is the default DASH trio and adds no key
+// line, keeping every pre-dialect cell address stable.
+func CellKey(seed string, faults *RunFaults, devices []string, dialect, profile, probeID string) string {
 	if seed == "" {
 		seed = "default"
 	}
@@ -176,6 +198,9 @@ func CellKey(seed string, faults *RunFaults, devices []string, profile, probeID 
 	}
 	h := sha256.New()
 	fmt.Fprintf(h, "wideleak-cell-v1\nseed=%s\ndevices=%s\n", seed, strings.Join(devices, ","))
+	if dialect != "" {
+		fmt.Fprintf(h, "dialect=%s\n", dialect)
+	}
 	if faults != nil && faults.Rate != 0 {
 		fseed := faults.Seed
 		if fseed == "" {
@@ -220,6 +245,13 @@ func (r RunSpec) build(snapshot []byte) (*Study, error) {
 				profiles = append(profiles, p)
 				break
 			}
+		}
+	}
+	if c.Dialect != "" {
+		// The spec's dialect overrides every studied app's wire format
+		// (the registered profiles are copied above, never mutated).
+		for i := range profiles {
+			profiles[i].ManifestDialect = c.Dialect
 		}
 	}
 	var world *World

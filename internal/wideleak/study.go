@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/cdn"
 	"repro/internal/dash"
+	"repro/internal/manifest"
 	"repro/internal/media"
 	"repro/internal/monitor"
 	"repro/internal/mp4"
@@ -322,22 +323,26 @@ func monL3Dumps(events []oemcrypto.CallEvent) [][]byte {
 	return out
 }
 
-// recoverManifest finds the MPD in plaintext traffic or CDM output dumps,
-// and the CDN host from observed object fetches.
+// recoverManifest finds the manifest in plaintext traffic or CDM output
+// dumps — sniffing every registered dialect, since the attacker does not
+// control which wire format the app fetched — and the CDN host from
+// observed object fetches. Whatever dialect it was, the recovered form is
+// the canonical model, so all downstream classification is
+// dialect-independent.
 func recoverManifest(exchanges []netsim.Exchange, dumps [][]byte) (*dash.MPD, string) {
 	var mpd *dash.MPD
 	for _, ex := range exchanges {
 		if ex.Err != nil || ex.Response.Status != 200 {
 			continue
 		}
-		if m, err := dash.Parse(ex.Response.Body); err == nil && len(m.Periods) > 0 {
+		if m, _, err := manifest.ParseAny(ex.Response.Body); err == nil && len(m.Periods) > 0 {
 			mpd = m
 			break
 		}
 	}
 	if mpd == nil {
 		for _, dump := range dumps {
-			if m, err := dash.Parse(dump); err == nil && len(m.Periods) > 0 {
+			if m, _, err := manifest.ParseAny(dump); err == nil && len(m.Periods) > 0 {
 				mpd = m
 				break
 			}

@@ -284,6 +284,20 @@ func (w *World) DeviceCellCounts() map[string]int {
 	return out
 }
 
+// ManifestServeCounts reports how many manifests the world's CDNs have
+// served per dialect, summed across deployments — the protocol dimension
+// batch stats and the daemon's wideleakd_manifests_served_total counter
+// surface.
+func (w *World) ManifestServeCounts() map[string]int {
+	out := make(map[string]int)
+	for _, dep := range w.deployments {
+		for dialect, n := range dep.CDN().ServeCounts() {
+			out[dialect] += int(n)
+		}
+	}
+	return out
+}
+
 // Seed returns the world's reproducibility seed.
 func (w *World) Seed() string { return w.seed }
 

@@ -30,6 +30,7 @@ import (
 	"context"
 
 	"repro/internal/device"
+	"repro/internal/manifest"
 	"repro/internal/netsim"
 	"repro/internal/ott"
 	"repro/internal/provision"
@@ -195,6 +196,22 @@ func ValidateDevices(names []string) ([]string, error) {
 	return wideleak.CanonicalDeviceNames(names)
 }
 
+// ManifestDialects returns the registered manifest dialect names in
+// canonical (registration) order — the protocol axis.
+func ManifestDialects() []string { return manifest.Names() }
+
+// DefaultManifestDialect is the registered name of the default manifest
+// dialect (canonically spelled "" in specs and cache keys).
+const DefaultManifestDialect = manifest.DefaultName
+
+// ValidateDialect checks a manifest dialect name without building
+// anything; the error for an unknown name lists the registered dialects,
+// and the canonical form ("" for the default, the lowercase registered
+// name otherwise) is returned.
+func ValidateDialect(name string) (string, error) {
+	return manifest.CanonicalName(name)
+}
+
 // NewStudy wraps a world in a study runner.
 func NewStudy(w *World) *Study { return wideleak.NewStudy(w) }
 
@@ -255,13 +272,15 @@ func DeviceStableIDsFor(profiles []Profile, devices []string) ([]string, error) 
 }
 
 // CellKey is the content address of one probe cell: seed + canonical
-// fault schedule + canonical device set + profile + probe. Everything
-// that can change a cell's outcome is in the key; scheduling details
-// (Concurrency, request ordering) deliberately are not — see DESIGN.md
-// §cell addressing. devices must be canonical (ValidateDevices); nil
-// selects the default trio.
-func CellKey(seed string, faults *RunFaults, devices []string, profile, probeID string) string {
-	return wideleak.CellKey(seed, faults, devices, profile, probeID)
+// fault schedule + canonical device set + canonical manifest dialect +
+// profile + probe. Everything that can change a cell's outcome is in the
+// key; scheduling details (Concurrency, request ordering) deliberately
+// are not — see DESIGN.md §cell addressing. devices must be canonical
+// (ValidateDevices); nil selects the default trio. dialect must be
+// canonical (ValidateDialect); "" is the default DASH form and leaves
+// pre-dialect addresses untouched.
+func CellKey(seed string, faults *RunFaults, devices []string, dialect, profile, probeID string) string {
+	return wideleak.CellKey(seed, faults, devices, dialect, profile, probeID)
 }
 
 // NewCellCache builds an LRU memo for capacity completed probe cells
